@@ -1,0 +1,48 @@
+// Ablation A4 — the paper's thesis sentence: CNT-FETs "will enable further
+// voltage and gate length scaling."  Constant-field supply scaling of the
+// CNTFET vs the Si trigate: on/off ratio, CV/I delay and mid-rail gain.
+#include <iostream>
+
+#include "core/report.h"
+#include "core/scaling.h"
+#include "device/cntfet.h"
+#include "device/mosfet.h"
+
+int main() {
+  using namespace carbon;
+  core::print_banner(std::cout, "A4 / thesis",
+                     "supply-voltage scaling: CNTFET vs Si trigate");
+
+  const device::CntfetModel cnt(device::make_franklin_cntfet_params(20e-9));
+  const device::VirtualSourceModel si(device::make_si_trigate_params(30e-9));
+
+  core::ScalingOptions opt;
+  opt.vdd_max = 1.0;
+  opt.vdd_min = 0.25;
+  opt.steps = 7;
+  opt.c_load_f = 1e-15;
+
+  const auto t_cnt = core::supply_scaling_table(cnt, opt);
+  const auto t_si = core::supply_scaling_table(si, opt);
+  core::emit_table(std::cout, t_cnt, "CNTFET vs VDD", "a4_cnt_scaling.csv");
+  core::emit_table(std::cout, t_si, "Si trigate vs VDD", "a4_si_scaling.csv");
+
+  // At VDD = 0.5 V (row index 4 of 7: 1.0 -> 0.25 in steps of 0.125).
+  const int r05 = 4;
+  const int onoff = t_cnt.column_index("on_off_ratio");
+  const double cnt_onoff = t_cnt.at(r05, onoff);
+  const double si_onoff = t_si.at(r05, onoff);
+  const double vdd_at_row = t_cnt.at(r05, 0);
+
+  std::cout << "\nat VDD = " << vdd_at_row
+            << " V: on/off CNT = " << cnt_onoff << ", Si = " << si_onoff
+            << "\n";
+
+  const int misses = core::print_claims(
+      std::cout,
+      {{"a4.cnt_onoff", "CNT on/off at half-volt supply", 1e5, cnt_onoff,
+        "", 0.5, core::ClaimKind::kAtLeast},
+       {"a4.advantage", "CNT/Si on-off advantage at 0.5 V", 3.0,
+        cnt_onoff / si_onoff, "x", 0.5, core::ClaimKind::kAtLeast}});
+  return misses == 0 ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Experiment E2 — Fig. 2 of Kreupl, DATE 2014.
+// SPICE comparison of two inverters at VDD = 1 V with a 10 fF load:
+// (a) output family of the saturating FET, (b) of the linear FET,
+// (c) VTC of the saturating pair (NM ~ 0.4 V per side, gain >> 1),
+// (d) VTC of the non-saturating pair (gain never exceeds 1, NM ~ 0).
+#include <iostream>
+#include <memory>
+
+#include "circuit/cells.h"
+#include "circuit/vtc.h"
+#include "core/report.h"
+#include "device/alpha_power.h"
+#include "device/linear_fet.h"
+
+int main() {
+  using namespace carbon;
+  core::print_banner(std::cout, "E2 / Fig. 2",
+                     "inverter VTCs: saturating vs non-saturating FETs "
+                     "(VDD = 1 V, CL = 10 fF)");
+
+  auto sat = std::make_shared<device::AlphaPowerModel>(
+      device::make_fig2_saturating_params());
+  auto lin = std::make_shared<device::LinearFetModel>(
+      device::make_fig2_linear_params());
+
+  // ---- Fig. 2(a)/(b): device output families ----
+  const std::vector<double> gates{0.2, 0.4, 0.6, 0.8, 1.0};
+  core::emit_table(std::cout,
+                   device::output_family(*sat, 0.0, 1.0, 21, gates),
+                   "Fig. 2(a): saturating FET output family",
+                   "fig2a_sat_family.csv");
+  core::emit_table(std::cout,
+                   device::output_family(*lin, 0.0, 1.0, 21, gates),
+                   "Fig. 2(b): linear FET output family",
+                   "fig2b_lin_family.csv");
+
+  // ---- Fig. 2(c)/(d): inverter VTCs ----
+  circuit::CellOptions opt;
+  opt.v_dd = 1.0;
+  opt.c_load = 10e-15;
+
+  auto bench_sat = circuit::make_inverter(sat, opt);
+  auto bench_lin = circuit::make_inverter(lin, opt);
+  const auto vtc_sat = circuit::run_vtc(bench_sat, 101);
+  const auto vtc_lin = circuit::run_vtc(bench_lin, 101);
+  core::emit_table(std::cout, vtc_sat, "Fig. 2(c): VTC, saturating pair",
+                   "fig2c_vtc_sat.csv");
+  core::emit_table(std::cout, vtc_lin, "Fig. 2(d): VTC, linear pair",
+                   "fig2d_vtc_lin.csv");
+
+  const auto m_sat =
+      spice::analyze_vtc(vtc_sat, "sweep_v", "v(out)", opt.v_dd);
+  const auto m_lin =
+      spice::analyze_vtc(vtc_lin, "sweep_v", "v(out)", opt.v_dd);
+
+  std::cout << "\nsaturating pair: VM=" << m_sat.v_switch
+            << " V  max|gain|=" << m_sat.max_abs_gain
+            << "  VIL=" << m_sat.v_il << "  VIH=" << m_sat.v_ih
+            << "  NML=" << m_sat.nm_low << "  NMH=" << m_sat.nm_high << "\n";
+  std::cout << "linear pair:     VM=" << m_lin.v_switch
+            << " V  max|gain|=" << m_lin.max_abs_gain
+            << "  NML=" << m_lin.nm_low << "  NMH=" << m_lin.nm_high << "\n";
+
+  const int misses = core::print_claims(
+      std::cout,
+      {{"fig2.nmh_sat", "saturating inverter NMH", 0.4, m_sat.nm_high, "V",
+        0.5},
+       {"fig2.nml_sat", "saturating inverter NML", 0.4, m_sat.nm_low, "V",
+        0.5},
+       {"fig2.gain_sat", "saturating inverter gain >> 1", 10.0,
+        m_sat.max_abs_gain, "", 2.0},
+       {"fig2.gain_lin", "linear inverter max gain (never exceeds 1)", 1.0,
+        m_lin.max_abs_gain, "", 0.10},
+       {"fig2.nm_lin", "linear inverter noise margin (~0)", 0.0,
+        m_lin.nm_low + m_lin.nm_high, "V", 1e-6}});
+  return misses == 0 ? 0 : 1;
+}

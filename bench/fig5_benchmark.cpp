@@ -1,0 +1,65 @@
+// Experiment E5 — Fig. 5 of Kreupl, DATE 2014 (after del Alamo, ref [18]).
+// On-current vs gate length at VDS = 0.5 V with every technology
+// re-targeted to Ioff = 100 nA/um (the 9 nm CNT point at 10x the spec).
+// The paper's verdict to reproduce: "Clearly, the CNTFET outperforms the
+// alternatives plotted in Fig. 5."
+#include <cmath>
+#include <iostream>
+
+#include "core/report.h"
+#include "core/technology.h"
+
+int main() {
+  using namespace carbon;
+  core::print_banner(std::cout, "E5 / Fig. 5",
+                     "Ion @ Ioff = 100 nA/um, VDS = 0.5 V: CNT vs Si vs "
+                     "InAs vs InGaAs");
+
+  const auto techs = core::fig5_technologies();
+  const auto table = core::benchmark_table(techs, 0.5, 100e-9);
+  core::emit_table(std::cout, table, "Fig. 5: Ion [mA/um] vs Lg [nm]",
+                   "fig5_benchmark.csv");
+
+  // Long-format details (shift, SS) per point.
+  phys::DataTable detail(
+      {"lg_nm", "tech_idx", "ion_ma_um", "gate_shift_v", "ss_mv_dec"});
+  const auto pts = core::benchmark_points(techs, 0.5, 100e-9);
+  for (size_t t = 0; t < techs.size(); ++t) {
+    for (const auto& p : pts) {
+      if (p.technology != techs[t].name) continue;
+      detail.add_row({p.gate_length_m * 1e9, static_cast<double>(t),
+                      p.ion_a_per_um * 1e3, p.gate_shift_v, p.ss_mv_dec});
+    }
+  }
+  core::emit_table(std::cout, detail, "per-point detail", "fig5_detail.csv");
+
+  // Headline comparisons at Lg ~ 30 nm.
+  const auto ion_of = [&](const std::string& name, double lg) {
+    for (const auto& p : pts) {
+      if (p.technology == name && std::abs(p.gate_length_m - lg) < 1e-12) {
+        return p.ion_a_per_um * 1e3;  // mA/um
+      }
+    }
+    return -1.0;
+  };
+  const double cnt30 = ion_of("cntfet", 20e-9);
+  const double si30 = ion_of("si-finfet", 30e-9);
+  const double inas30 = ion_of("inas-hemt", 30e-9);
+  const double cnt9 = ion_of("cntfet-9nm(10x ioff)", 9e-9);
+
+  std::cout << "\nCNT(20nm) " << cnt30 << "  Si(30nm) " << si30
+            << "  InAs(30nm) " << inas30 << "  CNT-9nm@10xIoff " << cnt9
+            << "  [mA/um]\n";
+
+  const int misses = core::print_claims(
+      std::cout,
+      {{"fig5.order1", "CNT / InAs on-current ratio > 1", 3.0,
+        cnt30 / inas30, "x", 0.9},
+       {"fig5.order2", "InAs / Si on-current ratio > 1", 1.6, inas30 / si30,
+        "x", 0.8},
+       {"fig5.si", "Si trigate Ion @ 0.5 V", 0.35, si30, "mA/um", 0.6},
+       {"fig5.inas", "InAs HEMT Ion @ 0.5 V", 0.55, inas30, "mA/um", 0.6},
+       {"fig5.cnt9", "9 nm CNTFET Ion (10x Ioff)", 2.4, cnt9, "mA/um",
+        1.5}});
+  return misses == 0 ? 0 : 1;
+}

@@ -1,0 +1,130 @@
+// P1 — google-benchmark microbenchmarks of the numerical kernels: device
+// model evaluation throughput, barrier self-consistency, SPICE solves and
+// the logic simulator.  These bound how large a study the library can run.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "circuit/cells.h"
+#include "circuit/vtc.h"
+#include "device/cntfet.h"
+#include "device/mosfet.h"
+#include "device/tfet.h"
+#include "fab/devstats.h"
+#include "fab/placement.h"
+#include "logic/subneg.h"
+#include "spice/analyses.h"
+
+namespace {
+
+using namespace carbon;
+
+void BM_CntfetEval(benchmark::State& state) {
+  const device::CntfetModel m(device::make_franklin_cntfet_params(20e-9));
+  double vg = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.drain_current(vg, 0.5));
+    vg = (vg < 0.7) ? vg + 1e-4 : 0.3;  // defeat any caching
+  }
+}
+BENCHMARK(BM_CntfetEval);
+
+void BM_CntfetEvalWithSeriesR(benchmark::State& state) {
+  device::CntfetParams p = device::make_franklin_cntfet_params(20e-9);
+  p.r_source_ohm = p.r_drain_ohm = 5.5e3;
+  const device::CntfetModel m(p);
+  double vg = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.drain_current(vg, 0.5));
+    vg = (vg < 0.7) ? vg + 1e-4 : 0.3;
+  }
+}
+BENCHMARK(BM_CntfetEvalWithSeriesR);
+
+void BM_VirtualSourceEval(benchmark::State& state) {
+  const device::VirtualSourceModel m(device::make_si_trigate_params());
+  double vg = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.drain_current(vg, 0.5));
+    vg = (vg < 0.9) ? vg + 1e-4 : 0.3;
+  }
+}
+BENCHMARK(BM_VirtualSourceEval);
+
+void BM_TfetEval(benchmark::State& state) {
+  const device::CntTfetModel m(device::make_fig6_tfet_params());
+  double vg = -0.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.drain_current(vg, -0.5));
+    vg = (vg > -2.0) ? vg - 1e-4 : -0.2;
+  }
+}
+BENCHMARK(BM_TfetEval);
+
+void BM_CntfetConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    device::CntfetModel m(device::make_franklin_cntfet_params(20e-9));
+    benchmark::DoNotOptimize(m.drain_current(0.5, 0.5));
+  }
+}
+BENCHMARK(BM_CntfetConstruction);
+
+void BM_SpiceInverterOp(benchmark::State& state) {
+  auto n = std::make_shared<device::VirtualSourceModel>(
+      device::make_si_trigate_params());
+  auto bench = circuit::make_inverter(n);
+  bench.vin->set_wave(spice::dc(0.5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spice::operating_point(*bench.ckt));
+  }
+}
+BENCHMARK(BM_SpiceInverterOp);
+
+void BM_SpiceVtcSweep(benchmark::State& state) {
+  auto n = std::make_shared<device::VirtualSourceModel>(
+      device::make_si_trigate_params());
+  auto bench = circuit::make_inverter(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::run_vtc(bench, 41));
+  }
+}
+BENCHMARK(BM_SpiceVtcSweep);
+
+void BM_PlacementMonteCarlo(benchmark::State& state) {
+  const fab::ChiralityPopulation pop(1.4e-9, 0.2e-9);
+  fab::TrenchAssemblyModel model;
+  phys::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.run(pop, 1000, rng));
+  }
+}
+BENCHMARK(BM_PlacementMonteCarlo);
+
+void BM_GateLevelSubtract(benchmark::State& state) {
+  logic::CellTiming timing;
+  timing.t_inv_s = 1e-12;
+  timing.t_nand2_s = 1.5e-12;
+  timing.t_nor2_s = 1.7e-12;
+  logic::SubnegDatapath dp(16, timing);
+  bool neg = false;
+  std::uint64_t b = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp.subtract(b & 0xFFFF, (b * 7 + 3) & 0xFFFF,
+                                         &neg));
+    ++b;
+  }
+}
+BENCHMARK(BM_GateLevelSubtract);
+
+void BM_SubnegCountingProgram(benchmark::State& state) {
+  for (auto _ : state) {
+    logic::SubnegMachine m(16);
+    m.load(logic::make_counting_program(0, 1, 50));
+    benchmark::DoNotOptimize(m.run());
+  }
+}
+BENCHMARK(BM_SubnegCountingProgram);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Experiment T1 — Section III.E text claims.
+// Intel 30 nm trigate (fin 35 nm tall, 18 nm wide): ~66 uA at 1 V / 1 V.
+// Franklin wrap-gate CNTFET (d ~ 1 nm class, Lg = 30 nm): ~20 uA already
+// at VDS = 0.6 V — about 1/3 the trigate current from a channel whose
+// cross-section is more than 300x smaller.
+#include <cmath>
+#include <iostream>
+
+#include "core/report.h"
+#include "device/cntfet.h"
+#include "device/mosfet.h"
+
+int main() {
+  using namespace carbon;
+  core::print_banner(std::cout, "T1 / Sec. III.E",
+                     "trigate fin vs single-tube CNTFET drive currents");
+
+  const device::VirtualSourceModel trigate(
+      device::make_si_trigate_params(30e-9));
+  const device::CntfetModel cnt(device::make_franklin_cntfet_params(30e-9));
+
+  const double i_trigate = trigate.drain_current(1.0, 1.0);
+  const double i_cnt = cnt.drain_current(0.6, 0.6);
+
+  // Cross sections: fin 35 nm x 18 nm vs tube pi/4 d^2.
+  const double a_fin = 35e-9 * 18e-9;
+  const double d = cnt.diameter();
+  const double a_tube = M_PI / 4.0 * d * d;
+
+  phys::DataTable t({"quantity", "trigate", "cntfet"});
+  t.add_row({0, i_trigate * 1e6, i_cnt * 1e6});        // row 0: current uA
+  t.add_row({1, a_fin * 1e18, a_tube * 1e18});         // row 1: area nm^2
+  core::emit_table(std::cout, t,
+                   "row 0: drive current [uA] (trigate @1V/1V, CNT @0.6V); "
+                   "row 1: cross-section [nm^2]",
+                   "t1_trigate_vs_cnt.csv");
+
+  std::cout << "\ncurrent ratio CNT/trigate = " << i_cnt / i_trigate
+            << " (paper: ~1/3)\n"
+            << "cross-section ratio trigate/CNT = " << a_fin / a_tube
+            << " (paper: >300)\n";
+
+  const int misses = core::print_claims(
+      std::cout,
+      {{"t1.trigate", "trigate current @ 1V/1V", 66e-6, i_trigate, "A", 0.25},
+       {"t1.cnt", "CNTFET current @ 0.6V", 20e-6, i_cnt, "A", 0.35},
+       {"t1.third", "CNT/trigate current ratio", 1.0 / 3.0,
+        i_cnt / i_trigate, "", 0.5},
+       {"t1.area", "cross-section ratio", 300.0, a_fin / a_tube, "x", 0.6}});
+  return misses == 0 ? 0 : 1;
+}

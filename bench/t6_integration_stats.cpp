@@ -1,0 +1,107 @@
+// Experiment T6 — Section V: the hard work of industrial-grade integration.
+// (1) Park-style trench self-assembly: statistics over >10,000 blindly
+//     fabricated CNTFETs (ref [22]).
+// (2) Purification: passes vs purity for gel / gradient / DNA sorting.
+// (3) Purity vs circuit-scale yield — why "SWCNT circuits will be an
+//     illusional dream" without high-yield wafer-scale integration.
+// (4) The one-bit SUBNEG carbon nanotube computer (refs [20, 21]) running
+//     its counting program on CNTFET-characterized gates.
+#include <iostream>
+#include <memory>
+
+#include "core/report.h"
+#include "device/cntfet.h"
+#include "fab/devstats.h"
+#include "fab/placement.h"
+#include "fab/sorting.h"
+#include "fab/yield.h"
+#include "logic/stdcell.h"
+#include "logic/subneg.h"
+
+int main() {
+  using namespace carbon;
+  core::print_banner(std::cout, "T6 / Sec. V",
+                     "wafer-scale integration statistics and the CNT "
+                     "computer");
+
+  // ---- (1) >10,000-device statistical study ----
+  fab::ChiralityPopulation pop(1.4e-9, 0.2e-9);
+  const auto sorted = fab::apply_sorting(fab::gel_chromatography(), 2,
+                                         pop.metallic_fraction());
+  fab::apply_to_population(fab::gel_chromatography(), 2, pop);
+  phys::Rng rng(2014);
+  fab::TrenchAssemblyModel trench;
+  const auto sites = trench.run(pop, 10609, rng);  // Park: >10,000 FETs
+  const auto devices = fab::measure_sites(sites, {}, rng);
+  const auto stats = fab::summarize(devices);
+
+  phys::DataTable park({"devices", "yield_pct", "median_onoff",
+                        "median_ion_ua", "mean_tubes", "short_pct"});
+  park.add_row({static_cast<double>(stats.devices), stats.yield * 100.0,
+                stats.median_on_off, stats.median_ion_a * 1e6,
+                stats.mean_tubes, stats.short_fraction * 100.0});
+  core::emit_table(std::cout, park, "Park-style >10k device study",
+                   "t6_park_stats.csv");
+  core::emit_table(std::cout, fab::on_off_histogram(devices),
+                   "on/off distribution", "t6_onoff_hist.csv");
+
+  // ---- (2) sorting-process comparison ----
+  phys::DataTable sort_t({"process_idx", "passes_to_1ppm", "mass_yield_pct"});
+  int idx = 0;
+  for (const auto& proc : {fab::gel_chromatography(), fab::density_gradient(),
+                           fab::dna_sorting()}) {
+    const auto r = fab::passes_for_purity(proc, 1.0);
+    sort_t.add_row({static_cast<double>(idx++),
+                    static_cast<double>(r.passes),
+                    r.overall_mass_yield * 100.0});
+  }
+  core::emit_table(std::cout, sort_t,
+                   "passes to 1 ppm metallic (0: gel, 1: gradient, 2: DNA)",
+                   "t6_sorting.csv");
+
+  // ---- (3) purity requirement vs circuit scale ----
+  const auto purity = fab::purity_requirement_table(
+      {178, 10000, 1000000, 100000000, 10000000000LL}, 3, 4, 0.5);
+  core::emit_table(std::cout, purity,
+                   "metallic tolerance for 50% circuit yield "
+                   "(3 tubes/FET, 4 FETs/gate)",
+                   "t6_purity_requirement.csv");
+
+  // ---- (4) the one-bit computer ----
+  auto cnt = std::make_shared<device::CntfetModel>(
+      device::make_franklin_cntfet_params(20e-9));
+  logic::CharacterizationOptions copt;
+  copt.v_dd = 0.5;
+  copt.c_load_f = 0.05e-15;
+  const logic::CellTiming timing = logic::characterize_cells(cnt, copt);
+
+  logic::SubnegMachine machine(16);
+  machine.load(logic::make_counting_program(0, 1, 10));
+  const int steps = machine.run();
+
+  logic::SubnegDatapath dp(8, timing);
+  bool neg = false;
+  dp.subtract(7, 3, &neg);
+
+  phys::DataTable comp({"inv_delay_ps", "energy_fj", "datapath_gates",
+                        "cycle_time_ns", "program_steps", "count_result"});
+  comp.add_row({timing.t_inv_s * 1e12,
+                timing.energy_per_transition_j * 1e15,
+                static_cast<double>(dp.num_gates()),
+                dp.last_settle_time_s() * 1e9,
+                static_cast<double>(steps),
+                static_cast<double>(machine.read(0))});
+  core::emit_table(std::cout, comp, "SUBNEG CNT computer", "t6_computer.csv");
+
+  const int misses = core::print_claims(
+      std::cout,
+      {{"t6.devices", "devices measured (>10,000)", 10000,
+        static_cast<double>(stats.devices), "", 0.2},
+       {"t6.metallic", "post-sort metallic content", sorted.metallic_ppm,
+        pop.metallic_fraction() * 1e6, "ppm", 0.5},
+       {"t6.count", "counting program result", 10.0,
+        static_cast<double>(machine.read(0)), "", 1e-9},
+       {"t6.yield", "device yield in the statistical study", 0.8,
+        stats.yield, "", 0.3}});
+  return misses == 0 ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// The Fig. 2 experiment as an application: build two inverters from
+// complementary FET pairs — one with current saturation, one without —
+// sweep their voltage transfer curves, and watch the noise margins vanish
+// for the non-saturating pair.  Then do it with a real CNTFET model at
+// half-volt supply.
+#include <cstdio>
+#include <memory>
+
+#include "circuit/cells.h"
+#include "circuit/vtc.h"
+#include "device/alpha_power.h"
+#include "device/cntfet.h"
+#include "device/linear_fet.h"
+
+namespace {
+
+void report(const char* label, const carbon::spice::VtcMetrics& m) {
+  std::printf(
+      "%-22s VM=%.3f V  max|gain|=%6.2f  NML=%.3f V  NMH=%.3f V  %s\n",
+      label, m.v_switch, m.max_abs_gain, m.nm_low, m.nm_high,
+      m.regenerative ? "[works as logic]" : "[NOT a logic gate]");
+}
+
+}  // namespace
+
+int main() {
+  using namespace carbon;
+
+  circuit::CellOptions opt;
+  opt.v_dd = 1.0;
+  opt.c_load = 10e-15;  // the paper's 10 fF load
+
+  std::printf("inverters at VDD = %.1f V, CL = %.0f fF\n\n", opt.v_dd,
+              opt.c_load * 1e15);
+
+  // Saturating pair (Fig. 2(a)/(c)).
+  auto sat = std::make_shared<device::AlphaPowerModel>(
+      device::make_fig2_saturating_params());
+  auto bench_sat = circuit::make_inverter(sat, opt);
+  report("saturating FETs:", circuit::measure_vtc(bench_sat));
+
+  // Non-saturating pair (Fig. 2(b)/(d)).
+  auto lin = std::make_shared<device::LinearFetModel>(
+      device::make_fig2_linear_params());
+  auto bench_lin = circuit::make_inverter(lin, opt);
+  report("linear (GNR-like):", circuit::measure_vtc(bench_lin));
+
+  // A real CNTFET pair at aggressive supply scaling.
+  circuit::CellOptions cnt_opt;
+  cnt_opt.v_dd = 0.5;
+  cnt_opt.c_load = 1e-15;
+  auto cnt = std::make_shared<device::CntfetModel>(
+      device::make_franklin_cntfet_params(20e-9));
+  auto bench_cnt = circuit::make_inverter(cnt, cnt_opt);
+  report("CNTFET @ 0.5 V:", circuit::measure_vtc(bench_cnt));
+
+  // Switching dynamics of the saturating inverter.
+  const auto se = circuit::measure_switching(bench_sat, 4e-9, 2e-12);
+  std::printf("\nsaturating inverter transient: tpHL = %.1f ps, tpLH = %.1f"
+              " ps, energy/cycle = %.1f fJ\n",
+              se.t_phl_s * 1e12, se.t_plh_s * 1e12, se.energy_j * 1e15);
+  return 0;
+}

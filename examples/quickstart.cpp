@@ -1,0 +1,63 @@
+// Quickstart: build a carbon-nanotube FET from its chirality, inspect the
+// band structure, sweep its I-V curves, and extract the headline metrics.
+//
+//   $ ./quickstart
+//
+// This is the 5-minute tour of the library's device layer; see the other
+// examples for circuits, the benchmark engine and the wafer-scale models.
+#include <cstdio>
+
+#include "band/cnt.h"
+#include "device/cntfet.h"
+#include "device/ivmodel.h"
+
+int main() {
+  using namespace carbon;
+
+  // 1) Pick a tube. (19,0) is a 1.49 nm semiconducting zigzag CNT.
+  const band::Chirality chirality{19, 0};
+  const band::CntBandStructure bands(chirality);
+  std::printf("CNT(%d,%d): d = %.3f nm, Eg = %.3f eV, %s\n", chirality.n,
+              chirality.m, bands.diameter() * 1e9, bands.band_gap(),
+              bands.is_metallic() ? "metallic" : "semiconducting");
+
+  // 2) Build a gate-all-around FET on it (paper Fig. 3 geometry).
+  device::CntfetParams params;
+  params.chirality = chirality;
+  params.gate_length = 20e-9;
+  params.gate.geometry = device::GateGeometry::kGateAllAround;
+  params.gate.t_ox = 3e-9;   // 3 nm HfO2
+  params.gate.eps_r = 16.0;
+  params.ef_source_ev = -0.10;
+  const device::CntfetModel fet(params);
+
+  // 3) Transfer curve at VDS = 0.5 V.
+  std::printf("\ntransfer curve (VDS = 0.5 V):\n  vgs[V]   id[uA]\n");
+  for (double vg = 0.0; vg <= 0.61; vg += 0.1) {
+    std::printf("  %5.2f  %9.4f\n", vg, fet.drain_current(vg, 0.5) * 1e6);
+  }
+
+  // 4) Output family: the current saturation that makes it a logic switch.
+  std::printf("\noutput curves:\n  vds[V]");
+  for (double vg : {0.3, 0.4, 0.5}) std::printf("   id@%.1fV[uA]", vg);
+  std::printf("\n");
+  for (double vd = 0.1; vd <= 0.51; vd += 0.1) {
+    std::printf("  %5.2f", vd);
+    for (double vg : {0.3, 0.4, 0.5}) {
+      std::printf("   %10.4f", fet.drain_current(vg, vd) * 1e6);
+    }
+    std::printf("\n");
+  }
+
+  // 5) Headline metrics.
+  const double ss =
+      device::subthreshold_swing_mv_dec(fet, 0.05, 0.20, 0.5);
+  const double gain = device::intrinsic_gain(fet, 0.5, 0.4);
+  const double ion = fet.drain_current(0.6, 0.5);
+  const double ioff = fet.drain_current(0.0, 0.5);
+  std::printf("\nSS = %.1f mV/dec, intrinsic gain = %.0f, Ion/Ioff = %.1e\n",
+              ss, gain, ion / ioff);
+  std::printf("Ion = %.1f uA/tube = %.2f mA/um (diameter-normalized)\n",
+              ion * 1e6, ion / (fet.diameter() * 1e6) * 1e3);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Tunnel-FET design-space walk (Section IV): sweep the gated PIN CNT TFET
+// across gate stacks and junction sharpness, extract the subthreshold
+// swing and on-current of each design, and print the Fig. 6 transfer curve
+// of the measured device.
+#include <cmath>
+#include <cstdio>
+
+#include "device/tfet.h"
+
+namespace {
+
+using carbon::device::CntTfetModel;
+using carbon::device::CntTfetParams;
+
+struct Extraction {
+  double vg_on = 0.0;
+  double ss_avg = 0.0;
+  double ion_ua = 0.0;
+};
+
+Extraction extract(const CntTfetModel& m) {
+  Extraction e;
+  const double floor_a = m.params().leakage_floor_a;
+  e.vg_on = 1.0;
+  for (double vg = 0.5; vg >= -3.0; vg -= 0.002) {
+    if (std::abs(m.drain_current(vg, -0.5)) > 100.0 * floor_a) {
+      e.vg_on = vg;
+      break;
+    }
+  }
+  const double i1 = std::abs(m.drain_current(e.vg_on, -0.5));
+  const double i2 = std::abs(m.drain_current(e.vg_on - 0.25, -0.5));
+  e.ss_avg = 0.25 / std::log10(i2 / i1) * 1e3;
+  e.ion_ua = std::abs(m.drain_current(-2.0, -0.5)) * 1e6;
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  using namespace carbon;
+
+  // The fabricated device of Fig. 6.
+  const CntTfetModel fig6(device::make_fig6_tfet_params());
+  std::printf("Fig. 6 device (10 nm SiO2 back gate, PEI-doped PIN):\n");
+  std::printf("  vg[V]   |I_rev|[A]    |I_fwd|[A]\n");
+  for (double vg = 0.5; vg >= -2.01; vg -= 0.25) {
+    std::printf("  %5.2f  %.3e  %.3e\n", vg,
+                std::abs(fig6.drain_current(vg, -0.5)),
+                std::abs(fig6.drain_current(vg, +0.5)));
+  }
+  const auto base = extract(fig6);
+  std::printf("  -> SS(avg) = %.0f mV/dec, Ion = %.2f uA (%.2f mA/um)\n",
+              base.ss_avg, base.ion_ua,
+              base.ion_ua * 1e-6 / (fig6.width_normalization() * 1e6) * 1e3);
+
+  // Design space: gate efficiency x junction screening length.
+  std::printf("\ndesign space (rows: gate efficiency; cols: tunnel length"
+              " [nm]) — SS[mV/dec] / Ion[uA]:\n        ");
+  const double lts[] = {2.0, 3.0, 4.0, 5.0};
+  for (double lt : lts) std::printf("   lt=%.0fnm       ", lt);
+  std::printf("\n");
+  for (double gamma : {0.35, 0.55, 0.75, 0.95}) {
+    std::printf("  g=%.2f", gamma);
+    for (double lt : lts) {
+      CntTfetParams p = device::make_fig6_tfet_params();
+      p.gate_efficiency = gamma;
+      p.tunnel_length = lt * 1e-9;
+      const auto e = extract(CntTfetModel(p));
+      std::printf("  %5.0f/%-8.3g", e.ss_avg, e.ion_ua);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nreading: better gate coupling (high-k, segmented gates) and"
+              " sharper junctions push SS below the baseline and raise Ion —"
+              " the paper's Section IV outlook.\n");
+  return 0;
+}

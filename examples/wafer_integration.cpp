@@ -1,0 +1,61 @@
+// Section V as an application: from as-grown chirality soup through
+// purification and trench self-assembly to a >10,000-device statistical
+// study (Park et al., ref [22]) and wafer-scale yield projections.
+#include <cstdio>
+
+#include "fab/devstats.h"
+#include "fab/placement.h"
+#include "fab/sorting.h"
+#include "fab/yield.h"
+
+int main() {
+  using namespace carbon;
+
+  // 1) As-grown material: CVD tubes around d = 1.4 +/- 0.2 nm.
+  fab::ChiralityPopulation population(1.4e-9, 0.2e-9);
+  std::printf("as-grown: %d chiral species, %.1f%% metallic, <d> = %.2f nm\n",
+              population.num_species(),
+              population.metallic_fraction() * 100.0,
+              population.mean_diameter() * 1e9);
+
+  // 2) Purify by gel chromatography until below 100 ppm metallic.
+  const auto process = fab::gel_chromatography();
+  const auto target = fab::passes_for_purity(process, 100.0,
+                                             population.metallic_fraction());
+  fab::apply_to_population(process, target.passes, population);
+  std::printf("after %d gel passes: %.1f ppm metallic, %.1f%% of the "
+              "material retained\n",
+              target.passes, population.metallic_fraction() * 1e6,
+              target.overall_mass_yield * 100.0);
+
+  // 3) Deposit into trenches and fabricate blindly (the Park experiment).
+  phys::Rng rng(22);
+  fab::TrenchAssemblyModel trench;
+  const auto sites = trench.run(population, 10609, rng);
+  const auto devices = fab::measure_sites(sites, {}, rng);
+  const auto stats = fab::summarize(devices);
+  std::printf("\nstatistical study of %d CNTFETs:\n", stats.devices);
+  std::printf("  functional yield    %.1f%%\n", stats.yield * 100.0);
+  std::printf("  median Ion/Ioff     %.2e\n", stats.median_on_off);
+  std::printf("  median Ion          %.2f uA\n", stats.median_ion_a * 1e6);
+  std::printf("  tubes per site      %.2f\n", stats.mean_tubes);
+  std::printf("  metallic shorts     %.2f%%\n", stats.short_fraction * 100.0);
+
+  // 4) What would a chip take? ("... an illusional dream" otherwise.)
+  std::printf("\nrequired metallic tolerance for 50%% circuit yield "
+              "(3 tubes/FET, 4 FETs/gate):\n");
+  for (long long gates : {178LL, 10000LL, 1000000LL, 1000000000LL}) {
+    const double m = fab::required_metallic_fraction(gates, 3, 4, 0.5);
+    std::printf("  %11lld gates: %10.4f ppm\n", gates, m * 1e6);
+  }
+
+  // 5) Can this sorted batch build the CNT computer? A VLSI chip?
+  const double m_frac = population.metallic_fraction();
+  const double y_gate = fab::gate_yield(m_frac, 3, 4);
+  std::printf("\nwith the batch above (gate yield %.6f):\n", y_gate);
+  std::printf("  178-gate CNT computer yield: %.1f%%\n",
+              fab::circuit_yield(y_gate, 178) * 100.0);
+  std::printf("  1M-gate circuit yield:       %.2e\n",
+              fab::circuit_yield(y_gate, 1000000));
+  return 0;
+}

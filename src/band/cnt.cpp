@@ -1,0 +1,181 @@
+#include "band/cnt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "phys/constants.h"
+#include "phys/require.h"
+
+namespace carbon::band {
+
+using phys::kHbar;
+using phys::kQ;
+
+double Chirality::diameter(const GrapheneParams& p) const {
+  const double a = p.lattice_constant();
+  return a * std::sqrt(double(n) * n + double(n) * m + double(m) * m) / M_PI;
+}
+
+bool Chirality::is_metallic() const { return (n - m) % 3 == 0; }
+
+int Chirality::family() const {
+  int r = (n - m) % 3;
+  if (r < 0) r += 3;       // now 0, 1, 2
+  return (r == 2) ? -1 : r;  // map 2 -> -1
+}
+
+double Chirality::chiral_angle_deg() const {
+  return std::atan2(std::sqrt(3.0) * m, 2.0 * n + m) * 180.0 / M_PI;
+}
+
+CntBandStructure::CntBandStructure(Chirality ch, GrapheneParams p)
+    : ch_(ch), p_(p) {
+  CARBON_REQUIRE(ch.n > 0 && ch.m >= 0 && ch.n >= ch.m,
+                 "chirality must satisfy n >= m >= 0, n > 0");
+}
+
+double CntBandStructure::diameter() const { return ch_.diameter(p_); }
+
+double CntBandStructure::band_gap() const {
+  if (ch_.is_metallic()) return 0.0;
+  return 2.0 * p_.gamma0_ev * p_.a_cc_m / diameter();
+}
+
+SubbandLadder CntBandStructure::ladder(int num_subbands) const {
+  CARBON_REQUIRE(num_subbands >= 1, "need at least one subband");
+  const double vf = p_.fermi_velocity();
+  const double hbar_vf_ev = kHbar * vf / kQ;  // eV m
+  const double d = diameter();
+  const int nu = ch_.family();
+
+  // Distances of the quantization lines from the K point are
+  // (2 / 3d) * |3 j + nu|, j in Z.  Collect the smallest distinct values.
+  std::vector<int> indices;
+  for (int j = -num_subbands - 2; j <= num_subbands + 2; ++j) {
+    indices.push_back(std::abs(3 * j + nu));
+  }
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+
+  SubbandLadder out;
+  for (int i = 0; i < num_subbands && i < static_cast<int>(indices.size());
+       ++i) {
+    Subband s;
+    s.delta_ev = hbar_vf_ev * 2.0 * indices[i] / (3.0 * d);
+    s.degeneracy = 4;  // spin x (K, K')
+    s.fermi_velocity = vf;
+    out.subbands.push_back(s);
+  }
+  return out;
+}
+
+double CntBandStructure::subband_minimum_numeric(int mu, int k_samples) const {
+  CARBON_REQUIRE(k_samples >= 16, "need a sensible sampling density");
+  const double a = p_.lattice_constant();
+  // Circumference vector in the (kx, ky) basis of graphene_energy:
+  //   a1 = a (sqrt3/2,  1/2),  a2 = a (sqrt3/2, -1/2).
+  const double cx = a * std::sqrt(3.0) / 2.0 * (ch_.n + ch_.m);
+  const double cy = a * 0.5 * (ch_.n - ch_.m);
+  const double clen = std::hypot(cx, cy);
+  const double ux = cx / clen, uy = cy / clen;    // unit circumference
+  const double tx = -uy, ty = ux;                 // unit tube axis
+
+  const double k_perp = 2.0 * M_PI * mu / clen;
+  // Scan a generous axial window: the 1-D Brillouin zone is within
+  // [-pi/T, pi/T] with T <= sqrt(3) * clen; 4pi/a covers every case.
+  const double k_max = 4.0 * M_PI / a;
+  double best = 1e300;
+  for (int i = 0; i <= k_samples; ++i) {
+    const double kt = -k_max + 2.0 * k_max * i / k_samples;
+    const double kx = k_perp * ux + kt * tx;
+    const double ky = k_perp * uy + kt * ty;
+    best = std::min(best, graphene_energy(p_, kx, ky));
+  }
+  // Golden-section refine around the best coarse sample.
+  const double step = 2.0 * k_max / k_samples;
+  double lo = -k_max, hi = k_max;
+  for (int i = 0; i <= k_samples; ++i) {
+    const double kt = -k_max + 2.0 * k_max * i / k_samples;
+    const double kx = k_perp * ux + kt * tx;
+    const double ky = k_perp * uy + kt * ty;
+    if (graphene_energy(p_, kx, ky) == best) {
+      lo = kt - step;
+      hi = kt + step;
+      break;
+    }
+  }
+  auto energy_at = [&](double kt) {
+    return graphene_energy(p_, k_perp * ux + kt * tx, k_perp * uy + kt * ty);
+  };
+  const double phi = 0.5 * (std::sqrt(5.0) - 1.0);
+  double x1 = hi - phi * (hi - lo), x2 = lo + phi * (hi - lo);
+  double f1 = energy_at(x1), f2 = energy_at(x2);
+  for (int it = 0; it < 80; ++it) {
+    if (f1 < f2) {
+      hi = x2; x2 = x1; f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = energy_at(x1);
+    } else {
+      lo = x1; x1 = x2; f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = energy_at(x2);
+    }
+  }
+  return std::min({best, f1, f2});
+}
+
+double CntBandStructure::band_gap_numeric() const {
+  // Number of distinct quantization lines equals the number of hexagons in
+  // the translational unit cell; scanning mu in [0, N) covers all of them.
+  const int nsq = ch_.n * ch_.n + ch_.n * ch_.m + ch_.m * ch_.m;
+  const int dr = std::gcd(2 * ch_.n + ch_.m, 2 * ch_.m + ch_.n);
+  const int num_lines = 2 * nsq / dr;
+  double emin = 1e300;
+  for (int mu = 0; mu < num_lines; ++mu) {
+    emin = std::min(emin, subband_minimum_numeric(mu, 2000));
+    if (emin < 1e-6) break;  // metallic, no point scanning further
+  }
+  return 2.0 * emin;
+}
+
+SubbandLadder make_cnt_ladder_from_gap(double band_gap_ev, int num_subbands,
+                                       const GrapheneParams& p) {
+  CARBON_REQUIRE(band_gap_ev > 0.0, "band gap must be positive");
+  CARBON_REQUIRE(num_subbands >= 1, "need at least one subband");
+  // Semiconducting ladder |3j+1| = 1, 2, 4, 5, 7, ... in units of Eg/2.
+  static constexpr int kLadder[] = {1, 2, 4, 5, 7, 8, 10, 11};
+  SubbandLadder out;
+  const int count = std::min<int>(num_subbands, std::size(kLadder));
+  for (int i = 0; i < count; ++i) {
+    Subband s;
+    s.delta_ev = 0.5 * band_gap_ev * kLadder[i];
+    s.degeneracy = 4;
+    s.fermi_velocity = p.fermi_velocity();
+    out.subbands.push_back(s);
+  }
+  return out;
+}
+
+double cnt_diameter_from_gap(double band_gap_ev, const GrapheneParams& p) {
+  CARBON_REQUIRE(band_gap_ev > 0.0, "band gap must be positive");
+  return 2.0 * p.gamma0_ev * p.a_cc_m / band_gap_ev;
+}
+
+std::vector<Chirality> enumerate_chiralities(double d_lo, double d_hi,
+                                             const GrapheneParams& p) {
+  CARBON_REQUIRE(d_hi > d_lo && d_lo > 0.0, "need a positive diameter window");
+  std::vector<Chirality> out;
+  const double a = p.lattice_constant();
+  const int n_max = static_cast<int>(M_PI * d_hi / a) + 1;
+  for (int n = 1; n <= n_max; ++n) {
+    for (int m = 0; m <= n; ++m) {
+      const Chirality ch{n, m};
+      const double d = ch.diameter(p);
+      if (d >= d_lo && d <= d_hi) out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+}  // namespace carbon::band

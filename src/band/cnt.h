@@ -1,0 +1,82 @@
+#pragma once
+
+/// @file cnt.h
+/// Single-walled carbon nanotube band structure by zone folding of the
+/// graphene pi bands.  Provides both the analytic subband ladder used by the
+/// transport solvers and a brute-force numeric fold of the full 2-D
+/// dispersion used to validate it.
+
+#include <vector>
+
+#include "band/graphene.h"
+#include "band/subband.h"
+
+namespace carbon::band {
+
+/// Chiral indices (n, m) of a nanotube, n >= m >= 0, n > 0.
+struct Chirality {
+  int n = 0;
+  int m = 0;
+
+  /// Tube diameter d = a * sqrt(n^2 + n m + m^2) / pi [m].
+  double diameter(const GrapheneParams& p = {}) const;
+
+  /// Metallic when (n - m) mod 3 == 0 (1/3 of a uniform chirality
+  /// population, the fraction Section V of the paper worries about).
+  bool is_metallic() const;
+
+  /// Family index nu in {-1, 0, +1}: remainder of (n - m) mod 3 mapped to
+  /// the symmetric interval.  nu = 0 is metallic.
+  int family() const;
+
+  /// Chiral angle in degrees (0 = zigzag, 30 = armchair).
+  double chiral_angle_deg() const;
+};
+
+/// CNT band structure (zone-folded nearest-neighbour tight binding).
+class CntBandStructure {
+ public:
+  explicit CntBandStructure(Chirality ch, GrapheneParams p = {});
+
+  const Chirality& chirality() const { return ch_; }
+  double diameter() const;
+  bool is_metallic() const { return ch_.is_metallic(); }
+
+  /// Band gap Eg = 2 gamma0 a_cc / d for semiconducting tubes, 0 for
+  /// metallic [eV].  (~0.85 eV nm / d(nm) with the default gamma0.)
+  double band_gap() const;
+
+  /// Analytic conduction-subband ladder: Delta_j = hbar vF * 2|3j+nu|/(3d),
+  /// each 4-fold degenerate (spin x K/K' valley).  Metallic tubes get a
+  /// gapless linear subband first.
+  /// @param num_subbands number of distinct subband energies to return
+  SubbandLadder ladder(int num_subbands = 3) const;
+
+  /// Numeric subband minimum: minimum |E| of the full graphene dispersion
+  /// along the allowed quantization line with index @p mu.  Used in tests to
+  /// validate the analytic ladder.  [eV]
+  double subband_minimum_numeric(int mu, int k_samples = 4000) const;
+
+  /// Numeric band gap: 2 * min over all quantization lines. [eV]
+  double band_gap_numeric() const;
+
+ private:
+  Chirality ch_;
+  GrapheneParams p_;
+};
+
+/// Build a CNT-equivalent subband ladder with a prescribed band gap (used by
+/// Fig. 1 of the paper where a CNT and a GNR share Eg = 0.56 eV exactly).
+/// Subband spacing follows the semiconducting |3j+1| ladder: Eg/2 * {1,2,4,5}.
+SubbandLadder make_cnt_ladder_from_gap(double band_gap_ev,
+                                       int num_subbands = 3,
+                                       const GrapheneParams& p = {});
+
+/// Diameter of the semiconducting CNT with band gap @p band_gap_ev [m].
+double cnt_diameter_from_gap(double band_gap_ev, const GrapheneParams& p = {});
+
+/// Enumerate all chiralities with diameter in [d_lo, d_hi] (metres).
+std::vector<Chirality> enumerate_chiralities(double d_lo, double d_hi,
+                                             const GrapheneParams& p = {});
+
+}  // namespace carbon::band

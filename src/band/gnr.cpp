@@ -1,0 +1,83 @@
+#include "band/gnr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "phys/constants.h"
+#include "phys/require.h"
+
+namespace carbon::band {
+
+GnrBandStructure::GnrBandStructure(int num_dimer_lines,
+                                   double edge_bond_relaxation,
+                                   GrapheneParams p)
+    : n_(num_dimer_lines), edge_delta_(edge_bond_relaxation), p_(p) {
+  CARBON_REQUIRE(num_dimer_lines >= 3, "ribbon too narrow (N >= 3)");
+  CARBON_REQUIRE(edge_bond_relaxation >= 0.0 && edge_bond_relaxation < 0.5,
+                 "edge relaxation outside the perturbative regime");
+}
+
+GnrFamily GnrBandStructure::family() const {
+  switch (n_ % 3) {
+    case 0: return GnrFamily::kThreeQ;
+    case 1: return GnrFamily::kThreeQPlus1;
+    default: return GnrFamily::kThreeQPlus2;
+  }
+}
+
+double GnrBandStructure::width() const {
+  return (n_ - 1) * p_.lattice_constant() / 2.0;
+}
+
+double GnrBandStructure::subband_edge(int p) const {
+  CARBON_REQUIRE(p >= 1 && p <= n_, "subband index out of range");
+  const double theta = p * M_PI / (n_ + 1);
+  const double bare = p_.gamma0_ev * (1.0 + 2.0 * std::cos(theta));
+  // First-order perturbation from strengthening the two edge bonds by
+  // edge_delta_: the transverse standing wave sin(p pi x/(N+1)) has weight
+  // 2 sin^2(theta)/(N+1) on the edge sites (Son–Cohen–Louie / Zheng et al.).
+  const double correction =
+      2.0 * edge_delta_ * p_.gamma0_ev * 2.0 * std::sin(theta) *
+      std::sin(theta) / (n_ + 1);
+  return std::abs(bare + correction);
+}
+
+double GnrBandStructure::band_gap() const {
+  double dmin = subband_edge(1);
+  for (int p = 2; p <= n_; ++p) dmin = std::min(dmin, subband_edge(p));
+  return 2.0 * dmin;
+}
+
+SubbandLadder GnrBandStructure::ladder(int num_subbands) const {
+  CARBON_REQUIRE(num_subbands >= 1, "need at least one subband");
+  std::vector<double> edges;
+  edges.reserve(n_);
+  for (int p = 1; p <= n_; ++p) edges.push_back(subband_edge(p));
+  std::sort(edges.begin(), edges.end());
+
+  SubbandLadder out;
+  const int count = std::min(num_subbands, n_);
+  for (int i = 0; i < count; ++i) {
+    Subband s;
+    s.delta_ev = edges[i];
+    s.degeneracy = 2;  // spin only: the two graphene valleys are mixed
+    s.fermi_velocity = p_.fermi_velocity();
+    out.subbands.push_back(s);
+  }
+  return out;
+}
+
+int gnr_dimer_lines_for_width(double width_m, const GrapheneParams& p) {
+  CARBON_REQUIRE(width_m > 0.0, "width must be positive");
+  const int n = static_cast<int>(std::lround(2.0 * width_m /
+                                             p.lattice_constant())) + 1;
+  return std::max(n, 3);
+}
+
+GnrBandStructure make_fig1_gnr(const GrapheneParams& p) {
+  // N = 18 (3q family): w = 17 * 0.246/2 nm = 2.09 nm, Eg ~ 0.56-0.57 eV.
+  return GnrBandStructure(18, 0.0, p);
+}
+
+}  // namespace carbon::band

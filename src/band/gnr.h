@@ -1,0 +1,65 @@
+#pragma once
+
+/// @file gnr.h
+/// Armchair graphene nanoribbon (aGNR) band structure.  In nearest-neighbour
+/// tight binding the transverse hard-wall quantization gives subband edges
+///   Delta_p = gamma0 * |1 + 2 cos(p pi / (N+1))|,   p = 1..N,
+/// where N is the number of dimer lines across the ribbon.  The three width
+/// families behave differently: N = 3q and 3q+1 are semiconducting,
+/// N = 3q+2 is metallic in plain tight binding and opens a small gap once
+/// edge-bond relaxation is included (Son, Cohen & Louie).  The paper's Fig. 1
+/// uses the w = 2.1 nm (N = 18) ribbon with Eg = 0.56 eV.
+
+#include "band/graphene.h"
+#include "band/subband.h"
+
+namespace carbon::band {
+
+/// Width-family classification of an armchair ribbon.
+enum class GnrFamily {
+  kThreeQ,       ///< N = 3q   : moderate gap
+  kThreeQPlus1,  ///< N = 3q+1 : largest gap
+  kThreeQPlus2,  ///< N = 3q+2 : (near-)metallic
+};
+
+/// Armchair GNR band structure.
+class GnrBandStructure {
+ public:
+  /// @param num_dimer_lines  N, the ribbon width in dimer lines (>= 3)
+  /// @param edge_bond_relaxation  fractional strengthening of the two edge
+  ///        bonds (typical ab-initio value ~0.12); 0 disables the correction
+  explicit GnrBandStructure(int num_dimer_lines,
+                            double edge_bond_relaxation = 0.0,
+                            GrapheneParams p = {});
+
+  int num_dimer_lines() const { return n_; }
+  GnrFamily family() const;
+
+  /// Ribbon width w = (N - 1) * a / 2 [m].
+  double width() const;
+
+  /// Band gap [eV]; exactly 0 for the 3q+2 family without edge correction.
+  double band_gap() const;
+
+  /// Subband-edge energy Delta_p [eV] for p = 1..N (includes the
+  /// perturbative edge-bond correction when enabled).
+  double subband_edge(int p) const;
+
+  /// Conduction subband ladder sorted by energy; every aGNR subband is
+  /// 2-fold (spin) degenerate — half the CNT degeneracy, which is the
+  /// "small difference in the linear plot" of the paper's Fig. 1.
+  SubbandLadder ladder(int num_subbands = 3) const;
+
+ private:
+  int n_;
+  double edge_delta_;
+  GrapheneParams p_;
+};
+
+/// Number of dimer lines of the aGNR closest to width @p width_m [m].
+int gnr_dimer_lines_for_width(double width_m, const GrapheneParams& p = {});
+
+/// The ribbon the paper's Fig. 1 discusses: w ~ 2.1 nm, Eg ~ 0.56 eV.
+GnrBandStructure make_fig1_gnr(const GrapheneParams& p = {});
+
+}  // namespace carbon::band

@@ -1,0 +1,31 @@
+#include "band/graphene.h"
+
+#include <cmath>
+
+#include "phys/constants.h"
+
+namespace carbon::band {
+
+double GrapheneParams::lattice_constant() const {
+  return std::sqrt(3.0) * a_cc_m;
+}
+
+double GrapheneParams::fermi_velocity() const {
+  return 1.5 * gamma0_ev * phys::kQ * a_cc_m / phys::kHbar;
+}
+
+double graphene_energy(const GrapheneParams& p, double kx, double ky) {
+  const double a = p.lattice_constant();
+  const double c1 = std::cos(0.5 * std::sqrt(3.0) * kx * a);
+  const double c2 = std::cos(0.5 * ky * a);
+  const double f = 1.0 + 4.0 * c1 * c2 + 4.0 * c2 * c2;
+  return p.gamma0_ev * std::sqrt(std::max(f, 0.0));
+}
+
+double graphene_k_point(const GrapheneParams& p) {
+  // K = (0, 4pi / (3a)) in the (zigzag, armchair) convention of
+  // graphene_energy; we report the magnitude along the armchair axis.
+  return 4.0 * M_PI / (3.0 * p.lattice_constant());
+}
+
+}  // namespace carbon::band

@@ -1,0 +1,35 @@
+#pragma once
+
+/// @file graphene.h
+/// Nearest-neighbour tight-binding model of graphene.  This is the parent
+/// band structure from which both carbon nanotubes (zone folding around the
+/// circumference) and armchair graphene nanoribbons (hard-wall transverse
+/// quantization) are derived in this library.
+
+namespace carbon::band {
+
+/// Tight-binding parameters of the graphene pi bands.
+struct GrapheneParams {
+  /// Nearest-neighbour hopping energy gamma0 [eV].  3.0 eV reproduces the
+  /// Eg*d ~ 0.85 eV*nm CNT gap law quoted in the literature the paper cites.
+  double gamma0_ev = 3.0;
+  /// Carbon–carbon bond length [m].
+  double a_cc_m = 0.142e-9;
+
+  /// Graphene lattice constant a = sqrt(3) * a_cc [m].
+  double lattice_constant() const;
+
+  /// Fermi velocity of the Dirac cone, vF = 3 * gamma0 * a_cc / (2 hbar)
+  /// [m/s] (~9.8e5 m/s for the defaults).
+  double fermi_velocity() const;
+};
+
+/// |E(kx, ky)| of the graphene pi band (electron branch) in eV.
+/// kx is along the zigzag direction, ky along armchair; k in 1/m.
+double graphene_energy(const GrapheneParams& p, double kx, double ky);
+
+/// Location of the K point (Dirac point) in the kx axis convention used by
+/// graphene_energy [1/m].
+double graphene_k_point(const GrapheneParams& p);
+
+}  // namespace carbon::band

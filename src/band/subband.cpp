@@ -1,0 +1,77 @@
+#include "band/subband.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phys/constants.h"
+#include "phys/fermi.h"
+#include "phys/integrate.h"
+#include "phys/require.h"
+
+namespace carbon::band {
+
+using phys::kHbar;
+using phys::kQ;
+
+double Subband::effective_mass() const {
+  return delta_ev * kQ / (fermi_velocity * fermi_velocity);
+}
+
+double Subband::dos(double energy_ev) const {
+  if (energy_ev <= delta_ev) return 0.0;
+  const double hbar_vf_ev_m = kHbar * fermi_velocity / kQ;  // eV * m
+  // g(E) = (D / (pi * hbar vF)) * E / sqrt(E^2 - Delta^2)  per unit length.
+  const double e2 = energy_ev * energy_ev - delta_ev * delta_ev;
+  return degeneracy / (M_PI * hbar_vf_ev_m) * energy_ev / std::sqrt(e2);
+}
+
+double SubbandLadder::band_gap() const {
+  CARBON_REQUIRE(!subbands.empty(), "empty subband ladder");
+  double dmin = subbands.front().delta_ev;
+  for (const auto& s : subbands) dmin = std::min(dmin, s.delta_ev);
+  return 2.0 * dmin;
+}
+
+double SubbandLadder::dos(double energy_ev) const {
+  double g = 0.0;
+  for (const auto& s : subbands) g += s.dos(energy_ev);
+  return g;
+}
+
+double SubbandLadder::electron_density(double mu_ev, double kt_ev) const {
+  double n = 0.0;
+  for (const auto& s : subbands) {
+    // Substitute E = sqrt(Delta^2 + u^2) to remove the inverse-sqrt van Hove
+    // singularity at the band edge: integrand becomes smooth in u = hbar vF k.
+    //   integral g(E) f(E) dE = (D / pi hbar vF) * integral f(E(u)) du.
+    const double hbar_vf_ev_m = kHbar * s.fermi_velocity / kQ;
+    const auto integrand = [&](double u) {
+      const double e = std::sqrt(s.delta_ev * s.delta_ev + u * u);
+      return phys::fermi(e, mu_ev, kt_ev);
+    };
+    const double integral = phys::integrate_semi_infinite(
+        integrand, 0.0, std::max(kt_ev, 1e-4), 1e-14);
+    n += s.degeneracy / (M_PI * hbar_vf_ev_m) * integral;
+  }
+  return n;
+}
+
+double SubbandLadder::quantum_capacitance(double mu_ev, double kt_ev) const {
+  double cq = 0.0;
+  for (const auto& s : subbands) {
+    const double hbar_vf_ev_m = kHbar * s.fermi_velocity / kQ;
+    const auto integrand = [&](double u) {
+      const double e = std::sqrt(s.delta_ev * s.delta_ev + u * u);
+      // electrons and holes both contribute symmetrically
+      return phys::fermi_minus_dfde(e, mu_ev, kt_ev) +
+             phys::fermi_minus_dfde(-e, mu_ev, kt_ev);
+    };
+    const double integral = phys::integrate_semi_infinite(
+        integrand, 0.0, std::max(kt_ev, 1e-4), 1e-12);
+    cq += s.degeneracy / (M_PI * hbar_vf_ev_m) * integral;  // 1/(eV m)
+  }
+  // Cq = q^2 * integral[1/(J m)] = q^2/q * integral[1/(eV m)] = q * integral.
+  return cq * kQ;  // F/m
+}
+
+}  // namespace carbon::band

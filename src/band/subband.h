@@ -1,0 +1,50 @@
+#pragma once
+
+/// @file subband.h
+/// Generic description of a 1-D hyperbolic subband:
+///   E(k) = sqrt(Delta^2 + (hbar vF k)^2)
+/// measured from midgap, with a degeneracy factor (spin x valley).  Both CNT
+/// and armchair-GNR channels reduce to lists of these subbands near their
+/// band edges, which is all the ballistic transport solver needs.
+
+#include <vector>
+
+namespace carbon::band {
+
+/// One hyperbolic 1-D subband (conduction side; valence is mirror symmetric).
+struct Subband {
+  /// Band-edge energy above midgap, Delta = Eg_i / 2 [eV].
+  double delta_ev = 0.0;
+  /// Degeneracy (CNT lowest subband: 4 = spin x valley; armchair GNR: 2).
+  int degeneracy = 4;
+  /// Band velocity parameter vF [m/s].
+  double fermi_velocity = 9.0e5;
+
+  /// Band-edge effective mass m* = Delta / vF^2 [kg].
+  double effective_mass() const;
+
+  /// Density of states per unit length at energy E above midgap [1/(eV m)];
+  /// zero below the band edge.  Includes the degeneracy factor.
+  double dos(double energy_ev) const;
+};
+
+/// A 1-D channel band structure: a ladder of subbands (conduction side).
+struct SubbandLadder {
+  std::vector<Subband> subbands;
+
+  /// Band gap = 2 * min Delta [eV].
+  double band_gap() const;
+
+  /// Total DOS at E above midgap [1/(eV m)].
+  double dos(double energy_ev) const;
+
+  /// Electron line density n [1/m] for Fermi level mu_ev above midgap at
+  /// temperature kT (integrates DOS * Fermi over the conduction bands).
+  double electron_density(double mu_ev, double kt_ev) const;
+
+  /// Quantum capacitance per unit length [F/m] at Fermi level mu_ev:
+  ///   Cq = q^2 * integral DOS(E) * (-df/dE) dE.
+  double quantum_capacitance(double mu_ev, double kt_ev) const;
+};
+
+}  // namespace carbon::band

@@ -1,0 +1,108 @@
+#include "circuit/cells.h"
+
+#include "phys/require.h"
+
+namespace carbon::circuit {
+
+using device::DeviceModelPtr;
+using device::PTypeMirror;
+
+InverterBench make_inverter(DeviceModelPtr n_model, const CellOptions& opt) {
+  CARBON_REQUIRE(n_model != nullptr, "null device model");
+  InverterBench b;
+  b.v_dd = opt.v_dd;
+  b.ckt = std::make_unique<spice::Circuit>();
+  auto p_model = std::make_shared<PTypeMirror>(n_model);
+
+  b.vdd = b.ckt->add_vsource("vdd", "vdd", "0", opt.v_dd);
+  b.vin = b.ckt->add_vsource("vin", "in", "0", 0.0);
+  // Pull-down nFET: drain=out, gate=in, source=gnd.
+  b.ckt->add_fet("mn", "out", "in", "0", n_model, opt.fet_multiplier);
+  // Pull-up pFET: drain=out, gate=in, source=vdd.
+  b.ckt->add_fet("mp", "out", "in", "vdd", p_model, opt.fet_multiplier);
+  b.ckt->add_capacitor("cl", "out", "0", opt.c_load);
+  return b;
+}
+
+namespace {
+
+void add_inverter_stage(spice::Circuit& ckt, const std::string& in,
+                        const std::string& out, DeviceModelPtr n_model,
+                        DeviceModelPtr p_model, const CellOptions& opt,
+                        const std::string& suffix) {
+  ckt.add_fet("mn" + suffix, out, in, "0", std::move(n_model),
+              opt.fet_multiplier);
+  ckt.add_fet("mp" + suffix, out, in, "vdd", std::move(p_model),
+              opt.fet_multiplier);
+  ckt.add_capacitor("cl" + suffix, out, "0", opt.c_load);
+}
+
+}  // namespace
+
+InverterBench make_inverter_chain(DeviceModelPtr n_model, int stages,
+                                  const CellOptions& opt) {
+  CARBON_REQUIRE(stages >= 1, "need at least one stage");
+  InverterBench b;
+  b.v_dd = opt.v_dd;
+  b.ckt = std::make_unique<spice::Circuit>();
+  auto p_model = std::make_shared<PTypeMirror>(n_model);
+
+  b.vdd = b.ckt->add_vsource("vdd", "vdd", "0", opt.v_dd);
+  b.vin = b.ckt->add_vsource("vin", "n0", "0", 0.0);
+  for (int s = 0; s < stages; ++s) {
+    add_inverter_stage(*b.ckt, "n" + std::to_string(s),
+                       "n" + std::to_string(s + 1), n_model, p_model, opt,
+                       std::to_string(s));
+  }
+  b.in_node = "n0";
+  b.out_node = "n" + std::to_string(stages);
+  return b;
+}
+
+InverterBench make_ring_oscillator(DeviceModelPtr n_model, int stages,
+                                   const CellOptions& opt) {
+  CARBON_REQUIRE(stages >= 3 && stages % 2 == 1,
+                 "ring oscillator needs an odd stage count >= 3");
+  InverterBench b;
+  b.v_dd = opt.v_dd;
+  b.ckt = std::make_unique<spice::Circuit>();
+  auto p_model = std::make_shared<PTypeMirror>(n_model);
+
+  b.vdd = b.ckt->add_vsource("vdd", "vdd", "0", opt.v_dd);
+  for (int s = 0; s < stages; ++s) {
+    const std::string in = "n" + std::to_string(s);
+    const std::string out = "n" + std::to_string((s + 1) % stages);
+    add_inverter_stage(*b.ckt, in, out, n_model, p_model, opt,
+                       std::to_string(s));
+  }
+  // Kick: a brief current pulse into n0 knocks the ring off the
+  // metastable all-at-VM operating point.
+  b.ckt->add_isource("ikick", "0", "n0",
+                     spice::pulse(0.0, opt.v_dd * opt.c_load * 2e11, 0.0,
+                                  1e-12, 1e-12, 5e-12, 1.0));
+  b.in_node = b.out_node = "n0";
+  b.vin = nullptr;
+  return b;
+}
+
+Nand2Bench make_nand2(DeviceModelPtr n_model, const CellOptions& opt) {
+  CARBON_REQUIRE(n_model != nullptr, "null device model");
+  Nand2Bench b;
+  b.v_dd = opt.v_dd;
+  b.ckt = std::make_unique<spice::Circuit>();
+  auto p_model = std::make_shared<PTypeMirror>(n_model);
+
+  b.vdd = b.ckt->add_vsource("vdd", "vdd", "0", opt.v_dd);
+  b.va = b.ckt->add_vsource("va", "a", "0", 0.0);
+  b.vb = b.ckt->add_vsource("vb", "b", "0", 0.0);
+  // Series nFET stack.
+  b.ckt->add_fet("mna", "out", "a", "mid", n_model, opt.fet_multiplier);
+  b.ckt->add_fet("mnb", "mid", "b", "0", n_model, opt.fet_multiplier);
+  // Parallel pFET pull-ups.
+  b.ckt->add_fet("mpa", "out", "a", "vdd", p_model, opt.fet_multiplier);
+  b.ckt->add_fet("mpb", "out", "b", "vdd", p_model, opt.fet_multiplier);
+  b.ckt->add_capacitor("cl", "out", "0", opt.c_load);
+  return b;
+}
+
+}  // namespace carbon::circuit

@@ -1,0 +1,64 @@
+#pragma once
+
+/// @file cells.h
+/// Parameterized logic-cell builders on top of the SPICE engine: the
+/// CMOS-style inverter of the paper's Fig. 2, NAND/NOR gates, inverter
+/// chains and ring oscillators.  Every builder takes an n-type model and
+/// mirrors it into the complementary pFET ("symmetrical pFET and nFET", as
+/// the paper puts it).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/ivmodel.h"
+#include "spice/analyses.h"
+#include "spice/circuit.h"
+
+namespace carbon::circuit {
+
+/// A built test bench: the circuit plus handles to its sources and nodes.
+struct InverterBench {
+  std::unique_ptr<spice::Circuit> ckt;
+  spice::VSource* vdd = nullptr;
+  spice::VSource* vin = nullptr;
+  std::string in_node = "in";
+  std::string out_node = "out";
+  double v_dd = 1.0;
+};
+
+/// Options shared by the cell builders.
+struct CellOptions {
+  double v_dd = 1.0;          ///< supply [V] (Fig. 2 uses 1 V)
+  double c_load = 10e-15;     ///< output load [F] (Fig. 2 uses 10 fF)
+  double fet_multiplier = 1;  ///< parallel devices per transistor
+};
+
+/// Build the Fig. 2 inverter: symmetric n/p pair from @p n_model, VDD
+/// supply, input source and a c_load capacitor on the output.
+InverterBench make_inverter(device::DeviceModelPtr n_model,
+                            const CellOptions& opt = {});
+
+/// A chain of @p stages identical inverters; nodes are "n0" (input) through
+/// "n<stages>" (output), each with c_load to ground.
+InverterBench make_inverter_chain(device::DeviceModelPtr n_model, int stages,
+                                  const CellOptions& opt = {});
+
+/// Ring oscillator of @p stages (odd) inverters with c_load per stage.
+/// A small kick source is attached so the transient leaves the metastable
+/// point.  Probe node: "n0".
+InverterBench make_ring_oscillator(device::DeviceModelPtr n_model, int stages,
+                                   const CellOptions& opt = {});
+
+/// Two-input NAND bench with inputs "a", "b" and output "out".
+struct Nand2Bench {
+  std::unique_ptr<spice::Circuit> ckt;
+  spice::VSource* vdd = nullptr;
+  spice::VSource* va = nullptr;
+  spice::VSource* vb = nullptr;
+  double v_dd = 1.0;
+};
+Nand2Bench make_nand2(device::DeviceModelPtr n_model,
+                      const CellOptions& opt = {});
+
+}  // namespace carbon::circuit

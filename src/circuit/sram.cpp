@@ -1,0 +1,126 @@
+#include "circuit/sram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "circuit/vtc.h"
+#include "phys/interp.h"
+#include "phys/require.h"
+
+namespace carbon::circuit {
+
+namespace {
+
+/// Sampled inverter VTC as x -> f(x).
+std::vector<double> sample_vtc(device::DeviceModelPtr n_model,
+                               const CellOptions& opt, int points) {
+  InverterBench bench = make_inverter(std::move(n_model), opt);
+  const phys::DataTable t = run_vtc(bench, points);
+  std::vector<double> out(points);
+  for (int i = 0; i < points; ++i) out[i] = t.at(i, 1);
+  return out;
+}
+
+}  // namespace
+
+phys::DataTable butterfly_curve(device::DeviceModelPtr n_model,
+                                const CellOptions& opt, int points) {
+  const std::vector<double> f = sample_vtc(std::move(n_model), opt, points);
+  phys::DataTable t({"v1", "v2_fwd", "v2_mirror"});
+  // Forward: V2 = f(V1).  Mirror: V1 = f(V2) drawn as V2_mirror(V1) by
+  // numerically inverting the monotone-decreasing f.
+  const double vdd = opt.v_dd;
+  for (int i = 0; i < points; ++i) {
+    const double v1 = vdd * i / (points - 1);
+    // invert: find y with f(y) = v1 (f decreasing).
+    int lo = 0, hi = points - 1;
+    while (hi - lo > 1) {
+      const int mid = (lo + hi) / 2;
+      if (f[mid] >= v1) lo = mid; else hi = mid;
+    }
+    const double x0 = vdd * lo / (points - 1);
+    const double x1 = vdd * hi / (points - 1);
+    const double f0 = f[lo], f1 = f[hi];
+    const double y = (f1 == f0) ? x0 : x0 + (v1 - f0) / (f1 - f0) * (x1 - x0);
+    t.add_row({v1, f[i], std::clamp(y, 0.0, vdd)});
+  }
+  return t;
+}
+
+SnmResult hold_snm(device::DeviceModelPtr n_model, const CellOptions& opt,
+                   int points) {
+  CARBON_REQUIRE(points >= 21, "need a reasonable VTC resolution");
+  const std::vector<double> f = sample_vtc(std::move(n_model), opt, points);
+  const double vdd = opt.v_dd;
+
+  // Bistability first: the cross-coupled pair holds state iff the composed
+  // map f(f(x)) has three fixed points (two stable lobes around the
+  // metastable midpoint).  A max-gain <= 1 inverter has a single fixed
+  // point — the Fig. 2(d) situation — and stores nothing, however fat the
+  // lens between the butterfly curves may look.
+  const phys::LinearInterp vtc(
+      [&] {
+        std::vector<double> xs(points);
+        for (int i = 0; i < points; ++i) xs[i] = vdd * i / (points - 1);
+        return xs;
+      }(),
+      f);
+  int sign_changes = 0;
+  double prev_h = vtc(vtc(0.0)) - 0.0;
+  for (int i = 1; i < 8 * points; ++i) {
+    const double x = vdd * i / (8.0 * points - 1);
+    const double h = vtc(vtc(x)) - x;
+    if ((prev_h > 0.0 && h <= 0.0) || (prev_h < 0.0 && h >= 0.0)) {
+      ++sign_changes;
+    }
+    if (h != 0.0) prev_h = h;
+  }
+  SnmResult r;
+  r.bistable = sign_changes >= 3;
+  if (!r.bistable) return r;  // SNM is zero: no state to disturb
+
+  // Rotate both curves by 45 degrees: curve1 = (x, f(x)),
+  // curve2 = (f(y), y).  In (u, v) = ((a-b), (a+b))/sqrt2 coordinates the
+  // largest embedded square's side is |v1(u) - v2(u)|_max / sqrt2 per lobe
+  // (Seevinck's construction).
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  std::vector<double> u1(points), v1(points), u2(points), v2(points);
+  for (int i = 0; i < points; ++i) {
+    const double x = vdd * i / (points - 1);
+    u1[i] = (x - f[i]) * inv_sqrt2;
+    v1[i] = (x + f[i]) * inv_sqrt2;
+    // curve2 parameterized by y, ordered so u2 is increasing.
+    const int j = points - 1 - i;
+    const double y = vdd * j / (points - 1);
+    u2[i] = (f[j] - y) * inv_sqrt2;
+    v2[i] = (f[j] + y) * inv_sqrt2;
+  }
+  // Monotone parameterizations (f strictly decreasing makes u1/u2
+  // increasing); guard against flat numerical segments.
+  for (int i = 1; i < points; ++i) {
+    if (u1[i] <= u1[i - 1]) u1[i] = u1[i - 1] + 1e-12;
+    if (u2[i] <= u2[i - 1]) u2[i] = u2[i - 1] + 1e-12;
+  }
+  const phys::LinearInterp c1(u1, v1);
+  const phys::LinearInterp c2(u2, v2);
+
+  const double u_lo = std::max(u1.front(), u2.front());
+  const double u_hi = std::min(u1.back(), u2.back());
+  if (u_hi <= u_lo) return r;
+
+  double max_pos = 0.0, max_neg = 0.0;
+  const int n_scan = 4 * points;
+  for (int i = 0; i <= n_scan; ++i) {
+    const double u = u_lo + (u_hi - u_lo) * i / n_scan;
+    const double gap = c1(u) - c2(u);
+    max_pos = std::max(max_pos, gap);
+    max_neg = std::max(max_neg, -gap);
+  }
+  r.snm_high_v = max_pos * inv_sqrt2;
+  r.snm_low_v = max_neg * inv_sqrt2;
+  r.snm_v = std::min(r.snm_low_v, r.snm_high_v);
+  return r;
+}
+
+}  // namespace carbon::circuit

@@ -1,0 +1,39 @@
+#pragma once
+
+/// @file sram.h
+/// 6T SRAM cell static noise margin (SNM) analysis — the canonical
+/// circuit-level consequence of the paper's Fig. 2 argument: a cross-
+/// coupled inverter pair only holds state if each inverter is
+/// regenerative, so devices without current saturation cannot store a bit.
+///
+/// The hold-state SNM is computed the standard way (Seevinck): overlay the
+/// VTC of one inverter with the mirrored VTC of the other and find the
+/// side of the largest square that fits inside the two lobes of the
+/// butterfly curve.
+
+#include "circuit/cells.h"
+#include "phys/table.h"
+
+namespace carbon::circuit {
+
+/// Butterfly-curve analysis result.
+struct SnmResult {
+  double snm_v = 0.0;        ///< hold static noise margin [V]
+  double snm_low_v = 0.0;    ///< square in the lower lobe
+  double snm_high_v = 0.0;   ///< square in the upper lobe
+  bool bistable = false;     ///< the butterfly has two stable lobes
+};
+
+/// Compute the hold SNM of a 6T cell made of two identical inverters built
+/// from @p n_model (pass devices ignored in hold state, as usual).
+/// @param points VTC resolution
+SnmResult hold_snm(device::DeviceModelPtr n_model, const CellOptions& opt = {},
+                   int points = 161);
+
+/// The butterfly curve itself (for plotting / benches).
+/// Columns: v1, vtc(v1), mirrored_vtc(v1).
+phys::DataTable butterfly_curve(device::DeviceModelPtr n_model,
+                                const CellOptions& opt = {},
+                                int points = 161);
+
+}  // namespace carbon::circuit

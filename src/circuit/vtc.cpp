@@ -1,0 +1,64 @@
+#include "circuit/vtc.h"
+
+#include "phys/require.h"
+
+namespace carbon::circuit {
+
+phys::DataTable run_vtc(InverterBench& bench, int points) {
+  CARBON_REQUIRE(bench.ckt != nullptr && bench.vin != nullptr,
+                 "bench has no input source");
+  std::vector<double> values;
+  values.reserve(points);
+  for (int i = 0; i < points; ++i) {
+    values.push_back(bench.v_dd * i / (points - 1));
+  }
+  return spice::dc_sweep(*bench.ckt, *bench.vin, values,
+                         {bench.out_node});
+}
+
+spice::VtcMetrics measure_vtc(InverterBench& bench, int points) {
+  const phys::DataTable vtc = run_vtc(bench, points);
+  return spice::analyze_vtc(vtc, "sweep_v", "v(" + bench.out_node + ")",
+                            bench.v_dd);
+}
+
+phys::DataTable run_step_response(InverterBench& bench, double t_ramp,
+                                  double t_stop, double dt, bool rising) {
+  CARBON_REQUIRE(bench.vin != nullptr, "bench has no input source");
+  const double v0 = rising ? 0.0 : bench.v_dd;
+  const double v1 = rising ? bench.v_dd : 0.0;
+  bench.vin->set_wave(spice::pwl({{0.0, v0},
+                                  {0.1 * t_stop, v0},
+                                  {0.1 * t_stop + t_ramp, v1},
+                                  {t_stop, v1}}));
+  spice::TransientOptions opts;
+  opts.t_stop = t_stop;
+  opts.dt = dt;
+  return spice::transient(*bench.ckt, opts, {bench.in_node, bench.out_node},
+                          {bench.vdd});
+}
+
+SwitchingEnergy measure_switching(InverterBench& bench, double t_period,
+                                  double dt) {
+  CARBON_REQUIRE(bench.vin != nullptr, "bench has no input source");
+  const double edge = t_period / 50.0;
+  bench.vin->set_wave(spice::pulse(0.0, bench.v_dd, 0.1 * t_period, edge,
+                                   edge, 0.4 * t_period, t_period));
+  spice::TransientOptions opts;
+  opts.t_stop = t_period;
+  opts.dt = dt;
+  const phys::DataTable tr = spice::transient(
+      *bench.ckt, opts, {bench.in_node, bench.out_node}, {bench.vdd});
+
+  SwitchingEnergy se;
+  const std::string vin_col = "v(" + bench.in_node + ")";
+  const std::string vout_col = "v(" + bench.out_node + ")";
+  se.t_phl_s =
+      spice::propagation_delay(tr, vin_col, vout_col, bench.v_dd, true);
+  se.t_plh_s =
+      spice::propagation_delay(tr, vin_col, vout_col, bench.v_dd, false);
+  se.energy_j = spice::supply_energy(tr, "i(vdd)", bench.v_dd);
+  return se;
+}
+
+}  // namespace carbon::circuit

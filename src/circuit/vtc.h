@@ -1,0 +1,36 @@
+#pragma once
+
+/// @file vtc.h
+/// Voltage-transfer-curve experiments: run the Fig. 2 inverter DC sweep,
+/// extract gain and noise margins, and characterize transient switching
+/// (propagation delay, short-circuit energy).
+
+#include "circuit/cells.h"
+#include "phys/table.h"
+#include "spice/measure.h"
+
+namespace carbon::circuit {
+
+/// Sweep the inverter input 0..VDD and return the VTC.
+/// Columns: "sweep_v" (input) and "v(out)".
+phys::DataTable run_vtc(InverterBench& bench, int points = 121);
+
+/// Run the VTC and analyze it (gain, VIL/VIH, noise margins).
+spice::VtcMetrics measure_vtc(InverterBench& bench, int points = 121);
+
+/// Transient step response of the inverter or chain.
+/// @param t_ramp  input edge time
+/// @param t_stop  total simulated time
+phys::DataTable run_step_response(InverterBench& bench, double t_ramp,
+                                  double t_stop, double dt, bool rising);
+
+/// Switching energetics of one full low->high->low input cycle.
+struct SwitchingEnergy {
+  double t_phl_s = 0.0;     ///< propagation delay, output falling
+  double t_plh_s = 0.0;     ///< propagation delay, output rising
+  double energy_j = 0.0;    ///< total energy drawn from VDD over the cycle
+};
+SwitchingEnergy measure_switching(InverterBench& bench, double t_period,
+                                  double dt);
+
+}  // namespace carbon::circuit

@@ -1,0 +1,60 @@
+#include "core/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <ostream>
+
+namespace carbon::core {
+
+void print_banner(std::ostream& os, const std::string& experiment_id,
+                  const std::string& description) {
+  os << "\n================================================================\n"
+     << experiment_id << " — " << description
+     << "\n================================================================\n";
+}
+
+void emit_table(std::ostream& os, const phys::DataTable& table,
+                const std::string& title, const std::string& csv_name,
+                const std::string& out_dir) {
+  table.print(os, title);
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (!ec) {
+    table.write_csv(out_dir + "/" + csv_name);
+    os << "[csv] " << out_dir << "/" << csv_name << "\n";
+  }
+}
+
+int print_claims(std::ostream& os, const std::vector<Claim>& claims) {
+  int misses = 0;
+  os << "\npaper-vs-measured:\n";
+  char buf[256];
+  for (const auto& c : claims) {
+    const double denom = std::max(std::abs(c.paper_value), 1e-30);
+    const double rel = std::abs(c.measured_value - c.paper_value) / denom;
+    bool ok = false;
+    switch (c.kind) {
+      case ClaimKind::kBand:
+        ok = rel <= c.rel_tolerance;
+        break;
+      case ClaimKind::kAtLeast:
+        ok = c.measured_value >= c.paper_value * (1.0 - c.rel_tolerance);
+        break;
+      case ClaimKind::kAtMost:
+        ok = c.measured_value <= c.paper_value * (1.0 + c.rel_tolerance);
+        break;
+    }
+    if (!ok) ++misses;
+    std::snprintf(buf, sizeof buf,
+                  "  [%s] %-14s %-38s paper=%-10.4g measured=%-10.4g %s "
+                  "(dev %.0f%%)",
+                  ok ? "ok" : "MISS", c.id.c_str(), c.description.c_str(),
+                  c.paper_value, c.measured_value, c.unit.c_str(),
+                  rel * 100.0);
+    os << buf << "\n";
+  }
+  return misses;
+}
+
+}  // namespace carbon::core

@@ -1,0 +1,49 @@
+#pragma once
+
+/// @file report.h
+/// Output helpers shared by the bench binaries: consistent stdout banners,
+/// table printing, CSV artifact writing and paper-vs-measured comparison
+/// rows for EXPERIMENTS.md.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "phys/table.h"
+
+namespace carbon::core {
+
+/// Print a top-level experiment banner to @p os.
+void print_banner(std::ostream& os, const std::string& experiment_id,
+                  const std::string& description);
+
+/// Print a table and also write it as CSV under out_dir (created when
+/// needed; default "bench_out" relative to the CWD).
+void emit_table(std::ostream& os, const phys::DataTable& table,
+                const std::string& title, const std::string& csv_name,
+                const std::string& out_dir = "bench_out");
+
+/// How a claim is scored against the paper value.
+enum class ClaimKind {
+  kBand,     ///< within +/- rel_tolerance of the paper value
+  kAtLeast,  ///< measured >= paper * (1 - rel_tolerance)
+  kAtMost,   ///< measured <= paper * (1 + rel_tolerance)
+};
+
+/// One paper-vs-measured comparison row.
+struct Claim {
+  std::string id;           ///< e.g. "fig2.nmh"
+  std::string description;
+  double paper_value;
+  double measured_value;
+  std::string unit;
+  /// Acceptable relative deviation for the "shape holds" verdict (e.g. 0.5
+  /// means within a factor ~2).
+  double rel_tolerance = 0.5;
+  ClaimKind kind = ClaimKind::kBand;
+};
+
+/// Print claims with pass/deviation verdicts; returns number of misses.
+int print_claims(std::ostream& os, const std::vector<Claim>& claims);
+
+}  // namespace carbon::core

@@ -1,0 +1,53 @@
+#include "core/scaling.h"
+
+#include <cmath>
+
+#include "phys/require.h"
+
+namespace carbon::core {
+
+phys::DataTable supply_scaling_table(const device::IDeviceModel& model,
+                                     const ScalingOptions& opt) {
+  CARBON_REQUIRE(opt.steps >= 2, "need at least two supply points");
+  phys::DataTable t({"vdd_v", "ion_a", "ioff_a", "on_off_ratio",
+                     "cv_over_i_s", "gain_half_vdd"});
+  for (int i = 0; i < opt.steps; ++i) {
+    const double vdd = opt.vdd_max +
+                       (opt.vdd_min - opt.vdd_max) * i / (opt.steps - 1);
+    const double ion = std::abs(model.drain_current(vdd, vdd));
+    const double ioff = std::abs(model.drain_current(0.0, vdd));
+    const double delay = ion > 0.0 ? opt.c_load_f * vdd / ion : 1e9;
+    const double gain =
+        device::intrinsic_gain(model, 0.5 * vdd, 0.5 * vdd);
+    t.add_row({vdd, ion, ioff, ioff > 0.0 ? ion / ioff : 0.0, delay, gain});
+  }
+  return t;
+}
+
+phys::DataTable short_channel_table(
+    const std::function<device::DeviceModelPtr(double)>& make,
+    const std::vector<double>& gate_lengths_m, double vdd_v) {
+  CARBON_REQUIRE(!gate_lengths_m.empty(), "no gate lengths given");
+  phys::DataTable t({"lg_nm", "ss_mv_dec", "dibl_mv_v"});
+  for (double lg : gate_lengths_m) {
+    const device::DeviceModelPtr dev = make(lg);
+    // SS in the decade around 1% of the on-current; DIBL between a 50 mV
+    // linear probe and vdd.
+    const double i_on = std::abs(dev->drain_current(vdd_v, vdd_v));
+    const double i_crit = std::max(i_on * 1e-4, 1e-15);
+    double ss = 0.0, dibl = 0.0;
+    try {
+      const double vt_sat =
+          device::threshold_voltage(*dev, i_crit, vdd_v, -0.5, vdd_v);
+      ss = device::subthreshold_swing_mv_dec(*dev, vt_sat - 0.15,
+                                             vt_sat - 0.05, vdd_v);
+      dibl = device::dibl_mv_per_v(*dev, i_crit, 0.05, vdd_v, -0.5, vdd_v);
+    } catch (const phys::PreconditionError&) {
+      // Devices that never cross the probe current report zeros.
+    }
+    t.add_row({lg * 1e9, ss, dibl});
+  }
+  return t;
+}
+
+}  // namespace carbon::core

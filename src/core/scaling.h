@@ -1,0 +1,36 @@
+#pragma once
+
+/// @file scaling.h
+/// Voltage-scaling studies.  The paper's core thesis is that CNT-FETs "will
+/// enable further voltage and gate length scaling"; this module quantifies
+/// it: sweep VDD at constant field, track Ion, Ioff, intrinsic delay and
+/// the inverter noise margins, for any device model.
+
+#include <functional>
+#include <vector>
+
+#include "device/ivmodel.h"
+#include "phys/table.h"
+
+namespace carbon::core {
+
+/// Options of a supply-scaling sweep.
+struct ScalingOptions {
+  double vdd_max = 1.0;
+  double vdd_min = 0.3;
+  int steps = 8;
+  double c_load_f = 10e-15;  ///< load for the CV/I delay metric
+};
+
+/// Columns: vdd_v, ion_a, ioff_a, on_off_ratio, cv_over_i_s, gain@half-vdd.
+phys::DataTable supply_scaling_table(const device::IDeviceModel& model,
+                                     const ScalingOptions& opt = {});
+
+/// Gate-length scaling of SS and DIBL for a parameterized family.
+/// @param make  factory from gate length to model
+/// Columns: lg_nm, ss_mv_dec, dibl_mv_v.
+phys::DataTable short_channel_table(
+    const std::function<device::DeviceModelPtr(double)>& make,
+    const std::vector<double>& gate_lengths_m, double vdd_v);
+
+}  // namespace carbon::core

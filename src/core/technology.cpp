@@ -1,0 +1,179 @@
+#include "core/technology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "device/cntfet.h"
+#include "device/mosfet.h"
+#include "phys/require.h"
+#include "phys/roots.h"
+#include "phys/units.h"
+
+namespace carbon::core {
+
+using device::DeviceModelPtr;
+using device::GateShifted;
+
+BenchmarkPoint benchmark_at_fixed_ioff(const DeviceModelPtr& model,
+                                       double vdd_v, double ioff_a_per_um) {
+  CARBON_REQUIRE(model != nullptr, "null model");
+  CARBON_REQUIRE(vdd_v > 0.0, "vdd must be positive");
+  const double w_m = model->width_normalization();
+  CARBON_REQUIRE(w_m > 0.0, "model has no normalization width");
+  const double w_um = w_m * 1e6;
+  const double ioff_target_a = ioff_a_per_um * w_um;
+
+  // Find the gate shift that puts |Id(vgs=0, vds=vdd)| on the off-spec.
+  // Id is monotone in the shift, so log-current crossing is bracketable.
+  const auto f = [&](double shift) {
+    const double id =
+        std::abs(model->drain_current(shift, vdd_v));
+    return std::log10(std::max(id, 1e-30)) - std::log10(ioff_target_a);
+  };
+  const double shift = phys::find_root(f, -0.5, 0.5, 1e-7);
+
+  BenchmarkPoint pt;
+  pt.technology = model->name();
+  pt.vdd_v = vdd_v;
+  pt.ioff_spec_a_per_um = ioff_a_per_um;
+  pt.gate_shift_v = shift;
+  pt.ion_a = std::abs(model->drain_current(vdd_v + shift, vdd_v));
+  pt.ion_a_per_um = pt.ion_a / w_um;
+
+  // Subthreshold swing over the first half-volt above off-state.
+  const device::GateShifted shifted(model, shift);
+  const double i1 = std::abs(shifted.drain_current(0.0, vdd_v));
+  const double i2 = std::abs(shifted.drain_current(0.2, vdd_v));
+  if (i2 > i1 && i1 > 0.0) {
+    pt.ss_mv_dec = 0.2 / std::log10(i2 / i1) * 1e3;
+  }
+  return pt;
+}
+
+std::vector<BenchmarkPoint> benchmark_points(
+    const std::vector<Technology>& techs, double vdd_v,
+    double ioff_a_per_um) {
+  std::vector<BenchmarkPoint> out;
+  for (const auto& tech : techs) {
+    for (double lg : tech.gate_lengths) {
+      const DeviceModelPtr dev = tech.make_device(lg);
+      BenchmarkPoint pt = benchmark_at_fixed_ioff(
+          dev, vdd_v, ioff_a_per_um * tech.ioff_spec_scale);
+      pt.technology = tech.name;
+      pt.gate_length_m = lg;
+      out.push_back(pt);
+    }
+  }
+  return out;
+}
+
+phys::DataTable benchmark_table(const std::vector<Technology>& techs,
+                                double vdd_v, double ioff_a_per_um) {
+  const std::vector<BenchmarkPoint> pts =
+      benchmark_points(techs, vdd_v, ioff_a_per_um);
+
+  // Collect the union of gate lengths.
+  std::vector<double> lgs;
+  for (const auto& p : pts) {
+    bool seen = false;
+    for (double l : lgs) {
+      if (std::abs(l - p.gate_length_m) < 1e-12) { seen = true; break; }
+    }
+    if (!seen) lgs.push_back(p.gate_length_m);
+  }
+  std::sort(lgs.begin(), lgs.end());
+
+  std::vector<std::string> cols{"lg_nm"};
+  for (const auto& t : techs) cols.push_back("ion_ma_um:" + t.name);
+  phys::DataTable table(cols);
+  for (double lg : lgs) {
+    std::vector<double> row{phys::to_nm(lg)};
+    for (const auto& t : techs) {
+      double val = std::numeric_limits<double>::quiet_NaN();
+      for (const auto& p : pts) {
+        if (p.technology == t.name &&
+            std::abs(p.gate_length_m - lg) < 1e-12) {
+          val = p.ion_a_per_um * 1e3;  // A/um -> mA/um
+          break;
+        }
+      }
+      row.push_back(val);
+    }
+    table.add_row(row);
+  }
+  return table;
+}
+
+Technology make_cnt_technology() {
+  Technology t;
+  t.name = "cntfet";
+  t.make_device = [](double lg) -> DeviceModelPtr {
+    device::CntfetParams p = device::make_franklin_cntfet_params(lg);
+    // The paper's champion series resistance: ~11 kOhm total (III.B).
+    p.r_source_ohm = 5.5e3;
+    p.r_drain_ohm = 5.5e3;
+    // The length-scaling / 9 nm devices behind Fig. 5 are bottom-gated:
+    // measured SS ~ 94 mV/dec and DIBL ~ 100 mV/V, well short of the GAA
+    // ideal.  Model that electrostatics explicitly.
+    p.alpha_g_override = 0.65;
+    p.alpha_d_override = 0.10;
+    return std::make_shared<device::CntfetModel>(p);
+  };
+  // Franklin length-scaling points, plus the 9 nm record device.
+  t.gate_lengths = {9e-9, 15e-9, 20e-9, 40e-9, 100e-9, 300e-9};
+  return t;
+}
+
+Technology make_si_technology() {
+  Technology t;
+  t.name = "si-finfet";
+  t.make_device = [](double lg) -> DeviceModelPtr {
+    return std::make_shared<device::VirtualSourceModel>(
+        device::make_si_trigate_params(lg));
+  };
+  t.gate_lengths = {20e-9, 26e-9, 30e-9, 35e-9, 45e-9, 60e-9};
+  return t;
+}
+
+Technology make_inas_technology() {
+  Technology t;
+  t.name = "inas-hemt";
+  t.make_device = [](double lg) -> DeviceModelPtr {
+    return std::make_shared<device::VirtualSourceModel>(
+        device::make_inas_hemt_params(lg));
+  };
+  t.gate_lengths = {30e-9, 40e-9, 60e-9, 90e-9, 130e-9};
+  return t;
+}
+
+Technology make_ingaas_technology() {
+  Technology t;
+  t.name = "ingaas-hemt";
+  t.make_device = [](double lg) -> DeviceModelPtr {
+    return std::make_shared<device::VirtualSourceModel>(
+        device::make_ingaas_hemt_params(lg));
+  };
+  t.gate_lengths = {30e-9, 40e-9, 60e-9, 90e-9, 130e-9};
+  return t;
+}
+
+std::vector<Technology> fig5_technologies() {
+  std::vector<Technology> techs;
+  Technology cnt = make_cnt_technology();
+  // The 9 nm device is benchmarked at 10x the off-spec in the paper; give
+  // it its own single-point entry so the footnote is preserved.
+  Technology cnt9 = cnt;
+  cnt9.name = "cntfet-9nm(10x ioff)";
+  cnt9.gate_lengths = {9e-9};
+  cnt9.ioff_spec_scale = 10.0;
+  cnt.gate_lengths.erase(cnt.gate_lengths.begin());  // drop 9 nm from main
+  techs.push_back(cnt);
+  techs.push_back(cnt9);
+  techs.push_back(make_si_technology());
+  techs.push_back(make_inas_technology());
+  techs.push_back(make_ingaas_technology());
+  return techs;
+}
+
+}  // namespace carbon::core

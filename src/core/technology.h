@@ -1,0 +1,75 @@
+#pragma once
+
+/// @file technology.h
+/// Cross-technology benchmarking (the paper's Fig. 5 methodology): every
+/// candidate switch is re-targeted to the same off-current at the same
+/// supply, then compared on on-current per unit width.  "The data are all
+/// plotted at VDS = 0.5 V and scaled to an off-current of 100 nA/um."
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/ivmodel.h"
+#include "phys/table.h"
+
+namespace carbon::core {
+
+/// A named technology: a factory producing a device model for a given gate
+/// length plus benchmarking metadata.
+struct Technology {
+  std::string name;
+  /// Build the device at gate length @p lg_m.
+  std::function<device::DeviceModelPtr(double lg_m)> make_device;
+  /// Gate lengths this technology is benchmarked at [m].
+  std::vector<double> gate_lengths;
+  /// Off-current spec multiplier (the paper's 9 nm CNT point is plotted at
+  /// 10x the 100 nA/um spec).
+  double ioff_spec_scale = 1.0;
+};
+
+/// Result of one Ion@fixed-Ioff benchmark point.
+struct BenchmarkPoint {
+  std::string technology;
+  double gate_length_m = 0.0;
+  double vdd_v = 0.0;
+  double ioff_spec_a_per_um = 0.0;  ///< spec actually applied (incl. scale)
+  double gate_shift_v = 0.0;        ///< threshold retarget that met the spec
+  double ion_a_per_um = 0.0;        ///< |Id| at vgs = vdd, per um width
+  double ion_a = 0.0;               ///< absolute on-current of the device
+  double ss_mv_dec = 0.0;           ///< subthreshold swing after retarget
+};
+
+/// Re-target @p model's threshold so |Id(0, vdd)| / width equals
+/// @p ioff_a_per_um, then measure Ion = |Id(vdd, vdd)|.
+/// The model must expose a positive width_normalization().
+BenchmarkPoint benchmark_at_fixed_ioff(const device::DeviceModelPtr& model,
+                                       double vdd_v, double ioff_a_per_um);
+
+/// Run the full Fig. 5 style benchmark over a set of technologies.
+/// Columns: lg_nm, then ion_ma_um per technology (NaN where not evaluated).
+phys::DataTable benchmark_table(const std::vector<Technology>& techs,
+                                double vdd_v, double ioff_a_per_um);
+
+/// Per-point long format table. Columns: tech index, lg_nm, ion_ma_um,
+/// shift_v, ss_mv_dec.
+std::vector<BenchmarkPoint> benchmark_points(
+    const std::vector<Technology>& techs, double vdd_v,
+    double ioff_a_per_um);
+
+// --- canned technologies (the four curves of Fig. 5) ---
+
+/// Quasi-ballistic CNTFET (Franklin-class GAA device, 11 kOhm series R).
+Technology make_cnt_technology();
+/// Si trigate FinFET.
+Technology make_si_technology();
+/// InAs HEMT.
+Technology make_inas_technology();
+/// InGaAs HEMT.
+Technology make_ingaas_technology();
+
+/// All four, in the paper's plotting order.
+std::vector<Technology> fig5_technologies();
+
+}  // namespace carbon::core

@@ -1,0 +1,65 @@
+#include "device/electrostatics.h"
+
+#include <cmath>
+
+#include "phys/constants.h"
+#include "phys/require.h"
+
+namespace carbon::device {
+
+using phys::kEpsilon0;
+
+double GateStack::insulator_capacitance() const {
+  CARBON_REQUIRE(t_ox > 0.0 && diameter > 0.0 && eps_r > 0.0,
+                 "gate stack dimensions must be positive");
+  const double r = 0.5 * diameter;
+  switch (geometry) {
+    case GateGeometry::kGateAllAround:
+      // Coaxial capacitor.
+      return 2.0 * M_PI * kEpsilon0 * eps_r / std::log((r + t_ox) / r);
+    case GateGeometry::kOmega: {
+      // Wraps ~3/4 of the circumference.
+      const double full =
+          2.0 * M_PI * kEpsilon0 * eps_r / std::log((r + t_ox) / r);
+      return 0.75 * full;
+    }
+    case GateGeometry::kPlanarTop:
+    case GateGeometry::kPlanarBack:
+      // Wire over an infinite plane at distance t_ox from the wire surface.
+      return 2.0 * M_PI * kEpsilon0 * eps_r /
+             std::acosh((r + t_ox) / r);
+  }
+  return 0.0;  // unreachable
+}
+
+double GateStack::alpha_g() const {
+  switch (geometry) {
+    case GateGeometry::kGateAllAround: return 0.97;
+    case GateGeometry::kOmega:         return 0.92;
+    case GateGeometry::kPlanarTop:     return 0.85;
+    case GateGeometry::kPlanarBack:    return 0.55;
+  }
+  return 0.9;
+}
+
+double GateStack::alpha_d() const {
+  switch (geometry) {
+    case GateGeometry::kGateAllAround: return 0.015;
+    case GateGeometry::kOmega:         return 0.03;
+    case GateGeometry::kPlanarTop:     return 0.06;
+    case GateGeometry::kPlanarBack:    return 0.18;
+  }
+  return 0.05;
+}
+
+double GateStack::total_capacitance() const {
+  return insulator_capacitance() / alpha_g();
+}
+
+double scale_length(double eps_ch, double eps_ox, double t_ch, double t_ox) {
+  CARBON_REQUIRE(eps_ch > 0.0 && eps_ox > 0.0 && t_ch > 0.0 && t_ox > 0.0,
+                 "scale length inputs must be positive");
+  return std::sqrt(eps_ch / eps_ox * t_ch * t_ox);
+}
+
+}  // namespace carbon::device

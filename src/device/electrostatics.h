@@ -1,0 +1,53 @@
+#pragma once
+
+/// @file electrostatics.h
+/// Gate-stack electrostatics for 1-D channels: insulator capacitance per
+/// unit length for the geometries the paper discusses (Fig. 3 argues for
+/// gate-all-around; back-gated devices appear in the TFET of Fig. 6), and
+/// the derived barrier-control parameters used by the top-of-barrier solver.
+
+namespace carbon::device {
+
+/// Gate geometry around a cylindrical 1-D channel.
+enum class GateGeometry {
+  kGateAllAround,  ///< coaxial gate (paper Fig. 3) — best channel control
+  kOmega,          ///< gate wraps most of the tube (partial GAA)
+  kPlanarTop,      ///< tube on substrate, gate above across the oxide
+  kPlanarBack,     ///< global back gate through a thick oxide (Fig. 6 TFET)
+};
+
+/// Gate stack description.
+struct GateStack {
+  GateGeometry geometry = GateGeometry::kGateAllAround;
+  /// Oxide (insulator) thickness [m].
+  double t_ox = 3e-9;
+  /// Relative permittivity of the gate dielectric (HfO2 ~ 16, SiO2 3.9).
+  /// Section III.D: CNT sidewalls accept Al/Ti/Ta/Hf/Zr/La based high-k.
+  double eps_r = 16.0;
+  /// Channel diameter [m].
+  double diameter = 1.5e-9;
+
+  /// Insulator capacitance per unit channel length [F/m].
+  double insulator_capacitance() const;
+
+  /// Gate coupling factor alpha_g = Cg / C_total including a
+  /// geometry-dependent parasitic share (1 for ideal GAA).
+  double alpha_g() const;
+
+  /// Drain coupling factor alpha_d (DIBL knob); grows as the geometry gets
+  /// worse at screening the drain.
+  double alpha_d() const;
+
+  /// Total capacitance C_total = Cg / alpha_g [F/m], the value the
+  /// top-of-barrier solver wants.
+  double total_capacitance() const;
+};
+
+/// Natural scale length of the channel/gate system,
+///   lambda = sqrt((eps_ch / eps_ox) * t_ch * t_ox),
+/// the yardstick for short-channel effects.  For single-atomic-layer
+/// carbon channels t_ch collapses to the body diameter with eps_ch ~ 1,
+/// which is the paper's "no dark space in CNTFETs" advantage (III.C).
+double scale_length(double eps_ch, double eps_ox, double t_ch, double t_ox);
+
+}  // namespace carbon::device

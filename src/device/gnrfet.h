@@ -1,0 +1,74 @@
+#pragma once
+
+/// @file gnrfet.h
+/// The *simulated* ballistic GNR-FET of the paper's Fig. 1 — an armchair
+/// graphene nanoribbon channel inside the same self-consistent
+/// top-of-barrier solver as the CNT-FET.  With the same band gap the two
+/// transfer curves overlap on a log scale; the ribbon's 2-fold (vs 4-fold)
+/// subband degeneracy shows up only as the small linear-scale difference the
+/// paper points out.  (The *experimental* non-saturating GNR is
+/// RealGnrModel in real_gnr.h.)
+
+#include <optional>
+#include <string>
+
+#include "band/gnr.h"
+#include "device/electrostatics.h"
+#include "device/ivmodel.h"
+#include "transport/top_of_barrier.h"
+
+namespace carbon::device {
+
+/// Construction parameters of a GnrfetModel.
+struct GnrfetParams {
+  std::string name = "gnrfet-sim";
+
+  /// Ribbon width in dimer lines (N = 18 is the 2.1 nm / 0.56 eV ribbon of
+  /// Fig. 1).
+  int num_dimer_lines = 18;
+
+  /// Edge-bond relaxation used by the band model.
+  double edge_bond_relaxation = 0.0;
+
+  /// Prescribe the gap directly (overrides the tight-binding value but
+  /// keeps the subband spacing pattern).
+  std::optional<double> band_gap_override;
+
+  int num_subbands = 3;
+
+  /// Gate stack; Fig. 1's simulation assumed ideal thin-oxide gating.
+  GateStack gate;
+
+  double ef_source_ev = -0.32;
+  /// MOSFET-like doped contacts by default (no ambipolar hole branch).
+  bool include_holes = false;
+  double temperature_k = 300.0;
+};
+
+/// n-type ballistic armchair-GNR FET.
+class GnrfetModel final : public IDeviceModel {
+ public:
+  explicit GnrfetModel(GnrfetParams params);
+
+  double drain_current(double vgs, double vds) const override;
+  const std::string& name() const override { return params_.name; }
+  double width_normalization() const override { return width_; }
+
+  const GnrfetParams& params() const { return params_; }
+  double width() const { return width_; }
+  double band_gap() const { return band_gap_; }
+  const transport::TopOfBarrierSolver& barrier_solver() const {
+    return *solver_;
+  }
+
+ private:
+  GnrfetParams params_;
+  double width_ = 0.0;
+  double band_gap_ = 0.0;
+  std::unique_ptr<transport::TopOfBarrierSolver> solver_;
+};
+
+/// The paper's Fig. 1 GNR-FET: w = 2.1 nm ribbon with Eg pinned to 0.56 eV.
+GnrfetParams make_fig1_gnrfet_params();
+
+}  // namespace carbon::device

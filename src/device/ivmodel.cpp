@@ -1,0 +1,133 @@
+#include "device/ivmodel.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "phys/require.h"
+#include "phys/roots.h"
+
+namespace carbon::device {
+
+PTypeMirror::PTypeMirror(DeviceModelPtr n_model)
+    : n_model_(std::move(n_model)) {
+  CARBON_REQUIRE(n_model_ != nullptr, "null base model");
+  CARBON_REQUIRE(n_model_->polarity() == Polarity::kNType,
+                 "PTypeMirror expects an n-type base model");
+  name_ = n_model_->name() + "/p";
+}
+
+double PTypeMirror::drain_current(double vgs, double vds) const {
+  return -n_model_->drain_current(-vgs, -vds);
+}
+
+double PTypeMirror::width_normalization() const {
+  return n_model_->width_normalization();
+}
+
+GateShifted::GateShifted(DeviceModelPtr base, double shift_v)
+    : base_(std::move(base)), shift_(shift_v) {
+  CARBON_REQUIRE(base_ != nullptr, "null base model");
+  name_ = base_->name() + "/shifted";
+}
+
+double GateShifted::drain_current(double vgs, double vds) const {
+  return base_->drain_current(vgs + shift_, vds);
+}
+
+double transconductance(const IDeviceModel& m, double vgs, double vds,
+                        double h) {
+  return (m.drain_current(vgs + h, vds) - m.drain_current(vgs - h, vds)) /
+         (2.0 * h);
+}
+
+double output_conductance(const IDeviceModel& m, double vgs, double vds,
+                          double h) {
+  return (m.drain_current(vgs, vds + h) - m.drain_current(vgs, vds - h)) /
+         (2.0 * h);
+}
+
+double intrinsic_gain(const IDeviceModel& m, double vgs, double vds) {
+  const double gm = std::abs(transconductance(m, vgs, vds));
+  const double gds = std::abs(output_conductance(m, vgs, vds));
+  return gds > 0.0 ? gm / gds : 1e12;
+}
+
+double subthreshold_swing_mv_dec(const IDeviceModel& m, double vgs_lo,
+                                 double vgs_hi, double vds) {
+  CARBON_REQUIRE(vgs_hi != vgs_lo, "need distinct gate voltages");
+  const double i_lo = std::abs(m.drain_current(vgs_lo, vds));
+  const double i_hi = std::abs(m.drain_current(vgs_hi, vds));
+  CARBON_REQUIRE(i_lo > 0.0 && i_hi > 0.0 && i_lo != i_hi,
+                 "transfer curve is flat or zero in the requested range");
+  const double decades = std::log10(i_hi / i_lo);
+  return (vgs_hi - vgs_lo) / decades * 1e3;
+}
+
+double min_point_swing_mv_dec(const IDeviceModel& m, double vgs_lo,
+                              double vgs_hi, double vds, int points) {
+  CARBON_REQUIRE(points >= 3, "need at least 3 points");
+  const double dv = (vgs_hi - vgs_lo) / (points - 1);
+  double best = 1e12;
+  double prev = std::abs(m.drain_current(vgs_lo, vds));
+  for (int i = 1; i < points; ++i) {
+    const double cur = std::abs(m.drain_current(vgs_lo + i * dv, vds));
+    if (prev > 0.0 && cur > prev) {
+      const double ss = dv / std::log10(cur / prev) * 1e3;
+      best = std::min(best, std::abs(ss));
+    }
+    prev = cur;
+  }
+  return best;
+}
+
+double threshold_voltage(const IDeviceModel& m, double i_crit_a, double vds,
+                         double vgs_lo, double vgs_hi) {
+  CARBON_REQUIRE(i_crit_a > 0.0, "critical current must be positive");
+  const auto f = [&](double vgs) {
+    return std::log10(std::max(std::abs(m.drain_current(vgs, vds)), 1e-30)) -
+           std::log10(i_crit_a);
+  };
+  return phys::brent(f, vgs_lo, vgs_hi, 1e-6);
+}
+
+double dibl_mv_per_v(const IDeviceModel& m, double i_crit_a, double vds_lin,
+                     double vds_sat, double vgs_lo, double vgs_hi) {
+  const double vt_lin = threshold_voltage(m, i_crit_a, vds_lin, vgs_lo, vgs_hi);
+  const double vt_sat = threshold_voltage(m, i_crit_a, vds_sat, vgs_lo, vgs_hi);
+  return (vt_lin - vt_sat) / (vds_sat - vds_lin) * 1e3;
+}
+
+phys::DataTable transfer_curve(const IDeviceModel& m, double vgs_lo,
+                               double vgs_hi, int points, double vds) {
+  CARBON_REQUIRE(points >= 2, "need at least 2 points");
+  phys::DataTable t({"vgs_v", "id_a"});
+  for (int i = 0; i < points; ++i) {
+    const double vgs = vgs_lo + (vgs_hi - vgs_lo) * i / (points - 1);
+    t.add_row({vgs, m.drain_current(vgs, vds)});
+  }
+  return t;
+}
+
+phys::DataTable output_family(const IDeviceModel& m, double vds_lo,
+                              double vds_hi, int points,
+                              const std::vector<double>& vgs_values) {
+  CARBON_REQUIRE(points >= 2, "need at least 2 points");
+  CARBON_REQUIRE(!vgs_values.empty(), "need at least one gate voltage");
+  std::vector<std::string> cols{"vds_v"};
+  for (double vg : vgs_values) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "id_a@vg=%.3g", vg);
+    cols.emplace_back(buf);
+  }
+  phys::DataTable t(cols);
+  for (int i = 0; i < points; ++i) {
+    const double vds = vds_lo + (vds_hi - vds_lo) * i / (points - 1);
+    std::vector<double> row{vds};
+    for (double vg : vgs_values) row.push_back(m.drain_current(vg, vds));
+    t.add_row(row);
+  }
+  return t;
+}
+
+}  // namespace carbon::device

@@ -1,0 +1,133 @@
+#pragma once
+
+/// @file ivmodel.h
+/// The common transistor-model interface every compact model in this
+/// library implements, plus numeric characterization helpers (sweeps,
+/// threshold, subthreshold slope, small-signal parameters).
+
+#include <memory>
+#include <string>
+
+#include "phys/table.h"
+
+namespace carbon::device {
+
+/// Channel polarity.  P-type models use mirrored conventions: for a pFET
+/// both vgs and vds are <= 0 in normal operation and the drain current is
+/// <= 0 (current flows source -> drain internally).
+enum class Polarity { kNType, kPType };
+
+/// Abstract DC transistor model: terminal current as a function of terminal
+/// voltages.  Implementations must be:
+///  * deterministic and continuous in (vgs, vds),
+///  * monotone non-decreasing in vgs and in vds for n-type devices in
+///    forward operation (the SPICE Newton solver relies on sane curvature),
+///  * thread-compatible (const member functions without mutable state).
+class IDeviceModel {
+ public:
+  virtual ~IDeviceModel() = default;
+
+  /// Drain current [A] for gate-source voltage @p vgs and drain-source
+  /// voltage @p vds (source is the reference terminal).
+  virtual double drain_current(double vgs, double vds) const = 0;
+
+  /// Human-readable model name used in reports.
+  virtual const std::string& name() const = 0;
+
+  /// Polarity of the device.
+  virtual Polarity polarity() const { return Polarity::kNType; }
+
+  /// Normalization width [m] used to express currents in mA/um for
+  /// cross-technology comparison (CNT: diameter; GNR: ribbon width;
+  /// MOSFET: gate width).  Zero means "not normalizable".
+  virtual double width_normalization() const { return 0.0; }
+};
+
+/// Shared pointer alias used across the circuit layers.
+using DeviceModelPtr = std::shared_ptr<const IDeviceModel>;
+
+/// Mirror adapter that turns an n-type model into its complementary p-type
+/// twin: Id_p(vgs, vds) = -Id_n(-vgs, -vds).  This is how the paper builds
+/// its "symmetrical pFET and nFET" inverter (Fig. 2).
+class PTypeMirror final : public IDeviceModel {
+ public:
+  explicit PTypeMirror(DeviceModelPtr n_model);
+
+  double drain_current(double vgs, double vds) const override;
+  const std::string& name() const override { return name_; }
+  Polarity polarity() const override { return Polarity::kPType; }
+  double width_normalization() const override;
+
+ private:
+  DeviceModelPtr n_model_;
+  std::string name_;
+};
+
+/// Rigid gate-voltage shift (threshold retargeting):
+/// Id'(vgs, vds) = Id(vgs + shift, vds).  The Fig. 5 benchmark uses this to
+/// re-target every technology to the same off-current before comparing
+/// on-currents.
+class GateShifted final : public IDeviceModel {
+ public:
+  GateShifted(DeviceModelPtr base, double shift_v);
+
+  double drain_current(double vgs, double vds) const override;
+  const std::string& name() const override { return name_; }
+  Polarity polarity() const override { return base_->polarity(); }
+  double width_normalization() const override {
+    return base_->width_normalization();
+  }
+  double shift() const { return shift_; }
+
+ private:
+  DeviceModelPtr base_;
+  double shift_;
+  std::string name_;
+};
+
+// ---------------------------------------------------------------------------
+// Characterization helpers
+// ---------------------------------------------------------------------------
+
+/// Transconductance gm = dId/dVgs by central difference [S].
+double transconductance(const IDeviceModel& m, double vgs, double vds,
+                        double h = 1e-4);
+
+/// Output conductance gds = dId/dVds by central difference [S].
+double output_conductance(const IDeviceModel& m, double vgs, double vds,
+                          double h = 1e-4);
+
+/// Intrinsic voltage gain gm/gds (the quantity that collapses for the
+/// paper's non-saturating GNRs).
+double intrinsic_gain(const IDeviceModel& m, double vgs, double vds);
+
+/// Subthreshold swing [mV/dec] evaluated between two gate voltages on the
+/// transfer curve at fixed vds (log-slope average).
+double subthreshold_swing_mv_dec(const IDeviceModel& m, double vgs_lo,
+                                 double vgs_hi, double vds);
+
+/// Minimum point subthreshold swing over a swept range [mV/dec]: the "best
+/// individual sweep points" number the paper quotes for the TFET.
+double min_point_swing_mv_dec(const IDeviceModel& m, double vgs_lo,
+                              double vgs_hi, double vds, int points = 101);
+
+/// Constant-current threshold voltage: vgs where |Id| crosses
+/// @p i_crit_a at the given vds.  Requires the transfer curve to cross.
+double threshold_voltage(const IDeviceModel& m, double i_crit_a, double vds,
+                         double vgs_lo, double vgs_hi);
+
+/// DIBL [mV/V] from the threshold shift between a low and a high drain bias.
+double dibl_mv_per_v(const IDeviceModel& m, double i_crit_a, double vds_lin,
+                     double vds_sat, double vgs_lo, double vgs_hi);
+
+/// Transfer curve Id(vgs) at fixed vds.  Columns: vgs, id_a.
+phys::DataTable transfer_curve(const IDeviceModel& m, double vgs_lo,
+                               double vgs_hi, int points, double vds);
+
+/// Output family Id(vds) for a list of gate voltages.
+/// Columns: vds, id_a@vg0, id_a@vg1, ...
+phys::DataTable output_family(const IDeviceModel& m, double vds_lo,
+                              double vds_hi, int points,
+                              const std::vector<double>& vgs_values);
+
+}  // namespace carbon::device

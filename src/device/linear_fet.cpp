@@ -1,0 +1,35 @@
+#include "device/linear_fet.h"
+
+#include <cmath>
+
+#include "phys/fermi.h"
+#include "phys/require.h"
+
+namespace carbon::device {
+
+LinearFetModel::LinearFetModel(LinearFetParams params)
+    : params_(std::move(params)) {
+  CARBON_REQUIRE(params_.k_s_per_v > 0.0, "k must be positive");
+  CARBON_REQUIRE(params_.smooth_v > 0.0, "smoothing must be positive");
+}
+
+double LinearFetModel::conductance(double vgs) const {
+  const double ov = params_.smooth_v *
+                    phys::softplus((vgs - params_.v_t) / params_.smooth_v);
+  return params_.k_s_per_v * ov + params_.g_off;
+}
+
+double LinearFetModel::drain_current(double vgs, double vds) const {
+  return conductance(vgs) * vds;  // straight lines through the origin
+}
+
+LinearFetParams make_fig2_linear_params() {
+  LinearFetParams p;
+  p.name = "fig2-linear-fet";
+  p.v_t = 0.0;
+  p.k_s_per_v = 4.3e-4;  // I(1,1) ~ 0.43 mA, matching the saturating twin
+  p.smooth_v = 0.05;
+  return p;
+}
+
+}  // namespace carbon::device

@@ -1,0 +1,42 @@
+#include "device/real_gnr.h"
+
+#include <cmath>
+
+#include "phys/require.h"
+
+namespace carbon::device {
+
+RealGnrModel::RealGnrModel(RealGnrParams params) : params_(std::move(params)) {
+  CARBON_REQUIRE(params_.g_max_s > 0.0, "Gmax must be positive");
+  CARBON_REQUIRE(params_.on_off_ratio > 1.0, "on/off ratio must exceed 1");
+  CARBON_REQUIRE(params_.v_steep > 0.0, "steepness must be positive");
+  g_min_ = params_.g_max_s / params_.on_off_ratio;
+}
+
+double RealGnrModel::conductance(double vgs) const {
+  const double x = (vgs - params_.v_mid) / params_.v_steep;
+  // Logistic between Gmin and Gmax on a log axis: the experimental transfer
+  // curves are exponential below threshold and flatten at the sheet limit.
+  const double sigma = 1.0 / (1.0 + std::exp(-x));
+  const double log_g = std::log(g_min_) +
+                       sigma * (std::log(params_.g_max_s) - std::log(g_min_));
+  return std::exp(log_g);
+}
+
+double RealGnrModel::drain_current(double vgs, double vds) const {
+  // The defining property: strictly linear output, no saturation.
+  return conductance(vgs) * vds;
+}
+
+RealGnrParams make_wang_gnr_params() {
+  RealGnrParams p;
+  p.name = "gnr-real(wang08)";
+  p.width = 8e-9;
+  p.g_max_s = 2e3 * p.width;  // 2 mA/um at 1 V
+  p.on_off_ratio = 1e6;
+  p.v_mid = 1.5;
+  p.v_steep = 0.35;
+  return p;
+}
+
+}  // namespace carbon::device

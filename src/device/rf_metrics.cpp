@@ -1,0 +1,24 @@
+#include "device/rf_metrics.h"
+
+#include <cmath>
+
+#include "phys/require.h"
+
+namespace carbon::device {
+
+SmallSignal extract_small_signal(const IDeviceModel& m, double vgs, double vds,
+                                 const RfParasitics& par) {
+  CARBON_REQUIRE(par.c_gs > 0.0 && par.c_gd >= 0.0,
+                 "capacitances must be positive");
+  SmallSignal ss;
+  ss.gm_s = std::abs(transconductance(m, vgs, vds));
+  ss.gds_s = std::abs(output_conductance(m, vgs, vds));
+  ss.gain = ss.gds_s > 0.0 ? ss.gm_s / ss.gds_s : 1e12;
+  ss.ft_hz = ss.gm_s / (2.0 * M_PI * (par.c_gs + par.c_gd));
+  const double denom = ss.gds_s * (par.r_gate + par.r_source) +
+                       2.0 * M_PI * ss.ft_hz * par.r_gate * par.c_gd;
+  ss.fmax_hz = denom > 0.0 ? ss.ft_hz / (2.0 * std::sqrt(denom)) : ss.ft_hz;
+  return ss;
+}
+
+}  // namespace carbon::device

@@ -1,0 +1,37 @@
+#pragma once
+
+/// @file rf_metrics.h
+/// Small-signal / RF figures of merit.  Backs the paper's Section II
+/// argument (via Schwierz, ref [8]): without current saturation a FET's
+/// voltage gain gm/gds collapses, and with it the maximum frequency of
+/// oscillation fmax — which is why non-saturating GNRs fail in RF no matter
+/// how short the gate.
+
+#include "device/ivmodel.h"
+
+namespace carbon::device {
+
+/// Small-signal snapshot of a device at a bias point.
+struct SmallSignal {
+  double gm_s = 0.0;         ///< transconductance [S]
+  double gds_s = 0.0;        ///< output conductance [S]
+  double gain = 0.0;         ///< intrinsic voltage gain gm/gds
+  double ft_hz = 0.0;        ///< unity-current-gain frequency
+  double fmax_hz = 0.0;      ///< maximum oscillation frequency
+};
+
+/// Parasitics used for the fT/fmax estimates.
+struct RfParasitics {
+  double c_gs = 50e-18;   ///< gate-source capacitance [F]
+  double c_gd = 25e-18;   ///< gate-drain (Miller) capacitance [F]
+  double r_gate = 50.0;   ///< gate resistance [Ohm]
+  double r_source = 0.0;  ///< source access resistance [Ohm]
+};
+
+/// Extract gm, gds, gain and estimate fT and fmax at a bias point:
+///   fT = gm / (2 pi (Cgs + Cgd)),
+///   fmax = fT / (2 sqrt(gds (Rg + Rs) + 2 pi fT Rg Cgd)).
+SmallSignal extract_small_signal(const IDeviceModel& m, double vgs, double vds,
+                                 const RfParasitics& par = {});
+
+}  // namespace carbon::device

@@ -1,0 +1,141 @@
+#include "device/tfet.h"
+
+#include <cmath>
+
+#include "phys/constants.h"
+#include "phys/fermi.h"
+#include "phys/require.h"
+#include "phys/roots.h"
+#include "transport/btbt.h"
+
+namespace carbon::device {
+
+using phys::kBoltzmannEv;
+using phys::kElectronMass;
+
+CntTfetModel::CntTfetModel(CntTfetParams params) : params_(std::move(params)) {
+  CARBON_REQUIRE(params_.band_gap_ev > 0.0, "band gap must be positive");
+  CARBON_REQUIRE(params_.gate_efficiency > 0.0 &&
+                     params_.gate_efficiency <= 1.0,
+                 "gate efficiency must be in (0,1]");
+  CARBON_REQUIRE(params_.tunnel_length > 0.0,
+                 "tunnel length must be positive");
+  m_tunnel_kg_ = params_.m_tunnel_rel * kElectronMass;
+}
+
+double CntTfetModel::tunnel_window_ev(double vgs, double vds) const {
+  // Gate drive past onset plus the reverse diode bias both widen the
+  // valence(i) / conduction(n) overlap.
+  const double drive =
+      params_.gate_efficiency * (params_.v_onset - vgs) + std::max(-vds, 0.0);
+  // Smooth max(drive, 0): softplus with the configured smoothing width.
+  const double w0 = params_.window_smoothing_ev;
+  return w0 * phys::softplus(drive / w0);
+}
+
+double CntTfetModel::junction_field(double vgs, double vds) const {
+  // The junction drops the full gap plus the opened window over the
+  // screening length.
+  const double drop = params_.band_gap_ev + tunnel_window_ev(vgs, vds);
+  return drop / params_.tunnel_length;
+}
+
+double CntTfetModel::drain_current(double vgs, double vds) const {
+  const double kt = kBoltzmannEv * params_.temperature_k;
+
+  // --- forward diode branch (weakly gate modulated) ---
+  // Solve I = Isat (exp((V - I Rs)/(n kT)) - 1) for the series-limited
+  // junction; the residual is strictly decreasing in I.
+  double i_forward = 0.0;
+  if (vds > 0.0) {
+    const double nvt = params_.diode_ideality * kt;
+    const double rs = params_.diode_series_ohm;
+    const auto diode_i = [&](double v_junction) {
+      return params_.diode_i_sat_a *
+             (std::exp(std::min(v_junction, 1.5) / nvt) - 1.0);
+    };
+    const double i_hi = diode_i(vds);  // zero-resistance bound
+    const auto residual = [&](double i) { return diode_i(vds - i * rs) - i; };
+    i_forward = (rs > 0.0) ? phys::brent(residual, 0.0, i_hi + 1e-30, 1e-18)
+                           : i_hi;
+    const double gate_mod =
+        1.0 + params_.forward_gate_modulation * std::tanh(-vgs);
+    i_forward *= gate_mod;
+  }
+
+  // --- reverse BTBT branch ---
+  const double window = tunnel_window_ev(vgs, vds);
+  const double t_wkb = params_.transmission_prefactor *
+                       transport::btbt_transmission(
+                           params_.band_gap_ev, m_tunnel_kg_,
+                           junction_field(vgs, vds));
+  // Occupation: the window must also be drained by the reverse bias; at
+  // zero diode bias filled states face filled states and no net current
+  // flows.  A thermal factor on the reverse bias captures this.
+  const double drain_occupancy =
+      (vds < 0.0) ? (1.0 - std::exp(vds / kt)) : 0.0;
+  const double i_btbt =
+      transport::btbt_current(t_wkb, window, 4) * drain_occupancy;
+  // Reverse leakage floor.
+  const double i_leak =
+      (vds < 0.0) ? params_.leakage_floor_a * (1.0 - std::exp(vds / kt))
+                  : 0.0;
+
+  // Net terminal current: forward positive, reverse negative.
+  return i_forward - i_btbt - i_leak;
+}
+
+CntTfetParams make_fig6_tfet_params() {
+  return CntTfetParams{};  // defaults are the Fig. 6 calibration
+}
+
+TfetSwing measure_tfet_swing(const CntTfetModel& model, double vds,
+                             double vg_stop, double decades) {
+  CARBON_REQUIRE(vds < 0.0, "swing is defined on the reverse branch");
+  CARBON_REQUIRE(decades > 0.0, "need a positive decade window");
+  const double floor_a = model.params().leakage_floor_a;
+  const double dv = 1e-3;
+
+  TfetSwing out;
+  out.i_on_a = std::abs(model.drain_current(vg_stop, vds));
+
+  // Onset: first gate voltage with current 100x above the leakage floor.
+  double vg_on = 0.5;
+  bool found = false;
+  for (double vg = 0.5; vg >= vg_stop; vg -= dv) {
+    if (std::abs(model.drain_current(vg, vds)) > 100.0 * floor_a) {
+      vg_on = vg;
+      found = true;
+      break;
+    }
+  }
+  CARBON_REQUIRE(found, "device never turns on in the sweep window");
+  out.vg_onset = vg_on;
+
+  // Average swing: gate voltage needed for the next `decades` decades.
+  const double i_start = std::abs(model.drain_current(vg_on, vds));
+  const double i_target = i_start * std::pow(10.0, decades);
+  double vg_end = vg_stop;
+  for (double vg = vg_on; vg >= vg_stop; vg -= dv) {
+    if (std::abs(model.drain_current(vg, vds)) >= i_target) {
+      vg_end = vg;
+      break;
+    }
+  }
+  out.ss_avg_mv_dec = (vg_on - vg_end) / decades * 1e3;
+
+  // Best local segment above 3x floor.
+  double best = 1e12;
+  double prev = std::abs(model.drain_current(0.5, vds));
+  for (double vg = 0.5 - dv; vg >= vg_stop; vg -= dv) {
+    const double cur = std::abs(model.drain_current(vg, vds));
+    if (cur > prev && prev > 3.0 * floor_a) {
+      best = std::min(best, dv / std::log10(cur / prev) * 1e3);
+    }
+    prev = cur;
+  }
+  out.ss_best_mv_dec = best;
+  return out;
+}
+
+}  // namespace carbon::device

@@ -1,0 +1,66 @@
+#include "fab/chirality.h"
+
+#include <cmath>
+
+#include "phys/require.h"
+
+namespace carbon::fab {
+
+ChiralityPopulation::ChiralityPopulation(double d_mean_m, double d_sigma_m,
+                                         double window) {
+  CARBON_REQUIRE(d_mean_m > 0.0 && d_sigma_m > 0.0,
+                 "diameter stats must be positive");
+  const double d_lo = std::max(d_mean_m - window * d_sigma_m, 0.3e-9);
+  const double d_hi = d_mean_m + window * d_sigma_m;
+  const auto chis = band::enumerate_chiralities(d_lo, d_hi);
+  CARBON_REQUIRE(!chis.empty(), "no chiralities in the diameter window");
+
+  double total = 0.0;
+  for (const auto& ch : chis) {
+    const double d = ch.diameter();
+    const double z = (d - d_mean_m) / d_sigma_m;
+    const double w = std::exp(-0.5 * z * z);
+    fractions_.push_back({ch, w});
+    total += w;
+  }
+  for (auto& f : fractions_) f.weight /= total;
+  weights_.reserve(fractions_.size());
+  for (const auto& f : fractions_) weights_.push_back(f.weight);
+}
+
+double ChiralityPopulation::metallic_fraction() const {
+  double m = 0.0;
+  for (const auto& f : fractions_) {
+    if (f.chirality.is_metallic()) m += f.weight;
+  }
+  return m;
+}
+
+double ChiralityPopulation::mean_diameter() const {
+  double d = 0.0;
+  for (const auto& f : fractions_) d += f.weight * f.chirality.diameter();
+  return d;
+}
+
+band::Chirality ChiralityPopulation::sample(phys::Rng& rng) const {
+  return fractions_[rng.categorical(weights_)].chirality;
+}
+
+void ChiralityPopulation::reweight(double metallic_factor,
+                                   double semi_factor) {
+  CARBON_REQUIRE(metallic_factor >= 0.0 && semi_factor >= 0.0,
+                 "factors must be non-negative");
+  double total = 0.0;
+  for (auto& f : fractions_) {
+    f.weight *= f.chirality.is_metallic() ? metallic_factor : semi_factor;
+    total += f.weight;
+  }
+  CARBON_REQUIRE(total > 0.0, "population annihilated by reweight");
+  weights_.clear();
+  for (auto& f : fractions_) {
+    f.weight /= total;
+    weights_.push_back(f.weight);
+  }
+}
+
+}  // namespace carbon::fab

@@ -1,0 +1,59 @@
+#pragma once
+
+/// @file chirality.h
+/// Chirality populations of as-grown CNT material.  "CNTs can come in
+/// different flavors and can be semiconducting, metallic, semi-metallic and
+/// it is currently unproven whether pure batches of one sort could be
+/// achieved" (Section V).  A growth process is modeled as a diameter
+/// distribution over the enumerable (n, m) lattice; a third of a uniform
+/// population is metallic.
+
+#include <vector>
+
+#include "band/cnt.h"
+#include "phys/rng.h"
+
+namespace carbon::fab {
+
+/// One chirality with its population weight.
+struct ChiralityFraction {
+  band::Chirality chirality;
+  double weight = 0.0;  ///< normalized population fraction
+};
+
+/// A chirality population: distribution over (n, m) induced by a Gaussian
+/// diameter target (CVD growth control parameter).
+class ChiralityPopulation {
+ public:
+  /// @param d_mean_m  target mean diameter [m]
+  /// @param d_sigma_m diameter spread [m]
+  /// @param window    enumeration window in sigmas around the mean
+  ChiralityPopulation(double d_mean_m, double d_sigma_m, double window = 3.5);
+
+  const std::vector<ChiralityFraction>& fractions() const {
+    return fractions_;
+  }
+
+  /// Fraction of metallic tubes (1/3 for wide uniform populations).
+  double metallic_fraction() const;
+
+  /// Mean diameter of the population [m].
+  double mean_diameter() const;
+
+  /// Number of distinct chiralities in the window.
+  int num_species() const { return static_cast<int>(fractions_.size()); }
+
+  /// Draw one chirality according to the population weights.
+  band::Chirality sample(phys::Rng& rng) const;
+
+  /// Rescale the population: multiply metallic weights by
+  /// @p metallic_factor and semiconducting by @p semi_factor, then
+  /// renormalize (the primitive that sorting processes are built from).
+  void reweight(double metallic_factor, double semi_factor);
+
+ private:
+  std::vector<ChiralityFraction> fractions_;
+  std::vector<double> weights_;  // cached for sampling
+};
+
+}  // namespace carbon::fab

@@ -1,0 +1,72 @@
+#include "fab/placement.h"
+
+#include <cmath>
+
+#include "phys/require.h"
+
+namespace carbon::fab {
+
+int DeviceSite::bridging_count() const {
+  int n = 0;
+  for (const auto& t : tubes) n += t.bridges_channel ? 1 : 0;
+  return n;
+}
+
+int DeviceSite::metallic_count() const {
+  int n = 0;
+  for (const auto& t : tubes) {
+    if (t.bridges_channel && t.chirality.is_metallic()) ++n;
+  }
+  return n;
+}
+
+std::vector<DeviceSite> QuartzGrowthModel::run(const ChiralityPopulation& pop,
+                                               int n_sites, double width_um,
+                                               phys::Rng& rng) const {
+  CARBON_REQUIRE(n_sites > 0, "need at least one site");
+  CARBON_REQUIRE(width_um > 0.0, "width must be positive");
+  std::vector<DeviceSite> sites;
+  sites.reserve(n_sites);
+  for (int i = 0; i < n_sites; ++i) {
+    DeviceSite site;
+    const int n_tubes = rng.poisson(tubes_per_um * width_um);
+    for (int t = 0; t < n_tubes; ++t) {
+      PlacedTube tube;
+      tube.chirality = pop.sample(rng);
+      // Electrical burn-off removes most metallic tubes post growth.
+      if (tube.chirality.is_metallic() && rng.bernoulli(metallic_burnoff)) {
+        continue;
+      }
+      tube.misalignment_deg = rng.normal(0.0, alignment_sigma_deg);
+      tube.bridges_channel =
+          std::abs(tube.misalignment_deg) <= max_usable_angle_deg;
+      site.tubes.push_back(tube);
+    }
+    sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+std::vector<DeviceSite> TrenchAssemblyModel::run(
+    const ChiralityPopulation& pop, int n_sites, phys::Rng& rng) const {
+  CARBON_REQUIRE(n_sites > 0, "need at least one site");
+  std::vector<DeviceSite> sites;
+  sites.reserve(n_sites);
+  for (int i = 0; i < n_sites; ++i) {
+    DeviceSite site;
+    int n_tubes = rng.bernoulli(fill_probability) ? 1 : 0;
+    n_tubes += rng.poisson(mean_extra_tubes);
+    for (int t = 0; t < n_tubes; ++t) {
+      PlacedTube tube;
+      tube.chirality = pop.sample(rng);
+      tube.misalignment_deg = rng.normal(0.0, alignment_sigma_deg);
+      tube.bridges_channel =
+          std::abs(tube.misalignment_deg) <= max_usable_angle_deg;
+      site.tubes.push_back(tube);
+    }
+    sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+}  // namespace carbon::fab

@@ -1,0 +1,59 @@
+#pragma once
+
+/// @file placement.h
+/// Wafer-scale CNT placement models for the two integration routes of
+/// Section V:
+///  * aligned growth on ST-cut quartz (atomic steps guide the tubes; the
+///    route behind the Shulaker one-bit computers, refs [20, 21]);
+///  * chemical self-assembly into pre-patterned trenches from solution
+///    (H. Park et al., ref [22] — the >10,000-device statistical study).
+
+#include <vector>
+
+#include "fab/chirality.h"
+#include "phys/rng.h"
+
+namespace carbon::fab {
+
+/// One placed tube.
+struct PlacedTube {
+  band::Chirality chirality;
+  double misalignment_deg = 0.0;  ///< angle from the intended direction
+  bool bridges_channel = true;    ///< reaches both contacts
+};
+
+/// A device site after placement.
+struct DeviceSite {
+  std::vector<PlacedTube> tubes;
+  /// Count of tubes that actually bridge source and drain.
+  int bridging_count() const;
+  /// Count of bridging metallic tubes (potential shorts).
+  int metallic_count() const;
+};
+
+/// Aligned quartz growth (route 1).
+struct QuartzGrowthModel {
+  double tubes_per_um = 5.0;        ///< areal line density across a device
+  double alignment_sigma_deg = 1.0; ///< angular spread on quartz steps
+  double max_usable_angle_deg = 5.0;///< misaligned tubes miss the contacts
+  /// Burn-off: fraction of metallic tubes removed electrically after
+  /// growth (the Shulaker flow's metallic-CNT removal step).
+  double metallic_burnoff = 0.99;
+
+  /// Populate @p n_sites device sites of channel width @p width_um.
+  std::vector<DeviceSite> run(const ChiralityPopulation& pop, int n_sites,
+                              double width_um, phys::Rng& rng) const;
+};
+
+/// Trench self-assembly (route 2, Park-style ion-exchange chemistry).
+struct TrenchAssemblyModel {
+  double fill_probability = 0.9;  ///< a trench captures >= 1 tube
+  double mean_extra_tubes = 0.25; ///< Poisson mean of additional tubes
+  double alignment_sigma_deg = 7.0;
+  double max_usable_angle_deg = 25.0;
+
+  std::vector<DeviceSite> run(const ChiralityPopulation& pop, int n_sites,
+                              phys::Rng& rng) const;
+};
+
+}  // namespace carbon::fab

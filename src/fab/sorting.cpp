@@ -1,0 +1,65 @@
+#include "fab/sorting.h"
+
+#include <cmath>
+
+#include "phys/require.h"
+
+namespace carbon::fab {
+
+SortingProcess gel_chromatography() {
+  return {"gel-chromatography", 0.90, 0.008, 0.75};
+}
+
+SortingProcess density_gradient() {
+  return {"density-gradient", 0.85, 0.02, 0.60};
+}
+
+SortingProcess dna_sorting() {
+  return {"dna-sorting", 0.80, 0.002, 0.40};
+}
+
+SortingResult apply_sorting(const SortingProcess& process, int passes,
+                            double metallic_fraction_0) {
+  CARBON_REQUIRE(passes >= 0, "negative pass count");
+  CARBON_REQUIRE(metallic_fraction_0 >= 0.0 && metallic_fraction_0 <= 1.0,
+                 "metallic fraction outside [0,1]");
+  double m = metallic_fraction_0;
+  double s = 1.0 - metallic_fraction_0;
+  double mass = 1.0;
+  for (int i = 0; i < passes; ++i) {
+    m *= process.metallic_retention;
+    s *= process.semiconducting_retention;
+    const double kept = m + s;
+    mass *= kept * process.mass_yield;
+    if (kept > 0.0) { m /= kept; s /= kept; }
+  }
+  SortingResult r;
+  r.passes = passes;
+  r.semiconducting_purity = s;
+  r.metallic_ppm = m * 1e6;
+  r.overall_mass_yield = mass;
+  return r;
+}
+
+SortingResult passes_for_purity(const SortingProcess& process,
+                                double target_metallic_ppm,
+                                double metallic_fraction_0) {
+  CARBON_REQUIRE(target_metallic_ppm > 0.0, "target must be positive");
+  for (int p = 0; p <= 200; ++p) {
+    const SortingResult r = apply_sorting(process, p, metallic_fraction_0);
+    if (r.metallic_ppm <= target_metallic_ppm) return r;
+  }
+  SortingResult fail = apply_sorting(process, 200, metallic_fraction_0);
+  fail.passes = -1;
+  return fail;
+}
+
+void apply_to_population(const SortingProcess& process, int passes,
+                         ChiralityPopulation& population) {
+  CARBON_REQUIRE(passes >= 0, "negative pass count");
+  const double mf = std::pow(process.metallic_retention, passes);
+  const double sf = std::pow(process.semiconducting_retention, passes);
+  population.reweight(mf, sf);
+}
+
+}  // namespace carbon::fab

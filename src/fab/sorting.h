@@ -1,0 +1,56 @@
+#pragma once
+
+/// @file sorting.h
+/// Solution-phase purification (Section V, second approach): "large-scale
+/// single-chirality separation of single-wall carbon nanotubes by gel
+/// chromatography, density gradient or DNA methods".  Each process is an
+/// enrichment operator on a chirality population with a per-pass yield.
+
+#include <string>
+#include <vector>
+
+#include "fab/chirality.h"
+
+namespace carbon::fab {
+
+/// One purification pass.
+struct SortingProcess {
+  std::string name;
+  /// Survival probability of a semiconducting tube per pass.
+  double semiconducting_retention = 0.9;
+  /// Survival probability of a metallic tube per pass (< retention above).
+  double metallic_retention = 0.01;
+  /// Mass yield penalty per pass (material lost regardless of type).
+  double mass_yield = 0.7;
+};
+
+/// Canned processes with representative literature selectivities.
+SortingProcess gel_chromatography();
+SortingProcess density_gradient();
+SortingProcess dna_sorting();
+
+/// Result of applying a sequence of passes.
+struct SortingResult {
+  double semiconducting_purity = 0.0;  ///< fraction of surviving tubes
+  double metallic_ppm = 0.0;           ///< metallic contamination in ppm
+  double overall_mass_yield = 0.0;     ///< surviving mass fraction
+  int passes = 0;
+};
+
+/// Apply @p passes rounds of @p process to a population with starting
+/// metallic fraction @p metallic_fraction_0.
+SortingResult apply_sorting(const SortingProcess& process, int passes,
+                            double metallic_fraction_0 = 1.0 / 3.0);
+
+/// Number of passes needed to reach at most @p target_metallic_ppm, and the
+/// mass yield paid for it.  Returns passes = -1 when 200 passes do not
+/// suffice (process selectivity too weak).
+SortingResult passes_for_purity(const SortingProcess& process,
+                                double target_metallic_ppm,
+                                double metallic_fraction_0 = 1.0 / 3.0);
+
+/// Enrichment applied directly to a ChiralityPopulation object.
+void apply_to_population(const SortingProcess& process, int passes,
+                         ChiralityPopulation& population);
+
+}  // namespace carbon::fab

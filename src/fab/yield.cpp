@@ -1,0 +1,64 @@
+#include "fab/yield.h"
+
+#include <cmath>
+
+#include "phys/require.h"
+#include "phys/roots.h"
+
+namespace carbon::fab {
+
+double gate_yield(double metallic_fraction, int tubes_per_device,
+                  int fets_per_gate, double open_probability) {
+  CARBON_REQUIRE(metallic_fraction >= 0.0 && metallic_fraction <= 1.0,
+                 "metallic fraction outside [0,1]");
+  CARBON_REQUIRE(tubes_per_device >= 1, "need at least one tube per device");
+  CARBON_REQUIRE(fets_per_gate >= 1, "need at least one FET per gate");
+  CARBON_REQUIRE(open_probability >= 0.0 && open_probability < 1.0,
+                 "open probability outside [0,1)");
+  // A device works when none of its tubes is metallic and it is not open.
+  const double p_device =
+      std::pow(1.0 - metallic_fraction, tubes_per_device) *
+      (1.0 - open_probability);
+  return std::pow(p_device, fets_per_gate);
+}
+
+double circuit_yield(double gate_yield_1, long long num_gates) {
+  CARBON_REQUIRE(gate_yield_1 >= 0.0 && gate_yield_1 <= 1.0,
+                 "gate yield outside [0,1]");
+  CARBON_REQUIRE(num_gates >= 1, "need at least one gate");
+  // Work in logs: yields of large circuits underflow otherwise.
+  const double log_y = static_cast<double>(num_gates) * std::log(
+                           std::max(gate_yield_1, 1e-300));
+  return std::exp(log_y);
+}
+
+double required_metallic_fraction(long long num_gates, int tubes_per_device,
+                                  int fets_per_gate, double target_yield,
+                                  double open_probability) {
+  CARBON_REQUIRE(target_yield > 0.0 && target_yield < 1.0,
+                 "target yield must be in (0,1)");
+  // circuit_yield = [(1-m)^k (1-po)]^(f N) = Y
+  // => (1-m)^k (1-po) = Y^(1/(f N))
+  const double per_device =
+      std::pow(target_yield,
+               1.0 / (static_cast<double>(num_gates) * fets_per_gate));
+  const double tube_term = per_device / (1.0 - open_probability);
+  if (tube_term >= 1.0) return 0.0;  // impossible even with perfect purity
+  const double one_minus_m = std::pow(tube_term, 1.0 / tubes_per_device);
+  return 1.0 - one_minus_m;
+}
+
+phys::DataTable purity_requirement_table(
+    const std::vector<long long>& gate_counts, int tubes_per_device,
+    int fets_per_gate, double target_yield) {
+  phys::DataTable t(
+      {"num_gates", "required_semi_purity_pct", "required_metallic_ppm"});
+  for (long long n : gate_counts) {
+    const double m = required_metallic_fraction(n, tubes_per_device,
+                                                fets_per_gate, target_yield);
+    t.add_row({static_cast<double>(n), (1.0 - m) * 100.0, m * 1e6});
+  }
+  return t;
+}
+
+}  // namespace carbon::fab

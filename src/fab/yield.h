@@ -1,0 +1,37 @@
+#pragma once
+
+/// @file yield.h
+/// Circuit- and wafer-level yield projection: the arithmetic behind the
+/// paper's warning that "without such a high yield wafer-scale integration,
+/// SWCNT circuits will be an illusional dream."  A single bridging metallic
+/// tube shorts a gate; the required semiconducting purity therefore grows
+/// brutally with circuit size.
+
+#include "phys/table.h"
+
+namespace carbon::fab {
+
+/// Probability that one logic gate works.
+/// @param metallic_fraction  fraction of placed tubes that are metallic
+/// @param tubes_per_device   bridging tubes per transistor
+/// @param fets_per_gate      transistors in the gate (CMOS NAND2: 4)
+/// @param open_probability   chance a device ends up with zero tubes
+double gate_yield(double metallic_fraction, int tubes_per_device,
+                  int fets_per_gate, double open_probability = 0.0);
+
+/// Yield of an N-gate circuit (independent gate failures).
+double circuit_yield(double gate_yield_1, long long num_gates);
+
+/// Metallic purity (fraction) required for a target circuit yield.
+/// Solves gate_yield^N = target for the metallic fraction.
+double required_metallic_fraction(long long num_gates, int tubes_per_device,
+                                  int fets_per_gate, double target_yield,
+                                  double open_probability = 0.0);
+
+/// Sweep table: circuit sizes vs required purity.
+/// Columns: num_gates, required_semi_purity_pct, required_metallic_ppm.
+phys::DataTable purity_requirement_table(
+    const std::vector<long long>& gate_counts, int tubes_per_device,
+    int fets_per_gate, double target_yield);
+
+}  // namespace carbon::fab

@@ -1,0 +1,129 @@
+#include "logic/gatesim.h"
+
+#include "phys/require.h"
+
+namespace carbon::logic {
+
+NetId GateSim::add_net(const std::string& name) {
+  const NetId id = static_cast<NetId>(values_.size());
+  names_.push_back(name);
+  values_.push_back(false);
+  fanout_.emplace_back();
+  pending_time_.push_back(-1.0);
+  pending_value_.push_back(false);
+  return id;
+}
+
+const std::string& GateSim::net_name(NetId id) const {
+  CARBON_REQUIRE(id >= 0 && id < num_nets(), "net id out of range");
+  return names_[id];
+}
+
+void GateSim::add_gate(GateType type, const std::vector<NetId>& inputs,
+                       NetId output, double delay_s) {
+  const size_t expected =
+      (type == GateType::kBuf || type == GateType::kInv) ? 1 : 2;
+  CARBON_REQUIRE(inputs.size() == expected, "wrong input count for gate");
+  CARBON_REQUIRE(output >= 0 && output < num_nets(), "bad output net");
+  CARBON_REQUIRE(delay_s >= 0.0, "negative delay");
+  for (NetId in : inputs) {
+    CARBON_REQUIRE(in >= 0 && in < num_nets(), "bad input net");
+  }
+  const int gate_index = static_cast<int>(gates_.size());
+  gates_.push_back({type, inputs, output, delay_s});
+  for (NetId in : inputs) fanout_[in].push_back(gate_index);
+}
+
+bool GateSim::eval_gate(const Gate& g) const {
+  const auto in = [&](int i) { return values_[g.inputs[i]]; };
+  switch (g.type) {
+    case GateType::kBuf:   return in(0);
+    case GateType::kInv:   return !in(0);
+    case GateType::kAnd2:  return in(0) && in(1);
+    case GateType::kOr2:   return in(0) || in(1);
+    case GateType::kNand2: return !(in(0) && in(1));
+    case GateType::kNor2:  return !(in(0) || in(1));
+    case GateType::kXor2:  return in(0) != in(1);
+    case GateType::kXnor2: return in(0) == in(1);
+    case GateType::kDLatch:
+      // transparent while enable (input 1) is high, else hold
+      return in(1) ? in(0) : values_[g.output];
+  }
+  return false;
+}
+
+void GateSim::schedule(NetId net, bool value, double t) {
+  // Inertial delay: a newer event for the same net supersedes the pending
+  // one if the values differ; identical values are de-duplicated.
+  if (pending_time_[net] >= 0.0 && pending_value_[net] == value) return;
+  pending_time_[net] = t;
+  pending_value_[net] = value;
+  queue_.push({t, seq_++, net, value});
+}
+
+void GateSim::set_input(NetId net, bool value, double t_s) {
+  CARBON_REQUIRE(net >= 0 && net < num_nets(), "bad net");
+  CARBON_REQUIRE(t_s >= now_, "cannot schedule in the past");
+  queue_.push({t_s, seq_++, net, value});
+}
+
+void GateSim::initialize() {
+  // Power-up: evaluate every gate once so constant-input logic settles even
+  // before the first external event arrives.
+  for (const Gate& g : gates_) {
+    const bool out = eval_gate(g);
+    if (out != values_[g.output]) schedule(g.output, out, now_ + g.delay);
+  }
+  initialized_ = true;
+}
+
+double GateSim::run_until(double t_stop_s) {
+  if (!initialized_) initialize();
+  while (!queue_.empty() && queue_.top().time <= t_stop_s) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    // Drop superseded inertial events.
+    if (pending_time_[ev.net] >= 0.0 &&
+        (pending_time_[ev.net] != ev.time ||
+         pending_value_[ev.net] != ev.value)) {
+      // A later schedule replaced this one.
+      if (pending_time_[ev.net] > ev.time) continue;
+    }
+    pending_time_[ev.net] = -1.0;
+    if (values_[ev.net] == ev.value) continue;  // no change
+    values_[ev.net] = ev.value;
+    ++events_processed_;
+    for (int gi : fanout_[ev.net]) {
+      const Gate& g = gates_[gi];
+      const bool out = eval_gate(g);
+      schedule(g.output, out, now_ + g.delay);
+    }
+  }
+  if (queue_.empty()) return now_;
+  now_ = t_stop_s;
+  return now_;
+}
+
+bool GateSim::value(NetId net) const {
+  CARBON_REQUIRE(net >= 0 && net < num_nets(), "bad net");
+  return values_[net];
+}
+
+std::uint64_t GateSim::read_bus(const std::vector<NetId>& bits) const {
+  CARBON_REQUIRE(bits.size() <= 64, "bus too wide");
+  std::uint64_t v = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (value(bits[i])) v |= (1ull << i);
+  }
+  return v;
+}
+
+void GateSim::set_bus(const std::vector<NetId>& bits, std::uint64_t value,
+                      double t_s) {
+  for (size_t i = 0; i < bits.size(); ++i) {
+    set_input(bits[i], (value >> i) & 1ull, t_s);
+  }
+}
+
+}  // namespace carbon::logic

@@ -1,0 +1,95 @@
+#pragma once
+
+/// @file gatesim.h
+/// Event-driven gate-level logic simulator with inertial delays.  Gate
+/// timing comes from SPICE characterization of the CNTFET cells
+/// (see stdcell.h), which is how the repository connects device physics to
+/// the paper's "carbon nanotube computer" claim (refs [20, 21]).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace carbon::logic {
+
+/// Supported gate types.
+enum class GateType {
+  kBuf, kInv, kAnd2, kOr2, kNand2, kNor2, kXor2, kXnor2,
+  kDLatch,  ///< inputs {d, enable}: transparent while enable is high
+};
+
+/// Net identifier.
+using NetId = int;
+
+/// Event-driven logic simulator.
+class GateSim {
+ public:
+  /// Create a named net; initial value false.
+  NetId add_net(const std::string& name);
+  int num_nets() const { return static_cast<int>(values_.size()); }
+  const std::string& net_name(NetId id) const;
+
+  /// Add a gate driving @p output from @p inputs with @p delay_s inertial
+  /// delay.  DLatch expects inputs {d, en}.
+  void add_gate(GateType type, const std::vector<NetId>& inputs,
+                NetId output, double delay_s);
+
+  /// Schedule an external drive of @p net to @p value at time @p t_s.
+  void set_input(NetId net, bool value, double t_s);
+
+  /// Run until the event queue is empty or @p t_stop_s is reached.
+  /// Returns the time of the last processed event.
+  double run_until(double t_stop_s);
+
+  /// Present value of a net.
+  bool value(NetId net) const;
+
+  /// Read a bus (LSB first) as an unsigned integer.
+  std::uint64_t read_bus(const std::vector<NetId>& bits) const;
+
+  /// Drive a bus (LSB first) at a given time.
+  void set_bus(const std::vector<NetId>& bits, std::uint64_t value,
+               double t_s);
+
+  long long events_processed() const { return events_processed_; }
+  int num_gates() const { return static_cast<int>(gates_.size()); }
+  double now() const { return now_; }
+
+ private:
+  struct Gate {
+    GateType type;
+    std::vector<NetId> inputs;
+    NetId output;
+    double delay;
+  };
+  struct Event {
+    double time;
+    long long seq;  // FIFO tiebreak
+    NetId net;
+    bool value;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  bool eval_gate(const Gate& g) const;
+  void schedule(NetId net, bool value, double t);
+  void initialize();  // power-up evaluation of every gate
+
+  bool initialized_ = false;
+
+  std::vector<std::string> names_;
+  std::vector<bool> values_;
+  std::vector<Gate> gates_;
+  std::vector<std::vector<int>> fanout_;  // net -> gate indices
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<double> pending_time_;   // net -> scheduled event time (or <0)
+  std::vector<bool> pending_value_;
+  long long seq_ = 0;
+  long long events_processed_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace carbon::logic

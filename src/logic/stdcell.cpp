@@ -1,0 +1,45 @@
+#include "logic/stdcell.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/cells.h"
+#include "circuit/vtc.h"
+#include "phys/require.h"
+
+namespace carbon::logic {
+
+CellTiming characterize_cells(const device::DeviceModelPtr& n_model,
+                              const CharacterizationOptions& opt) {
+  CARBON_REQUIRE(n_model != nullptr, "null model");
+  CellTiming ct;
+  ct.v_dd = opt.v_dd;
+  ct.c_load_f = opt.c_load_f;
+
+  circuit::CellOptions copt;
+  copt.v_dd = opt.v_dd;
+  copt.c_load = opt.c_load_f;
+  copt.fet_multiplier = opt.fet_multiplier;
+  circuit::InverterBench bench = circuit::make_inverter(n_model, copt);
+
+  // Pick a window from the CV/I estimate unless the caller fixed one.
+  double window = opt.t_window_s;
+  if (window <= 0.0) {
+    const double i_on = std::abs(
+        n_model->drain_current(opt.v_dd, opt.v_dd)) * opt.fet_multiplier;
+    CARBON_REQUIRE(i_on > 0.0, "device does not conduct at VDD");
+    const double rc = opt.c_load_f * opt.v_dd / i_on;
+    window = 60.0 * rc;
+  }
+  const circuit::SwitchingEnergy se =
+      circuit::measure_switching(bench, window, window / 3000.0);
+
+  ct.t_inv_s = 0.5 * (se.t_phl_s + se.t_plh_s);
+  ct.energy_per_transition_j = 0.5 * se.energy_j;
+  // Stack-depth derating for 2-input gates with symmetric p/n devices.
+  ct.t_nand2_s = 1.5 * ct.t_inv_s;
+  ct.t_nor2_s = 1.7 * ct.t_inv_s;
+  return ct;
+}
+
+}  // namespace carbon::logic

@@ -1,0 +1,37 @@
+#pragma once
+
+/// @file stdcell.h
+/// Standard-cell timing characterized from device physics: SPICE transient
+/// runs of the inverter and NAND built from a device model give the gate
+/// delays used by the logic simulator.  This is the bridge from the
+/// compact models to the one-bit computer demonstration.
+
+#include "device/ivmodel.h"
+
+namespace carbon::logic {
+
+/// Characterized cell delays.
+struct CellTiming {
+  double t_inv_s = 0.0;    ///< inverter propagation delay (avg of HL/LH)
+  double t_nand2_s = 0.0;  ///< NAND2 delay estimate
+  double t_nor2_s = 0.0;   ///< NOR2 delay estimate
+  double energy_per_transition_j = 0.0;  ///< inverter switching energy
+  double v_dd = 0.0;
+  double c_load_f = 0.0;
+};
+
+/// Options for characterization.
+struct CharacterizationOptions {
+  double v_dd = 0.5;
+  double c_load_f = 0.1e-15;   ///< local-interconnect-scale load
+  double fet_multiplier = 1.0; ///< parallel tubes per FET
+  double t_window_s = 0.0;     ///< 0 = auto from an Ion-based RC estimate
+};
+
+/// Run the SPICE characterization of @p n_model.
+/// Series gates are estimated from the inverter delay with standard
+/// stack-depth factors (NAND2 ~ 1.5x, NOR2 ~ 1.7x for symmetric devices).
+CellTiming characterize_cells(const device::DeviceModelPtr& n_model,
+                              const CharacterizationOptions& opt = {});
+
+}  // namespace carbon::logic

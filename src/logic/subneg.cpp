@@ -1,0 +1,153 @@
+#include "logic/subneg.h"
+
+#include <algorithm>
+
+#include "phys/require.h"
+
+namespace carbon::logic {
+
+SubnegMachine::SubnegMachine(int memory_words)
+    : mem_(static_cast<size_t>(memory_words), 0) {
+  CARBON_REQUIRE(memory_words >= 8, "memory too small");
+}
+
+void SubnegMachine::load(const SubnegProgram& program) {
+  code_ = program.code;
+  for (const auto& [addr, value] : program.data) write(addr, value);
+  pc_ = 0;
+  trace_.clear();
+}
+
+std::int64_t SubnegMachine::read(int addr) const {
+  CARBON_REQUIRE(addr >= 0 && addr < static_cast<int>(mem_.size()),
+                 "address out of range");
+  return mem_[addr];
+}
+
+void SubnegMachine::write(int addr, std::int64_t value) {
+  CARBON_REQUIRE(addr >= 0 && addr < static_cast<int>(mem_.size()),
+                 "address out of range");
+  mem_[addr] = value;
+}
+
+int SubnegMachine::run(int max_steps) {
+  int steps = 0;
+  while (pc_ >= 0 && pc_ < static_cast<int>(code_.size()) &&
+         steps < max_steps) {
+    const SubnegInstruction insn = code_[pc_];
+    const std::int64_t result = read(insn.b) - read(insn.a);
+    write(insn.b, result);
+    SubnegStep st;
+    st.pc = pc_;
+    st.insn = insn;
+    st.result = result;
+    st.branched = result < 0;
+    trace_.push_back(st);
+    pc_ = st.branched ? insn.c : pc_ + 1;
+    ++steps;
+  }
+  return steps;
+}
+
+SubnegProgram make_counting_program(std::int64_t start, std::int64_t step,
+                                    std::int64_t limit) {
+  CARBON_REQUIRE(step > 0, "step must be positive");
+  CARBON_REQUIRE(limit >= start, "limit below start");
+  // Memory map: 0=counter 1=-step 2=limit 3=Z 4=tmp.
+  SubnegProgram p;
+  p.data = {{0, start}, {1, -step}, {2, limit}, {3, 0}, {4, 0}};
+  p.code = {
+      {1, 0, 1},  // counter -= (-step)          => counter += step
+      {4, 4, 2},  // tmp = 0
+      {3, 3, 3},  // Z = 0
+      {0, 3, 4},  // Z -= counter                => Z = -counter (branch=next)
+      {3, 4, 5},  // tmp -= Z                    => tmp = counter
+      {2, 4, 0},  // tmp -= limit; if < 0 loop, else halt (pc walks off)
+  };
+  return p;
+}
+
+SubnegProgram make_sort2_program(std::int64_t x, std::int64_t y) {
+  // Memory map: 3=Z 4=t 6=t1 10=x 11=y. Sorted result: 10=min, 11=max.
+  SubnegProgram p;
+  p.data = {{3, 0}, {4, 0}, {6, 0}, {10, x}, {11, y}};
+  p.code = {
+      {4, 4, 1},     // 0: t = 0
+      {11, 4, 2},    // 1: t -= y            => t = -y
+      {3, 3, 3},     // 2: Z = 0
+      {10, 3, 4},    // 3: Z -= x            => Z = -x   (branch = next)
+      {3, 4, 17},    // 4: t -= Z            => t = x - y; if x<y halt (sorted)
+      // swap block: t1 = x; x = y; y = t1 (SUBNEG copy idiom)
+      {6, 6, 6},     // 5: t1 = 0
+      {3, 3, 7},     // 6: Z = 0
+      {10, 3, 8},    // 7: Z -= x
+      {3, 6, 9},     // 8: t1 -= Z           => t1 = x
+      {10, 10, 10},  // 9: x = 0
+      {3, 3, 11},    // 10: Z = 0
+      {11, 3, 12},   // 11: Z -= y
+      {3, 10, 13},   // 12: x -= Z           => x = y
+      {11, 11, 14},  // 13: y = 0
+      {3, 3, 15},    // 14: Z = 0
+      {6, 3, 16},    // 15: Z -= t1
+      {3, 11, 17},   // 16: y -= Z           => y = t1
+  };
+  return p;
+}
+
+SubnegDatapath::SubnegDatapath(int width, const CellTiming& timing)
+    : width_(width) {
+  CARBON_REQUIRE(width >= 1 && width <= 32, "width must be in [1,32]");
+  CARBON_REQUIRE(timing.t_inv_s > 0.0, "cell timing not characterized");
+  const double t_inv = timing.t_inv_s;
+  const double t_2in = timing.t_nand2_s;
+  const double t_xor = 2.0 * timing.t_nand2_s;
+
+  // Build a ripple-borrow subtractor: diff = b - a.
+  //   d_i    = b_i ^ a_i ^ bor_i
+  //   bor_{i+1} = (~b_i & a_i) | (bor_i & ~(b_i ^ a_i))
+  NetId bor = sim_.add_net("bor0");  // constant 0 borrow-in
+  for (int i = 0; i < width_; ++i) {
+    const std::string s = std::to_string(i);
+    const NetId a = sim_.add_net("a" + s);
+    const NetId b = sim_.add_net("b" + s);
+    a_bits_.push_back(a);
+    b_bits_.push_back(b);
+
+    const NetId bxa = sim_.add_net("bxa" + s);
+    sim_.add_gate(GateType::kXor2, {b, a}, bxa, t_xor);
+    const NetId d = sim_.add_net("d" + s);
+    sim_.add_gate(GateType::kXor2, {bxa, bor}, d, t_xor);
+    diff_bits_.push_back(d);
+
+    const NetId nb = sim_.add_net("nb" + s);
+    sim_.add_gate(GateType::kInv, {b}, nb, t_inv);
+    const NetId nb_and_a = sim_.add_net("nba" + s);
+    sim_.add_gate(GateType::kAnd2, {nb, a}, nb_and_a, t_2in);
+    const NetId nbxa = sim_.add_net("nbxa" + s);
+    sim_.add_gate(GateType::kInv, {bxa}, nbxa, t_inv);
+    const NetId prop = sim_.add_net("prop" + s);
+    sim_.add_gate(GateType::kAnd2, {bor, nbxa}, prop, t_2in);
+    const NetId bor_next = sim_.add_net("bor" + std::to_string(i + 1));
+    sim_.add_gate(GateType::kOr2, {nb_and_a, prop}, bor_next, t_2in);
+    bor = bor_next;
+  }
+  borrow_out_ = bor;
+  // Worst path: borrow ripple through every stage plus the final XOR.
+  gate_delay_budget_s_ = width_ * (t_xor + 2.0 * t_2in + t_inv) + 4.0 * t_xor;
+}
+
+std::uint64_t SubnegDatapath::subtract(std::uint64_t b, std::uint64_t a,
+                                       bool* negative) {
+  const double t0 = epoch_s_;
+  sim_.set_bus(a_bits_, a, t0);
+  sim_.set_bus(b_bits_, b, t0);
+  const double t_done = sim_.run_until(t0 + 4.0 * gate_delay_budget_s_);
+  settle_s_ = std::max(t_done - t0, 0.0);
+  epoch_s_ = t0 + 4.0 * gate_delay_budget_s_;
+  if (negative) *negative = sim_.value(borrow_out_);
+  return sim_.read_bus(diff_bits_);
+}
+
+int SubnegDatapath::num_gates() const { return sim_.num_gates(); }
+
+}  // namespace carbon::logic

@@ -1,0 +1,108 @@
+#pragma once
+
+/// @file subneg.h
+/// The SUBNEG one-instruction-set computer: the architecture of the carbon
+/// nanotube computer of Shulaker et al. (ref [20]; see also ref [21]).
+/// Every instruction is (a, b, c):
+///     mem[b] <- mem[b] - mem[a];  if mem[b] < 0 jump to c, else fall through.
+/// SUBNEG is Turing-complete; the Nature demonstration ran counting and
+/// sorting with exactly this instruction, implemented in 178 CNT FETs.
+///
+/// Two implementations live here:
+///  * a word-level interpreter (the architectural reference), and
+///  * a gate-level datapath (ripple-borrow subtractor + negative flag)
+///    built in GateSim from NAND/INV cells whose delays come from CNTFET
+///    SPICE characterization — so one "cycle" has a physical time and
+///    energy, and the gate-level result is checked against the interpreter.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/gatesim.h"
+#include "logic/stdcell.h"
+
+namespace carbon::logic {
+
+/// One SUBNEG instruction.
+struct SubnegInstruction {
+  int a = 0;  ///< subtrahend address
+  int b = 0;  ///< minuend / destination address
+  int c = 0;  ///< branch target when the result is negative
+};
+
+/// A program plus initial data segment.
+struct SubnegProgram {
+  std::vector<SubnegInstruction> code;
+  std::vector<std::pair<int, std::int64_t>> data;  ///< (address, value)
+};
+
+/// Execution trace entry.
+struct SubnegStep {
+  int pc = 0;
+  SubnegInstruction insn;
+  std::int64_t result = 0;
+  bool branched = false;
+};
+
+/// Word-level SUBNEG machine.
+class SubnegMachine {
+ public:
+  explicit SubnegMachine(int memory_words = 64);
+
+  void load(const SubnegProgram& program);
+  std::int64_t read(int addr) const;
+  void write(int addr, std::int64_t value);
+
+  /// Run until pc walks off the end of code or @p max_steps executed.
+  /// Returns the number of executed instructions.
+  int run(int max_steps = 100000);
+
+  const std::vector<SubnegStep>& trace() const { return trace_; }
+  int pc() const { return pc_; }
+
+ private:
+  std::vector<std::int64_t> mem_;
+  std::vector<SubnegInstruction> code_;
+  std::vector<SubnegStep> trace_;
+  int pc_ = 0;
+};
+
+/// The counting program of the CNT-computer demo: counts up from
+/// @p start by @p step until reaching @p limit.  Result: counter address 0.
+SubnegProgram make_counting_program(std::int64_t start, std::int64_t step,
+                                    std::int64_t limit);
+
+/// Bubble-sort of @p values using SUBNEG only (the Nature demo's second
+/// workload class).  The sorted values end up in data addresses
+/// 10..10+n-1.
+SubnegProgram make_sort2_program(std::int64_t x, std::int64_t y);
+
+/// Gate-level W-bit subtract-and-test datapath built from NAND/INV cells.
+class SubnegDatapath {
+ public:
+  /// @param width   word width in bits
+  /// @param timing  characterized cell delays (CNT standard cells)
+  SubnegDatapath(int width, const CellTiming& timing);
+
+  /// Compute b - a through the gate-level ripple-borrow subtractor.
+  /// @param[out] negative  sign flag (borrow out)
+  /// Returns the W-bit result (two's complement truncation).
+  std::uint64_t subtract(std::uint64_t b, std::uint64_t a, bool* negative);
+
+  /// Settling time of the last subtract [s] — the physical cycle-time bound
+  /// of the CNT computer datapath.
+  double last_settle_time_s() const { return settle_s_; }
+  int num_gates() const;
+
+ private:
+  int width_;
+  GateSim sim_;
+  std::vector<NetId> a_bits_, b_bits_, diff_bits_;
+  NetId borrow_out_ = -1;
+  double settle_s_ = 0.0;
+  double epoch_s_ = 0.0;
+  double gate_delay_budget_s_ = 0.0;
+};
+
+}  // namespace carbon::logic

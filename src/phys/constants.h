@@ -1,0 +1,58 @@
+#pragma once
+
+/// @file constants.h
+/// Physical constants (CODATA 2018) used across the library.
+///
+/// Unit conventions used throughout CarbonCMOS:
+///  * energies handled by band/transport code are in **electron volts (eV)**,
+///  * lengths are in **metres** unless a function name says otherwise,
+///  * voltages in volts, currents in amperes, temperatures in kelvin,
+///  * capacitances in farad (or F/m for per-length quantities).
+
+namespace carbon::phys {
+
+/// Elementary charge [C].
+inline constexpr double kQ = 1.602176634e-19;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Boltzmann constant [eV/K].
+inline constexpr double kBoltzmannEv = kBoltzmann / kQ;  // 8.617333e-5
+
+/// Planck constant [J s].
+inline constexpr double kPlanck = 6.62607015e-34;
+
+/// Reduced Planck constant [J s].
+inline constexpr double kHbar = 1.054571817e-34;
+
+/// Reduced Planck constant [eV s].
+inline constexpr double kHbarEv = kHbar / kQ;
+
+/// Free-electron mass [kg].
+inline constexpr double kElectronMass = 9.1093837015e-31;
+
+/// Vacuum permittivity [F/m].
+inline constexpr double kEpsilon0 = 8.8541878128e-12;
+
+/// Speed of light [m/s].
+inline constexpr double kSpeedOfLight = 2.99792458e8;
+
+/// Quantum of conductance for a single spin-degenerate mode, 2e^2/h [S].
+inline constexpr double kConductanceQuantum = 2.0 * kQ * kQ / kPlanck;
+
+/// Resistance quantum of a 4-fold degenerate CNT channel, h/(4e^2) [Ohm]
+/// (the theoretical minimum two-terminal resistance of a single nanotube,
+/// ~6.45 kOhm; the paper quotes ~11 kOhm as the best achieved series
+/// resistance including real contacts).
+inline constexpr double kCntQuantumResistance = kPlanck / (4.0 * kQ * kQ);
+
+/// Thermal voltage kT/q at temperature @p temperature_k [V].
+constexpr double thermal_voltage(double temperature_k) {
+  return kBoltzmannEv * temperature_k;
+}
+
+/// Room temperature used by default everywhere [K].
+inline constexpr double kRoomTemperature = 300.0;
+
+}  // namespace carbon::phys

@@ -1,0 +1,64 @@
+#include "phys/fermi.h"
+
+#include <cmath>
+
+#include "phys/require.h"
+
+namespace carbon::phys {
+
+double fermi(double energy_ev, double mu_ev, double kt_ev) {
+  CARBON_REQUIRE(kt_ev > 0.0, "kT must be positive");
+  const double x = (energy_ev - mu_ev) / kt_ev;
+  if (x > 0.0) {
+    const double e = std::exp(-x);
+    return e / (1.0 + e);
+  }
+  return 1.0 / (1.0 + std::exp(x));
+}
+
+double fermi_minus_dfde(double energy_ev, double mu_ev, double kt_ev) {
+  CARBON_REQUIRE(kt_ev > 0.0, "kT must be positive");
+  const double x = std::abs(energy_ev - mu_ev) / kt_ev;
+  // -df/dE = (1/kT) * e^x / (1+e^x)^2, symmetric in (E-mu); evaluate with
+  // the decaying exponential to avoid overflow.
+  const double e = std::exp(-x);
+  const double denom = 1.0 + e;
+  return (e / (denom * denom)) / kt_ev;
+}
+
+double softplus(double x) {
+  if (x > 34.0) return x;              // exp(-x) below double epsilon
+  if (x < -34.0) return std::exp(x);   // ln(1+e) ~ e
+  return std::log1p(std::exp(x));
+}
+
+namespace {
+
+// Aymerich-Humet, Serra-Mestres & Millan analytic approximation for the
+// normalized Fermi-Dirac integral of order j in {-1/2, +1/2}:
+//   F_j(eta) = 1 / ( exp(-eta) + xi(eta)^-1 )  form generalisation.
+// We use the standard two-branch blended expression.
+double fd_aymerich(double eta, double j) {
+  // Coefficients per Aymerich-Humet et al., J. Appl. Phys. 54, 2850 (1983);
+  // the expression approximates the unnormalized integral, so divide by
+  // Gamma(j+1) to return the normalized F_j with F_j(eta<<0) -> exp(eta).
+  const double a = std::sqrt(1.0 + 15.0 / 4.0 * (j + 1.0) +
+                             std::pow(j + 1.0, 2.0) / 40.0);
+  const double b = 1.8 + 0.61 * j;
+  const double c = 2.0 + (2.0 - std::sqrt(2.0)) * std::pow(2.0, -j);
+  const double num = (j + 1.0) * std::pow(2.0, j + 1.0);
+  const double denom =
+      std::pow(b + eta + std::pow(std::pow(std::abs(eta - b), c) + std::pow(a, c),
+                                  1.0 / c),
+               j + 1.0);
+  const double inv = num / denom + std::exp(-eta) / std::tgamma(j + 1.0);
+  return 1.0 / (inv * std::tgamma(j + 1.0));
+}
+
+}  // namespace
+
+double fermi_dirac_fm_half(double eta) { return fd_aymerich(eta, -0.5); }
+
+double fermi_dirac_f_half(double eta) { return fd_aymerich(eta, 0.5); }
+
+}  // namespace carbon::phys

@@ -1,0 +1,36 @@
+#pragma once
+
+/// @file fermi.h
+/// Numerically stable Fermi–Dirac statistics helpers.  All energies in eV.
+
+namespace carbon::phys {
+
+/// Fermi–Dirac occupation f(E) = 1 / (1 + exp((E - mu)/kT)).
+/// Stable for arguments of any magnitude.
+/// @param energy_ev   state energy [eV]
+/// @param mu_ev       chemical potential [eV]
+/// @param kt_ev       thermal energy kT [eV], must be > 0
+double fermi(double energy_ev, double mu_ev, double kt_ev);
+
+/// Derivative -df/dE evaluated at E (a positive, bell-shaped function that
+/// integrates to 1).  Units: 1/eV.
+double fermi_minus_dfde(double energy_ev, double mu_ev, double kt_ev);
+
+/// Numerically stable softplus ln(1 + exp(x)); this is the Fermi–Dirac
+/// integral of order 0, F0(x), which gives the ballistic 1-D Landauer
+/// current in closed form.
+double softplus(double x);
+
+/// Fermi–Dirac integral of order 0: F0(eta) = ln(1 + exp(eta)).
+inline double fermi_dirac_f0(double eta) { return softplus(eta); }
+
+/// Fermi–Dirac integral of order -1/2 (normalized, Aymerich-Humet
+/// approximation, relative error < 1e-4 across all eta).  Used by the
+/// virtual-source MOSFET charge model.
+double fermi_dirac_fm_half(double eta);
+
+/// Fermi–Dirac integral of order +1/2 (normalized, Aymerich-Humet
+/// approximation).  F_{1/2}(eta) -> exp(eta) for eta << 0.
+double fermi_dirac_f_half(double eta);
+
+}  // namespace carbon::phys

@@ -1,0 +1,77 @@
+#include "phys/integrate.h"
+
+#include <cmath>
+
+#include "phys/require.h"
+
+namespace carbon::phys {
+
+namespace {
+
+double simpson(double a, double fa, double b, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive_step(const Fn1D& f, double a, double fa, double b, double fb,
+                     double m, double fm, double whole, double tol,
+                     int depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(a, fa, m, fm, flm);
+  const double right = simpson(m, fm, b, fb, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;  // Richardson correction
+  }
+  return adaptive_step(f, a, fa, m, fm, lm, flm, left, 0.5 * tol, depth - 1) +
+         adaptive_step(f, m, fm, b, fb, rm, frm, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+double integrate_adaptive(const Fn1D& f, double a, double b, double abs_tol,
+                          int max_depth) {
+  CARBON_REQUIRE(abs_tol > 0.0, "tolerance must be positive");
+  if (a == b) return 0.0;
+  const double sign = (b >= a) ? 1.0 : -1.0;
+  if (b < a) std::swap(a, b);
+  const double m = 0.5 * (a + b);
+  const double fa = f(a), fb = f(b), fm = f(m);
+  const double whole = simpson(a, fa, b, fb, fm);
+  return sign * adaptive_step(f, a, fa, b, fb, m, fm, whole, abs_tol,
+                              max_depth);
+}
+
+double integrate_simpson(const Fn1D& f, double a, double b, int n) {
+  CARBON_REQUIRE(n >= 2, "need at least 2 panels");
+  if (n % 2 != 0) ++n;
+  const double h = (b - a) / n;
+  double sum = f(a) + f(b);
+  for (int i = 1; i < n; ++i) {
+    sum += f(a + i * h) * ((i % 2 == 1) ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+double integrate_semi_infinite(const Fn1D& f, double a, double decay_scale,
+                               double abs_tol, double cutoff_scales) {
+  CARBON_REQUIRE(decay_scale > 0.0, "decay scale must be positive");
+  const double b = a + cutoff_scales * decay_scale;
+  // Split: dense region near a (where DOS singularities may live), then tail.
+  const double split = a + 5.0 * decay_scale;
+  return integrate_adaptive(f, a, split, abs_tol * 0.5) +
+         integrate_adaptive(f, split, b, abs_tol * 0.5);
+}
+
+double integrate_trapezoid(const double* x, const double* y, int n) {
+  CARBON_REQUIRE(n >= 2, "need at least two samples");
+  double sum = 0.0;
+  for (int i = 1; i < n; ++i) {
+    sum += 0.5 * (y[i] + y[i - 1]) * (x[i] - x[i - 1]);
+  }
+  return sum;
+}
+
+}  // namespace carbon::phys

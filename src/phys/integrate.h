@@ -1,0 +1,32 @@
+#pragma once
+
+/// @file integrate.h
+/// One-dimensional quadrature used by the transport solvers.
+
+#include <functional>
+
+namespace carbon::phys {
+
+/// Scalar function of one real variable.
+using Fn1D = std::function<double(double)>;
+
+/// Adaptive Simpson quadrature of @p f on [a, b].
+/// @param abs_tol  absolute error target
+/// @param max_depth  recursion limit (interval halvings)
+double integrate_adaptive(const Fn1D& f, double a, double b,
+                          double abs_tol = 1e-12, int max_depth = 24);
+
+/// Composite Simpson on a fixed number of panels (n rounded up to even).
+double integrate_simpson(const Fn1D& f, double a, double b, int n = 256);
+
+/// Integral of f over [a, +inf) for integrands that decay at least
+/// exponentially beyond the scale @p decay_scale (e.g. Fermi tails with
+/// decay_scale = kT).  Integrates [a, a + cutoff_scales*decay_scale].
+double integrate_semi_infinite(const Fn1D& f, double a, double decay_scale,
+                               double abs_tol = 1e-12,
+                               double cutoff_scales = 40.0);
+
+/// Trapezoid rule over tabulated samples (x strictly increasing).
+double integrate_trapezoid(const double* x, const double* y, int n);
+
+}  // namespace carbon::phys

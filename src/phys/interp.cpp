@@ -1,0 +1,105 @@
+#include "phys/interp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phys/require.h"
+
+namespace carbon::phys {
+
+namespace {
+void check_grid(const std::vector<double>& x, const std::vector<double>& y) {
+  CARBON_REQUIRE(x.size() == y.size(), "x/y size mismatch");
+  CARBON_REQUIRE(x.size() >= 2, "need at least two samples");
+  for (size_t i = 1; i < x.size(); ++i) {
+    CARBON_REQUIRE(x[i] > x[i - 1], "abscissae must be strictly increasing");
+  }
+}
+}  // namespace
+
+LinearInterp::LinearInterp(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  check_grid(x_, y_);
+}
+
+int LinearInterp::segment(double xq) const {
+  const auto it = std::upper_bound(x_.begin(), x_.end(), xq);
+  int i = static_cast<int>(it - x_.begin()) - 1;
+  return std::clamp(i, 0, static_cast<int>(x_.size()) - 2);
+}
+
+double LinearInterp::operator()(double xq) const {
+  const int i = segment(xq);
+  const double t = (xq - x_[i]) / (x_[i + 1] - x_[i]);
+  return y_[i] + t * (y_[i + 1] - y_[i]);
+}
+
+double LinearInterp::derivative(double xq) const {
+  const int i = segment(xq);
+  return (y_[i + 1] - y_[i]) / (x_[i + 1] - x_[i]);
+}
+
+PchipInterp::PchipInterp(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  check_grid(x_, y_);
+  const int n = static_cast<int>(x_.size());
+  std::vector<double> h(n - 1), delta(n - 1);
+  for (int i = 0; i < n - 1; ++i) {
+    h[i] = x_[i + 1] - x_[i];
+    delta[i] = (y_[i + 1] - y_[i]) / h[i];
+  }
+  m_.assign(n, 0.0);
+  // Fritsch–Carlson: interior slopes as weighted harmonic means.
+  for (int i = 1; i < n - 1; ++i) {
+    if (delta[i - 1] * delta[i] > 0.0) {
+      const double w1 = 2.0 * h[i] + h[i - 1];
+      const double w2 = h[i] + 2.0 * h[i - 1];
+      m_[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+    }
+  }
+  // One-sided endpoint slopes (shape-preserving limiting).
+  auto endpoint = [](double h0, double h1, double d0, double d1) {
+    double m = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+    if (m * d0 <= 0.0) m = 0.0;
+    else if (d0 * d1 < 0.0 && std::abs(m) > 3.0 * std::abs(d0)) m = 3.0 * d0;
+    return m;
+  };
+  if (n == 2) {
+    m_[0] = m_[1] = delta[0];
+  } else {
+    m_[0] = endpoint(h[0], h[1], delta[0], delta[1]);
+    m_[n - 1] = endpoint(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
+  }
+}
+
+int PchipInterp::segment(double xq) const {
+  const auto it = std::upper_bound(x_.begin(), x_.end(), xq);
+  int i = static_cast<int>(it - x_.begin()) - 1;
+  return std::clamp(i, 0, static_cast<int>(x_.size()) - 2);
+}
+
+double PchipInterp::operator()(double xq) const {
+  const int i = segment(xq);
+  const double h = x_[i + 1] - x_[i];
+  const double t = (xq - x_[i]) / h;
+  const double t2 = t * t, t3 = t2 * t;
+  const double h00 = 2 * t3 - 3 * t2 + 1;
+  const double h10 = t3 - 2 * t2 + t;
+  const double h01 = -2 * t3 + 3 * t2;
+  const double h11 = t3 - t2;
+  return h00 * y_[i] + h10 * h * m_[i] + h01 * y_[i + 1] + h11 * h * m_[i + 1];
+}
+
+double PchipInterp::derivative(double xq) const {
+  const int i = segment(xq);
+  const double h = x_[i + 1] - x_[i];
+  const double t = (xq - x_[i]) / h;
+  const double t2 = t * t;
+  const double dh00 = (6 * t2 - 6 * t) / h;
+  const double dh10 = 3 * t2 - 4 * t + 1;
+  const double dh01 = (-6 * t2 + 6 * t) / h;
+  const double dh11 = 3 * t2 - 2 * t;
+  return dh00 * y_[i] + dh10 * m_[i] + dh01 * y_[i + 1] + dh11 * m_[i + 1];
+}
+
+}  // namespace carbon::phys

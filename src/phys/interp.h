@@ -1,0 +1,52 @@
+#pragma once
+
+/// @file interp.h
+/// Tabulated-function interpolation: linear and monotone cubic (PCHIP).
+
+#include <vector>
+
+namespace carbon::phys {
+
+/// Piecewise-linear interpolant over strictly increasing abscissae.
+/// Extrapolates with the boundary segments.
+class LinearInterp {
+ public:
+  LinearInterp() = default;
+  /// @param x strictly increasing sample locations
+  /// @param y sample values, same size as @p x (size >= 2)
+  LinearInterp(std::vector<double> x, std::vector<double> y);
+
+  /// Interpolated value at @p xq.
+  double operator()(double xq) const;
+
+  /// Slope of the segment containing @p xq.
+  double derivative(double xq) const;
+
+  int size() const { return static_cast<int>(x_.size()); }
+  const std::vector<double>& x() const { return x_; }
+  const std::vector<double>& y() const { return y_; }
+
+ private:
+  int segment(double xq) const;
+  std::vector<double> x_, y_;
+};
+
+/// Monotone piecewise-cubic Hermite interpolant (Fritsch–Carlson slopes).
+/// Preserves monotonicity of the data — important when interpolating I–V
+/// tables that must not introduce spurious negative conductance.
+class PchipInterp {
+ public:
+  PchipInterp() = default;
+  PchipInterp(std::vector<double> x, std::vector<double> y);
+
+  double operator()(double xq) const;
+  double derivative(double xq) const;
+
+  int size() const { return static_cast<int>(x_.size()); }
+
+ private:
+  int segment(double xq) const;
+  std::vector<double> x_, y_, m_;  // m_: endpoint slopes
+};
+
+}  // namespace carbon::phys

@@ -1,0 +1,121 @@
+#include "phys/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phys/require.h"
+
+namespace carbon::phys {
+
+Matrix::Matrix(int rows, int cols, double fill)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
+  CARBON_REQUIRE(rows >= 0 && cols >= 0, "matrix dims must be non-negative");
+}
+
+void Matrix::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
+  const int n = lu_.rows();
+  CARBON_REQUIRE(n == lu_.cols(), "LU requires a square matrix");
+  perm_.resize(n);
+  for (int i = 0; i < n; ++i) perm_[i] = i;
+  const double amax = std::max(lu_.max_abs(), 1e-300);
+  double min_pivot = amax;
+
+  for (int k = 0; k < n; ++k) {
+    // Partial pivot: find the largest entry in column k at/below the diagonal.
+    int piv = k;
+    double best = std::abs(lu_(k, k));
+    for (int i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > best) { best = v; piv = i; }
+    }
+    if (best <= amax * 1e-14) {
+      throw ConvergenceError("LU: matrix is numerically singular");
+    }
+    if (piv != k) {
+      for (int j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
+      std::swap(perm_[k], perm_[piv]);
+    }
+    min_pivot = std::min(min_pivot, best);
+    const double inv = 1.0 / lu_(k, k);
+    for (int i = k + 1; i < n; ++i) {
+      const double factor = lu_(i, k) * inv;
+      lu_(i, k) = factor;
+      if (factor != 0.0) {
+        for (int j = k + 1; j < n; ++j) lu_(i, j) -= factor * lu_(k, j);
+      }
+    }
+  }
+  pivot_quality_ = min_pivot / amax;
+}
+
+std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
+  const int n = lu_.rows();
+  CARBON_REQUIRE(static_cast<int>(b.size()) == n, "rhs size mismatch");
+  std::vector<double> x(n);
+  for (int i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // Forward substitution (unit lower triangle).
+  for (int i = 1; i < n; ++i) {
+    double s = x[i];
+    for (int j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution.
+  for (int i = n - 1; i >= 0; --i) {
+    double s = x[i];
+    for (int j = i + 1; j < n; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s / lu_(i, i);
+  }
+  return x;
+}
+
+std::vector<double> solve_dense(Matrix a, const std::vector<double>& b) {
+  return LuFactorization(std::move(a)).solve(b);
+}
+
+double norm2(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double norm_inf(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+std::vector<double> solve_tridiagonal(const std::vector<double>& sub,
+                                      const std::vector<double>& diag,
+                                      const std::vector<double>& sup,
+                                      std::vector<double> rhs) {
+  const int n = static_cast<int>(diag.size());
+  CARBON_REQUIRE(static_cast<int>(sub.size()) == n - 1 &&
+                     static_cast<int>(sup.size()) == n - 1 &&
+                     static_cast<int>(rhs.size()) == n,
+                 "tridiagonal size mismatch");
+  std::vector<double> c(n - 1);
+  double piv = diag[0];
+  CARBON_REQUIRE(piv != 0.0, "tridiagonal: zero pivot");
+  c[0] = sup[0] / piv;
+  rhs[0] /= piv;
+  for (int i = 1; i < n; ++i) {
+    piv = diag[i] - sub[i - 1] * c[i - 1];
+    CARBON_REQUIRE(piv != 0.0, "tridiagonal: zero pivot");
+    if (i < n - 1) c[i] = sup[i] / piv;
+    rhs[i] = (rhs[i] - sub[i - 1] * rhs[i - 1]) / piv;
+  }
+  for (int i = n - 2; i >= 0; --i) rhs[i] -= c[i] * rhs[i + 1];
+  return rhs;
+}
+
+}  // namespace carbon::phys

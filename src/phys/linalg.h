@@ -1,0 +1,70 @@
+#pragma once
+
+/// @file linalg.h
+/// Small dense linear algebra for the MNA circuit solver: a row-major
+/// matrix type and LU factorization with partial pivoting.  Circuit sizes in
+/// this library are tens of unknowns, so a dense solver is the right tool.
+
+#include <vector>
+
+namespace carbon::phys {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0);
+
+  double& operator()(int r, int c) { return data_[r * cols_ + c]; }
+  double operator()(int r, int c) const { return data_[r * cols_ + c]; }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  /// Set every entry to @p value.
+  void fill(double value);
+
+  /// Max-abs entry (used for convergence diagnostics).
+  double max_abs() const;
+
+ private:
+  int rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting of a square matrix.
+/// Throws ConvergenceError on (numerical) singularity.
+class LuFactorization {
+ public:
+  /// Factor @p a in-place (a copy is stored).
+  explicit LuFactorization(Matrix a);
+
+  /// Solve A x = b; returns x.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Reciprocal pivot-growth estimate: min|pivot| / max|A| (0 = singular).
+  double pivot_quality() const { return pivot_quality_; }
+
+ private:
+  Matrix lu_;
+  std::vector<int> perm_;
+  double pivot_quality_ = 0.0;
+};
+
+/// One-shot solve of A x = b.
+std::vector<double> solve_dense(Matrix a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double norm2(const std::vector<double>& v);
+
+/// Max-abs norm.
+double norm_inf(const std::vector<double>& v);
+
+/// Solve a tridiagonal system (Thomas algorithm): diag a (sub), b (main),
+/// c (super), rhs d.  Used by the 1-D Poisson helper in the TFET model.
+std::vector<double> solve_tridiagonal(const std::vector<double>& sub,
+                                      const std::vector<double>& diag,
+                                      const std::vector<double>& sup,
+                                      std::vector<double> rhs);
+
+}  // namespace carbon::phys

@@ -1,0 +1,74 @@
+#include "phys/linalg_complex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phys/require.h"
+
+namespace carbon::phys {
+
+ComplexMatrix::ComplexMatrix(int rows, int cols, Complex fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * cols, fill) {
+  CARBON_REQUIRE(rows >= 0 && cols >= 0, "matrix dims must be non-negative");
+}
+
+void ComplexMatrix::fill(Complex value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+double ComplexMatrix::max_abs() const {
+  double m = 0.0;
+  for (const Complex& v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+std::vector<Complex> solve_dense_complex(ComplexMatrix a,
+                                         const std::vector<Complex>& b) {
+  const int n = a.rows();
+  CARBON_REQUIRE(n == a.cols(), "LU requires a square matrix");
+  CARBON_REQUIRE(static_cast<int>(b.size()) == n, "rhs size mismatch");
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  const double amax = std::max(a.max_abs(), 1e-300);
+
+  for (int k = 0; k < n; ++k) {
+    int piv = k;
+    double best = std::abs(a(k, k));
+    for (int i = k + 1; i < n; ++i) {
+      const double v = std::abs(a(i, k));
+      if (v > best) { best = v; piv = i; }
+    }
+    if (best <= amax * 1e-14) {
+      throw ConvergenceError("complex LU: matrix is numerically singular");
+    }
+    if (piv != k) {
+      for (int j = 0; j < n; ++j) std::swap(a(k, j), a(piv, j));
+      std::swap(perm[k], perm[piv]);
+    }
+    const Complex inv = 1.0 / a(k, k);
+    for (int i = k + 1; i < n; ++i) {
+      const Complex factor = a(i, k) * inv;
+      a(i, k) = factor;
+      if (factor != Complex{}) {
+        for (int j = k + 1; j < n; ++j) a(i, j) -= factor * a(k, j);
+      }
+    }
+  }
+
+  std::vector<Complex> x(n);
+  for (int i = 0; i < n; ++i) x[i] = b[perm[i]];
+  for (int i = 1; i < n; ++i) {
+    Complex s = x[i];
+    for (int j = 0; j < i; ++j) s -= a(i, j) * x[j];
+    x[i] = s;
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    Complex s = x[i];
+    for (int j = i + 1; j < n; ++j) s -= a(i, j) * x[j];
+    x[i] = s / a(i, i);
+  }
+  return x;
+}
+
+}  // namespace carbon::phys

@@ -1,0 +1,38 @@
+#pragma once
+
+/// @file linalg_complex.h
+/// Dense complex linear algebra for the AC (small-signal) circuit analysis:
+/// a complex matrix and LU solve, mirroring the real versions in linalg.h.
+
+#include <complex>
+#include <vector>
+
+namespace carbon::phys {
+
+using Complex = std::complex<double>;
+
+/// Dense row-major complex matrix.
+class ComplexMatrix {
+ public:
+  ComplexMatrix() = default;
+  ComplexMatrix(int rows, int cols, Complex fill = {});
+
+  Complex& operator()(int r, int c) { return data_[r * cols_ + c]; }
+  Complex operator()(int r, int c) const { return data_[r * cols_ + c]; }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  void fill(Complex value);
+  double max_abs() const;
+
+ private:
+  int rows_ = 0, cols_ = 0;
+  std::vector<Complex> data_;
+};
+
+/// Solve A x = b by LU with partial pivoting (A copied).  Throws
+/// ConvergenceError on numerical singularity.
+std::vector<Complex> solve_dense_complex(ComplexMatrix a,
+                                         const std::vector<Complex>& b);
+
+}  // namespace carbon::phys

@@ -1,0 +1,43 @@
+#pragma once
+
+/// @file require.h
+/// Precondition / invariant checking helpers.  Violations throw; they are
+/// programming or calibration errors, not recoverable runtime conditions.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace carbon::phys {
+
+/// Thrown when a function precondition is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an iterative numerical method fails to converge.
+class ConvergenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace carbon::phys
+
+/// Check a precondition; throws carbon::phys::PreconditionError on failure.
+#define CARBON_REQUIRE(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::carbon::phys::detail::throw_precondition(#expr, __FILE__, __LINE__,  \
+                                                 (msg));                     \
+  } while (false)

@@ -1,0 +1,61 @@
+#include "phys/rng.h"
+
+#include "phys/require.h"
+
+namespace carbon::phys {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  CARBON_REQUIRE(hi >= lo, "uniform: hi < lo");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double sigma) {
+  return std::normal_distribution<double>(mean, sigma)(engine_);
+}
+
+double Rng::truncated_normal(double mean, double sigma, double lo, double hi) {
+  CARBON_REQUIRE(hi > lo, "truncated_normal: empty interval");
+  for (int i = 0; i < 10000; ++i) {
+    const double x = normal(mean, sigma);
+    if (x >= lo && x <= hi) return x;
+  }
+  throw ConvergenceError(
+      "truncated_normal: rejection failed (interval has negligible mass)");
+}
+
+int Rng::poisson(double lambda) {
+  CARBON_REQUIRE(lambda >= 0.0, "poisson: negative mean");
+  return std::poisson_distribution<int>(lambda)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  CARBON_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli: p outside [0,1]");
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+int Rng::uniform_int(int n) {
+  CARBON_REQUIRE(n > 0, "uniform_int: n must be positive");
+  return std::uniform_int_distribution<int>(0, n - 1)(engine_);
+}
+
+int Rng::categorical(const std::vector<double>& weights) {
+  CARBON_REQUIRE(!weights.empty(), "categorical: no weights");
+  double total = 0.0;
+  for (double w : weights) {
+    CARBON_REQUIRE(w >= 0.0, "categorical: negative weight");
+    total += w;
+  }
+  CARBON_REQUIRE(total > 0.0, "categorical: all-zero weights");
+  double u = uniform(0.0, total);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+}  // namespace carbon::phys

@@ -1,0 +1,50 @@
+#pragma once
+
+/// @file rng.h
+/// Deterministic random number generation for the Monte-Carlo fabrication
+/// models.  A thin wrapper over std::mt19937_64 so every experiment is
+/// reproducible from its seed.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace carbon::phys {
+
+/// Seeded pseudo-random generator with the distributions the fab models use.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via std::normal_distribution.
+  double normal(double mean, double sigma);
+
+  /// Normal truncated to [lo, hi] (rejection; bounds must bracket
+  /// non-negligible mass).
+  double truncated_normal(double mean, double sigma, double lo, double hi);
+
+  /// Poisson with mean @p lambda.
+  int poisson(double lambda);
+
+  /// Bernoulli trial with success probability @p p.
+  bool bernoulli(double p);
+
+  /// Uniform integer in [0, n).
+  int uniform_int(int n);
+
+  /// Sample an index from unnormalized non-negative weights.
+  int categorical(const std::vector<double>& weights);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace carbon::phys

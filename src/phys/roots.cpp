@@ -1,0 +1,125 @@
+#include "phys/roots.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phys/require.h"
+
+namespace carbon::phys {
+
+Bracket bracket_root(const std::function<double(double)>& f, double x0,
+                     double x1, int max_expansions) {
+  CARBON_REQUIRE(x0 != x1, "need a non-degenerate initial interval");
+  double lo = std::min(x0, x1);
+  double hi = std::max(x0, x1);
+  double flo = f(lo);
+  double fhi = f(hi);
+  const double grow = 1.6;
+  for (int i = 0; i < max_expansions; ++i) {
+    if (flo == 0.0) return {lo, lo, true};
+    if (fhi == 0.0) return {hi, hi, true};
+    if (flo * fhi < 0.0) return {lo, hi, true};
+    // Expand the side with the smaller |f| — it is closer to the root.
+    if (std::abs(flo) < std::abs(fhi)) {
+      lo -= grow * (hi - lo);
+      flo = f(lo);
+    } else {
+      hi += grow * (hi - lo);
+      fhi = f(hi);
+    }
+  }
+  return {lo, hi, false};
+}
+
+double brent(const std::function<double(double)>& f, double lo, double hi,
+             double x_tol, int max_iter) {
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  CARBON_REQUIRE(fa * fb < 0.0, "brent: bracket does not change sign");
+
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol1 = 2.0 * 1e-16 * std::abs(b) + 0.5 * x_tol;
+    const double xm = 0.5 * (c - b);
+    if (std::abs(xm) <= tol1 || fb == 0.0) return b;
+    if (std::abs(e) >= tol1 && std::abs(fa) > std::abs(fb)) {
+      // Attempt inverse quadratic interpolation / secant.
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::abs(p);
+      const double min1 = 3.0 * xm * q - std::abs(tol1 * q);
+      const double min2 = std::abs(e * q);
+      if (2.0 * p < std::min(min1, min2)) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol1) ? d : (xm > 0 ? tol1 : -tol1);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      e = d = b - a;
+    }
+  }
+  throw ConvergenceError("brent: iteration limit exceeded");
+}
+
+double find_root(const std::function<double(double)>& f, double x0, double x1,
+                 double x_tol) {
+  const Bracket br = bracket_root(f, x0, x1);
+  CARBON_REQUIRE(br.found, "find_root: failed to bracket a sign change");
+  if (br.lo == br.hi) return br.lo;
+  return brent(f, br.lo, br.hi, x_tol);
+}
+
+double newton_bisect(const std::function<double(double)>& f,
+                     const std::function<double(double)>& dfdx, double lo,
+                     double hi, double x_tol, int max_iter) {
+  double flo = f(lo), fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  CARBON_REQUIRE(flo * fhi < 0.0, "newton_bisect: bracket does not change sign");
+  if (flo > 0.0) {
+    std::swap(lo, hi);  // keep f(lo) < 0
+  }
+  double x = 0.5 * (lo + hi);
+  for (int i = 0; i < max_iter; ++i) {
+    const double fx = f(x);
+    if (fx < 0.0) lo = x; else hi = x;
+    const double dfx = dfdx(x);
+    double x_next = (dfx != 0.0) ? x - fx / dfx : 0.5 * (lo + hi);
+    const double a = std::min(lo, hi), b = std::max(lo, hi);
+    if (x_next <= a || x_next >= b) x_next = 0.5 * (lo + hi);
+    if (std::abs(x_next - x) < x_tol) return x_next;
+    x = x_next;
+  }
+  throw ConvergenceError("newton_bisect: iteration limit exceeded");
+}
+
+}  // namespace carbon::phys

@@ -1,0 +1,43 @@
+#pragma once
+
+/// @file roots.h
+/// Scalar root finding: bracketing and Brent's method.  These are the
+/// workhorses behind series-resistance solves, threshold retargeting and the
+/// self-consistent top-of-barrier potential.
+
+#include <functional>
+#include <utility>
+
+namespace carbon::phys {
+
+/// Result of a bracket search.
+struct Bracket {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool found = false;
+};
+
+/// Expand an initial interval geometrically until f changes sign.
+/// @param x0,x1  initial guess interval (x0 != x1)
+/// @param max_expansions  number of geometric growth steps
+Bracket bracket_root(const std::function<double(double)>& f, double x0,
+                     double x1, int max_expansions = 60);
+
+/// Brent's method on a sign-changing bracket [lo, hi].
+/// Throws ConvergenceError if the bracket does not change sign or the
+/// iteration limit is exceeded.
+/// @param x_tol  absolute tolerance on the root location
+double brent(const std::function<double(double)>& f, double lo, double hi,
+             double x_tol = 1e-12, int max_iter = 200);
+
+/// Convenience: bracket from a guess then run Brent.
+double find_root(const std::function<double(double)>& f, double x0, double x1,
+                 double x_tol = 1e-12);
+
+/// Safeguarded Newton: uses analytic derivative when it makes progress,
+/// falls back to bisection inside a maintained bracket.
+double newton_bisect(const std::function<double(double)>& f,
+                     const std::function<double(double)>& dfdx, double lo,
+                     double hi, double x_tol = 1e-12, int max_iter = 100);
+
+}  // namespace carbon::phys

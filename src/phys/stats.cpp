@@ -1,0 +1,69 @@
+#include "phys/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phys/require.h"
+
+namespace carbon::phys {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return (n_ > 1) ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double p) {
+  CARBON_REQUIRE(!values.empty(), "percentile of empty sample");
+  CARBON_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * (static_cast<double>(values.size()) - 1.0);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double median(std::vector<double> values) {
+  return percentile(std::move(values), 50.0);
+}
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), counts_(static_cast<size_t>(bins), 0) {
+  CARBON_REQUIRE(hi > lo, "histogram range must be non-empty");
+  CARBON_REQUIRE(bins >= 1, "need at least one bin");
+}
+
+void Histogram::add(double x) {
+  const int n = bins();
+  int i = static_cast<int>((x - lo_) / (hi_ - lo_) * n);
+  i = std::clamp(i, 0, n - 1);
+  ++counts_[i];
+  ++total_;
+}
+
+double Histogram::bin_center(int i) const {
+  const double w = (hi_ - lo_) / bins();
+  return lo_ + (i + 0.5) * w;
+}
+
+double Histogram::bin_fraction(int i) const {
+  return total_ > 0 ? static_cast<double>(counts_[i]) /
+                          static_cast<double>(total_)
+                    : 0.0;
+}
+
+}  // namespace carbon::phys

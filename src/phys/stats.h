@@ -1,0 +1,56 @@
+#pragma once
+
+/// @file stats.h
+/// Descriptive statistics and histograms for the fabrication/variability
+/// Monte-Carlo analyses (Section V of the paper).
+
+#include <vector>
+
+namespace carbon::phys {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  long long count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  long long n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation between order
+/// statistics).  @p p in [0, 100].  The input is copied and sorted.
+double percentile(std::vector<double> values, double p);
+
+/// Median convenience wrapper.
+double median(std::vector<double> values);
+
+/// Simple fixed-bin histogram.
+class Histogram {
+ public:
+  /// @param lo,hi  range (values outside are clamped to edge bins)
+  /// @param bins   number of bins (>= 1)
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x);
+  long long count() const { return total_; }
+  int bins() const { return static_cast<int>(counts_.size()); }
+  long long bin_count(int i) const { return counts_[i]; }
+  double bin_center(int i) const;
+  double bin_fraction(int i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<long long> counts_;
+  long long total_ = 0;
+};
+
+}  // namespace carbon::phys

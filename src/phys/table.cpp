@@ -1,0 +1,94 @@
+#include "phys/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "phys/require.h"
+
+namespace carbon::phys {
+
+DataTable::DataTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  CARBON_REQUIRE(!columns_.empty(), "table needs at least one column");
+}
+
+void DataTable::add_row(const std::vector<double>& row) {
+  CARBON_REQUIRE(row.size() == columns_.size(), "row width mismatch");
+  rows_.push_back(row);
+}
+
+double DataTable::at(int row, int col) const {
+  CARBON_REQUIRE(row >= 0 && row < num_rows(), "row out of range");
+  CARBON_REQUIRE(col >= 0 && col < num_cols(), "col out of range");
+  return rows_[row][col];
+}
+
+std::vector<double> DataTable::column(int col) const {
+  CARBON_REQUIRE(col >= 0 && col < num_cols(), "col out of range");
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(r[col]);
+  return out;
+}
+
+int DataTable::column_index(const std::string& name) const {
+  const auto it = std::find(columns_.begin(), columns_.end(), name);
+  CARBON_REQUIRE(it != columns_.end(), "unknown column: " + name);
+  return static_cast<int>(it - columns_.begin());
+}
+
+std::vector<double> DataTable::column(const std::string& name) const {
+  return column(column_index(name));
+}
+
+void DataTable::print(std::ostream& os, const std::string& title) const {
+  if (!title.empty()) os << "== " << title << " ==\n";
+  // Format all cells first so column widths can be computed.
+  std::vector<std::vector<std::string>> cells;
+  cells.emplace_back(columns_);
+  char buf[64];
+  for (const auto& r : rows_) {
+    std::vector<std::string> line;
+    line.reserve(r.size());
+    for (double v : r) {
+      std::snprintf(buf, sizeof buf, "%.6g", v);
+      line.emplace_back(buf);
+    }
+    cells.push_back(std::move(line));
+  }
+  std::vector<size_t> width(columns_.size(), 0);
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      width[c] = std::max(width[c], line[c].size());
+    }
+  }
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      os << (c ? "  " : "");
+      os.width(static_cast<std::streamsize>(width[c]));
+      os << line[c];
+    }
+    os << '\n';
+  }
+}
+
+void DataTable::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  CARBON_REQUIRE(os.good(), "cannot open CSV for writing: " + path);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    os << (c ? "," : "") << columns_[c];
+  }
+  os << '\n';
+  char buf[64];
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      std::snprintf(buf, sizeof buf, "%.9g", r[c]);
+      os << (c ? "," : "") << buf;
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace carbon::phys

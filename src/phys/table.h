@@ -1,0 +1,46 @@
+#pragma once
+
+/// @file table.h
+/// Column-oriented data tables used by every benchmark binary to print the
+/// regenerated figure series and to write CSV artifacts.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace carbon::phys {
+
+/// A named-column table of doubles.  Rows are appended one full row at a
+/// time, so the table is always rectangular.
+class DataTable {
+ public:
+  DataTable() = default;
+  /// Construct with column headers.
+  explicit DataTable(std::vector<std::string> columns);
+
+  /// Append a row; size must equal the number of columns.
+  void add_row(const std::vector<double>& row);
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  int num_cols() const { return static_cast<int>(columns_.size()); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  double at(int row, int col) const;
+
+  /// Whole column as a vector.
+  std::vector<double> column(int col) const;
+  /// Column looked up by header name (throws if absent).
+  std::vector<double> column(const std::string& name) const;
+  int column_index(const std::string& name) const;
+
+  /// Pretty-print with aligned columns in engineering-friendly %.6g.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Write RFC-4180-ish CSV (header row + data rows).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace carbon::phys

@@ -1,0 +1,61 @@
+#pragma once
+
+/// @file units.h
+/// Small, explicit unit-conversion helpers.  The library stores quantities in
+/// the base units documented in constants.h; these helpers make call sites
+/// that use "lab units" (nm, eV, uA, ...) read naturally and unambiguously.
+
+#include "phys/constants.h"
+
+namespace carbon::phys {
+
+/// Nanometres to metres.
+constexpr double nm(double value_nm) { return value_nm * 1e-9; }
+
+/// Micrometres to metres.
+constexpr double um(double value_um) { return value_um * 1e-6; }
+
+/// Metres to nanometres.
+constexpr double to_nm(double value_m) { return value_m * 1e9; }
+
+/// Electron volts to joule.
+constexpr double ev_to_joule(double e_ev) { return e_ev * kQ; }
+
+/// Joule to electron volts.
+constexpr double joule_to_ev(double e_j) { return e_j / kQ; }
+
+/// Amperes to microamperes.
+constexpr double to_ua(double i_a) { return i_a * 1e6; }
+
+/// Microamperes to amperes.
+constexpr double ua(double i_ua) { return i_ua * 1e-6; }
+
+/// Milliamperes to amperes.
+constexpr double ma(double i_ma) { return i_ma * 1e-3; }
+
+/// Current per width: A and m to the conventional mA/um (= kA/m).
+constexpr double to_ma_per_um(double i_a, double width_m) {
+  return (i_a / width_m) * 1e-3;  // A/m -> mA/um
+}
+
+/// Current per width: A and m to uA/um (= mA/mm).
+constexpr double to_ua_per_um(double i_a, double width_m) {
+  return i_a / width_m;  // A/m == uA/um
+}
+
+/// Femtofarad to farad.
+constexpr double fF(double c_ff) { return c_ff * 1e-15; }
+
+/// Attofarad to farad.
+constexpr double aF(double c_af) { return c_af * 1e-18; }
+
+/// Picoseconds to seconds.
+constexpr double ps(double t_ps) { return t_ps * 1e-12; }
+
+/// Nanoseconds to seconds.
+constexpr double ns(double t_ns) { return t_ns * 1e-9; }
+
+/// Kilo-ohm to ohm.
+constexpr double kohm(double r_kohm) { return r_kohm * 1e3; }
+
+}  // namespace carbon::phys

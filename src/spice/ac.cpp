@@ -1,0 +1,83 @@
+#include "spice/ac.h"
+
+#include <cmath>
+
+#include "phys/linalg_complex.h"
+#include "phys/require.h"
+#include "spice/analyses.h"
+
+namespace carbon::spice {
+
+phys::DataTable ac_sweep(Circuit& ckt, VSource& input,
+                         const std::vector<std::string>& probes,
+                         const AcOptions& opt) {
+  CARBON_REQUIRE(opt.f_stop_hz > opt.f_start_hz && opt.f_start_hz > 0.0,
+                 "need a positive ascending frequency range");
+  CARBON_REQUIRE(opt.points_per_decade >= 1, "points per decade >= 1");
+  CARBON_REQUIRE(!probes.empty(), "no probe nodes");
+
+  // DC operating point first; the AC system is linearized around it.
+  const Solution dc_sol = operating_point(ckt, opt.dc);
+
+  input.set_ac_magnitude(1.0);
+  const int n = ckt.num_unknowns();
+
+  std::vector<std::string> cols{"freq_hz"};
+  for (const auto& p : probes) {
+    cols.push_back("mag(" + p + ")");
+    cols.push_back("phase_deg(" + p + ")");
+  }
+  phys::DataTable table(cols);
+
+  const double decades = std::log10(opt.f_stop_hz / opt.f_start_hz);
+  const int n_points =
+      static_cast<int>(std::ceil(decades * opt.points_per_decade)) + 1;
+
+  phys::ComplexMatrix jac(n, n);
+  std::vector<phys::Complex> rhs(n);
+  for (int i = 0; i < n_points; ++i) {
+    const double f = opt.f_start_hz *
+                     std::pow(10.0, decades * i / (n_points - 1));
+    jac.fill({});
+    std::fill(rhs.begin(), rhs.end(), phys::Complex{});
+    AcStampContext ctx;
+    ctx.jac = &jac;
+    ctx.rhs = &rhs;
+    ctx.x_dc = &dc_sol.x;
+    ctx.omega = 2.0 * M_PI * f;
+    for (const auto& el : ckt.elements()) el->stamp_ac(ctx);
+
+    const std::vector<phys::Complex> x =
+        phys::solve_dense_complex(jac, rhs);
+
+    std::vector<double> row{f};
+    for (const auto& p : probes) {
+      const NodeId id = ckt.find_node(p);
+      const phys::Complex v = (id == 0) ? phys::Complex{} : x[id - 1];
+      row.push_back(std::abs(v));
+      row.push_back(std::arg(v) * 180.0 / M_PI);
+    }
+    table.add_row(row);
+  }
+  input.set_ac_magnitude(0.0);
+  return table;
+}
+
+double corner_frequency(const phys::DataTable& ac,
+                        const std::string& mag_column) {
+  const std::vector<double> f = ac.column("freq_hz");
+  const std::vector<double> m = ac.column(mag_column);
+  CARBON_REQUIRE(!m.empty(), "empty AC table");
+  const double corner = m.front() / std::sqrt(2.0);
+  for (size_t i = 1; i < m.size(); ++i) {
+    if (m[i - 1] >= corner && m[i] < corner) {
+      // Log-interpolate the crossing.
+      const double t = (std::log(corner) - std::log(m[i - 1])) /
+                       (std::log(m[i]) - std::log(m[i - 1]));
+      return f[i - 1] * std::pow(f[i] / f[i - 1], t);
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace carbon::spice

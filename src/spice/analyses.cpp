@@ -1,0 +1,232 @@
+#include "spice/analyses.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phys/linalg.h"
+#include "phys/require.h"
+
+namespace carbon::spice {
+
+namespace {
+
+/// One full Newton–Raphson solve at fixed gmin / source scale.
+/// Returns true on convergence; x is updated in place.
+bool newton_solve(Circuit& ckt, std::vector<double>& x,
+                  const SolverOptions& opts, double gmin, double source_scale,
+                  const StampContext& proto, int* iterations) {
+  const int n = ckt.num_unknowns();
+  phys::Matrix jac(n, n);
+  std::vector<double> rhs(n);
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    jac.fill(0.0);
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+
+    StampContext ctx = proto;
+    ctx.jac = &jac;
+    ctx.rhs = &rhs;
+    ctx.x = &x;
+    ctx.gmin = gmin;
+    ctx.source_scale = source_scale;
+
+    for (const auto& el : ckt.elements()) el->stamp(ctx);
+
+    std::vector<double> x_new;
+    try {
+      x_new = phys::solve_dense(jac, rhs);
+    } catch (const phys::ConvergenceError&) {
+      return false;  // singular at this homotopy rung
+    }
+
+    // Damped update: limit node-voltage movement per iteration.
+    double max_dv = 0.0;
+    const int n_nodes = ckt.num_nodes();
+    for (int i = 0; i < n_nodes; ++i) {
+      max_dv = std::max(max_dv, std::abs(x_new[i] - x[i]));
+    }
+    double damp = 1.0;
+    if (max_dv > opts.v_step_limit) damp = opts.v_step_limit / max_dv;
+
+    double worst = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double xi = x[i] + damp * (x_new[i] - x[i]);
+      const double tol = opts.v_abstol + opts.reltol * std::abs(xi);
+      worst = std::max(worst, std::abs(xi - x[i]) / tol);
+      x[i] = xi;
+    }
+    if (iterations) *iterations = iter + 1;
+    if (worst < 1.0 && damp == 1.0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Solution operating_point(Circuit& ckt, const SolverOptions& opts,
+                         const std::vector<double>* x0) {
+  ckt.assign_branches();
+  const int n = ckt.num_unknowns();
+  CARBON_REQUIRE(n > 0, "empty circuit");
+
+  Solution sol;
+  sol.x.assign(n, 0.0);
+  if (x0 && static_cast<int>(x0->size()) == n) sol.x = *x0;
+
+  StampContext proto;  // DC: transient=false
+  int iters = 0;
+
+  // 1) Plain Newton from the initial point.
+  std::vector<double> x = sol.x;
+  if (newton_solve(ckt, x, opts, opts.gmin_final, 1.0, proto, &iters)) {
+    sol.x = std::move(x);
+    sol.iterations = iters;
+    return sol;
+  }
+
+  // 2) Gmin stepping: start heavily shunted, relax geometrically.
+  x = sol.x;
+  bool ok = true;
+  const double ratio = std::pow(opts.gmin_final / opts.gmin_initial,
+                                1.0 / std::max(1, opts.gmin_steps - 1));
+  double gmin = opts.gmin_initial;
+  for (int s = 0; s < opts.gmin_steps; ++s) {
+    if (!newton_solve(ckt, x, opts, gmin, 1.0, proto, &iters)) {
+      ok = false;
+      break;
+    }
+    gmin *= ratio;
+  }
+  if (ok && newton_solve(ckt, x, opts, opts.gmin_final, 1.0, proto, &iters)) {
+    sol.x = std::move(x);
+    sol.iterations = iters;
+    sol.used_gmin_stepping = true;
+    return sol;
+  }
+
+  // 3) Source stepping from zero bias.
+  x.assign(n, 0.0);
+  ok = true;
+  for (int s = 1; s <= opts.source_steps; ++s) {
+    const double scale = static_cast<double>(s) / opts.source_steps;
+    if (!newton_solve(ckt, x, opts, opts.gmin_final, scale, proto, &iters)) {
+      ok = false;
+      break;
+    }
+  }
+  if (ok) {
+    sol.x = std::move(x);
+    sol.iterations = iters;
+    sol.used_source_stepping = true;
+    return sol;
+  }
+
+  throw phys::ConvergenceError(
+      "operating_point: Newton, gmin stepping and source stepping all "
+      "failed");
+}
+
+double node_voltage(const Circuit& ckt, const Solution& sol,
+                    const std::string& node_name) {
+  const NodeId id = ckt.find_node(node_name);
+  if (id == 0) return 0.0;
+  return sol.x[id - 1];
+}
+
+double vsource_current(const Circuit& ckt, const Solution& sol,
+                       const VSource& src) {
+  const int row = ckt.vsource_branch_index(src);
+  return sol.x[row - 1];
+}
+
+phys::DataTable dc_sweep(Circuit& ckt, VSource& swept,
+                         const std::vector<double>& values,
+                         const std::vector<std::string>& probes,
+                         const SolverOptions& opts) {
+  CARBON_REQUIRE(!values.empty(), "empty sweep");
+  CARBON_REQUIRE(!probes.empty(), "no probe nodes");
+  std::vector<std::string> cols{"sweep_v"};
+  for (const auto& p : probes) cols.push_back("v(" + p + ")");
+  phys::DataTable table(cols);
+
+  std::vector<double> warm;
+  for (double v : values) {
+    swept.set_wave(dc(v));
+    const Solution sol =
+        operating_point(ckt, opts, warm.empty() ? nullptr : &warm);
+    warm = sol.x;
+    std::vector<double> row{v};
+    for (const auto& p : probes) row.push_back(node_voltage(ckt, sol, p));
+    table.add_row(row);
+  }
+  return table;
+}
+
+phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
+                          const std::vector<std::string>& probes,
+                          const std::vector<const VSource*>& current_probes) {
+  CARBON_REQUIRE(opts.t_stop > 0.0 && opts.dt > 0.0,
+                 "transient needs positive t_stop and dt");
+  CARBON_REQUIRE(!probes.empty(), "no probe nodes");
+
+  std::vector<std::string> cols{"time_s"};
+  for (const auto& p : probes) cols.push_back("v(" + p + ")");
+  for (const auto* src : current_probes) cols.push_back("i(" + src->name() + ")");
+  phys::DataTable table(cols);
+
+  ckt.reset_state();
+  ckt.assign_branches();
+
+  // Initial condition: DC operating point with sources at t=0.
+  Solution sol = operating_point(ckt, opts.solver);
+  std::vector<double> x = sol.x;
+
+  const auto record = [&](double t) {
+    std::vector<double> row{t};
+    for (const auto& p : probes) {
+      const NodeId id = ckt.find_node(p);
+      row.push_back(id == 0 ? 0.0 : x[id - 1]);
+    }
+    for (const auto* src : current_probes) {
+      row.push_back(x[ckt.vsource_branch_index(*src) - 1]);
+    }
+    table.add_row(row);
+  };
+  record(0.0);
+
+  double t = 0.0;
+  bool first_step = true;  // BE start-up step stabilizes trap ringing
+  while (t < opts.t_stop - 1e-21) {
+    double dt = std::min(opts.dt, opts.t_stop - t);
+    int halvings = 0;
+    for (;;) {
+      StampContext proto;
+      proto.transient = true;
+      proto.dt_s = dt;
+      proto.trapezoidal = opts.trapezoidal && !first_step;
+      proto.time_s = t + dt;
+
+      std::vector<double> x_try = x;
+      int iters = 0;
+      if (newton_solve(ckt, x_try, opts.solver, opts.solver.gmin_final, 1.0,
+                       proto, &iters)) {
+        // Accept: update element state with the converged voltages.
+        StampContext accept_ctx = proto;
+        accept_ctx.x = &x_try;
+        for (const auto& el : ckt.elements()) el->accept_step(accept_ctx);
+        x = std::move(x_try);
+        t += dt;
+        first_step = false;
+        record(t);
+        break;
+      }
+      ++halvings;
+      CARBON_REQUIRE(halvings <= opts.max_step_halvings,
+                     "transient: step size collapsed without convergence");
+      dt *= 0.5;
+    }
+  }
+  return table;
+}
+
+}  // namespace carbon::spice

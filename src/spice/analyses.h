@@ -1,0 +1,74 @@
+#pragma once
+
+/// @file analyses.h
+/// Circuit analyses: Newton–Raphson operating point (with gmin and source
+/// stepping), DC sweeps, and fixed/adaptive-step transient simulation with
+/// backward-Euler and trapezoidal integration.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "phys/table.h"
+#include "spice/circuit.h"
+
+namespace carbon::spice {
+
+/// Newton solver options.
+struct SolverOptions {
+  int max_iterations = 120;
+  double v_abstol = 1e-9;      ///< absolute voltage tolerance [V]
+  double reltol = 1e-6;        ///< relative tolerance
+  double v_step_limit = 0.4;   ///< max node-voltage change per NR step [V]
+  double gmin_initial = 1e-3;  ///< gmin stepping start [S]
+  double gmin_final = 1e-12;   ///< residual gmin kept in the Jacobian [S]
+  int gmin_steps = 10;         ///< geometric gmin ladder length
+  int source_steps = 10;       ///< source-stepping ladder length (fallback)
+};
+
+/// Converged solution plus metadata.
+struct Solution {
+  std::vector<double> x;  ///< node voltages then branch currents
+  int iterations = 0;     ///< NR iterations of the final solve
+  bool used_gmin_stepping = false;
+  bool used_source_stepping = false;
+};
+
+/// DC operating point.  Throws ConvergenceError when every strategy fails.
+/// @param x0  optional warm start (same layout as Solution::x)
+Solution operating_point(Circuit& ckt, const SolverOptions& opts = {},
+                         const std::vector<double>* x0 = nullptr);
+
+/// Voltage of a named node in a solution.
+double node_voltage(const Circuit& ckt, const Solution& sol,
+                    const std::string& node_name);
+
+/// Current through a voltage source (positive = into its + terminal,
+/// i.e. SPICE convention: current delivered *into* the source).
+double vsource_current(const Circuit& ckt, const Solution& sol,
+                       const VSource& src);
+
+/// Sweep a voltage source and record node voltages.
+/// Columns: sweep value, then one column per probe node.
+phys::DataTable dc_sweep(Circuit& ckt, VSource& swept,
+                         const std::vector<double>& values,
+                         const std::vector<std::string>& probes,
+                         const SolverOptions& opts = {});
+
+/// Transient options.
+struct TransientOptions {
+  double t_stop = 1e-9;
+  double dt = 1e-12;
+  bool trapezoidal = true;   ///< trapezoidal after a BE start-up step
+  int max_step_halvings = 12;
+  SolverOptions solver;
+};
+
+/// Transient run recording node voltages (and optionally source currents).
+/// Columns: time_s, then one per probe node, then "i(<src>)" per tracked
+/// source.
+phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
+                          const std::vector<std::string>& probes,
+                          const std::vector<const VSource*>& current_probes = {});
+
+}  // namespace carbon::spice

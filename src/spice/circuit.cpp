@@ -1,0 +1,110 @@
+#include "spice/circuit.h"
+
+#include "phys/require.h"
+
+namespace carbon::spice {
+
+Circuit::Circuit() {
+  names_.push_back("0");
+  node_ids_["0"] = 0;
+  node_ids_["gnd"] = 0;
+}
+
+NodeId Circuit::node(const std::string& name) {
+  const auto it = node_ids_.find(name);
+  if (it != node_ids_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(names_.size());
+  names_.push_back(name);
+  node_ids_[name] = id;
+  return id;
+}
+
+NodeId Circuit::find_node(const std::string& name) const {
+  const auto it = node_ids_.find(name);
+  CARBON_REQUIRE(it != node_ids_.end(), "unknown node: " + name);
+  return it->second;
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+  CARBON_REQUIRE(id >= 0 && id < static_cast<NodeId>(names_.size()),
+                 "node id out of range");
+  return names_[id];
+}
+
+template <typename T, typename... Args>
+T* Circuit::add_element(Args&&... args) {
+  auto el = std::make_unique<T>(std::forward<Args>(args)...);
+  T* raw = el.get();
+  elements_.push_back(std::move(el));
+  return raw;
+}
+
+Resistor* Circuit::add_resistor(const std::string& name, const std::string& n1,
+                                const std::string& n2, double ohms) {
+  return add_element<Resistor>(name, node(n1), node(n2), ohms);
+}
+
+Capacitor* Circuit::add_capacitor(const std::string& name,
+                                  const std::string& n1,
+                                  const std::string& n2, double farad,
+                                  double v_init) {
+  return add_element<Capacitor>(name, node(n1), node(n2), farad, v_init);
+}
+
+VSource* Circuit::add_vsource(const std::string& name,
+                              const std::string& n_plus,
+                              const std::string& n_minus, WaveformPtr wave) {
+  auto* src =
+      add_element<VSource>(name, node(n_plus), node(n_minus), std::move(wave));
+  ++num_branches_;
+  return src;
+}
+
+VSource* Circuit::add_vsource(const std::string& name,
+                              const std::string& n_plus,
+                              const std::string& n_minus, double dc_value) {
+  return add_vsource(name, n_plus, n_minus, dc(dc_value));
+}
+
+ISource* Circuit::add_isource(const std::string& name,
+                              const std::string& n_plus,
+                              const std::string& n_minus, WaveformPtr wave) {
+  return add_element<ISource>(name, node(n_plus), node(n_minus),
+                              std::move(wave));
+}
+
+Diode* Circuit::add_diode(const std::string& name, const std::string& anode,
+                          const std::string& cathode, double i_sat_a,
+                          double ideality) {
+  return add_element<Diode>(name, node(anode), node(cathode), i_sat_a,
+                            ideality);
+}
+
+Fet* Circuit::add_fet(const std::string& name, const std::string& drain,
+                      const std::string& gate, const std::string& source,
+                      device::DeviceModelPtr model, double multiplier) {
+  return add_element<Fet>(name, node(drain), node(gate), node(source),
+                          std::move(model), multiplier);
+}
+
+void Circuit::reset_state() {
+  for (auto& el : elements_) el->reset_state();
+}
+
+void Circuit::assign_branches() {
+  int running = 0;
+  for (auto& el : elements_) {
+    if (el->num_branches() > 0) {
+      el->set_branch_base(num_nodes() + running + 1);  // 1-based MNA row
+      running += el->num_branches();
+    }
+  }
+}
+
+int Circuit::vsource_branch_index(const VSource& src) const {
+  CARBON_REQUIRE(src.branch_base() > 0,
+                 "assign_branches() has not run for this circuit");
+  return src.branch_base();
+}
+
+}  // namespace carbon::spice

@@ -1,0 +1,75 @@
+#pragma once
+
+/// @file circuit.h
+/// The netlist container: named nodes plus an ordered list of elements.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spice/elements.h"
+
+namespace carbon::spice {
+
+/// A circuit netlist.  Nodes are created on demand by name; "0" (or "gnd")
+/// is ground.  Element adder methods return a pointer that stays valid for
+/// the life of the circuit (for sweeps that need to retune a source).
+class Circuit {
+ public:
+  Circuit();
+
+  /// Get-or-create a node by name.  "0" and "gnd" map to ground.
+  NodeId node(const std::string& name);
+  /// Look up an existing node (throws if absent).
+  NodeId find_node(const std::string& name) const;
+  const std::string& node_name(NodeId id) const;
+  /// Number of non-ground nodes.
+  int num_nodes() const { return static_cast<int>(names_.size()) - 1; }
+  /// Total MNA unknowns: node voltages + source branch currents.
+  int num_unknowns() const { return num_nodes() + num_branches_; }
+  int num_branches() const { return num_branches_; }
+
+  Resistor* add_resistor(const std::string& name, const std::string& n1,
+                         const std::string& n2, double ohms);
+  Capacitor* add_capacitor(const std::string& name, const std::string& n1,
+                           const std::string& n2, double farad,
+                           double v_init = 0.0);
+  VSource* add_vsource(const std::string& name, const std::string& n_plus,
+                       const std::string& n_minus, WaveformPtr wave);
+  VSource* add_vsource(const std::string& name, const std::string& n_plus,
+                       const std::string& n_minus, double dc_value);
+  ISource* add_isource(const std::string& name, const std::string& n_plus,
+                       const std::string& n_minus, WaveformPtr wave);
+  Diode* add_diode(const std::string& name, const std::string& anode,
+                   const std::string& cathode, double i_sat_a,
+                   double ideality = 1.0);
+  Fet* add_fet(const std::string& name, const std::string& drain,
+               const std::string& gate, const std::string& source,
+               device::DeviceModelPtr model, double multiplier = 1.0);
+
+  const std::vector<std::unique_ptr<Element>>& elements() const {
+    return elements_;
+  }
+  /// Reset all element dynamic state (capacitor history etc.).
+  void reset_state();
+
+  /// Assign branch-current rows to the sources.  The analyses call this
+  /// before assembling; it must run after the netlist is complete.
+  void assign_branches();
+
+  /// Branch-current row (1-based MNA index) of a voltage source; valid
+  /// after assign_branches().
+  int vsource_branch_index(const VSource& src) const;
+
+ private:
+  template <typename T, typename... Args>
+  T* add_element(Args&&... args);
+
+  std::map<std::string, NodeId> node_ids_;
+  std::vector<std::string> names_;  // index = NodeId
+  std::vector<std::unique_ptr<Element>> elements_;
+  int num_branches_ = 0;
+};
+
+}  // namespace carbon::spice

@@ -1,0 +1,271 @@
+#include "spice/elements.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phys/require.h"
+
+namespace carbon::spice {
+
+void StampContext::add_jac(int row, int col, double val) const {
+  if (row <= 0 || col <= 0) return;  // ground row/col eliminated
+  (*jac)(row - 1, col - 1) += val;
+}
+
+void StampContext::add_rhs(int row, double val) const {
+  if (row <= 0) return;
+  (*rhs)[row - 1] += val;
+}
+
+void AcStampContext::add_jac(int row, int col, phys::Complex val) const {
+  if (row <= 0 || col <= 0) return;
+  (*jac)(row - 1, col - 1) += val;
+}
+
+void AcStampContext::add_rhs(int row, phys::Complex val) const {
+  if (row <= 0) return;
+  (*rhs)[row - 1] += val;
+}
+
+Element::Element(std::string name, std::vector<NodeId> nodes)
+    : name_(std::move(name)), nodes_(std::move(nodes)) {
+  for (NodeId n : nodes_) {
+    CARBON_REQUIRE(n >= 0, "negative node id");
+  }
+}
+
+// ---------------------------------------------------------------- Resistor
+
+Resistor::Resistor(std::string name, NodeId n1, NodeId n2, double ohms)
+    : Element(std::move(name), {n1, n2}), ohms_(ohms) {
+  CARBON_REQUIRE(ohms > 0.0, "resistance must be positive");
+}
+
+void Resistor::stamp(const StampContext& ctx) const {
+  const double g = 1.0 / ohms_;
+  const NodeId a = nodes_[0], b = nodes_[1];
+  ctx.add_jac(a, a, g);
+  ctx.add_jac(b, b, g);
+  ctx.add_jac(a, b, -g);
+  ctx.add_jac(b, a, -g);
+}
+
+void Resistor::stamp_ac(const AcStampContext& ctx) const {
+  const phys::Complex g{1.0 / ohms_, 0.0};
+  const NodeId a = nodes_[0], b = nodes_[1];
+  ctx.add_jac(a, a, g);
+  ctx.add_jac(b, b, g);
+  ctx.add_jac(a, b, -g);
+  ctx.add_jac(b, a, -g);
+}
+
+// --------------------------------------------------------------- Capacitor
+
+Capacitor::Capacitor(std::string name, NodeId n1, NodeId n2, double farad,
+                     double v_init)
+    : Element(std::move(name), {n1, n2}), farad_(farad), v_init_(v_init) {
+  CARBON_REQUIRE(farad > 0.0, "capacitance must be positive");
+}
+
+void Capacitor::reset_state() {
+  v_prev_ = v_init_;
+  i_prev_ = 0.0;
+}
+
+void Capacitor::stamp(const StampContext& ctx) const {
+  if (!ctx.transient) return;  // open circuit in DC
+  const NodeId a = nodes_[0], b = nodes_[1];
+  // Companion model:  BE:   i = C/dt (v - v_prev)
+  //                   TRAP: i = 2C/dt (v - v_prev) - i_prev
+  double geq, ieq;
+  if (ctx.trapezoidal) {
+    geq = 2.0 * farad_ / ctx.dt_s;
+    ieq = -geq * v_prev_ - i_prev_;
+  } else {
+    geq = farad_ / ctx.dt_s;
+    ieq = -geq * v_prev_;
+  }
+  ctx.add_jac(a, a, geq);
+  ctx.add_jac(b, b, geq);
+  ctx.add_jac(a, b, -geq);
+  ctx.add_jac(b, a, -geq);
+  // i(v) = geq*v + ieq; Norton current ieq leaves node a.
+  ctx.add_rhs(a, -ieq);
+  ctx.add_rhs(b, ieq);
+}
+
+void Capacitor::stamp_ac(const AcStampContext& ctx) const {
+  const phys::Complex y{0.0, ctx.omega * farad_};  // j omega C
+  const NodeId a = nodes_[0], b = nodes_[1];
+  ctx.add_jac(a, a, y);
+  ctx.add_jac(b, b, y);
+  ctx.add_jac(a, b, -y);
+  ctx.add_jac(b, a, -y);
+}
+
+void Capacitor::accept_step(const StampContext& ctx) {
+  const double v_new = ctx.v(nodes_[0]) - ctx.v(nodes_[1]);
+  if (ctx.trapezoidal) {
+    i_prev_ = 2.0 * farad_ / ctx.dt_s * (v_new - v_prev_) - i_prev_;
+  } else {
+    i_prev_ = farad_ / ctx.dt_s * (v_new - v_prev_);
+  }
+  v_prev_ = v_new;
+}
+
+// ----------------------------------------------------------------- VSource
+
+VSource::VSource(std::string name, NodeId n_plus, NodeId n_minus,
+                 WaveformPtr wave)
+    : Element(std::move(name), {n_plus, n_minus}), wave_(std::move(wave)) {
+  CARBON_REQUIRE(wave_ != nullptr, "null waveform");
+}
+
+void VSource::stamp(const StampContext& ctx) const {
+  const NodeId a = nodes_[0], b = nodes_[1];
+  const int br = branch_base_;  // row/col index (1-based after nodes)
+  CARBON_REQUIRE(br > 0, "branch index not assigned");
+  // KCL: branch current enters node a, leaves node b.
+  ctx.add_jac(a, br, 1.0);
+  ctx.add_jac(b, br, -1.0);
+  // Branch equation: v(a) - v(b) = V(t).
+  ctx.add_jac(br, a, 1.0);
+  ctx.add_jac(br, b, -1.0);
+  const double v = ctx.transient ? wave_->value(ctx.time_s)
+                                 : wave_->dc_value();
+  ctx.add_rhs(br, ctx.source_scale * v);
+}
+
+void VSource::stamp_ac(const AcStampContext& ctx) const {
+  const NodeId a = nodes_[0], b = nodes_[1];
+  const int br = branch_base_;
+  ctx.add_jac(a, br, 1.0);
+  ctx.add_jac(b, br, -1.0);
+  ctx.add_jac(br, a, 1.0);
+  ctx.add_jac(br, b, -1.0);
+  ctx.add_rhs(br, phys::Complex{ac_magnitude_, 0.0});
+}
+
+// ----------------------------------------------------------------- ISource
+
+ISource::ISource(std::string name, NodeId n_plus, NodeId n_minus,
+                 WaveformPtr wave)
+    : Element(std::move(name), {n_plus, n_minus}), wave_(std::move(wave)) {
+  CARBON_REQUIRE(wave_ != nullptr, "null waveform");
+}
+
+void ISource::stamp(const StampContext& ctx) const {
+  const double i = ctx.source_scale * (ctx.transient
+                                           ? wave_->value(ctx.time_s)
+                                           : wave_->dc_value());
+  // Current flows from n+ through the source to n-: injects into n-.
+  ctx.add_rhs(nodes_[0], -i);
+  ctx.add_rhs(nodes_[1], i);
+}
+
+// ------------------------------------------------------------------- Diode
+
+Diode::Diode(std::string name, NodeId anode, NodeId cathode, double i_sat_a,
+             double ideality, double temperature_k)
+    : Element(std::move(name), {anode, cathode}), i_sat_(i_sat_a),
+      n_(ideality), vt_(8.617333e-5 * temperature_k) {
+  CARBON_REQUIRE(i_sat_a > 0.0, "saturation current must be positive");
+  CARBON_REQUIRE(ideality >= 1.0, "ideality must be >= 1");
+}
+
+void Diode::stamp(const StampContext& ctx) const {
+  const NodeId a = nodes_[0], b = nodes_[1];
+  // Junction-voltage limiting keeps exp() in range during NR.
+  const double v_raw = ctx.v(a) - ctx.v(b);
+  const double v_crit = n_ * vt_ * std::log(n_ * vt_ / (i_sat_ * 1.414));
+  const double v = std::min(v_raw, std::max(v_crit, 0.8));
+  const double e = std::exp(v / (n_ * vt_));
+  const double i0 = i_sat_ * (e - 1.0);
+  const double g = std::max(i_sat_ * e / (n_ * vt_), ctx.gmin);
+  const double ieq = i0 - g * v;
+  ctx.add_jac(a, a, g);
+  ctx.add_jac(b, b, g);
+  ctx.add_jac(a, b, -g);
+  ctx.add_jac(b, a, -g);
+  ctx.add_rhs(a, -ieq);
+  ctx.add_rhs(b, ieq);
+}
+
+void Diode::stamp_ac(const AcStampContext& ctx) const {
+  const NodeId a = nodes_[0], b = nodes_[1];
+  const double v = std::min(ctx.v_dc(a) - ctx.v_dc(b), 0.9);
+  const double g = i_sat_ * std::exp(v / (n_ * vt_)) / (n_ * vt_) + 1e-12;
+  ctx.add_jac(a, a, g);
+  ctx.add_jac(b, b, g);
+  ctx.add_jac(a, b, -g);
+  ctx.add_jac(b, a, -g);
+}
+
+// --------------------------------------------------------------------- Fet
+
+Fet::Fet(std::string name, NodeId drain, NodeId gate, NodeId source,
+         device::DeviceModelPtr model, double multiplier)
+    : Element(std::move(name), {drain, gate, source}),
+      model_(std::move(model)), mult_(multiplier) {
+  CARBON_REQUIRE(model_ != nullptr, "null device model");
+  CARBON_REQUIRE(multiplier > 0.0, "multiplier must be positive");
+}
+
+void Fet::stamp(const StampContext& ctx) const {
+  const NodeId d = nodes_[0], g = nodes_[1], s = nodes_[2];
+  const double vgs = ctx.v(g) - ctx.v(s);
+  const double vds = ctx.v(d) - ctx.v(s);
+
+  const double h = 1e-4;
+  const double id0 = mult_ * model_->drain_current(vgs, vds);
+  const double gm =
+      mult_ * (model_->drain_current(vgs + h, vds) -
+               model_->drain_current(vgs - h, vds)) / (2.0 * h);
+  const double gds_raw =
+      mult_ * (model_->drain_current(vgs, vds + h) -
+               model_->drain_current(vgs, vds - h)) / (2.0 * h);
+  const double gds = gds_raw + ctx.gmin;  // keep the Jacobian non-singular
+
+  // Norton companion: id = id0 + gm (vgs - vgs0) + gds (vds - vds0)
+  //                     = gm*vgs + gds*vds + ieq.
+  const double ieq = id0 - gm * vgs - gds * vds;
+
+  // Drain row: +id; source row: -id.
+  ctx.add_jac(d, g, gm);
+  ctx.add_jac(d, s, -gm);
+  ctx.add_jac(d, d, gds);
+  ctx.add_jac(d, s, -gds);
+  ctx.add_rhs(d, -ieq);
+
+  ctx.add_jac(s, g, -gm);
+  ctx.add_jac(s, s, gm);
+  ctx.add_jac(s, d, -gds);
+  ctx.add_jac(s, s, gds);
+  ctx.add_rhs(s, ieq);
+
+  // Tiny shunt on the gate so an otherwise-floating gate node never makes
+  // the Jacobian singular (the gate is DC-open in this model).
+  ctx.add_jac(g, g, std::max(ctx.gmin, 1e-12));
+}
+
+void Fet::stamp_ac(const AcStampContext& ctx) const {
+  const NodeId d = nodes_[0], g = nodes_[1], s = nodes_[2];
+  const double vgs = ctx.v_dc(g) - ctx.v_dc(s);
+  const double vds = ctx.v_dc(d) - ctx.v_dc(s);
+  const double h = 1e-4;
+  const double gm =
+      mult_ * (model_->drain_current(vgs + h, vds) -
+               model_->drain_current(vgs - h, vds)) / (2.0 * h);
+  const double gds =
+      mult_ * (model_->drain_current(vgs, vds + h) -
+               model_->drain_current(vgs, vds - h)) / (2.0 * h) + 1e-12;
+  ctx.add_jac(d, g, gm);
+  ctx.add_jac(d, s, -gm - gds);
+  ctx.add_jac(d, d, gds);
+  ctx.add_jac(s, g, -gm);
+  ctx.add_jac(s, s, gm + gds);
+  ctx.add_jac(s, d, -gds);
+  ctx.add_jac(g, g, 1e-12);
+}
+
+}  // namespace carbon::spice

@@ -1,0 +1,188 @@
+#pragma once
+
+/// @file elements.h
+/// Circuit elements and their MNA stamps.  The solver formulation is the
+/// classic Newton–Raphson companion-model scheme: at each iteration every
+/// element stamps a linearized conductance into the Jacobian and a Norton
+/// equivalent current into the right-hand side, around the present iterate.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/ivmodel.h"
+#include "phys/linalg.h"
+#include "phys/linalg_complex.h"
+#include "spice/waveform.h"
+
+namespace carbon::spice {
+
+/// Node index; 0 is ground.
+using NodeId = int;
+
+/// Everything an element needs to stamp itself.
+struct StampContext {
+  phys::Matrix* jac = nullptr;          ///< (n_nodes-1 + n_branches)^2
+  std::vector<double>* rhs = nullptr;
+  const std::vector<double>* x = nullptr;  ///< current iterate
+
+  double time_s = 0.0;       ///< simulation time (sources)
+  double source_scale = 1.0; ///< source-stepping homotopy factor
+  double gmin = 0.0;         ///< gmin-stepping shunt added by nonlinears
+
+  bool transient = false;    ///< capacitors: companion model vs open
+  double dt_s = 0.0;         ///< current step size
+  bool trapezoidal = false;  ///< trapezoidal vs backward Euler companion
+
+  /// Voltage of node @p n in the current iterate (0 for ground).
+  double v(NodeId n) const { return n == 0 ? 0.0 : (*x)[n - 1]; }
+  /// Add to Jacobian entry for (row node/branch i, col j), skipping ground.
+  void add_jac(int row, int col, double val) const;
+  /// Add to RHS entry, skipping ground.
+  void add_rhs(int row, double val) const;
+};
+
+/// Context of a small-signal (AC) assembly around a DC operating point.
+struct AcStampContext {
+  phys::ComplexMatrix* jac = nullptr;
+  std::vector<phys::Complex>* rhs = nullptr;
+  const std::vector<double>* x_dc = nullptr;  ///< converged DC solution
+  double omega = 0.0;                          ///< angular frequency [rad/s]
+
+  double v_dc(NodeId n) const { return n == 0 ? 0.0 : (*x_dc)[n - 1]; }
+  void add_jac(int row, int col, phys::Complex val) const;
+  void add_rhs(int row, phys::Complex val) const;
+};
+
+/// Base class of all circuit elements.
+class Element {
+ public:
+  Element(std::string name, std::vector<NodeId> nodes);
+  virtual ~Element() = default;
+
+  const std::string& name() const { return name_; }
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+
+  /// True when the element's I(V) is nonlinear (affects gmin placement).
+  virtual bool is_nonlinear() const { return false; }
+
+  /// Number of MNA branch-current unknowns this element owns.
+  virtual int num_branches() const { return 0; }
+  /// Assign the element's first branch index (rows after node voltages).
+  void set_branch_base(int base) { branch_base_ = base; }
+  int branch_base() const { return branch_base_; }
+
+  /// Stamp the linearized element into the system.
+  virtual void stamp(const StampContext& ctx) const = 0;
+
+  /// Stamp the small-signal equivalent at the DC operating point.  The
+  /// default stamps nothing (ideal current sources are AC-open).
+  virtual void stamp_ac(const AcStampContext& /*ctx*/) const {}
+
+  /// Transient bookkeeping: accept the converged step (update state).
+  virtual void accept_step(const StampContext& /*ctx*/) {}
+
+  /// Reset dynamic state (before a new analysis).
+  virtual void reset_state() {}
+
+ protected:
+  std::string name_;
+  std::vector<NodeId> nodes_;
+  int branch_base_ = -1;
+};
+
+/// Linear resistor.
+class Resistor final : public Element {
+ public:
+  Resistor(std::string name, NodeId n1, NodeId n2, double ohms);
+  void stamp(const StampContext& ctx) const override;
+  void stamp_ac(const AcStampContext& ctx) const override;
+  double resistance() const { return ohms_; }
+
+ private:
+  double ohms_;
+};
+
+/// Linear capacitor with optional initial condition.
+class Capacitor final : public Element {
+ public:
+  Capacitor(std::string name, NodeId n1, NodeId n2, double farad,
+            double v_init = 0.0);
+  void stamp(const StampContext& ctx) const override;
+  void stamp_ac(const AcStampContext& ctx) const override;
+  void accept_step(const StampContext& ctx) override;
+  void reset_state() override;
+  double capacitance() const { return farad_; }
+  /// Current charging current (after accept_step) [A].
+  double branch_current() const { return i_prev_; }
+
+ private:
+  double farad_;
+  double v_init_;
+  double v_prev_ = 0.0;
+  double i_prev_ = 0.0;
+};
+
+/// Independent voltage source (owns one branch current unknown).
+class VSource final : public Element {
+ public:
+  VSource(std::string name, NodeId n_plus, NodeId n_minus, WaveformPtr wave);
+  int num_branches() const override { return 1; }
+  void stamp(const StampContext& ctx) const override;
+  void stamp_ac(const AcStampContext& ctx) const override;
+  const Waveform& wave() const { return *wave_; }
+  /// Replace the waveform (used by DC sweeps).
+  void set_wave(WaveformPtr wave) { wave_ = std::move(wave); }
+  /// AC stimulus amplitude of this source (default 0; the ac_sweep driver
+  /// sets 1 on the designated input).
+  void set_ac_magnitude(double mag) { ac_magnitude_ = mag; }
+  double ac_magnitude() const { return ac_magnitude_; }
+
+ private:
+  WaveformPtr wave_;
+  double ac_magnitude_ = 0.0;
+};
+
+/// Independent current source (flows from n+ through the source to n-).
+class ISource final : public Element {
+ public:
+  ISource(std::string name, NodeId n_plus, NodeId n_minus, WaveformPtr wave);
+  void stamp(const StampContext& ctx) const override;
+
+ private:
+  WaveformPtr wave_;
+};
+
+/// Junction diode (anode, cathode) with exponential law and NR limiting.
+class Diode final : public Element {
+ public:
+  Diode(std::string name, NodeId anode, NodeId cathode, double i_sat_a,
+        double ideality = 1.0, double temperature_k = 300.0);
+  bool is_nonlinear() const override { return true; }
+  void stamp(const StampContext& ctx) const override;
+  void stamp_ac(const AcStampContext& ctx) const override;
+
+ private:
+  double i_sat_, n_, vt_;
+};
+
+/// Three-terminal FET wrapping any device compact model.
+/// Conventions follow IDeviceModel: current flows drain -> source for
+/// n-type with positive vgs/vds.  Gate is DC-open (add explicit capacitors
+/// for gate loading).
+class Fet final : public Element {
+ public:
+  Fet(std::string name, NodeId drain, NodeId gate, NodeId source,
+      device::DeviceModelPtr model, double multiplier = 1.0);
+  bool is_nonlinear() const override { return true; }
+  void stamp(const StampContext& ctx) const override;
+  void stamp_ac(const AcStampContext& ctx) const override;
+  const device::IDeviceModel& model() const { return *model_; }
+  double multiplier() const { return mult_; }
+
+ private:
+  device::DeviceModelPtr model_;
+  double mult_;
+};
+
+}  // namespace carbon::spice

@@ -1,0 +1,59 @@
+#pragma once
+
+/// @file measure.h
+/// Waveform and transfer-curve measurements: the inverter metrics of the
+/// paper's Fig. 2 (gain, noise margins) plus transient delay/period/energy
+/// extraction used by the ring-oscillator and logic characterization.
+
+#include <string>
+
+#include "phys/table.h"
+
+namespace carbon::spice {
+
+/// Voltage-transfer-curve metrics of an inverter.
+struct VtcMetrics {
+  double v_dd = 0.0;
+  double v_switch = 0.0;    ///< input where vout = vin
+  double max_abs_gain = 0.0;///< peak |dVout/dVin|
+  double v_il = 0.0;        ///< low unity-gain input point
+  double v_ih = 0.0;        ///< high unity-gain input point
+  double v_ol = 0.0;        ///< output at vin = v_ih (logic-low level)
+  double v_oh = 0.0;        ///< output at vin = v_il (logic-high level)
+  double nm_low = 0.0;      ///< NML = v_il - v_ol
+  double nm_high = 0.0;     ///< NMH = v_oh - v_ih
+  bool regenerative = false;///< max gain > 1 (a working logic gate)
+};
+
+/// Analyze a VTC table (column @p vin_col vs @p vout_col).
+/// For a non-regenerative curve (max |gain| <= 1, the paper's Fig. 2(d)
+/// case) the unity-gain points collapse and both noise margins are
+/// reported as 0.
+VtcMetrics analyze_vtc(const phys::DataTable& vtc, const std::string& vin_col,
+                       const std::string& vout_col, double v_dd);
+
+/// Time of the first crossing of @p level in column @p col after @p t_min
+/// (linear interpolation; rising = true for upward crossings).
+/// Returns a negative value when no crossing exists.
+double crossing_time(const phys::DataTable& tran, const std::string& col,
+                     double level, bool rising, double t_min = 0.0);
+
+/// Propagation delay between a step on @p in_col and the response on
+/// @p out_col, both measured at 50% of v_dd.
+double propagation_delay(const phys::DataTable& tran,
+                         const std::string& in_col,
+                         const std::string& out_col, double v_dd,
+                         bool in_rising);
+
+/// Average period of an oscillating column: mean spacing of rising
+/// mid-level crossings, skipping the first @p skip_cycles.
+double oscillation_period(const phys::DataTable& tran, const std::string& col,
+                          double v_mid, int skip_cycles = 2);
+
+/// Energy delivered by a source over the run: integral of v * i(t) dt,
+/// with i taken from column @p i_col (SPICE sign: sourcing = negative), so
+/// a positive result means the source delivered energy.
+double supply_energy(const phys::DataTable& tran, const std::string& i_col,
+                     double v_dd);
+
+}  // namespace carbon::spice

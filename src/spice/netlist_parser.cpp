@@ -1,0 +1,261 @@
+#include "spice/netlist_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace carbon::spice {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+[[noreturn]] void fail(int line_no, const std::string& line,
+                       const std::string& why) {
+  std::ostringstream os;
+  os << "netlist parse error at line " << line_no << " (" << why
+     << "): " << line;
+  throw ParseError(os.str());
+}
+
+/// Split a card into whitespace/comma separated tokens, keeping
+/// parenthesized groups like PULSE(0 1 1n ...) together with their tag.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : line) {
+    if (c == ';') break;  // trailing comment
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if ((std::isspace(static_cast<unsigned char>(c)) || c == ',') &&
+        depth == 0) {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+/// Extract the arguments of a "tag(a b c)" token; empty if not that form.
+bool split_call(const std::string& token, std::string* tag,
+                std::vector<std::string>* args) {
+  const auto open = token.find('(');
+  if (open == std::string::npos || token.back() != ')') return false;
+  *tag = lower(token.substr(0, open));
+  const std::string inner = token.substr(open + 1,
+                                         token.size() - open - 2);
+  std::string piece;
+  args->clear();
+  for (char c : inner) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!piece.empty()) args->push_back(piece);
+      piece.clear();
+    } else {
+      piece.push_back(c);
+    }
+  }
+  if (!piece.empty()) args->push_back(piece);
+  return true;
+}
+
+}  // namespace
+
+double parse_spice_number(const std::string& token) {
+  const std::string t = lower(token);
+  size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(t, &pos);
+  } catch (const std::exception&) {
+    throw ParseError("not a number: " + token);
+  }
+  const std::string suffix = t.substr(pos);
+  if (suffix.empty()) return value;
+  if (suffix == "t") return value * 1e12;
+  if (suffix == "g") return value * 1e9;
+  if (suffix == "meg") return value * 1e6;
+  if (suffix == "k") return value * 1e3;
+  if (suffix == "m") return value * 1e-3;
+  if (suffix == "u") return value * 1e-6;
+  if (suffix == "n") return value * 1e-9;
+  if (suffix == "p") return value * 1e-12;
+  if (suffix == "f") return value * 1e-15;
+  if (suffix == "a") return value * 1e-18;
+  // SPICE tradition: unknown trailing letters (e.g. "10kohm") — accept a
+  // known suffix followed by letters, otherwise reject.
+  if (suffix.rfind("meg", 0) == 0) return value * 1e6;
+  const char c = suffix[0];
+  const std::string rest = suffix.substr(1);
+  const bool alpha = std::all_of(rest.begin(), rest.end(), [](char ch) {
+    return std::isalpha(static_cast<unsigned char>(ch));
+  });
+  if (alpha) {
+    switch (c) {
+      case 't': return value * 1e12;
+      case 'g': return value * 1e9;
+      case 'k': return value * 1e3;
+      case 'm': return value * 1e-3;
+      case 'u': return value * 1e-6;
+      case 'n': return value * 1e-9;
+      case 'p': return value * 1e-12;
+      case 'f': return value * 1e-15;
+      default: break;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      throw ParseError("unknown engineering suffix: " + token);
+    }
+  }
+  throw ParseError("unknown engineering suffix: " + token);
+}
+
+namespace {
+
+WaveformPtr parse_source_value(const std::vector<std::string>& tokens,
+                               size_t first, int line_no,
+                               const std::string& line) {
+  if (first >= tokens.size()) fail(line_no, line, "missing source value");
+  std::string tag;
+  std::vector<std::string> args;
+  if (split_call(tokens[first], &tag, &args)) {
+    std::vector<double> v;
+    v.reserve(args.size());
+    for (const auto& a : args) v.push_back(parse_spice_number(a));
+    if (tag == "pulse") {
+      if (v.size() != 7) fail(line_no, line, "PULSE wants 7 arguments");
+      return pulse(v[0], v[1], v[2], v[3], v[4], v[5], v[6]);
+    }
+    if (tag == "sin") {
+      if (v.size() < 3 || v.size() > 5) {
+        fail(line_no, line, "SIN wants 3-5 arguments");
+      }
+      return sine(v[0], v[1], v[2], v.size() > 3 ? v[3] : 0.0,
+                  v.size() > 4 ? v[4] : 0.0);
+    }
+    if (tag == "pwl") {
+      if (v.size() < 4 || v.size() % 2 != 0) {
+        fail(line_no, line, "PWL wants time/value pairs");
+      }
+      std::vector<std::pair<double, double>> pts;
+      for (size_t i = 0; i < v.size(); i += 2) pts.emplace_back(v[i], v[i + 1]);
+      return pwl(std::move(pts));
+    }
+    fail(line_no, line, "unknown source function: " + tag);
+  }
+  // Plain DC value; allow an optional leading "dc" keyword.
+  size_t idx = first;
+  if (lower(tokens[idx]) == "dc") {
+    ++idx;
+    if (idx >= tokens.size()) fail(line_no, line, "missing DC value");
+  }
+  return dc(parse_spice_number(tokens[idx]));
+}
+
+/// key=value option scan over trailing tokens.
+std::map<std::string, std::string> parse_options(
+    const std::vector<std::string>& tokens, size_t first) {
+  std::map<std::string, std::string> out;
+  for (size_t i = first; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos) continue;
+    out[lower(tokens[i].substr(0, eq))] = tokens[i].substr(eq + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<Circuit> parse_netlist(const std::string& text,
+                                       const ModelRegistry& models) {
+  auto ckt = std::make_unique<Circuit>();
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and blank lines.
+    const auto first_ns = line.find_first_not_of(" \t\r");
+    if (first_ns == std::string::npos) continue;
+    if (line[first_ns] == '*' || line[first_ns] == '#') continue;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0][0] == '.') continue;  // analysis cards handled elsewhere
+
+    const std::string name = lower(tokens[0]);
+    const char kind = name[0];
+    switch (kind) {
+      case 'r': {
+        if (tokens.size() < 4) fail(line_no, line, "R wants: name n1 n2 ohms");
+        ckt->add_resistor(name, tokens[1], tokens[2],
+                          parse_spice_number(tokens[3]));
+        break;
+      }
+      case 'c': {
+        if (tokens.size() < 4) fail(line_no, line, "C wants: name n1 n2 farad");
+        double v_init = 0.0;
+        const auto opts = parse_options(tokens, 4);
+        if (const auto it = opts.find("ic"); it != opts.end()) {
+          v_init = parse_spice_number(it->second);
+        }
+        ckt->add_capacitor(name, tokens[1], tokens[2],
+                           parse_spice_number(tokens[3]), v_init);
+        break;
+      }
+      case 'v': {
+        if (tokens.size() < 4) fail(line_no, line, "V wants: name n+ n- value");
+        ckt->add_vsource(name, tokens[1], tokens[2],
+                         parse_source_value(tokens, 3, line_no, line));
+        break;
+      }
+      case 'i': {
+        if (tokens.size() < 4) fail(line_no, line, "I wants: name n+ n- value");
+        ckt->add_isource(name, tokens[1], tokens[2],
+                         parse_source_value(tokens, 3, line_no, line));
+        break;
+      }
+      case 'd': {
+        if (tokens.size() < 3) fail(line_no, line, "D wants: name anode cathode");
+        double i_sat = 1e-14, ideality = 1.0;
+        const auto opts = parse_options(tokens, 3);
+        if (const auto it = opts.find("is"); it != opts.end()) {
+          i_sat = parse_spice_number(it->second);
+        }
+        if (const auto it = opts.find("n"); it != opts.end()) {
+          ideality = parse_spice_number(it->second);
+        }
+        ckt->add_diode(name, tokens[1], tokens[2], i_sat, ideality);
+        break;
+      }
+      case 'm': {
+        if (tokens.size() < 5) {
+          fail(line_no, line, "M wants: name drain gate source model");
+        }
+        const std::string model_name = lower(tokens[4]);
+        const auto it = models.find(model_name);
+        if (it == models.end()) {
+          fail(line_no, line, "unknown device model: " + model_name);
+        }
+        double mult = 1.0;
+        const auto opts = parse_options(tokens, 5);
+        if (const auto mit = opts.find("m"); mit != opts.end()) {
+          mult = parse_spice_number(mit->second);
+        }
+        ckt->add_fet(name, tokens[1], tokens[2], tokens[3], it->second, mult);
+        break;
+      }
+      default:
+        fail(line_no, line, "unknown element kind");
+    }
+  }
+  return ckt;
+}
+
+}  // namespace carbon::spice

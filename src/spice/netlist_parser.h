@@ -1,0 +1,48 @@
+#pragma once
+
+/// @file netlist_parser.h
+/// A SPICE-deck-style text netlist parser, so circuits can be described in
+/// the familiar card format instead of C++:
+///
+///     * comment lines start with '*' or '#'
+///     vdd  vdd 0   1.0
+///     vin  in  0   PULSE(0 1 1n 10p 10p 2n 4n)
+///     r1   vdd out 10k
+///     c1   out 0   10f
+///     mn1  out in 0   nfet          ; model name from the registry
+///     mp1  out in vdd pfet  m=2     ; with a parallel multiplier
+///     d1   a   0   is=1e-14 n=1.2
+///
+/// Device models are supplied through a registry mapping model names to
+/// IDeviceModel instances (the parser cannot invent physics).  Engineering
+/// suffixes (f p n u m k meg g t) are understood on every number.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "device/ivmodel.h"
+#include "spice/circuit.h"
+
+namespace carbon::spice {
+
+/// Named device models available to 'm' cards.
+using ModelRegistry = std::map<std::string, device::DeviceModelPtr>;
+
+/// Thrown on malformed decks, with the offending line number and text.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse a numeric literal with optional SPICE engineering suffix
+/// ("2.5k" -> 2500, "10f" -> 1e-14, "3meg" -> 3e6).  Throws ParseError.
+double parse_spice_number(const std::string& token);
+
+/// Parse a full deck into a fresh Circuit.
+/// @param text    the netlist text
+/// @param models  registry resolving FET model names
+std::unique_ptr<Circuit> parse_netlist(const std::string& text,
+                                       const ModelRegistry& models = {});
+
+}  // namespace carbon::spice

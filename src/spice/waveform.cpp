@@ -1,0 +1,84 @@
+#include "spice/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phys/require.h"
+
+namespace carbon::spice {
+
+PulseWave::PulseWave(double v1, double v2, double delay_s, double rise_s,
+                     double fall_s, double width_s, double period_s)
+    : v1_(v1), v2_(v2), delay_(delay_s), rise_(rise_s), fall_(fall_s),
+      width_(width_s), period_(period_s) {
+  CARBON_REQUIRE(rise_s > 0.0 && fall_s > 0.0,
+                 "pulse edges must have finite slew");
+  CARBON_REQUIRE(period_s >= rise_s + fall_s + width_s,
+                 "pulse period shorter than one cycle");
+}
+
+double PulseWave::value(double t_s) const {
+  if (t_s <= delay_) return v1_;
+  const double t = std::fmod(t_s - delay_, period_);
+  if (t < rise_) return v1_ + (v2_ - v1_) * t / rise_;
+  if (t < rise_ + width_) return v2_;
+  if (t < rise_ + width_ + fall_) {
+    return v2_ + (v1_ - v2_) * (t - rise_ - width_) / fall_;
+  }
+  return v1_;
+}
+
+PwlWave::PwlWave(std::vector<std::pair<double, double>> points)
+    : pts_(std::move(points)) {
+  CARBON_REQUIRE(pts_.size() >= 2, "PWL needs at least two points");
+  for (size_t i = 1; i < pts_.size(); ++i) {
+    CARBON_REQUIRE(pts_[i].first > pts_[i - 1].first,
+                   "PWL times must be strictly increasing");
+  }
+}
+
+double PwlWave::value(double t_s) const {
+  if (t_s <= pts_.front().first) return pts_.front().second;
+  if (t_s >= pts_.back().first) return pts_.back().second;
+  const auto it = std::upper_bound(
+      pts_.begin(), pts_.end(), t_s,
+      [](double t, const auto& p) { return t < p.first; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double f = (t_s - lo.first) / (hi.first - lo.first);
+  return lo.second + f * (hi.second - lo.second);
+}
+
+SinWave::SinWave(double offset, double amplitude, double freq_hz,
+                 double delay_s, double damping)
+    : offset_(offset), amplitude_(amplitude), freq_(freq_hz), delay_(delay_s),
+      damping_(damping) {
+  CARBON_REQUIRE(freq_hz > 0.0, "frequency must be positive");
+}
+
+double SinWave::value(double t_s) const {
+  if (t_s < delay_) return offset_;
+  const double t = t_s - delay_;
+  return offset_ + amplitude_ * std::exp(-damping_ * t) *
+                       std::sin(2.0 * M_PI * freq_ * t);
+}
+
+WaveformPtr dc(double value) { return std::make_shared<DcWave>(value); }
+
+WaveformPtr pulse(double v1, double v2, double delay_s, double rise_s,
+                  double fall_s, double width_s, double period_s) {
+  return std::make_shared<PulseWave>(v1, v2, delay_s, rise_s, fall_s, width_s,
+                                     period_s);
+}
+
+WaveformPtr pwl(std::vector<std::pair<double, double>> points) {
+  return std::make_shared<PwlWave>(std::move(points));
+}
+
+WaveformPtr sine(double offset, double amplitude, double freq_hz,
+                 double delay_s, double damping) {
+  return std::make_shared<SinWave>(offset, amplitude, freq_hz, delay_s,
+                                   damping);
+}
+
+}  // namespace carbon::spice

@@ -1,0 +1,75 @@
+#pragma once
+
+/// @file waveform.h
+/// Time-dependent source waveforms for the circuit simulator: DC, PULSE,
+/// PWL and SIN, mirroring the classic SPICE source cards.
+
+#include <memory>
+#include <vector>
+
+namespace carbon::spice {
+
+/// A scalar signal of time [V or A].
+class Waveform {
+ public:
+  virtual ~Waveform() = default;
+  /// Value at time @p t_s [s].
+  virtual double value(double t_s) const = 0;
+  /// Value used by DC analyses (t = 0 unless overridden).
+  virtual double dc_value() const { return value(0.0); }
+};
+
+using WaveformPtr = std::shared_ptr<const Waveform>;
+
+/// Constant value.
+class DcWave final : public Waveform {
+ public:
+  explicit DcWave(double value) : value_(value) {}
+  double value(double) const override { return value_; }
+
+ private:
+  double value_;
+};
+
+/// SPICE PULSE(v1 v2 td tr tf pw per).
+class PulseWave final : public Waveform {
+ public:
+  PulseWave(double v1, double v2, double delay_s, double rise_s,
+            double fall_s, double width_s, double period_s);
+  double value(double t_s) const override;
+
+ private:
+  double v1_, v2_, delay_, rise_, fall_, width_, period_;
+};
+
+/// Piecewise-linear (time, value) pairs; clamps outside the range.
+class PwlWave final : public Waveform {
+ public:
+  explicit PwlWave(std::vector<std::pair<double, double>> points);
+  double value(double t_s) const override;
+
+ private:
+  std::vector<std::pair<double, double>> pts_;
+};
+
+/// SIN(offset amplitude freq [delay] [damping]).
+class SinWave final : public Waveform {
+ public:
+  SinWave(double offset, double amplitude, double freq_hz, double delay_s = 0,
+          double damping = 0);
+  double value(double t_s) const override;
+  double dc_value() const override { return offset_; }
+
+ private:
+  double offset_, amplitude_, freq_, delay_, damping_;
+};
+
+/// Convenience factories.
+WaveformPtr dc(double value);
+WaveformPtr pulse(double v1, double v2, double delay_s, double rise_s,
+                  double fall_s, double width_s, double period_s);
+WaveformPtr pwl(std::vector<std::pair<double, double>> points);
+WaveformPtr sine(double offset, double amplitude, double freq_hz,
+                 double delay_s = 0, double damping = 0);
+
+}  // namespace carbon::spice

@@ -1,0 +1,33 @@
+#include "transport/btbt.h"
+
+#include <cmath>
+
+#include "phys/constants.h"
+#include "phys/require.h"
+#include "transport/landauer.h"
+
+namespace carbon::transport {
+
+using phys::kHbar;
+using phys::kQ;
+
+double btbt_transmission(double eg_ev, double mass_kg, double field_v_per_m) {
+  CARBON_REQUIRE(eg_ev > 0.0, "band gap must be positive");
+  CARBON_REQUIRE(mass_kg > 0.0, "mass must be positive");
+  if (field_v_per_m <= 0.0) return 0.0;
+  const double eg_j = eg_ev * kQ;
+  const double exponent = M_PI * std::sqrt(mass_kg) * std::pow(eg_j, 1.5) /
+                          (2.0 * std::sqrt(2.0) * kQ * kHbar *
+                           field_v_per_m);
+  return std::exp(-exponent);
+}
+
+double btbt_current(double transmission, double window_ev, int degeneracy) {
+  CARBON_REQUIRE(transmission >= 0.0 && transmission <= 1.0,
+                 "transmission must be in [0,1]");
+  if (window_ev <= 0.0) return 0.0;
+  return degeneracy * conductance_quantum_per_mode() * transmission *
+         window_ev;
+}
+
+}  // namespace carbon::transport

@@ -1,0 +1,25 @@
+#pragma once
+
+/// @file btbt.h
+/// Band-to-band tunneling (BTBT) for the CNT tunnel-FET of the paper's
+/// Section IV / Fig. 6.  The interband barrier is treated in the WKB
+/// approximation with the two-band (Kane) imaginary dispersion, giving the
+/// standard result
+///   T = exp( - pi sqrt(m*) Eg^{3/2} / (2 sqrt(2) q hbar F) ).
+
+namespace carbon::transport {
+
+/// WKB interband tunneling probability through a junction of band gap
+/// @p eg_ev with reduced effective mass @p mass_kg under field
+/// @p field_v_per_m.
+double btbt_transmission(double eg_ev, double mass_kg, double field_v_per_m);
+
+/// Ballistic BTBT current of a 1-D channel over an energy window
+/// @p window_ev in which filled valence states face empty conduction states:
+///   I = D * (q^2/h) * T * window.
+/// (Constant-T approximation over the window; adequate for the narrow
+/// windows of a low-voltage TFET.)
+/// @param degeneracy  mode degeneracy of the tunneling subband
+double btbt_current(double transmission, double window_ev, int degeneracy);
+
+}  // namespace carbon::transport

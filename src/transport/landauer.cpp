@@ -1,0 +1,52 @@
+#include "transport/landauer.h"
+
+#include "phys/constants.h"
+#include "phys/fermi.h"
+#include "phys/integrate.h"
+#include "phys/require.h"
+
+namespace carbon::transport {
+
+using phys::kPlanck;
+using phys::kQ;
+
+double conductance_quantum_per_mode() { return kQ * kQ / kPlanck; }
+
+double landauer_current_conduction(double ec_ev, double mu_s_ev,
+                                   double mu_d_ev, double kt_ev,
+                                   int degeneracy, double transmission) {
+  CARBON_REQUIRE(kt_ev > 0.0, "kT must be positive");
+  CARBON_REQUIRE(transmission >= 0.0 && transmission <= 1.0,
+                 "transmission must be in [0,1]");
+  const double f0s = phys::fermi_dirac_f0((mu_s_ev - ec_ev) / kt_ev);
+  const double f0d = phys::fermi_dirac_f0((mu_d_ev - ec_ev) / kt_ev);
+  return degeneracy * transmission * conductance_quantum_per_mode() * kt_ev *
+         (f0s - f0d);
+}
+
+double landauer_current_valence(double ev_ev, double mu_s_ev, double mu_d_ev,
+                                double kt_ev, int degeneracy,
+                                double transmission) {
+  CARBON_REQUIRE(kt_ev > 0.0, "kT must be positive");
+  // integral_{-inf}^{Ev} [f(E,mu_s) - f(E,mu_d)] dE
+  //   = kT [F0((Ev - mu_d)/kT) - F0((Ev - mu_s)/kT)].
+  const double f0d = phys::fermi_dirac_f0((ev_ev - mu_d_ev) / kt_ev);
+  const double f0s = phys::fermi_dirac_f0((ev_ev - mu_s_ev) / kt_ev);
+  return degeneracy * transmission * conductance_quantum_per_mode() * kt_ev *
+         (f0d - f0s);
+}
+
+double landauer_current_numeric(const std::function<double(double)>& t_of_e,
+                                double mu_s_ev, double mu_d_ev, double kt_ev,
+                                double e_lo_ev, double e_hi_ev) {
+  CARBON_REQUIRE(kt_ev > 0.0, "kT must be positive");
+  const auto integrand = [&](double e) {
+    return t_of_e(e) *
+           (phys::fermi(e, mu_s_ev, kt_ev) - phys::fermi(e, mu_d_ev, kt_ev));
+  };
+  const double integral =
+      phys::integrate_adaptive(integrand, e_lo_ev, e_hi_ev, 1e-14);
+  return conductance_quantum_per_mode() * integral;
+}
+
+}  // namespace carbon::transport

@@ -1,0 +1,40 @@
+#pragma once
+
+/// @file landauer.h
+/// Landauer ballistic current formulas for 1-D channels.  All energies and
+/// chemical potentials in eV; currents in amperes.
+
+#include <functional>
+
+namespace carbon::transport {
+
+/// Conductance prefactor q^2/h [S] (one spinless mode carries q^2/h).
+double conductance_quantum_per_mode();
+
+/// Closed-form Landauer current for a constant transmission above a band
+/// edge (the textbook ballistic-FET expression):
+///   I = D * T * (q^2/h) * kT * [F0((mu_s - Ec)/kT) - F0((mu_d - Ec)/kT)]
+/// @param ec_ev           band edge [eV]
+/// @param mu_s_ev,mu_d_ev source/drain chemical potentials [eV]
+/// @param kt_ev           thermal energy [eV]
+/// @param degeneracy      mode degeneracy D (CNT first subband: 4)
+/// @param transmission    energy-independent transmission in [0, 1]
+double landauer_current_conduction(double ec_ev, double mu_s_ev,
+                                   double mu_d_ev, double kt_ev,
+                                   int degeneracy, double transmission);
+
+/// Same for a valence band edge Ev (holes conduct below Ev); the result has
+/// the same sign convention (positive from source to drain when
+/// mu_s > mu_d).
+double landauer_current_valence(double ev_ev, double mu_s_ev, double mu_d_ev,
+                                double kt_ev, int degeneracy,
+                                double transmission);
+
+/// General numeric Landauer current with an arbitrary transmission function
+/// T(E) integrated over [e_lo, e_hi]:
+///   I = (q^2/h) * integral T(E) [f(E,mu_s) - f(E,mu_d)] dE.
+double landauer_current_numeric(const std::function<double(double)>& t_of_e,
+                                double mu_s_ev, double mu_d_ev, double kt_ev,
+                                double e_lo_ev, double e_hi_ev);
+
+}  // namespace carbon::transport

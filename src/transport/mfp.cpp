@@ -1,0 +1,27 @@
+#include "transport/mfp.h"
+
+#include <cmath>
+
+#include "phys/require.h"
+
+namespace carbon::transport {
+
+double MfpModel::lambda_eff(double vds_v) const {
+  CARBON_REQUIRE(lambda_acoustic > 0.0 && lambda_optical > 0.0,
+                 "mean free paths must be positive");
+  // Fraction of carriers able to emit an optical phonon.
+  const double x =
+      (std::abs(vds_v) - hbar_omega_op_ev) / activation_width_ev;
+  const double activation = 1.0 / (1.0 + std::exp(-x));
+  const double inv =
+      1.0 / lambda_acoustic + activation / lambda_optical;
+  return 1.0 / inv;
+}
+
+double MfpModel::transmission(double length_m, double vds_v) const {
+  CARBON_REQUIRE(length_m >= 0.0, "length must be non-negative");
+  const double lambda = lambda_eff(vds_v);
+  return lambda / (lambda + length_m);
+}
+
+}  // namespace carbon::transport

@@ -1,0 +1,33 @@
+#pragma once
+
+/// @file mfp.h
+/// Mean-free-path based quasi-ballistic transmission.  CNT channels are
+/// near-ballistic at sub-100 nm lengths (acoustic-phonon MFP of hundreds of
+/// nm); once carriers can gain more than the optical-phonon energy
+/// (~0.18 eV) from the bias, the very short OP emission MFP (~15 nm) kicks
+/// in.  This is what limits single-tube currents to the ~20-25 uA range the
+/// paper's Fig. 4 data show.
+
+namespace carbon::transport {
+
+/// Phonon-limited mean-free-path model for a carbon channel.
+struct MfpModel {
+  /// Acoustic-phonon (low field) mean free path [m].
+  double lambda_acoustic = 300e-9;
+  /// Optical-phonon emission mean free path [m].
+  double lambda_optical = 15e-9;
+  /// Optical phonon energy [eV].
+  double hbar_omega_op_ev = 0.18;
+  /// Smoothing width of the OP activation with bias [eV].
+  double activation_width_ev = 0.025;
+
+  /// Effective MFP at drain bias @p vds_v (Matthiessen combination with a
+  /// logistic OP activation once qVds exceeds the phonon energy) [m].
+  double lambda_eff(double vds_v) const;
+
+  /// Channel transmission T = lambda / (lambda + L) at bias @p vds_v for a
+  /// channel of length @p length_m.
+  double transmission(double length_m, double vds_v) const;
+};
+
+}  // namespace carbon::transport

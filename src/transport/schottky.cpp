@@ -1,0 +1,43 @@
+#include "transport/schottky.h"
+
+#include <cmath>
+
+#include "phys/constants.h"
+#include "phys/require.h"
+
+namespace carbon::transport {
+
+using phys::kCntQuantumResistance;
+using phys::kHbar;
+using phys::kQ;
+
+double wkb_triangular_transmission(double barrier_ev, double field_v_per_m,
+                                   double mass_kg) {
+  CARBON_REQUIRE(mass_kg > 0.0, "mass must be positive");
+  if (barrier_ev <= 0.0) return 1.0;
+  CARBON_REQUIRE(field_v_per_m > 0.0, "field must be positive");
+  const double phi_j = barrier_ev * kQ;
+  const double exponent = 4.0 * std::sqrt(2.0 * mass_kg) *
+                          std::pow(phi_j, 1.5) /
+                          (3.0 * kQ * kHbar * field_v_per_m);
+  return std::exp(-exponent);
+}
+
+double ContactResistanceModel::contact_resistance(double lc_m) const {
+  CARBON_REQUIRE(lc_m > 0.0, "contact length must be positive");
+  CARBON_REQUIRE(transfer_length > 0.0, "transfer length must be positive");
+  const double x = lc_m / transfer_length;
+  return r_long_ohm / std::tanh(x);
+}
+
+double ContactResistanceModel::total_series_resistance(double lc_m) const {
+  return kCntQuantumResistance + 2.0 * contact_resistance(lc_m);
+}
+
+double junction_field(double delta_phi_v, double screening_length_m) {
+  CARBON_REQUIRE(screening_length_m > 0.0,
+                 "screening length must be positive");
+  return delta_phi_v / screening_length_m;
+}
+
+}  // namespace carbon::transport

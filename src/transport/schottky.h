@@ -1,0 +1,44 @@
+#pragma once
+
+/// @file schottky.h
+/// Metal–channel contact physics: WKB tunneling through a triangular
+/// Schottky barrier and the transfer-length model for contact-length
+/// scaling.  Backs the paper's Section III.B discussion: a single CNT-FET
+/// reaches ~11 kOhm total series resistance, and contact resistance grows
+/// when the metal overlap shrinks below ~100 nm (yet 20 nm contacts still
+/// perform well).
+
+namespace carbon::transport {
+
+/// WKB transmission through a triangular barrier of height @p barrier_ev
+/// under electric field @p field_v_per_m for carriers of mass @p mass_kg:
+///   T = exp( -4 sqrt(2 m) phi^{3/2} / (3 q hbar F) ).
+double wkb_triangular_transmission(double barrier_ev, double field_v_per_m,
+                                   double mass_kg);
+
+/// Transfer-length model of a side-bonded metal–nanotube contact.
+///
+/// The current transfers from metal to tube over a characteristic transfer
+/// length L_T; shortening the metal overlap Lc below L_T raises the contact
+/// resistance as coth(Lc/LT) ~ LT/Lc.
+struct ContactResistanceModel {
+  /// Long-contact (asymptotic) resistance of one contact [Ohm].
+  double r_long_ohm = 2.5e3;
+  /// Transfer length [m]; experiments on CNTs place it around tens of nm.
+  double transfer_length = 40e-9;
+
+  /// Resistance of one contact of metal overlap length @p lc_m [Ohm].
+  double contact_resistance(double lc_m) const;
+
+  /// Total two-terminal series resistance including the intrinsic quantum
+  /// resistance h/4e^2 of the tube: Rq + 2 * Rc(lc).
+  double total_series_resistance(double lc_m) const;
+};
+
+/// Field at a metal-CNT junction estimated from the depletion/screening
+/// length: F = delta_phi / lambda.  Small-diameter tubes screen over ~d,
+/// which is the "sharp features have strong field enhancement" argument of
+/// Section IV.
+double junction_field(double delta_phi_v, double screening_length_m);
+
+}  // namespace carbon::transport

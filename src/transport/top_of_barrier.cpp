@@ -1,0 +1,121 @@
+#include "transport/top_of_barrier.h"
+
+#include <cmath>
+#include <vector>
+
+#include "phys/constants.h"
+#include "phys/require.h"
+#include "phys/roots.h"
+#include "transport/landauer.h"
+
+namespace carbon::transport {
+
+using phys::kBoltzmannEv;
+using phys::kQ;
+
+TopOfBarrierSolver::TopOfBarrierSolver(TopOfBarrierParams params)
+    : params_(std::move(params)) {
+  CARBON_REQUIRE(!params_.ladder.subbands.empty(), "empty subband ladder");
+  CARBON_REQUIRE(params_.c_total > 0.0, "C_total must be positive");
+  CARBON_REQUIRE(params_.alpha_g > 0.0 && params_.alpha_g <= 1.0,
+                 "alpha_g must be in (0,1]");
+  CARBON_REQUIRE(params_.alpha_d >= 0.0 && params_.alpha_d < 1.0,
+                 "alpha_d must be in [0,1)");
+  CARBON_REQUIRE(params_.transmission > 0.0 && params_.transmission <= 1.0,
+                 "transmission must be in (0,1]");
+
+  // Pre-tabulate the reservoir electron density n(eta) where eta is the
+  // Fermi level measured from midgap.  The exact integral is smooth and
+  // monotone, so a monotone PCHIP over a uniform grid is accurate and keeps
+  // each SPICE Newton iteration cheap.
+  const double kt = kBoltzmannEv * params_.temperature_k;
+  eta_lo_ = -2.5;
+  eta_hi_ = 2.5;
+  const int n_pts = 501;
+  std::vector<double> eta(n_pts), dens(n_pts);
+  for (int i = 0; i < n_pts; ++i) {
+    eta[i] = eta_lo_ + (eta_hi_ - eta_lo_) * i / (n_pts - 1);
+    dens[i] = params_.ladder.electron_density(eta[i], kt);
+  }
+  density_table_ = phys::PchipInterp(std::move(eta), std::move(dens));
+
+  n0_ = density_vs_eta(params_.ef_source_ev);
+  // Keep the equilibrium hole density consistent with hole_density(): both
+  // must vanish together or the charging term picks up a spurious offset.
+  p0_ = params_.include_holes ? density_vs_eta(-params_.ef_source_ev) : 0.0;
+}
+
+double TopOfBarrierSolver::density_vs_eta(double eta_ev) const {
+  const double kt = kBoltzmannEv * params_.temperature_k;
+  if (eta_ev >= eta_lo_ && eta_ev <= eta_hi_) return density_table_(eta_ev);
+  return params_.ladder.electron_density(eta_ev, kt);  // rare fallback
+}
+
+double TopOfBarrierSolver::electron_density(double u_mid_ev, double mu_s,
+                                            double mu_d) const {
+  // +k states filled from the source, -k from the drain: average the two
+  // reservoir densities.
+  return 0.5 * (density_vs_eta(mu_s - u_mid_ev) +
+                density_vs_eta(mu_d - u_mid_ev));
+}
+
+double TopOfBarrierSolver::hole_density(double u_mid_ev, double mu_s,
+                                        double mu_d) const {
+  if (!params_.include_holes) return 0.0;
+  // Valence bands mirror the conduction bands: p(mu) = n(-mu) about midgap.
+  return 0.5 * (density_vs_eta(u_mid_ev - mu_s) +
+                density_vs_eta(u_mid_ev - mu_d));
+}
+
+TopOfBarrierState TopOfBarrierSolver::solve(double vg, double vd) const {
+  const double mu_s = 0.0;
+  const double mu_d = -vd;  // eV, electron energy convention
+  const double u_laplace = -(params_.alpha_g * vg + params_.alpha_d * vd);
+  const double charging_ev = kQ / params_.c_total;  // eV per unit line density
+
+  int evals = 0;
+  const auto residual = [&](double u) {
+    ++evals;
+    const double mid = u - params_.ef_source_ev;  // midgap vs source Fermi
+    const double dn = electron_density(mid, mu_s, mu_d) - n0_;
+    const double dp = hole_density(mid, mu_s, mu_d) - p0_;
+    return u - u_laplace - charging_ev * (dn - dp);
+  };
+
+  // residual is strictly increasing in u (dn decreases, dp increases with
+  // u), so a sign-changing bracket always exists around the solution.
+  double lo = u_laplace - 1.5;
+  double hi = u_laplace + 1.5;
+  const phys::Bracket br = phys::bracket_root(residual, lo, hi, 40);
+  CARBON_REQUIRE(br.found, "top-of-barrier: failed to bracket U_scf");
+  const double u =
+      (br.lo == br.hi) ? br.lo : phys::brent(residual, br.lo, br.hi, 1e-12);
+
+  TopOfBarrierState st;
+  st.u_scf_ev = u;
+  st.iterations = evals;
+  const double mid = u - params_.ef_source_ev;
+  st.n_electrons = electron_density(mid, mu_s, mu_d);
+  st.p_holes = hole_density(mid, mu_s, mu_d);
+
+  const double kt = kBoltzmannEv * params_.temperature_k;
+  double current = 0.0;
+  for (const auto& sb : params_.ladder.subbands) {
+    const double ec = mid + sb.delta_ev;
+    current += landauer_current_conduction(ec, mu_s, mu_d, kt, sb.degeneracy,
+                                           params_.transmission);
+    if (params_.include_holes) {
+      const double ev = mid - sb.delta_ev;
+      current += landauer_current_valence(ev, mu_s, mu_d, kt, sb.degeneracy,
+                                          params_.transmission);
+    }
+  }
+  st.current_a = current;
+  return st;
+}
+
+double TopOfBarrierSolver::current(double vg, double vd) const {
+  return solve(vg, vd).current_a;
+}
+
+}  // namespace carbon::transport

@@ -1,0 +1,99 @@
+#pragma once
+
+/// @file top_of_barrier.h
+/// Self-consistent top-of-barrier (Natori / "FETToy") ballistic transistor
+/// model over a ladder of hyperbolic 1-D subbands.  This is the solver that
+/// regenerates the paper's Fig. 1 device simulations (which in turn match
+/// the Ouyang et al. NEGF results the figure was taken from).
+///
+/// Physics: the channel is represented by the potential energy U at the top
+/// of the source-drain barrier.  U responds to the terminals through
+/// capacitive coupling (Laplace part) and to the mobile charge through the
+/// total capacitance (Poisson part):
+///     U = -q(alpha_g Vg + alpha_d Vd) + q^2 (N - N0 - (P - P0)) / C_sigma
+/// where N (P) is the electron (hole) line density at the barrier top filled
+/// by the two reservoirs.  +k states equilibrate with the source, -k states
+/// with the drain.  The drain current follows from the Landauer formula over
+/// the same barrier.  See Rahman, Guo, Datta & Lundstrom, IEEE TED 50, 1853
+/// (2003).
+
+#include "band/subband.h"
+#include "phys/interp.h"
+
+namespace carbon::transport {
+
+/// Inputs of the top-of-barrier model.
+struct TopOfBarrierParams {
+  /// Conduction-subband ladder of the channel (valence bands are assumed
+  /// mirror symmetric, as in CNT/GNR tight binding).
+  band::SubbandLadder ladder;
+
+  /// Gate control of the barrier top (1 = ideal gate-all-around; the paper's
+  /// Fig. 3 argument is exactly that GAA maximizes this).
+  double alpha_g = 0.88;
+
+  /// Drain coupling: sets DIBL. 0 = perfectly screened channel.
+  double alpha_d = 0.035;
+
+  /// Total electrostatic capacitance per unit length seen by the barrier
+  /// charge [F/m] (insulator + parasitics; quantum capacitance is handled
+  /// self-consistently through the charge itself).
+  double c_total = 4.0e-10;
+
+  /// Source Fermi level relative to the channel midgap at flat band [eV].
+  /// More negative = lower off-current (deeper in the gap).
+  double ef_source_ev = -0.30;
+
+  /// Lattice temperature [K].
+  double temperature_k = 300.0;
+
+  /// Energy-independent channel transmission in [0,1] (from MfpModel for
+  /// quasi-ballistic channels; 1 = fully ballistic).
+  double transmission = 1.0;
+
+  /// Include the valence bands (ambipolar branch).  On by default — CNTFETs
+  /// are ambipolar Schottky-type devices unless engineered otherwise.
+  bool include_holes = true;
+};
+
+/// Converged operating point of the barrier.
+struct TopOfBarrierState {
+  double u_scf_ev = 0.0;     ///< self-consistent potential energy shift
+  double n_electrons = 0.0;  ///< electron line density at the barrier [1/m]
+  double p_holes = 0.0;      ///< hole line density [1/m]
+  double current_a = 0.0;    ///< drain current [A]
+  int iterations = 0;        ///< root-finder evaluations used
+};
+
+/// Self-consistent ballistic FET solver.  Thread-compatible (const solve).
+class TopOfBarrierSolver {
+ public:
+  explicit TopOfBarrierSolver(TopOfBarrierParams params);
+
+  const TopOfBarrierParams& params() const { return params_; }
+
+  /// Solve the barrier self-consistency at gate bias @p vg and drain bias
+  /// @p vd (source grounded; voltages in V, n-type convention).
+  TopOfBarrierState solve(double vg, double vd) const;
+
+  /// Drain current only [A].
+  double current(double vg, double vd) const;
+
+  /// Equilibrium electron density N0 [1/m] (cached at construction).
+  double equilibrium_density() const { return n0_; }
+
+ private:
+  /// Reservoir-averaged electron density for midgap at energy u rel. source
+  /// Fermi level (uses the cached density table).
+  double electron_density(double u_mid_ev, double mu_s, double mu_d) const;
+  double hole_density(double u_mid_ev, double mu_s, double mu_d) const;
+  /// Density for a single reservoir: Fermi level at x above midgap.
+  double density_vs_eta(double eta_ev) const;
+
+  TopOfBarrierParams params_;
+  phys::PchipInterp density_table_;  ///< n(eta): Fermi level above midgap
+  double eta_lo_ = 0.0, eta_hi_ = 0.0;
+  double n0_ = 0.0, p0_ = 0.0;
+};
+
+}  // namespace carbon::transport

@@ -1,0 +1,134 @@
+// Cell builders and the Fig. 2 inverter experiments end to end.
+#include "phys/require.h"
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "circuit/cells.h"
+#include "circuit/vtc.h"
+#include "device/alpha_power.h"
+#include "device/cntfet.h"
+#include "device/linear_fet.h"
+#include "spice/analyses.h"
+
+namespace {
+
+namespace ckt = carbon::circuit;
+namespace dev = carbon::device;
+namespace sp = carbon::spice;
+
+std::shared_ptr<dev::AlphaPowerModel> saturating() {
+  return std::make_shared<dev::AlphaPowerModel>(
+      dev::make_fig2_saturating_params());
+}
+
+std::shared_ptr<dev::LinearFetModel> linear_fet() {
+  return std::make_shared<dev::LinearFetModel>(
+      dev::make_fig2_linear_params());
+}
+
+TEST(InverterVtc, SaturatingPairIsRegenerative) {
+  auto bench = ckt::make_inverter(saturating());
+  const auto m = ckt::measure_vtc(bench);
+  EXPECT_TRUE(m.regenerative);
+  EXPECT_GT(m.max_abs_gain, 5.0);
+  EXPECT_NEAR(m.v_switch, 0.5, 0.03);  // symmetric pair switches at VDD/2
+  EXPECT_GT(m.nm_low, 0.2);
+  EXPECT_GT(m.nm_high, 0.2);
+}
+
+TEST(InverterVtc, LinearPairHasNoNoiseMargin) {
+  // The paper's Fig. 2(d): "the absolute gain of this inverter never
+  // exceeds unity and therefore the noise margin is almost zero."
+  auto bench = ckt::make_inverter(linear_fet());
+  const auto m = ckt::measure_vtc(bench);
+  EXPECT_FALSE(m.regenerative);
+  EXPECT_LE(m.max_abs_gain, 1.05);
+  EXPECT_DOUBLE_EQ(m.nm_low, 0.0);
+  EXPECT_DOUBLE_EQ(m.nm_high, 0.0);
+}
+
+TEST(InverterVtc, RailsReachedAtEnds) {
+  auto bench = ckt::make_inverter(saturating());
+  const auto vtc = ckt::run_vtc(bench, 61);
+  EXPECT_GT(vtc.at(0, 1), 0.97);                      // vin=0 -> vout~VDD
+  EXPECT_LT(vtc.at(vtc.num_rows() - 1, 1), 0.03);     // vin=VDD -> vout~0
+}
+
+TEST(InverterVtc, CntfetInverterWorksAtHalfVolt) {
+  // The paper's end goal: CNT switches enabling low-voltage CMOS.
+  auto n = std::make_shared<dev::CntfetModel>(
+      dev::make_franklin_cntfet_params(20e-9));
+  ckt::CellOptions opt;
+  opt.v_dd = 0.5;
+  opt.c_load = 1e-15;
+  auto bench = ckt::make_inverter(n, opt);
+  const auto m = ckt::measure_vtc(bench, 81);
+  EXPECT_TRUE(m.regenerative);
+  EXPECT_GT(m.nm_low + m.nm_high, 0.25);  // healthy combined margins
+}
+
+TEST(Nand2, TruthTable) {
+  auto bench = ckt::make_nand2(saturating());
+  const auto out_for = [&](double a, double b) {
+    bench.va->set_wave(sp::dc(a));
+    bench.vb->set_wave(sp::dc(b));
+    const auto sol = sp::operating_point(*bench.ckt);
+    return sp::node_voltage(*bench.ckt, sol, "out");
+  };
+  EXPECT_GT(out_for(0.0, 0.0), 0.9);
+  EXPECT_GT(out_for(0.0, 1.0), 0.9);
+  EXPECT_GT(out_for(1.0, 0.0), 0.9);
+  EXPECT_LT(out_for(1.0, 1.0), 0.1);
+}
+
+TEST(InverterChain, OddChainInverts) {
+  // Odd number of inversions: low in -> high out and vice versa.
+  auto bench = ckt::make_inverter_chain(saturating(), 3);
+  bench.vin->set_wave(sp::dc(0.0));
+  auto sol = sp::operating_point(*bench.ckt);
+  EXPECT_GT(sp::node_voltage(*bench.ckt, sol, bench.out_node), 0.9);
+  bench.vin->set_wave(sp::dc(1.0));
+  sol = sp::operating_point(*bench.ckt);
+  EXPECT_LT(sp::node_voltage(*bench.ckt, sol, bench.out_node), 0.1);
+}
+
+TEST(InverterChain, EvenChainFollows) {
+  auto bench = ckt::make_inverter_chain(saturating(), 2);
+  bench.vin->set_wave(sp::dc(1.0));
+  const auto sol = sp::operating_point(*bench.ckt);
+  EXPECT_GT(sp::node_voltage(*bench.ckt, sol, bench.out_node), 0.9);
+}
+
+TEST(Switching, DelayAndEnergyPositive) {
+  auto bench = ckt::make_inverter(saturating());
+  const auto se = ckt::measure_switching(bench, 4e-9, 2e-12);
+  EXPECT_GT(se.t_phl_s, 1e-12);
+  EXPECT_GT(se.t_plh_s, 1e-12);
+  EXPECT_GT(se.energy_j, 0.0);
+  // CV^2 = 10 fF * 1 V^2 = 10 fJ sets the scale; short-circuit adds more.
+  EXPECT_GT(se.energy_j, 5e-15);
+  EXPECT_LT(se.energy_j, 500e-15);
+}
+
+TEST(RingOscillator, OscillatesWithExpectedPeriodScale) {
+  auto bench = ckt::make_ring_oscillator(saturating(), 3);
+  sp::TransientOptions opt;
+  opt.t_stop = 3e-9;
+  opt.dt = 2e-12;
+  const auto tr = sp::transient(*bench.ckt, opt, {"n0"});
+  const double period =
+      sp::oscillation_period(tr, "v(n0)", 0.5, 1);
+  EXPECT_GT(period, 1e-11);
+  EXPECT_LT(period, 2e-9);
+}
+
+TEST(CellBuilders, RejectNullAndBadArguments) {
+  EXPECT_THROW(ckt::make_inverter(nullptr), carbon::phys::PreconditionError);
+  EXPECT_THROW(ckt::make_ring_oscillator(saturating(), 4),
+               carbon::phys::PreconditionError);
+  EXPECT_THROW(ckt::make_inverter_chain(saturating(), 0),
+               carbon::phys::PreconditionError);
+}
+
+}  // namespace

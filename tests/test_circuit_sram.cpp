@@ -1,0 +1,86 @@
+// 6T SRAM hold static noise margin: the bistability consequence of the
+// Fig. 2 saturation argument.
+#include <gtest/gtest.h>
+
+#include "phys/require.h"
+
+#include <memory>
+
+#include "circuit/sram.h"
+#include "device/alpha_power.h"
+#include "device/cntfet.h"
+#include "device/linear_fet.h"
+
+namespace {
+
+namespace ckt = carbon::circuit;
+namespace dev = carbon::device;
+
+std::shared_ptr<dev::AlphaPowerModel> saturating() {
+  return std::make_shared<dev::AlphaPowerModel>(
+      dev::make_fig2_saturating_params());
+}
+
+TEST(SramSnm, SaturatingCellIsBistable) {
+  const auto r = ckt::hold_snm(saturating());
+  EXPECT_TRUE(r.bistable);
+  EXPECT_GT(r.snm_v, 0.15);          // healthy hold margin at VDD = 1 V
+  EXPECT_LT(r.snm_v, 0.5);           // bounded by VDD/2
+  EXPECT_NEAR(r.snm_low_v, r.snm_high_v, 0.05);  // symmetric devices
+}
+
+TEST(SramSnm, LinearCellCannotHoldState) {
+  // Non-saturating devices: inverter gain < 1 => the butterfly collapses
+  // to a single crossing => no storage.
+  auto lin = std::make_shared<dev::LinearFetModel>(
+      dev::make_fig2_linear_params());
+  const auto r = ckt::hold_snm(lin);
+  EXPECT_FALSE(r.bistable);
+  EXPECT_LT(r.snm_v, 0.01);
+}
+
+TEST(SramSnm, CntfetCellWorksAtHalfVolt) {
+  auto cnt = std::make_shared<dev::CntfetModel>(
+      dev::make_franklin_cntfet_params(20e-9));
+  ckt::CellOptions opt;
+  opt.v_dd = 0.5;
+  opt.c_load = 1e-15;
+  const auto r = ckt::hold_snm(cnt, opt);
+  EXPECT_TRUE(r.bistable);
+  EXPECT_GT(r.snm_v, 0.08);  // > 16% of VDD
+}
+
+TEST(SramSnm, MarginGrowsWithSupply) {
+  ckt::CellOptions lo, hi;
+  lo.v_dd = 0.7;
+  hi.v_dd = 1.2;
+  const auto r_lo = ckt::hold_snm(saturating(), lo);
+  const auto r_hi = ckt::hold_snm(saturating(), hi);
+  EXPECT_GT(r_hi.snm_v, r_lo.snm_v);
+}
+
+TEST(SramSnm, ButterflyCurveShape) {
+  const auto t = ckt::butterfly_curve(saturating());
+  // Forward VTC decreasing, mirrored VTC decreasing in the v1 axis sense;
+  // ends anchored at the rails.
+  EXPECT_GT(t.at(0, 1), 0.95);
+  EXPECT_LT(t.at(t.num_rows() - 1, 1), 0.05);
+  // The curves cross near mid-rail (the metastable point).
+  double min_gap = 1e9;
+  double v_at_min = 0.0;
+  for (int i = 0; i < t.num_rows(); ++i) {
+    const double gap = std::abs(t.at(i, 1) - t.at(i, 2));
+    if (gap < min_gap) {
+      min_gap = gap;
+      v_at_min = t.at(i, 0);
+    }
+  }
+  EXPECT_NEAR(v_at_min, 0.5, 0.05);
+}
+
+TEST(SramSnm, ResolutionValidation) {
+  EXPECT_THROW(ckt::hold_snm(saturating(), {}, 5),
+               carbon::phys::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// CNTFET compact model: Fig. 1 calibration, Fig. 4 contact-resistance
+// degradation, reverse-bias symmetry and the OP current ceiling.
+#include "phys/require.h"
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "device/cntfet.h"
+#include "device/ivmodel.h"
+
+namespace {
+
+using carbon::device::CntfetModel;
+using carbon::device::CntfetParams;
+using carbon::device::make_fig1_cntfet_params;
+using carbon::device::make_franklin_cntfet_params;
+
+TEST(CntfetFig1, BandGapAndDiameter) {
+  const CntfetModel m(make_fig1_cntfet_params());
+  EXPECT_NEAR(m.band_gap(), 0.56, 1e-12);
+  EXPECT_NEAR(m.diameter() * 1e9, 1.52, 0.05);
+  EXPECT_GT(m.width_normalization(), 0.0);
+}
+
+TEST(CntfetFig1, OnCurrentInOuyangRange) {
+  // Ref [3]'s ballistic CNTFET carries ~5-10 uA at VG = VDS = 0.5 V.
+  const CntfetModel m(make_fig1_cntfet_params());
+  const double i = m.drain_current(0.5, 0.5);
+  EXPECT_GT(i, 3e-6);
+  EXPECT_LT(i, 15e-6);
+}
+
+TEST(CntfetFig1, SaturationBetween02And05V) {
+  // The Fig. 1(b) criterion: "the current hardly changes between
+  // VDS = 0.2 V and VDS = 0.5 V".
+  const CntfetModel m(make_fig1_cntfet_params());
+  const double ratio = m.drain_current(0.5, 0.5) / m.drain_current(0.5, 0.2);
+  EXPECT_LT(ratio, 1.15);
+  EXPECT_GE(ratio, 1.0);
+}
+
+TEST(CntfetFig1, SixDecadeSwitching) {
+  const CntfetModel m(make_fig1_cntfet_params());
+  const double on = m.drain_current(0.6, 0.5);
+  const double off = m.drain_current(0.0, 0.5);
+  EXPECT_GT(on / off, 1e6);
+}
+
+TEST(CntfetFig1, SubthresholdSwingNearThermal) {
+  const CntfetModel m(make_fig1_cntfet_params());
+  const double ss =
+      carbon::device::subthreshold_swing_mv_dec(m, 0.05, 0.2, 0.5);
+  EXPECT_GT(ss, 58.0);
+  EXPECT_LT(ss, 72.0);
+}
+
+TEST(Cntfet, ReverseBiasSymmetry) {
+  // Swapping source and drain: I(vgs, vds) = -I(vgs - vds, -vds).
+  const CntfetModel m(make_franklin_cntfet_params(20e-9));
+  const double fwd = m.drain_current(0.3, 0.4);
+  const double rev = m.drain_current(0.3 - 0.4, -0.4);
+  EXPECT_NEAR(rev, -fwd, std::abs(fwd) * 1e-9);
+}
+
+TEST(Cntfet, ZeroDrainBiasZeroCurrent) {
+  const CntfetModel m(make_franklin_cntfet_params(20e-9));
+  EXPECT_NEAR(m.drain_current(0.5, 0.0), 0.0, 1e-15);
+}
+
+TEST(CntfetFig4, FiftyKohmContactsDegradeAndLinearize) {
+  // The Fig. 4 experiment: identical device, 50 kOhm on each contact.
+  CntfetParams ideal = make_franklin_cntfet_params(20e-9);
+  CntfetParams loaded = ideal;
+  loaded.r_source_ohm = 50e3;
+  loaded.r_drain_ohm = 50e3;
+  const CntfetModel mi(ideal);
+  const CntfetModel ml(loaded);
+
+  // (1) current drops substantially at the on-state
+  const double ii = mi.drain_current(0.6, 0.5);
+  const double il = ml.drain_current(0.6, 0.5);
+  EXPECT_LT(il, 0.55 * ii);
+
+  // (2) the output curve becomes more linear: saturation ratio
+  //     I(0.5)/I(0.25) moves away from ~1 toward ~2.
+  const double sat_i = mi.drain_current(0.6, 0.5) / mi.drain_current(0.6, 0.25);
+  const double sat_l = ml.drain_current(0.6, 0.5) / ml.drain_current(0.6, 0.25);
+  EXPECT_LT(sat_i, 1.35);
+  EXPECT_GT(sat_l, sat_i + 0.2);
+}
+
+TEST(Cntfet, OpCeilingCapsHighOverdriveCurrent) {
+  CntfetParams p = make_franklin_cntfet_params(15e-9);
+  p.ef_source_ev = -0.02;  // very low threshold: pushes into the ceiling
+  const CntfetModel m(p);
+  const double i = m.drain_current(0.9, 0.7);
+  EXPECT_LT(i, p.op_current_ceiling_a);
+  // And the ceiling is what binds, not the barrier.
+  CntfetParams open = p;
+  open.op_current_ceiling_a = 1.0;  // effectively off
+  const CntfetModel mo(open);
+  EXPECT_GT(mo.drain_current(0.9, 0.7), 1.2 * i);
+}
+
+TEST(Cntfet, BallisticBeatsQuasiBallistic) {
+  CntfetParams bal = make_franklin_cntfet_params(40e-9);
+  bal.ballistic = true;
+  const CntfetModel mb(bal);
+  const CntfetModel mq(make_franklin_cntfet_params(40e-9));
+  EXPECT_GT(mb.drain_current(0.5, 0.5), mq.drain_current(0.5, 0.5));
+}
+
+TEST(Cntfet, LongerChannelLessCurrent) {
+  const CntfetModel short_dev(make_franklin_cntfet_params(15e-9));
+  const CntfetModel long_dev(make_franklin_cntfet_params(300e-9));
+  EXPECT_GT(short_dev.drain_current(0.5, 0.5),
+            1.5 * long_dev.drain_current(0.5, 0.5));
+}
+
+TEST(Cntfet, MetallicTubeRejected) {
+  CntfetParams p;
+  p.chirality = {12, 0};  // metallic
+  EXPECT_THROW(CntfetModel{p}, carbon::phys::PreconditionError);
+}
+
+TEST(Cntfet, PTypeMirrorIsComplementary) {
+  auto n = std::make_shared<CntfetModel>(make_fig1_cntfet_params());
+  const carbon::device::PTypeMirror p(n);
+  EXPECT_NEAR(p.drain_current(-0.5, -0.5), -n->drain_current(0.5, 0.5),
+              1e-18);
+  EXPECT_EQ(p.polarity(), carbon::device::Polarity::kPType);
+}
+
+TEST(Cntfet, GateShiftMovesThreshold) {
+  auto base = std::make_shared<CntfetModel>(make_fig1_cntfet_params());
+  const carbon::device::GateShifted shifted(base, 0.1);
+  EXPECT_NEAR(shifted.drain_current(0.3, 0.5),
+              base->drain_current(0.4, 0.5), 1e-18);
+}
+
+// Monotonicity property across the full bias plane: the SPICE Newton
+// solver requires it.
+class CntfetMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(CntfetMonotone, TransferCurveMonotone) {
+  const double vds = GetParam();
+  const CntfetModel m(make_franklin_cntfet_params(25e-9));
+  double prev = -1.0;
+  for (double vg = 0.0; vg <= 0.9; vg += 0.03) {
+    const double i = m.drain_current(vg, vds);
+    EXPECT_GE(i, prev) << "vg=" << vg << " vds=" << vds;
+    prev = i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DrainBiases, CntfetMonotone,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7));
+
+}  // namespace

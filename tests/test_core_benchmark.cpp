@@ -1,0 +1,130 @@
+// The Fig. 5 benchmark engine: off-current retargeting, cross-technology
+// ordering, and the scaling studies.
+#include "phys/require.h"
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/scaling.h"
+#include "core/technology.h"
+#include "device/cntfet.h"
+#include "device/mosfet.h"
+
+namespace {
+
+namespace core = carbon::core;
+namespace dev = carbon::device;
+
+TEST(Benchmark, RetargetHitsIoffSpec) {
+  auto m = std::make_shared<dev::VirtualSourceModel>(
+      dev::make_si_trigate_params(30e-9));
+  const auto pt = core::benchmark_at_fixed_ioff(m, 0.5, 100e-9);
+  // Verify the spec is actually met after the shift.
+  const double w_um = m->width_normalization() * 1e6;
+  const double ioff =
+      std::abs(m->drain_current(pt.gate_shift_v, 0.5)) / w_um;
+  EXPECT_NEAR(ioff / 100e-9, 1.0, 0.02);
+  EXPECT_GT(pt.ion_a_per_um, 0.0);
+}
+
+TEST(Benchmark, CntBeatsIIIVBeatsSiAtHalfVolt) {
+  // The Fig. 5 verdict: "Clearly, the CNTFET outperforms the alternatives."
+  const auto cnt = core::make_cnt_technology().make_device(30e-9);
+  const auto inas = core::make_inas_technology().make_device(30e-9);
+  const auto si = core::make_si_technology().make_device(30e-9);
+  const double i_cnt =
+      core::benchmark_at_fixed_ioff(cnt, 0.5, 100e-9).ion_a_per_um;
+  const double i_inas =
+      core::benchmark_at_fixed_ioff(inas, 0.5, 100e-9).ion_a_per_um;
+  const double i_si =
+      core::benchmark_at_fixed_ioff(si, 0.5, 100e-9).ion_a_per_um;
+  EXPECT_GT(i_cnt, i_inas);
+  EXPECT_GT(i_inas, i_si);
+  // Magnitude band: CNT well above 1 mA/um, Si a few tenths.
+  EXPECT_GT(i_cnt * 1e3, 1.0);   // mA/um
+  EXPECT_LT(i_si * 1e3, 0.8);
+  EXPECT_GT(i_si * 1e3, 0.1);
+}
+
+TEST(Benchmark, TableCoversAllTechnologies) {
+  const auto techs = core::fig5_technologies();
+  const auto table = core::benchmark_table(techs, 0.5, 100e-9);
+  EXPECT_EQ(table.num_cols(), 1 + static_cast<int>(techs.size()));
+  EXPECT_GT(table.num_rows(), 5);
+  // Every technology contributes at least one finite value.
+  for (int c = 1; c < table.num_cols(); ++c) {
+    bool any = false;
+    for (int r = 0; r < table.num_rows(); ++r) {
+      if (std::isfinite(table.at(r, c))) any = true;
+    }
+    EXPECT_TRUE(any) << table.columns()[c];
+  }
+}
+
+TEST(Benchmark, CntIonDecreasesWithGateLength) {
+  const auto tech = core::make_cnt_technology();
+  const double i_short =
+      core::benchmark_at_fixed_ioff(tech.make_device(15e-9), 0.5, 100e-9)
+          .ion_a_per_um;
+  const double i_long =
+      core::benchmark_at_fixed_ioff(tech.make_device(300e-9), 0.5, 100e-9)
+          .ion_a_per_um;
+  EXPECT_GT(i_short, 1.3 * i_long);
+}
+
+TEST(Benchmark, TenXIoffGivesMoreIon) {
+  // The paper plots the 9 nm point at 10x the off-spec: that must help.
+  const auto dev9 = core::make_cnt_technology().make_device(9e-9);
+  const double at_1x =
+      core::benchmark_at_fixed_ioff(dev9, 0.5, 100e-9).ion_a_per_um;
+  const double at_10x =
+      core::benchmark_at_fixed_ioff(dev9, 0.5, 1000e-9).ion_a_per_um;
+  EXPECT_GT(at_10x, at_1x);
+}
+
+TEST(Scaling, IonDropsWithSupply) {
+  const dev::VirtualSourceModel m(dev::make_si_trigate_params());
+  const auto t = core::supply_scaling_table(m);
+  // Rows go from vdd_max down to vdd_min: ion must decrease monotonically.
+  for (int r = 1; r < t.num_rows(); ++r) {
+    EXPECT_LT(t.at(r, 1), t.at(r - 1, 1));
+  }
+}
+
+TEST(Scaling, DelayGrowsAsSupplyShrinks) {
+  const dev::CntfetModel m(dev::make_franklin_cntfet_params(20e-9));
+  const auto t = core::supply_scaling_table(m);
+  const int dcol = t.column_index("cv_over_i_s");
+  EXPECT_GT(t.at(t.num_rows() - 1, dcol), t.at(0, dcol));
+}
+
+TEST(Scaling, ShortChannelTableShowsIIIVDegradation) {
+  const auto make = [](double lg) {
+    return std::static_pointer_cast<const dev::IDeviceModel>(
+        std::make_shared<dev::VirtualSourceModel>(
+            dev::make_inas_hemt_params(lg)));
+  };
+  const auto t = core::short_channel_table(make, {15e-9, 30e-9, 60e-9}, 0.5);
+  const int ss = t.column_index("ss_mv_dec");
+  const int dibl = t.column_index("dibl_mv_v");
+  // Shorter gate: worse SS and DIBL.
+  EXPECT_GT(t.at(0, ss), t.at(2, ss));
+  EXPECT_GT(t.at(0, dibl), t.at(2, dibl));
+}
+
+TEST(Benchmark, RejectsModelsWithoutWidth) {
+  class Widthless final : public dev::IDeviceModel {
+   public:
+    double drain_current(double, double) const override { return 1e-6; }
+    const std::string& name() const override { return name_; }
+
+   private:
+    std::string name_ = "widthless";
+  };
+  auto m = std::make_shared<Widthless>();
+  EXPECT_THROW(core::benchmark_at_fixed_ioff(m, 0.5, 100e-9),
+               carbon::phys::PreconditionError);
+}
+
+}  // namespace

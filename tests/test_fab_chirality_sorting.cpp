@@ -1,0 +1,118 @@
+// Chirality populations and solution-phase sorting (Section V).
+#include "phys/require.h"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fab/chirality.h"
+#include "fab/sorting.h"
+
+namespace {
+
+namespace fab = carbon::fab;
+
+TEST(ChiralityPopulation, MetallicThirdForWidePopulation) {
+  const fab::ChiralityPopulation pop(1.4e-9, 0.25e-9);
+  EXPECT_GT(pop.num_species(), 20);
+  EXPECT_NEAR(pop.metallic_fraction(), 1.0 / 3.0, 0.07);
+}
+
+TEST(ChiralityPopulation, MeanDiameterTracksTarget) {
+  const fab::ChiralityPopulation pop(1.4e-9, 0.15e-9);
+  EXPECT_NEAR(pop.mean_diameter() * 1e9, 1.4, 0.08);
+}
+
+TEST(ChiralityPopulation, SamplingMatchesWeights) {
+  const fab::ChiralityPopulation pop(1.2e-9, 0.2e-9);
+  carbon::phys::Rng rng(7);
+  int metallic = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    metallic += pop.sample(rng).is_metallic() ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(metallic) / n, pop.metallic_fraction(),
+              0.02);
+}
+
+TEST(ChiralityPopulation, ReweightSuppressesMetals) {
+  fab::ChiralityPopulation pop(1.4e-9, 0.2e-9);
+  pop.reweight(0.01, 1.0);
+  EXPECT_LT(pop.metallic_fraction(), 0.01);
+}
+
+TEST(ChiralityPopulation, ReweightCannotAnnihilate) {
+  fab::ChiralityPopulation pop(1.4e-9, 0.2e-9);
+  EXPECT_THROW(pop.reweight(0.0, 0.0), carbon::phys::PreconditionError);
+}
+
+TEST(Sorting, SinglePassClosedForm) {
+  // One pass: m' = m*rm / (m*rm + s*rs).
+  const fab::SortingProcess p = fab::gel_chromatography();
+  const auto r = fab::apply_sorting(p, 1, 1.0 / 3.0);
+  const double m = (1.0 / 3.0) * p.metallic_retention;
+  const double s = (2.0 / 3.0) * p.semiconducting_retention;
+  EXPECT_NEAR(r.metallic_ppm, m / (m + s) * 1e6, 1.0);
+  EXPECT_NEAR(r.semiconducting_purity, s / (m + s), 1e-9);
+}
+
+TEST(Sorting, PurityImprovesGeometrically) {
+  const fab::SortingProcess p = fab::gel_chromatography();
+  const auto r1 = fab::apply_sorting(p, 1);
+  const auto r2 = fab::apply_sorting(p, 2);
+  const auto r3 = fab::apply_sorting(p, 3);
+  const double ratio12 = r1.metallic_ppm / r2.metallic_ppm;
+  const double ratio23 = r2.metallic_ppm / r3.metallic_ppm;
+  EXPECT_NEAR(ratio12 / ratio23, 1.0, 0.05);  // constant enrichment factor
+  EXPECT_GT(ratio12, 50.0);                   // strong per-pass selectivity
+}
+
+TEST(Sorting, MassYieldDecays) {
+  const fab::SortingProcess p = fab::density_gradient();
+  const auto r3 = fab::apply_sorting(p, 3);
+  EXPECT_LT(r3.overall_mass_yield, 0.2);
+  EXPECT_GT(r3.overall_mass_yield, 0.0);
+}
+
+TEST(Sorting, ZeroPassesIsIdentity) {
+  const auto r = fab::apply_sorting(fab::dna_sorting(), 0, 0.25);
+  EXPECT_NEAR(r.metallic_ppm, 0.25e6, 1.0);
+  EXPECT_DOUBLE_EQ(r.overall_mass_yield, 1.0);
+}
+
+TEST(Sorting, PassesForPurityConsistent) {
+  const fab::SortingProcess p = fab::gel_chromatography();
+  const auto r = fab::passes_for_purity(p, 1.0);  // 1 ppm target
+  ASSERT_GT(r.passes, 0);
+  EXPECT_LE(r.metallic_ppm, 1.0);
+  // One fewer pass would miss the target.
+  const auto prev = fab::apply_sorting(p, r.passes - 1);
+  EXPECT_GT(prev.metallic_ppm, 1.0);
+}
+
+TEST(Sorting, PopulationReweightMatchesScalarMath) {
+  fab::ChiralityPopulation pop(1.4e-9, 0.25e-9);
+  const double m0 = pop.metallic_fraction();
+  const fab::SortingProcess p = fab::gel_chromatography();
+  fab::apply_to_population(p, 2, pop);
+  const auto scalar = fab::apply_sorting(p, 2, m0);
+  EXPECT_NEAR(pop.metallic_fraction() * 1e6, scalar.metallic_ppm, 2.0);
+}
+
+// Every canned process must be a real enrichment step.
+class ProcessSweep : public ::testing::TestWithParam<fab::SortingProcess> {};
+
+TEST_P(ProcessSweep, SelectivityAndYieldSane) {
+  const auto& p = GetParam();
+  EXPECT_GT(p.semiconducting_retention, p.metallic_retention);
+  EXPECT_GT(p.mass_yield, 0.0);
+  EXPECT_LE(p.mass_yield, 1.0);
+  const auto r = fab::apply_sorting(p, 4);
+  EXPECT_LT(r.metallic_ppm, 1e4);  // 4 passes: below 1% metallic
+}
+
+INSTANTIATE_TEST_SUITE_P(Processes, ProcessSweep,
+                         ::testing::Values(fab::gel_chromatography(),
+                                           fab::density_gradient(),
+                                           fab::dna_sorting()));
+
+}  // namespace

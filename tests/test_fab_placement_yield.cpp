@@ -1,0 +1,157 @@
+// Placement Monte Carlo (Park trench assembly, quartz growth), the >10k
+// device statistics, and wafer-scale yield arithmetic.
+#include "phys/require.h"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fab/devstats.h"
+#include "fab/placement.h"
+#include "fab/yield.h"
+
+namespace {
+
+namespace fab = carbon::fab;
+
+fab::ChiralityPopulation sorted_population(double metallic_target = 0.01) {
+  fab::ChiralityPopulation pop(1.4e-9, 0.2e-9);
+  const double m0 = pop.metallic_fraction();
+  pop.reweight(metallic_target / m0 * (1 - metallic_target) / (1 - m0), 1.0);
+  return pop;
+}
+
+TEST(TrenchAssembly, FillStatistics) {
+  const auto pop = sorted_population();
+  carbon::phys::Rng rng(11);
+  fab::TrenchAssemblyModel model;
+  const auto sites = model.run(pop, 20000, rng);
+  ASSERT_EQ(sites.size(), 20000u);
+  int empty = 0;
+  double tubes = 0;
+  for (const auto& s : sites) {
+    empty += s.tubes.empty() ? 1 : 0;
+    tubes += s.tubes.size();
+  }
+  // P(empty) = (1 - fill) * P(Poisson extra = 0).
+  const double p_empty_expected =
+      (1.0 - model.fill_probability) * std::exp(-model.mean_extra_tubes);
+  EXPECT_NEAR(empty / 20000.0, p_empty_expected, 0.01);
+  EXPECT_NEAR(tubes / 20000.0,
+              model.fill_probability + model.mean_extra_tubes, 0.03);
+}
+
+TEST(QuartzGrowth, BurnoffRemovesMetals) {
+  fab::ChiralityPopulation raw(1.4e-9, 0.25e-9);  // ~1/3 metallic
+  carbon::phys::Rng rng(13);
+  fab::QuartzGrowthModel model;
+  const auto sites = model.run(raw, 5000, 1.0, rng);
+  int metallic = 0, total = 0;
+  for (const auto& s : sites) {
+    for (const auto& t : s.tubes) {
+      ++total;
+      metallic += t.chirality.is_metallic() ? 1 : 0;
+    }
+  }
+  ASSERT_GT(total, 1000);
+  // Burn-off at 99%: metallic fraction drops from ~33% to ~0.5%.
+  EXPECT_LT(static_cast<double>(metallic) / total, 0.02);
+}
+
+TEST(DeviceSite, CountsBridgingAndMetallic) {
+  fab::DeviceSite site;
+  fab::PlacedTube t1;
+  t1.chirality = {19, 0};
+  t1.bridges_channel = true;
+  fab::PlacedTube t2;
+  t2.chirality = {12, 0};  // metallic
+  t2.bridges_channel = true;
+  fab::PlacedTube t3;
+  t3.chirality = {19, 0};
+  t3.bridges_channel = false;
+  site.tubes = {t1, t2, t3};
+  EXPECT_EQ(site.bridging_count(), 2);
+  EXPECT_EQ(site.metallic_count(), 1);
+}
+
+TEST(DevStats, ParkScaleStudyYield) {
+  // The ref [22] reproduction: >10,000 transistors measured blindly.
+  const auto pop = sorted_population(0.005);
+  carbon::phys::Rng rng(17);
+  fab::TrenchAssemblyModel model;
+  const auto sites = model.run(pop, 12000, rng);
+  const auto devices = fab::measure_sites(sites, {}, rng);
+  const auto stats = fab::summarize(devices);
+  EXPECT_EQ(stats.devices, 12000);
+  EXPECT_GT(stats.yield, 0.5);
+  EXPECT_LT(stats.yield, 0.999);
+  EXPECT_GT(stats.median_on_off, 1e3);
+}
+
+TEST(DevStats, MetallicContaminationKillsYield) {
+  carbon::phys::Rng rng(19);
+  fab::TrenchAssemblyModel model;
+  const auto clean_sites = model.run(sorted_population(0.001), 6000, rng);
+  const auto dirty_sites = model.run(sorted_population(0.25), 6000, rng);
+  carbon::phys::Rng rng2(19);
+  const auto clean = fab::summarize(fab::measure_sites(clean_sites, {}, rng2));
+  const auto dirty = fab::summarize(fab::measure_sites(dirty_sites, {}, rng2));
+  EXPECT_GT(clean.yield, dirty.yield + 0.1);
+  EXPECT_GT(dirty.short_fraction, clean.short_fraction * 5.0);
+}
+
+TEST(DevStats, HistogramMassNormalized) {
+  carbon::phys::Rng rng(23);
+  fab::TrenchAssemblyModel model;
+  const auto sites = model.run(sorted_population(), 3000, rng);
+  const auto devices = fab::measure_sites(sites, {}, rng);
+  const auto hist = fab::on_off_histogram(devices);
+  double total = 0.0;
+  for (int i = 0; i < hist.num_rows(); ++i) total += hist.at(i, 1);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Yield, GateYieldClosedForm) {
+  // 4-FET gate, 3 tubes each, 1% metallic: (0.99^3)^4 = 0.8864.
+  EXPECT_NEAR(fab::gate_yield(0.01, 3, 4), std::pow(0.99, 12), 1e-12);
+}
+
+TEST(Yield, OpensReduceYield) {
+  EXPECT_LT(fab::gate_yield(0.01, 3, 4, 0.05), fab::gate_yield(0.01, 3, 4));
+}
+
+TEST(Yield, CircuitYieldLogSafe) {
+  const double y = fab::circuit_yield(0.9999, 1000000);
+  EXPECT_NEAR(y, std::exp(1e6 * std::log(0.9999)), 1e-9);
+  EXPECT_GT(y, 0.0);
+  // Huge circuits with modest gate yield: underflows to ~0 without throwing.
+  EXPECT_NEAR(fab::circuit_yield(0.99, 1000000000LL), 0.0, 1e-30);
+}
+
+TEST(Yield, RequiredPurityInverseOfForwardModel) {
+  const long long gates = 100000;
+  const double m = fab::required_metallic_fraction(gates, 2, 4, 0.5);
+  const double y = fab::circuit_yield(fab::gate_yield(m, 2, 4), gates);
+  EXPECT_NEAR(y, 0.5, 1e-6);
+}
+
+TEST(Yield, PurityRequirementExplodesWithScale) {
+  // The "illusional dream" table: ppm-level metallic tolerance for VLSI.
+  const auto t = fab::purity_requirement_table(
+      {100, 10000, 1000000, 100000000}, 3, 4, 0.5);
+  const int ppm = t.column_index("required_metallic_ppm");
+  EXPECT_GT(t.at(0, ppm), 100.0);   // small circuit: relaxed
+  EXPECT_LT(t.at(3, ppm), 1.0);     // 1e8 gates: sub-ppm purity needed
+  for (int r = 1; r < t.num_rows(); ++r) {
+    EXPECT_LT(t.at(r, ppm), t.at(r - 1, ppm));
+  }
+}
+
+TEST(Yield, ParameterValidation) {
+  EXPECT_THROW(fab::gate_yield(1.5, 3, 4), carbon::phys::PreconditionError);
+  EXPECT_THROW(fab::gate_yield(0.1, 0, 4), carbon::phys::PreconditionError);
+  EXPECT_THROW(fab::circuit_yield(0.5, 0), carbon::phys::PreconditionError);
+  EXPECT_THROW(fab::required_metallic_fraction(10, 2, 4, 1.5),
+               carbon::phys::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Fermi-Dirac statistics: values, symmetry, stability and the analytic
+// integral identities the transport solvers rely on.
+#include "phys/require.h"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phys/constants.h"
+#include "phys/fermi.h"
+#include "phys/integrate.h"
+
+namespace {
+
+using carbon::phys::fermi;
+using carbon::phys::fermi_dirac_f0;
+using carbon::phys::fermi_dirac_f_half;
+using carbon::phys::fermi_dirac_fm_half;
+using carbon::phys::fermi_minus_dfde;
+using carbon::phys::softplus;
+
+constexpr double kKt = 0.02585;  // 300 K in eV
+
+TEST(Fermi, HalfAtChemicalPotential) {
+  EXPECT_DOUBLE_EQ(fermi(0.3, 0.3, kKt), 0.5);
+}
+
+TEST(Fermi, LimitsDeepAndFarAboveMu) {
+  EXPECT_NEAR(fermi(-1.0, 0.0, kKt), 1.0, 1e-12);
+  EXPECT_NEAR(fermi(1.0, 0.0, kKt), 0.0, 1e-12);
+}
+
+TEST(Fermi, NoOverflowForExtremeArguments) {
+  EXPECT_EQ(fermi(1e4, 0.0, kKt), 0.0);
+  EXPECT_EQ(fermi(-1e4, 0.0, kKt), 1.0);
+  EXPECT_TRUE(std::isfinite(fermi_minus_dfde(1e4, 0.0, kKt)));
+}
+
+TEST(Fermi, ParticleHoleSymmetry) {
+  for (double e : {0.01, 0.05, 0.2, 0.5}) {
+    EXPECT_NEAR(fermi(e, 0.0, kKt) + fermi(-e, 0.0, kKt), 1.0, 1e-12)
+        << "at E=" << e;
+  }
+}
+
+TEST(Fermi, ThermalBroadeningDerivativeIntegratesToOne) {
+  const auto f = [](double e) { return fermi_minus_dfde(e, 0.0, kKt); };
+  const double integral = carbon::phys::integrate_adaptive(f, -1.0, 1.0);
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(Fermi, DerivativePeaksAtMu) {
+  const double peak = fermi_minus_dfde(0.0, 0.0, kKt);
+  EXPECT_NEAR(peak, 0.25 / kKt, 1e-9);
+  EXPECT_LT(fermi_minus_dfde(0.05, 0.0, kKt), peak);
+  EXPECT_LT(fermi_minus_dfde(-0.05, 0.0, kKt), peak);
+}
+
+TEST(Softplus, MatchesLogFormInMidRange) {
+  for (double x : {-5.0, -1.0, 0.0, 1.0, 5.0}) {
+    EXPECT_NEAR(softplus(x), std::log1p(std::exp(x)), 1e-12);
+  }
+}
+
+TEST(Softplus, AsymptoticTails) {
+  EXPECT_DOUBLE_EQ(softplus(100.0), 100.0);
+  EXPECT_NEAR(softplus(-100.0), std::exp(-100.0), 1e-60);
+  EXPECT_NEAR(softplus(0.0), std::log(2.0), 1e-14);
+}
+
+TEST(FermiDiracF0, EqualsSoftplus) {
+  EXPECT_DOUBLE_EQ(fermi_dirac_f0(2.5), softplus(2.5));
+}
+
+TEST(FermiDiracHalf, NondegenerateLimitIsExponential) {
+  // F_j(eta) -> exp(eta) for eta << 0, every order j.
+  for (double eta : {-8.0, -6.0, -4.0}) {
+    EXPECT_NEAR(fermi_dirac_f_half(eta) / std::exp(eta), 1.0, 2e-2);
+    EXPECT_NEAR(fermi_dirac_fm_half(eta) / std::exp(eta), 1.0, 2e-2);
+  }
+}
+
+TEST(FermiDiracHalf, DegenerateLimitGrowsAsPower) {
+  // F_{1/2}(eta) ~ (4/3/sqrt(pi)) eta^{3/2} for large eta.
+  const double eta = 30.0;
+  const double expected = 4.0 / (3.0 * std::sqrt(M_PI)) * std::pow(eta, 1.5);
+  EXPECT_NEAR(fermi_dirac_f_half(eta) / expected, 1.0, 5e-2);
+}
+
+TEST(FermiDiracHalf, MonotoneIncreasing) {
+  double prev = 0.0;
+  for (double eta = -6.0; eta <= 6.0; eta += 0.25) {
+    const double v = fermi_dirac_fm_half(eta);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+// Parameterized: identities must hold across temperatures.
+class FermiTemperature : public ::testing::TestWithParam<double> {};
+
+TEST_P(FermiTemperature, SymmetryAndNormalization) {
+  const double kt = carbon::phys::kBoltzmannEv * GetParam();
+  EXPECT_NEAR(fermi(0.1, 0.0, kt) + fermi(-0.1, 0.0, kt), 1.0, 1e-12);
+  const auto df = [kt](double e) { return fermi_minus_dfde(e, 0.0, kt); };
+  const double width = 40.0 * kt;
+  EXPECT_NEAR(carbon::phys::integrate_adaptive(df, -width, width), 1.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, FermiTemperature,
+                         ::testing::Values(77.0, 200.0, 300.0, 400.0));
+
+TEST(Fermi, RejectsNonPositiveTemperature) {
+  EXPECT_THROW(fermi(0.0, 0.0, 0.0), carbon::phys::PreconditionError);
+  EXPECT_THROW(fermi(0.0, 0.0, -1.0), carbon::phys::PreconditionError);
+}
+
+}  // namespace

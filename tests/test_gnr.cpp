@@ -1,0 +1,114 @@
+// Armchair GNR band structure: width families, the Fig. 1 ribbon, and the
+// edge-bond-relaxation gap opening.
+#include <gtest/gtest.h>
+
+#include "band/gnr.h"
+#include "phys/require.h"
+
+namespace {
+
+using carbon::band::GnrBandStructure;
+using carbon::band::GnrFamily;
+using carbon::band::gnr_dimer_lines_for_width;
+using carbon::band::make_fig1_gnr;
+
+TEST(Gnr, WidthFormula) {
+  // w = (N-1) * 0.246/2 nm.
+  EXPECT_NEAR(GnrBandStructure(18).width() * 1e9, 17 * 0.123, 1e-3);
+  EXPECT_NEAR(GnrBandStructure(7).width() * 1e9, 6 * 0.123, 1e-3);
+}
+
+TEST(Gnr, FamilyClassification) {
+  EXPECT_EQ(GnrBandStructure(18).family(), GnrFamily::kThreeQ);
+  EXPECT_EQ(GnrBandStructure(13).family(), GnrFamily::kThreeQPlus1);
+  EXPECT_EQ(GnrBandStructure(14).family(), GnrFamily::kThreeQPlus2);
+}
+
+TEST(Gnr, Fig1RibbonIsThePaperDevice) {
+  const auto gnr = make_fig1_gnr();
+  EXPECT_NEAR(gnr.width() * 1e9, 2.1, 0.05);     // "width of 2.1 nm"
+  EXPECT_NEAR(gnr.band_gap(), 0.56, 0.02);       // "band-gap of 0.56 eV"
+}
+
+TEST(Gnr, ThreeQPlus2IsMetallicInPlainTightBinding) {
+  EXPECT_NEAR(GnrBandStructure(14, 0.0).band_gap(), 0.0, 1e-12);
+  EXPECT_NEAR(GnrBandStructure(23, 0.0).band_gap(), 0.0, 1e-12);
+}
+
+TEST(Gnr, EdgeRelaxationOpensGapInThreeQPlus2) {
+  const double eg = GnrBandStructure(14, 0.12).band_gap();
+  EXPECT_GT(eg, 0.05);
+  EXPECT_LT(eg, 0.5);
+  // Perturbative estimate: 6 gamma0 delta / (N+1).
+  EXPECT_NEAR(eg, 6.0 * 3.0 * 0.12 / 15.0, 0.05);
+}
+
+TEST(Gnr, GapShrinksWithWidthWithinFamily) {
+  // Same family (3q+1), increasing N -> smaller gap.
+  const double g7 = GnrBandStructure(7).band_gap();
+  const double g13 = GnrBandStructure(13).band_gap();
+  const double g19 = GnrBandStructure(19).band_gap();
+  EXPECT_GT(g7, g13);
+  EXPECT_GT(g13, g19);
+}
+
+TEST(Gnr, FamilyGapOrderingAtSimilarWidth) {
+  // Both semiconducting families carry comparable gaps in plain NN tight
+  // binding (they alternate with N); 3q+2 is gapless.
+  const double g3q1 = GnrBandStructure(13).band_gap();
+  const double g3q = GnrBandStructure(12).band_gap();
+  const double g3q2 = GnrBandStructure(14).band_gap();
+  EXPECT_NEAR(g3q1 / g3q, 1.0, 0.15);
+  EXPECT_GT(g3q1, g3q2 + 0.5);
+  EXPECT_GT(g3q, g3q2 + 0.5);
+}
+
+TEST(Gnr, LadderTwofoldDegenerateAndSorted) {
+  const auto ladder = GnrBandStructure(18).ladder(4);
+  ASSERT_EQ(ladder.subbands.size(), 4u);
+  for (size_t i = 0; i < ladder.subbands.size(); ++i) {
+    EXPECT_EQ(ladder.subbands[i].degeneracy, 2);
+    if (i > 0) {
+      EXPECT_GE(ladder.subbands[i].delta_ev,
+                ladder.subbands[i - 1].delta_ev);
+    }
+  }
+}
+
+TEST(Gnr, DimerCountFromWidthRoundTrips) {
+  for (int n : {6, 12, 18, 24, 35}) {
+    const double w = GnrBandStructure(n).width();
+    EXPECT_EQ(gnr_dimer_lines_for_width(w), n);
+  }
+}
+
+TEST(Gnr, SubbandEdgeIndexChecked) {
+  const GnrBandStructure gnr(10);
+  EXPECT_THROW(gnr.subband_edge(0), carbon::phys::PreconditionError);
+  EXPECT_THROW(gnr.subband_edge(11), carbon::phys::PreconditionError);
+}
+
+TEST(Gnr, TooNarrowRejected) {
+  EXPECT_THROW(GnrBandStructure(2), carbon::phys::PreconditionError);
+}
+
+// Property sweep: every armchair ribbon's analytic gap is non-negative and
+// bounded by the graphene bandwidth; families behave consistently.
+class GnrWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GnrWidthSweep, GapBoundsAndFamilyConsistency) {
+  const int n = GetParam();
+  const GnrBandStructure gnr(n);
+  EXPECT_GE(gnr.band_gap(), 0.0);
+  EXPECT_LE(gnr.band_gap(), 6.0);
+  if (n % 3 == 2) {
+    EXPECT_NEAR(gnr.band_gap(), 0.0, 1e-9);
+  } else {
+    EXPECT_GT(gnr.band_gap(), 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GnrWidthSweep,
+                         ::testing::Range(3, 40));
+
+}  // namespace

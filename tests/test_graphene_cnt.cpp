@@ -1,0 +1,140 @@
+// Graphene dispersion and CNT zone folding: the band-structure facts the
+// whole device stack is built on.
+#include "phys/require.h"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "band/cnt.h"
+#include "band/graphene.h"
+#include "phys/constants.h"
+
+namespace {
+
+using carbon::band::Chirality;
+using carbon::band::CntBandStructure;
+using carbon::band::enumerate_chiralities;
+using carbon::band::GrapheneParams;
+using carbon::band::graphene_energy;
+using carbon::band::make_cnt_ladder_from_gap;
+
+TEST(Graphene, FermiVelocityAboutMillionMs) {
+  const GrapheneParams p;
+  EXPECT_NEAR(p.fermi_velocity(), 9.7e5, 1e5);
+}
+
+TEST(Graphene, EnergyVanishesAtDiracPoint) {
+  const GrapheneParams p;
+  const double k_dirac = carbon::band::graphene_k_point(p);
+  EXPECT_NEAR(graphene_energy(p, 0.0, k_dirac), 0.0, 1e-9);
+}
+
+TEST(Graphene, GammaPointEnergyIs3Gamma0) {
+  const GrapheneParams p;
+  EXPECT_NEAR(graphene_energy(p, 0.0, 0.0), 3.0 * p.gamma0_ev, 1e-12);
+}
+
+TEST(ChiralityTest, DiameterOfKnownTubes) {
+  // (19,0): d = 0.246*19/pi nm = 1.487 nm; (10,10): 1.356 nm.
+  EXPECT_NEAR((Chirality{19, 0}.diameter()) * 1e9, 1.487, 0.01);
+  EXPECT_NEAR((Chirality{10, 10}.diameter()) * 1e9, 1.356, 0.01);
+  EXPECT_NEAR((Chirality{13, 0}.diameter()) * 1e9, 1.018, 0.01);
+}
+
+TEST(ChiralityTest, MetallicRule) {
+  EXPECT_TRUE((Chirality{10, 10}.is_metallic()));  // armchair: always
+  EXPECT_TRUE((Chirality{9, 0}.is_metallic()));    // n-m = 9
+  EXPECT_FALSE((Chirality{19, 0}.is_metallic()));  // n-m = 19
+  EXPECT_FALSE((Chirality{13, 5}.is_metallic()));  // n-m = 8
+  EXPECT_TRUE((Chirality{13, 4}.is_metallic()));   // n-m = 9
+}
+
+TEST(ChiralityTest, ChiralAngleConventions) {
+  EXPECT_NEAR((Chirality{10, 0}.chiral_angle_deg()), 0.0, 1e-9);   // zigzag
+  EXPECT_NEAR((Chirality{10, 10}.chiral_angle_deg()), 30.0, 1e-9); // armchair
+}
+
+TEST(CntBands, GapLawEgTimesDConstant) {
+  // Eg * d = 2 gamma0 a_cc = 0.852 eV nm for all semiconducting tubes.
+  const double expected = 2.0 * 3.0 * 0.142;  // eV nm
+  for (const Chirality ch : {Chirality{13, 0}, Chirality{19, 0},
+                             Chirality{17, 0}, Chirality{14, 4}}) {
+    const CntBandStructure bs(ch);
+    EXPECT_NEAR(bs.band_gap() * bs.diameter() * 1e9, expected, 1e-6)
+        << "(" << ch.n << "," << ch.m << ")";
+  }
+}
+
+TEST(CntBands, MetallicTubesHaveNoGap) {
+  EXPECT_DOUBLE_EQ((CntBandStructure({10, 10}).band_gap()), 0.0);
+  EXPECT_DOUBLE_EQ((CntBandStructure({12, 0}).band_gap()), 0.0);
+}
+
+TEST(CntBands, LadderOrderedAndFourfoldDegenerate) {
+  const auto ladder = CntBandStructure({19, 0}).ladder(4);
+  ASSERT_EQ(ladder.subbands.size(), 4u);
+  for (size_t i = 0; i < ladder.subbands.size(); ++i) {
+    EXPECT_EQ(ladder.subbands[i].degeneracy, 4);
+    if (i > 0) {
+      EXPECT_GT(ladder.subbands[i].delta_ev, ladder.subbands[i - 1].delta_ev);
+    }
+  }
+  // Semiconducting ladder ratio pattern 1 : 2 : 4.
+  const double d1 = ladder.subbands[0].delta_ev;
+  EXPECT_NEAR(ladder.subbands[1].delta_ev / d1, 2.0, 1e-9);
+  EXPECT_NEAR(ladder.subbands[2].delta_ev / d1, 4.0, 1e-9);
+}
+
+TEST(CntBands, MetallicLadderStartsGapless) {
+  const auto ladder = CntBandStructure({10, 10}).ladder(2);
+  EXPECT_DOUBLE_EQ(ladder.subbands[0].delta_ev, 0.0);
+  EXPECT_GT(ladder.subbands[1].delta_ev, 0.5);
+}
+
+TEST(CntBands, LadderFromGapMatchesRequest) {
+  const auto ladder = make_cnt_ladder_from_gap(0.56, 3);
+  EXPECT_NEAR(ladder.band_gap(), 0.56, 1e-12);
+  EXPECT_NEAR(ladder.subbands[1].delta_ev, 0.56, 1e-12);
+  EXPECT_NEAR(carbon::band::cnt_diameter_from_gap(0.56) * 1e9, 1.52, 0.03);
+}
+
+// Zone-folding validation: numeric minimization over the full graphene
+// dispersion must agree with the analytic linearized ladder near K.
+class NumericFold : public ::testing::TestWithParam<Chirality> {};
+
+TEST_P(NumericFold, NumericGapMatchesAnalytic) {
+  const CntBandStructure bs(GetParam());
+  const double numeric = bs.band_gap_numeric();
+  if (bs.is_metallic()) {
+    EXPECT_NEAR(numeric, 0.0, 1e-3);
+  } else {
+    // Linearization around K is good to a few percent at d ~ 1-1.5 nm.
+    EXPECT_NEAR(numeric / bs.band_gap(), 1.0, 0.06);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tubes, NumericFold,
+                         ::testing::Values(Chirality{13, 0}, Chirality{19, 0},
+                                           Chirality{10, 10}, Chirality{12, 0},
+                                           Chirality{14, 4}, Chirality{16, 2}));
+
+TEST(EnumerateChiralities, WindowAndMetallicFraction) {
+  const auto chis = enumerate_chiralities(1.2e-9, 1.8e-9);
+  ASSERT_GT(chis.size(), 10u);
+  int metallic = 0;
+  for (const auto& ch : chis) {
+    EXPECT_GE(ch.diameter(), 1.2e-9);
+    EXPECT_LE(ch.diameter(), 1.8e-9);
+    metallic += ch.is_metallic() ? 1 : 0;
+  }
+  // Roughly one third of species are metallic.
+  const double frac = static_cast<double>(metallic) / chis.size();
+  EXPECT_GT(frac, 0.2);
+  EXPECT_LT(frac, 0.45);
+}
+
+TEST(CntBands, RejectsMetallicChannelRequest) {
+  EXPECT_THROW((CntBandStructure{Chirality{-1, 0}}), carbon::phys::PreconditionError);
+}
+
+}  // namespace

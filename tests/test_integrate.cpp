@@ -1,0 +1,101 @@
+// Quadrature: exactness on polynomials, convergence on smooth and
+// singular-ish integrands, semi-infinite tails.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phys/integrate.h"
+#include "phys/require.h"
+
+namespace {
+
+using carbon::phys::integrate_adaptive;
+using carbon::phys::integrate_semi_infinite;
+using carbon::phys::integrate_simpson;
+using carbon::phys::integrate_trapezoid;
+
+TEST(AdaptiveSimpson, ExactOnCubics) {
+  const auto f = [](double x) { return 3.0 * x * x * x - x + 2.0; };
+  // integral over [0,2]: 3*4 - 2 + 4 = 14
+  EXPECT_NEAR(integrate_adaptive(f, 0.0, 2.0), 14.0, 1e-12);
+}
+
+TEST(AdaptiveSimpson, ReversedLimitsFlipSign) {
+  const auto f = [](double x) { return x * x; };
+  EXPECT_NEAR(integrate_adaptive(f, 1.0, 0.0),
+              -integrate_adaptive(f, 0.0, 1.0), 1e-12);
+}
+
+TEST(AdaptiveSimpson, EmptyIntervalIsZero) {
+  const auto f = [](double) { return 123.0; };
+  EXPECT_EQ(integrate_adaptive(f, 1.0, 1.0), 0.0);
+}
+
+TEST(AdaptiveSimpson, SinOverFullPeriod) {
+  EXPECT_NEAR(integrate_adaptive([](double x) { return std::sin(x); }, 0.0,
+                                 2.0 * M_PI),
+              0.0, 1e-10);
+}
+
+TEST(AdaptiveSimpson, GaussianMass) {
+  const auto f = [](double x) { return std::exp(-x * x); };
+  EXPECT_NEAR(integrate_adaptive(f, -8.0, 8.0), std::sqrt(M_PI), 1e-9);
+}
+
+TEST(AdaptiveSimpson, SharpPeakResolved) {
+  // Narrow Lorentzian: adaptive refinement must find the peak.
+  const double w = 1e-3;
+  const auto f = [w](double x) { return w / (x * x + w * w); };
+  EXPECT_NEAR(integrate_adaptive(f, -1.0, 1.0, 1e-12), 2.0 * std::atan(1.0 / w),
+              1e-7);
+}
+
+TEST(CompositeSimpson, MatchesAdaptiveOnSmooth) {
+  const auto f = [](double x) { return std::exp(x) * std::cos(3.0 * x); };
+  EXPECT_NEAR(integrate_simpson(f, 0.0, 1.0, 512),
+              integrate_adaptive(f, 0.0, 1.0), 1e-8);
+}
+
+TEST(CompositeSimpson, OddPanelCountRoundsUp) {
+  const auto f = [](double x) { return x; };
+  EXPECT_NEAR(integrate_simpson(f, 0.0, 1.0, 7), 0.5, 1e-12);
+}
+
+TEST(SemiInfinite, ExponentialTail) {
+  const double scale = 0.05;
+  const auto f = [scale](double x) { return std::exp(-x / scale); };
+  EXPECT_NEAR(integrate_semi_infinite(f, 0.0, scale), scale, 1e-9);
+}
+
+TEST(SemiInfinite, ShiftedLowerLimit) {
+  const auto f = [](double x) { return std::exp(-(x - 2.0)); };
+  EXPECT_NEAR(integrate_semi_infinite(f, 2.0, 1.0), 1.0, 1e-9);
+}
+
+TEST(Trapezoid, LinearDataExact) {
+  const double x[] = {0.0, 0.5, 2.0, 3.0};
+  const double y[] = {0.0, 1.0, 4.0, 6.0};  // y = 2x
+  EXPECT_NEAR(integrate_trapezoid(x, y, 4), 9.0, 1e-12);
+}
+
+TEST(Trapezoid, RejectsSinglePoint) {
+  const double x[] = {0.0};
+  const double y[] = {1.0};
+  EXPECT_THROW(integrate_trapezoid(x, y, 1),
+               carbon::phys::PreconditionError);
+}
+
+class ToleranceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ToleranceSweep, ErrorScalesWithRequest) {
+  const double tol = GetParam();
+  const auto f = [](double x) { return std::sin(10.0 * x) / (1.0 + x * x); };
+  const double tight = integrate_adaptive(f, 0.0, 3.0, 1e-14);
+  const double loose = integrate_adaptive(f, 0.0, 3.0, tol);
+  EXPECT_NEAR(loose, tight, 50.0 * tol + 1e-14);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, ToleranceSweep,
+                         ::testing::Values(1e-6, 1e-8, 1e-10, 1e-12));
+
+}  // namespace

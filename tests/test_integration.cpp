@@ -1,0 +1,133 @@
+// Cross-module integration: device physics -> SPICE cells -> logic timing
+// -> computer; and the full Fig. 2 contrast experiment end to end.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "circuit/cells.h"
+#include "circuit/vtc.h"
+#include "core/technology.h"
+#include "device/cntfet.h"
+#include "device/linear_fet.h"
+#include "device/alpha_power.h"
+#include "device/mosfet.h"
+#include "fab/devstats.h"
+#include "fab/sorting.h"
+#include "fab/yield.h"
+#include "logic/stdcell.h"
+#include "logic/subneg.h"
+
+namespace {
+
+namespace dev = carbon::device;
+namespace ckt = carbon::circuit;
+namespace lg = carbon::logic;
+namespace fab = carbon::fab;
+
+TEST(Integration, CntfetCharacterizesToWorkingStandardCells) {
+  // Device model -> SPICE inverter -> cell timing.
+  auto n = std::make_shared<dev::CntfetModel>(
+      dev::make_franklin_cntfet_params(20e-9));
+  lg::CharacterizationOptions opt;
+  opt.v_dd = 0.5;
+  opt.c_load_f = 0.05e-15;
+  const lg::CellTiming timing = lg::characterize_cells(n, opt);
+  EXPECT_GT(timing.t_inv_s, 1e-13);
+  EXPECT_LT(timing.t_inv_s, 1e-9);
+  EXPECT_GT(timing.energy_per_transition_j, 1e-19);
+  EXPECT_GT(timing.t_nand2_s, timing.t_inv_s);
+}
+
+TEST(Integration, CntComputerDatapathRunsOnCharacterizedCells) {
+  // The full chain of the Shulaker demonstration: CNTFET physics ->
+  // standard cells -> gate-level SUBNEG datapath -> program semantics.
+  auto n = std::make_shared<dev::CntfetModel>(
+      dev::make_franklin_cntfet_params(20e-9));
+  lg::CharacterizationOptions copt;
+  copt.v_dd = 0.5;
+  copt.c_load_f = 0.05e-15;
+  const lg::CellTiming timing = lg::characterize_cells(n, copt);
+
+  lg::SubnegDatapath dp(8, timing);
+  bool neg = false;
+  EXPECT_EQ(dp.subtract(42, 17, &neg), 25u);
+  EXPECT_FALSE(neg);
+  EXPECT_GT(dp.last_settle_time_s(), 0.0);
+
+  // The same operation in the architectural interpreter.
+  lg::SubnegMachine m(16);
+  lg::SubnegProgram p;
+  p.data = {{0, 42}, {1, 17}};
+  p.code = {{1, 0, 0}};
+  m.load(p);
+  m.run();
+  EXPECT_EQ(m.read(0), 25);
+}
+
+TEST(Integration, Fig2ContrastSaturatingVsLinear) {
+  // The paper's central circuit argument in one test: identical on-current
+  // devices; saturation decides whether logic works.
+  auto sat = std::make_shared<dev::AlphaPowerModel>(
+      dev::make_fig2_saturating_params());
+  auto lin = std::make_shared<dev::LinearFetModel>(
+      dev::make_fig2_linear_params());
+  // Matched drive: within 25% at (1 V, 1 V).
+  EXPECT_NEAR(sat->drain_current(1.0, 1.0) / lin->drain_current(1.0, 1.0),
+              1.0, 0.25);
+
+  auto bench_sat = ckt::make_inverter(sat);
+  auto bench_lin = ckt::make_inverter(lin);
+  const auto m_sat = ckt::measure_vtc(bench_sat);
+  const auto m_lin = ckt::measure_vtc(bench_lin);
+
+  EXPECT_TRUE(m_sat.regenerative);
+  EXPECT_FALSE(m_lin.regenerative);
+  EXPECT_GT(m_sat.nm_low, 0.2);
+  EXPECT_GT(m_sat.nm_high, 0.2);
+  EXPECT_DOUBLE_EQ(m_lin.nm_low, 0.0);
+  EXPECT_DOUBLE_EQ(m_lin.nm_high, 0.0);
+  EXPECT_GT(m_sat.max_abs_gain, 10.0 * m_lin.max_abs_gain);
+}
+
+TEST(Integration, SortingFeedsYieldModelConsistently) {
+  // Purification passes -> metallic ppm -> circuit yield: the Section V
+  // pipeline in one line of reasoning.
+  const auto sorted = fab::apply_sorting(fab::gel_chromatography(), 3);
+  const double m_frac = sorted.metallic_ppm * 1e-6;
+  const double y_gate = fab::gate_yield(m_frac, 2, 4);
+  // A 10k-gate circuit (CNT-computer scale) must be buildable...
+  EXPECT_GT(fab::circuit_yield(y_gate, 10000), 0.5);
+  // ...but a 100M-gate VLSI chip is not, at this purity.
+  EXPECT_LT(fab::circuit_yield(y_gate, 100000000LL), 0.01);
+}
+
+TEST(Integration, BenchmarkUsesRealDeviceModels) {
+  // Fig. 5 engine drives the same CntfetModel the circuit layer uses.
+  const auto tech = carbon::core::make_cnt_technology();
+  const auto model = tech.make_device(20e-9);
+  EXPECT_NE(dynamic_cast<const dev::CntfetModel*>(model.get()), nullptr);
+  const auto pt = carbon::core::benchmark_at_fixed_ioff(model, 0.5, 100e-9);
+  EXPECT_GT(pt.ion_a, 0.0);
+  EXPECT_LT(pt.ss_mv_dec, 100.0);  // bottom-gated device: SS ~ 92
+}
+
+TEST(Integration, HalfVoltCntInverterFasterThanSiAtSameLoad) {
+  // Voltage-scaling thesis: at VDD = 0.5 V the CNT inverter switches a
+  // small load faster than the Si trigate inverter (per-device drive).
+  auto cnt = std::make_shared<dev::CntfetModel>(
+      dev::make_franklin_cntfet_params(30e-9));
+  auto si = std::make_shared<dev::VirtualSourceModel>(
+      dev::make_si_trigate_params(30e-9));
+  lg::CharacterizationOptions opt;
+  opt.v_dd = 0.5;
+  opt.c_load_f = 0.05e-15;
+  const auto t_cnt = lg::characterize_cells(cnt, opt);
+  const auto t_si = lg::characterize_cells(si, opt);
+  EXPECT_GT(t_cnt.t_inv_s, 0.0);
+  EXPECT_GT(t_si.t_inv_s, 0.0);
+  // Single-fin Si at 0.5 V drives ~10 uA; the CNT tube ~8 uA but into the
+  // same tiny load with ~1/300 the cross-section. Require same order.
+  EXPECT_LT(t_cnt.t_inv_s / t_si.t_inv_s, 5.0);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Interpolation: exact recovery, extrapolation rules, and the PCHIP
+// monotonicity guarantee the I-V table caching depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "phys/interp.h"
+#include "phys/require.h"
+
+namespace {
+
+using carbon::phys::LinearInterp;
+using carbon::phys::PchipInterp;
+
+TEST(LinearInterp, RecoversLinesExactly) {
+  const LinearInterp li({0.0, 1.0, 2.0}, {1.0, 3.0, 5.0});
+  EXPECT_DOUBLE_EQ(li(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(li(1.75), 4.5);
+  EXPECT_DOUBLE_EQ(li.derivative(0.3), 2.0);
+}
+
+TEST(LinearInterp, ExtrapolatesWithEdgeSegments) {
+  const LinearInterp li({0.0, 1.0}, {0.0, 2.0});
+  EXPECT_DOUBLE_EQ(li(-1.0), -2.0);
+  EXPECT_DOUBLE_EQ(li(3.0), 6.0);
+}
+
+TEST(LinearInterp, HitsSamplePoints) {
+  const std::vector<double> x{-2.0, -0.5, 0.1, 4.0};
+  const std::vector<double> y{3.0, -1.0, 7.0, 2.0};
+  const LinearInterp li(x, y);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(li(x[i]), y[i]);
+}
+
+TEST(LinearInterp, RejectsBadGrids) {
+  EXPECT_THROW(LinearInterp({0.0, 0.0}, {1.0, 2.0}),
+               carbon::phys::PreconditionError);
+  EXPECT_THROW(LinearInterp({1.0, 0.0}, {1.0, 2.0}),
+               carbon::phys::PreconditionError);
+  EXPECT_THROW(LinearInterp({0.0}, {1.0}), carbon::phys::PreconditionError);
+  EXPECT_THROW(LinearInterp({0.0, 1.0}, {1.0}),
+               carbon::phys::PreconditionError);
+}
+
+TEST(Pchip, InterpolatesSamplePoints) {
+  const std::vector<double> x{0.0, 1.0, 2.5, 4.0};
+  const std::vector<double> y{0.0, 1.0, 0.5, 3.0};
+  const PchipInterp p(x, y);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(p(x[i]), y[i], 1e-14);
+  }
+}
+
+TEST(Pchip, ReproducesSmoothFunctionsAccurately) {
+  std::vector<double> x, y;
+  for (int i = 0; i <= 40; ++i) {
+    x.push_back(i * 0.1);
+    y.push_back(std::exp(-x.back()));
+  }
+  const PchipInterp p(x, y);
+  for (double q = 0.05; q < 4.0; q += 0.17) {
+    EXPECT_NEAR(p(q), std::exp(-q), 2e-4) << "at " << q;
+  }
+}
+
+TEST(Pchip, DerivativeConsistentWithFiniteDifference) {
+  std::vector<double> x, y;
+  for (int i = 0; i <= 30; ++i) {
+    x.push_back(i * 0.2);
+    y.push_back(std::sin(x.back()));
+  }
+  const PchipInterp p(x, y);
+  const double h = 1e-6;
+  for (double q : {0.5, 1.7, 3.3, 5.1}) {
+    const double fd = (p(q + h) - p(q - h)) / (2.0 * h);
+    EXPECT_NEAR(p.derivative(q), fd, 1e-5);
+  }
+}
+
+TEST(Pchip, TwoPointFallsBackToLinear) {
+  const PchipInterp p({0.0, 2.0}, {1.0, 5.0});
+  EXPECT_NEAR(p(1.0), 3.0, 1e-12);
+}
+
+// Property: PCHIP never overshoots monotone data — essential when the
+// interpolant caches a carrier-density or I-V table.
+class PchipMonotone : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PchipMonotone, PreservesMonotonicity) {
+  std::mt19937 gen(GetParam());
+  std::uniform_real_distribution<double> step(0.01, 2.0);
+  std::vector<double> x{0.0}, y{0.0};
+  for (int i = 0; i < 25; ++i) {
+    x.push_back(x.back() + step(gen));
+    y.push_back(y.back() + step(gen) * step(gen));  // increasing data
+  }
+  const PchipInterp p(x, y);
+  double prev = p(x.front());
+  for (double q = x.front(); q <= x.back(); q += (x.back() - x.front()) / 997) {
+    const double v = p(q);
+    EXPECT_GE(v, prev - 1e-12) << "non-monotone at " << q;
+    prev = v;
+  }
+  // And never outside the data range.
+  EXPECT_GE(prev, y.front());
+  EXPECT_LE(prev, y.back() + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PchipMonotone,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+}  // namespace

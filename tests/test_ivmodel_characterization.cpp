@@ -1,0 +1,121 @@
+// The device-characterization helpers themselves: threshold extraction,
+// DIBL, swing measurement, sweep tables and small-signal derivatives, all
+// validated on an analytically known model.
+#include <gtest/gtest.h>
+
+#include "phys/require.h"
+
+#include <cmath>
+#include <memory>
+
+#include "device/ivmodel.h"
+
+namespace {
+
+namespace dev = carbon::device;
+
+/// Analytic exponential-subthreshold + linear-saturation model:
+///   I = I0 * exp((vgs - vt_eff)/sv) for vgs < vt_eff (sv = SS in volts/e)
+///   I = I0 * (1 + (vgs - vt_eff)/sv0) above, with vt_eff = vt0 - dibl*vds.
+/// Every characterization quantity has a closed form.
+class AnalyticFet final : public dev::IDeviceModel {
+ public:
+  AnalyticFet(double vt0, double ss_mv_dec, double dibl_v_per_v)
+      : vt0_(vt0), sv_(ss_mv_dec * 1e-3 / std::log(10.0)),
+        dibl_(dibl_v_per_v) {}
+
+  double drain_current(double vgs, double vds) const override {
+    const double vt_eff = vt0_ - dibl_ * vds;
+    const double x = (vgs - vt_eff) / sv_;
+    const double sat = x < 0.0 ? std::exp(x) : 1.0 + x;
+    return 1e-6 * sat * std::tanh(vds / 0.05);  // saturating output
+  }
+  const std::string& name() const override { return name_; }
+  double width_normalization() const override { return 1e-6; }
+
+ private:
+  double vt0_, sv_, dibl_;
+  std::string name_ = "analytic-fet";
+};
+
+TEST(Characterization, SubthresholdSwingRecovered) {
+  const AnalyticFet m(0.4, 75.0, 0.0);
+  const double ss = dev::subthreshold_swing_mv_dec(m, 0.05, 0.25, 0.5);
+  EXPECT_NEAR(ss, 75.0, 0.5);
+}
+
+TEST(Characterization, ThresholdVoltageAtCriterionCurrent) {
+  const AnalyticFet m(0.4, 75.0, 0.0);
+  // At vgs = vt0 the current is I0 * tanh(10) ~ 1 uA: use that criterion.
+  const double vt = dev::threshold_voltage(m, 1e-6 * std::tanh(10.0), 0.5,
+                                           -0.2, 0.9);
+  EXPECT_NEAR(vt, 0.4, 1e-3);
+}
+
+TEST(Characterization, DiblRecovered) {
+  const double dibl_true = 0.120;  // V/V
+  const AnalyticFet m(0.4, 75.0, dibl_true);
+  // Probe biases both deep in the tanh-saturated output region so only
+  // the threshold shift moves the crossing.
+  const double dibl =
+      dev::dibl_mv_per_v(m, 1e-8, 0.25, 0.5, -0.3, 0.9);
+  EXPECT_NEAR(dibl, dibl_true * 1e3, 2.0);
+}
+
+TEST(Characterization, MinPointSwingFindsSteepestSegment) {
+  const AnalyticFet m(0.4, 75.0, 0.0);
+  const double best = dev::min_point_swing_mv_dec(m, 0.0, 0.3, 0.5, 201);
+  EXPECT_NEAR(best, 75.0, 1.5);  // uniform exponential: min == average
+}
+
+TEST(Characterization, TransconductanceMatchesAnalyticDerivative) {
+  const AnalyticFet m(0.4, 75.0, 0.0);
+  const double sv = 75.0e-3 / std::log(10.0);
+  const double vgs = 0.2;  // subthreshold: dI/dV = I/sv
+  const double i = m.drain_current(vgs, 0.5);
+  EXPECT_NEAR(dev::transconductance(m, vgs, 0.5), i / sv, i / sv * 1e-4);
+}
+
+TEST(Characterization, OutputConductanceOfTanhSaturation) {
+  const AnalyticFet m(0.4, 75.0, 0.0);
+  // d tanh(v/0.05)/dv at v = 0.5: sech^2(10)/0.05 ~ 0: deep saturation.
+  const double gds = dev::output_conductance(m, 0.6, 0.5);
+  EXPECT_LT(std::abs(gds), 1e-9);
+  EXPECT_GT(dev::intrinsic_gain(m, 0.6, 0.5), 1e3);
+}
+
+TEST(Characterization, TransferCurveTableShape) {
+  const AnalyticFet m(0.4, 75.0, 0.0);
+  const auto t = dev::transfer_curve(m, 0.0, 0.8, 41, 0.5);
+  ASSERT_EQ(t.num_rows(), 41);
+  ASSERT_EQ(t.num_cols(), 2);
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(40, 0), 0.8);
+  // Monotone current column.
+  for (int i = 1; i < 41; ++i) EXPECT_GT(t.at(i, 1), t.at(i - 1, 1));
+}
+
+TEST(Characterization, OutputFamilyColumnsPerGateVoltage) {
+  const AnalyticFet m(0.4, 75.0, 0.0);
+  const auto t = dev::output_family(m, 0.0, 0.6, 13, {0.3, 0.5, 0.7});
+  ASSERT_EQ(t.num_cols(), 4);
+  ASSERT_EQ(t.num_rows(), 13);
+  // Higher gate voltage column carries more current at the last row.
+  EXPECT_GT(t.at(12, 3), t.at(12, 2));
+  EXPECT_GT(t.at(12, 2), t.at(12, 1));
+}
+
+TEST(Characterization, ThresholdRequiresCrossing) {
+  const AnalyticFet m(0.4, 75.0, 0.0);
+  // Criterion far above any achievable current: no crossing in range.
+  EXPECT_THROW(dev::threshold_voltage(m, 1.0, 0.5, 0.0, 0.5),
+               carbon::phys::PreconditionError);
+}
+
+TEST(Characterization, SwingNeedsDistinctPoints) {
+  const AnalyticFet m(0.4, 75.0, 0.0);
+  EXPECT_THROW(dev::subthreshold_swing_mv_dec(m, 0.1, 0.1, 0.5),
+               carbon::phys::PreconditionError);
+}
+
+}  // namespace

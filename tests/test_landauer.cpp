@@ -1,0 +1,108 @@
+// Landauer transport formulas: quantum limits, closed form vs numeric
+// integral, and the sign conventions of electron vs hole branches.
+#include "phys/require.h"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phys/constants.h"
+#include "transport/landauer.h"
+
+namespace {
+
+namespace tr = carbon::transport;
+namespace phys = carbon::phys;
+
+constexpr double kKt = 0.02585;
+
+TEST(Landauer, ConductanceQuantumValue) {
+  // q^2/h = 38.74 uS; CNT first subband (D=4): 155 uS => 6.45 kOhm.
+  EXPECT_NEAR(tr::conductance_quantum_per_mode(), 38.74e-6, 0.02e-6);
+  EXPECT_NEAR(phys::kCntQuantumResistance, 6453.0, 5.0);
+}
+
+TEST(Landauer, ZeroBiasZeroCurrent) {
+  EXPECT_DOUBLE_EQ(
+      tr::landauer_current_conduction(0.1, 0.0, 0.0, kKt, 4, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      tr::landauer_current_valence(-0.1, 0.0, 0.0, kKt, 4, 1.0), 0.0);
+}
+
+TEST(Landauer, DegenerateLimitOhmicConductance) {
+  // Band edge far below both chemical potentials: G = D q^2/h.
+  const double vd = 1e-4;
+  const double i =
+      tr::landauer_current_conduction(-0.5, 0.0, -vd, kKt, 4, 1.0);
+  EXPECT_NEAR(i / vd, 4.0 * tr::conductance_quantum_per_mode(), 1e-7);
+}
+
+TEST(Landauer, SubthresholdExponential) {
+  // Barrier well above mu: current scales as exp(-Ec/kT).
+  const double i1 =
+      tr::landauer_current_conduction(0.30, 0.0, -0.2, kKt, 4, 1.0);
+  const double i2 =
+      tr::landauer_current_conduction(0.30 + kKt * std::log(10.0), 0.0, -0.2,
+                                      kKt, 4, 1.0);
+  EXPECT_NEAR(i1 / i2, 10.0, 0.05);
+}
+
+TEST(Landauer, TransmissionScalesLinearly) {
+  const double i_full =
+      tr::landauer_current_conduction(0.05, 0.0, -0.3, kKt, 4, 1.0);
+  const double i_half =
+      tr::landauer_current_conduction(0.05, 0.0, -0.3, kKt, 4, 0.5);
+  EXPECT_NEAR(i_half / i_full, 0.5, 1e-12);
+}
+
+TEST(Landauer, ClosedFormMatchesNumericIntegral) {
+  const double ec = 0.05, mu_s = 0.0, mu_d = -0.3;
+  const auto t_step = [ec](double e) { return e >= ec ? 1.0 : 0.0; };
+  const double numeric = tr::landauer_current_numeric(
+      t_step, mu_s, mu_d, kKt, ec, ec + 40.0 * kKt);
+  const double closed =
+      tr::landauer_current_conduction(ec, mu_s, mu_d, kKt, 1, 1.0);
+  EXPECT_NEAR(numeric / closed, 1.0, 1e-4);
+}
+
+TEST(Landauer, ValenceMirrorsConduction) {
+  // By particle-hole symmetry: valence current for Ev = -Ec under reversed
+  // bias equals the conduction current.
+  const double ic =
+      tr::landauer_current_conduction(0.1, 0.0, -0.3, kKt, 4, 1.0);
+  // Mirror: E -> -E and mu -> -mu maps conduction onto valence.
+  const double iv =
+      tr::landauer_current_valence(-0.1, 0.0, 0.3, kKt, 4, 1.0);
+  EXPECT_NEAR(iv / ic, -1.0, 1e-9);  // reversed bias flips the sign
+}
+
+TEST(Landauer, BothCarrierTypesDriveSameDirection) {
+  // With mu_s > mu_d, both electron and hole branches give positive
+  // (source->drain) current: the ambipolar CNTFET branch adds, not cancels.
+  const double ic =
+      tr::landauer_current_conduction(0.2, 0.0, -0.4, kKt, 4, 1.0);
+  const double iv =
+      tr::landauer_current_valence(-0.2, 0.0, -0.4, kKt, 4, 1.0);
+  EXPECT_GT(ic, 0.0);
+  EXPECT_GT(iv, 0.0);
+}
+
+TEST(Landauer, SaturationWithDrainBias) {
+  // Once mu_d is far below the band edge the drain term dies: current
+  // saturates. This is the microscopic origin of the paper's Fig. 1(b).
+  const double i1 =
+      tr::landauer_current_conduction(0.0, 0.0, -0.2, kKt, 4, 1.0);
+  const double i2 =
+      tr::landauer_current_conduction(0.0, 0.0, -0.5, kKt, 4, 1.0);
+  EXPECT_NEAR(i2 / i1, 1.0, 0.01);
+}
+
+TEST(Landauer, InvalidTransmissionRejected) {
+  EXPECT_THROW(
+      tr::landauer_current_conduction(0.0, 0.0, -0.1, kKt, 4, 1.5),
+      carbon::phys::PreconditionError);
+  EXPECT_THROW(
+      tr::landauer_current_conduction(0.0, 0.0, -0.1, 0.0, 4, 1.0),
+      carbon::phys::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Dense LU and tridiagonal solvers behind the MNA engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "phys/linalg.h"
+#include "phys/require.h"
+
+namespace {
+
+using carbon::phys::LuFactorization;
+using carbon::phys::Matrix;
+using carbon::phys::norm2;
+using carbon::phys::norm_inf;
+using carbon::phys::solve_dense;
+using carbon::phys::solve_tridiagonal;
+
+TEST(Matrix, StorageAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+  m.fill(0.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 0.0);
+}
+
+TEST(Lu, Solves2x2Exactly) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0;
+  const auto x = solve_dense(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, PivotsOnZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 0.0;
+  const auto x = solve_dense(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingularity) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0;
+  EXPECT_THROW(LuFactorization{a}, carbon::phys::ConvergenceError);
+}
+
+TEST(Lu, RandomSystemsResidualSmall) {
+  std::mt19937 gen(7);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 12;
+    Matrix a(n, n);
+    std::vector<double> b(n);
+    for (int i = 0; i < n; ++i) {
+      b[i] = u(gen);
+      for (int j = 0; j < n; ++j) a(i, j) = u(gen);
+      a(i, i) += 4.0;  // diagonally dominant: well conditioned
+    }
+    const auto x = solve_dense(a, b);
+    // residual
+    double worst = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double r = -b[i];
+      for (int j = 0; j < n; ++j) r += a(i, j) * x[j];
+      worst = std::max(worst, std::abs(r));
+    }
+    EXPECT_LT(worst, 1e-11);
+  }
+}
+
+TEST(Lu, FactorizationReusableForManyRhs) {
+  Matrix a(3, 3);
+  a(0, 0) = 4; a(0, 1) = 1; a(0, 2) = 0;
+  a(1, 0) = 1; a(1, 1) = 4; a(1, 2) = 1;
+  a(2, 0) = 0; a(2, 1) = 1; a(2, 2) = 4;
+  const LuFactorization lu(a);
+  const auto x1 = lu.solve({1.0, 0.0, 0.0});
+  const auto x2 = lu.solve({0.0, 0.0, 1.0});
+  // Symmetric matrix: solutions mirror each other.
+  EXPECT_NEAR(x1[0], x2[2], 1e-13);
+  EXPECT_NEAR(x1[2], x2[0], 1e-13);
+  EXPECT_GT(lu.pivot_quality(), 0.0);
+}
+
+TEST(Tridiagonal, MatchesDenseSolve) {
+  const int n = 6;
+  std::vector<double> sub(n - 1, -1.0), diag(n, 2.5), sup(n - 1, -1.0);
+  std::vector<double> rhs{1, 2, 3, 4, 5, 6};
+  const auto x = solve_tridiagonal(sub, diag, sup, rhs);
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    a(i, i) = diag[i];
+    if (i > 0) a(i, i - 1) = sub[i - 1];
+    if (i < n - 1) a(i, i + 1) = sup[i];
+  }
+  const auto xd = solve_dense(a, rhs);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], xd[i], 1e-12);
+}
+
+TEST(Tridiagonal, SizeMismatchThrows) {
+  EXPECT_THROW(
+      solve_tridiagonal({1.0}, {1.0, 1.0, 1.0}, {1.0}, {1.0, 1.0, 1.0}),
+      carbon::phys::PreconditionError);
+}
+
+TEST(Norms, BasicValues) {
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf({-7.0, 2.0, 5.0}), 7.0);
+  EXPECT_DOUBLE_EQ(norm2({}), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Event-driven gate simulator: truth tables, delays, buses and latches.
+#include "phys/require.h"
+#include <gtest/gtest.h>
+
+#include "logic/gatesim.h"
+
+namespace {
+
+using carbon::logic::GateSim;
+using carbon::logic::GateType;
+using carbon::logic::NetId;
+
+struct TruthCase {
+  GateType type;
+  bool a, b, expected;
+};
+
+class TwoInputTruth : public ::testing::TestWithParam<TruthCase> {};
+
+TEST_P(TwoInputTruth, Table) {
+  const auto& tc = GetParam();
+  GateSim sim;
+  const NetId a = sim.add_net("a");
+  const NetId b = sim.add_net("b");
+  const NetId y = sim.add_net("y");
+  sim.add_gate(tc.type, {a, b}, y, 1e-12);
+  sim.set_input(a, tc.a, 0.0);
+  sim.set_input(b, tc.b, 0.0);
+  sim.run_until(1e-9);
+  EXPECT_EQ(sim.value(y), tc.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, TwoInputTruth,
+    ::testing::Values(
+        TruthCase{GateType::kAnd2, true, true, true},
+        TruthCase{GateType::kAnd2, true, false, false},
+        TruthCase{GateType::kOr2, false, false, false},
+        TruthCase{GateType::kOr2, false, true, true},
+        TruthCase{GateType::kNand2, true, true, false},
+        TruthCase{GateType::kNand2, false, true, true},
+        TruthCase{GateType::kNor2, false, false, true},
+        TruthCase{GateType::kNor2, true, false, false},
+        TruthCase{GateType::kXor2, true, false, true},
+        TruthCase{GateType::kXor2, true, true, false},
+        TruthCase{GateType::kXnor2, true, true, true},
+        TruthCase{GateType::kXnor2, false, true, false}));
+
+TEST(GateSimTest, InverterChainAccumulatesDelay) {
+  GateSim sim;
+  const NetId in = sim.add_net("in");
+  NetId prev = in;
+  const double d = 5e-12;
+  NetId last = -1;
+  for (int i = 0; i < 4; ++i) {
+    last = sim.add_net("n" + std::to_string(i));
+    sim.add_gate(GateType::kInv, {prev}, last, d);
+    prev = last;
+  }
+  // Settle the x-propagation of initial values first.
+  sim.run_until(1e-9);
+  EXPECT_EQ(sim.value(last), false);  // even # of inversions of 0... wait 4 inversions of 0 -> 0
+  sim.set_input(in, true, 2e-9);
+  const double t_done = sim.run_until(3e-9);
+  EXPECT_EQ(sim.value(last), true);
+  EXPECT_NEAR(t_done - 2e-9, 4 * d, 1e-15);
+}
+
+TEST(GateSimTest, BufferFollows) {
+  GateSim sim;
+  const NetId a = sim.add_net("a");
+  const NetId y = sim.add_net("y");
+  sim.add_gate(GateType::kBuf, {a}, y, 1e-12);
+  sim.set_input(a, true, 0.0);
+  sim.run_until(1e-10);
+  EXPECT_TRUE(sim.value(y));
+}
+
+TEST(GateSimTest, DLatchTransparencyAndHold) {
+  GateSim sim;
+  const NetId d = sim.add_net("d");
+  const NetId en = sim.add_net("en");
+  const NetId q = sim.add_net("q");
+  sim.add_gate(GateType::kDLatch, {d, en}, q, 1e-12);
+  // Enable high: q follows d.
+  sim.set_input(en, true, 1e-9);
+  sim.set_input(d, true, 2e-9);
+  sim.run_until(3e-9);
+  EXPECT_TRUE(sim.value(q));
+  // Enable low: q holds despite d falling.
+  sim.set_input(en, false, 4e-9);
+  sim.set_input(d, false, 5e-9);
+  sim.run_until(6e-9);
+  EXPECT_TRUE(sim.value(q));
+  // Re-open: q tracks the new d.
+  sim.set_input(en, true, 7e-9);
+  sim.run_until(8e-9);
+  EXPECT_FALSE(sim.value(q));
+}
+
+TEST(GateSimTest, BusReadWrite) {
+  GateSim sim;
+  std::vector<NetId> bus;
+  for (int i = 0; i < 8; ++i) bus.push_back(sim.add_net("b" + std::to_string(i)));
+  sim.set_bus(bus, 0xA5, 0.0);
+  sim.run_until(1e-12);
+  EXPECT_EQ(sim.read_bus(bus), 0xA5u);
+}
+
+TEST(GateSimTest, EventCountTracksActivity) {
+  GateSim sim;
+  const NetId a = sim.add_net("a");
+  const NetId y = sim.add_net("y");
+  sim.add_gate(GateType::kInv, {a}, y, 1e-12);
+  sim.run_until(1e-12);  // initial propagation: y = !0 = 1
+  const long long before = sim.events_processed();
+  sim.set_input(a, true, 1e-9);
+  sim.run_until(2e-9);
+  EXPECT_GT(sim.events_processed(), before);
+}
+
+TEST(GateSimTest, NoChangeNoEvents) {
+  GateSim sim;
+  const NetId a = sim.add_net("a");
+  const NetId y = sim.add_net("y");
+  sim.add_gate(GateType::kInv, {a}, y, 1e-12);
+  sim.run_until(1e-10);
+  const long long settled = sim.events_processed();
+  sim.set_input(a, false, 1e-9);  // same value as current
+  sim.run_until(2e-9);
+  EXPECT_EQ(sim.events_processed(), settled);
+}
+
+TEST(GateSimTest, ValidatesArguments) {
+  GateSim sim;
+  const NetId a = sim.add_net("a");
+  const NetId y = sim.add_net("y");
+  EXPECT_THROW(sim.add_gate(GateType::kInv, {a, a}, y, 1e-12),
+               carbon::phys::PreconditionError);
+  EXPECT_THROW(sim.add_gate(GateType::kAnd2, {a}, y, 1e-12),
+               carbon::phys::PreconditionError);
+  EXPECT_THROW(sim.add_gate(GateType::kInv, {a}, 99, 1e-12),
+               carbon::phys::PreconditionError);
+  EXPECT_THROW(sim.value(42), carbon::phys::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Mean-free-path transmission, contact resistance scaling (paper III.B /
+// T2 claim) and band-to-band tunneling primitives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phys/constants.h"
+#include "transport/btbt.h"
+#include "transport/mfp.h"
+#include "transport/schottky.h"
+
+namespace {
+
+namespace tr = carbon::transport;
+namespace phys = carbon::phys;
+
+TEST(Mfp, LowBiasIsAcousticLimited) {
+  const tr::MfpModel m;
+  EXPECT_NEAR(m.lambda_eff(0.01), m.lambda_acoustic, 0.05 * m.lambda_acoustic);
+}
+
+TEST(Mfp, HighBiasIsOpticalLimited) {
+  const tr::MfpModel m;
+  const double expected =
+      1.0 / (1.0 / m.lambda_acoustic + 1.0 / m.lambda_optical);
+  EXPECT_NEAR(m.lambda_eff(0.6), expected, 0.05 * expected);
+}
+
+TEST(Mfp, TransmissionLimits) {
+  const tr::MfpModel m;
+  EXPECT_NEAR(m.transmission(0.0, 0.05), 1.0, 1e-12);
+  EXPECT_GT(m.transmission(10e-9, 0.05), 0.9);   // short channel ~ ballistic
+  EXPECT_LT(m.transmission(1e-6, 0.05), 0.30);   // long channel diffusive
+}
+
+TEST(Mfp, TransmissionDecreasesWithLength) {
+  const tr::MfpModel m;
+  double prev = 1.1;
+  for (double l : {5e-9, 20e-9, 100e-9, 500e-9}) {
+    const double t = m.transmission(l, 0.3);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Contacts, QuantumFloorPlusTwoContacts) {
+  // Long contacts: total = h/4e^2 + 2 * r_long ~ 6.45k + 5k = 11.45 kOhm —
+  // the paper's "as low as 11 kOhm" series resistance (ref [16]).
+  const tr::ContactResistanceModel c;  // defaults: 2.5 kOhm long contacts
+  const double total = c.total_series_resistance(300e-9);
+  EXPECT_NEAR(total, phys::kCntQuantumResistance + 2.0 * 2.5e3, 100.0);
+  EXPECT_NEAR(total, 11.5e3, 1.0e3);
+}
+
+TEST(Contacts, ShortContactsGrowAsCoth) {
+  const tr::ContactResistanceModel c;
+  // At Lc = LT: coth(1) = 1.313; at Lc = LT/4: ~ 4.08.
+  EXPECT_NEAR(c.contact_resistance(c.transfer_length) / c.r_long_ohm,
+              1.0 / std::tanh(1.0), 1e-9);
+  const double short_r = c.contact_resistance(c.transfer_length / 4.0);
+  EXPECT_GT(short_r, 3.5 * c.r_long_ohm);
+}
+
+TEST(Contacts, TwentyNmContactStillUsable) {
+  // Paper: "a device with 20 nm channel and 20 nm contact length performs
+  // still very well": resistance grows but stays within ~3x the long limit.
+  const tr::ContactResistanceModel c;
+  const double r20 = c.total_series_resistance(20e-9);
+  const double r_long = c.total_series_resistance(1e-6);
+  EXPECT_LT(r20 / r_long, 3.0);
+  EXPECT_GT(r20 / r_long, 1.2);
+}
+
+TEST(Contacts, MonotoneInContactLength) {
+  const tr::ContactResistanceModel c;
+  double prev = 1e18;
+  for (double lc : {5e-9, 10e-9, 20e-9, 50e-9, 100e-9, 400e-9}) {
+    const double r = c.contact_resistance(lc);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Wkb, TransmissionBounds) {
+  const double m_eff = 0.05 * phys::kElectronMass;
+  const double t = tr::wkb_triangular_transmission(0.3, 1e8, m_eff);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 1.0);
+  EXPECT_EQ(tr::wkb_triangular_transmission(-0.1, 1e8, m_eff), 1.0);
+}
+
+TEST(Wkb, MoreFieldMoreTransmission) {
+  const double m_eff = 0.05 * phys::kElectronMass;
+  EXPECT_GT(tr::wkb_triangular_transmission(0.3, 2e8, m_eff),
+            tr::wkb_triangular_transmission(0.3, 1e8, m_eff));
+}
+
+TEST(Btbt, MonotoneInFieldAndGap) {
+  const double m_eff = 0.05 * phys::kElectronMass;
+  EXPECT_GT(tr::btbt_transmission(0.6, m_eff, 2e8),
+            tr::btbt_transmission(0.6, m_eff, 1e8));
+  EXPECT_GT(tr::btbt_transmission(0.4, m_eff, 1e8),
+            tr::btbt_transmission(0.8, m_eff, 1e8));
+  EXPECT_EQ(tr::btbt_transmission(0.6, m_eff, 0.0), 0.0);
+}
+
+TEST(Btbt, SmallDiameterTubesTunnelMore) {
+  // Smaller d => smaller gap AND smaller mass; both help. Quantifies the
+  // paper's "nanotubes are very small (sharp)" TFET advantage.
+  const double t_small = tr::btbt_transmission(
+      0.5, 0.04 * phys::kElectronMass, 1.5e8);
+  const double t_large = tr::btbt_transmission(
+      0.8, 0.07 * phys::kElectronMass, 1.5e8);
+  EXPECT_GT(t_small, 20.0 * t_large);
+}
+
+TEST(Btbt, CurrentScalesWithWindowAndDegeneracy) {
+  const double i1 = tr::btbt_current(0.1, 0.2, 4);
+  EXPECT_NEAR(tr::btbt_current(0.1, 0.4, 4) / i1, 2.0, 1e-12);
+  EXPECT_NEAR(tr::btbt_current(0.1, 0.2, 2) / i1, 0.5, 1e-12);
+  EXPECT_EQ(tr::btbt_current(0.1, -0.05, 4), 0.0);
+}
+
+TEST(JunctionField, SharpFeaturesEnhanceField) {
+  EXPECT_GT(tr::junction_field(0.6, 2e-9), tr::junction_field(0.6, 10e-9));
+}
+
+}  // namespace

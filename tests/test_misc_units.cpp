@@ -1,0 +1,139 @@
+// Coverage of the small supporting pieces: units, gate-stack
+// electrostatics, waveforms, the claim scorer and RF metric plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/report.h"
+#include "device/electrostatics.h"
+#include "phys/constants.h"
+#include "phys/require.h"
+#include "phys/units.h"
+#include "spice/waveform.h"
+
+namespace {
+
+namespace phys = carbon::phys;
+namespace dev = carbon::device;
+namespace sp = carbon::spice;
+namespace core = carbon::core;
+
+TEST(Units, RoundTrips) {
+  EXPECT_DOUBLE_EQ(phys::nm(1.5), 1.5e-9);
+  EXPECT_DOUBLE_EQ(phys::to_nm(phys::nm(2.7)), 2.7);
+  EXPECT_DOUBLE_EQ(phys::ua(3.0), 3e-6);
+  EXPECT_DOUBLE_EQ(phys::to_ua(phys::ua(8.0)), 8.0);
+  EXPECT_DOUBLE_EQ(phys::fF(10.0), 1e-14);
+  EXPECT_DOUBLE_EQ(phys::kohm(6.45), 6450.0);
+  EXPECT_NEAR(phys::joule_to_ev(phys::ev_to_joule(0.56)), 0.56, 1e-15);
+}
+
+TEST(Units, CurrentPerWidth) {
+  // 2 uA through a 1 nm wide channel = 2 mA/um.
+  EXPECT_NEAR(phys::to_ma_per_um(2e-6, 1e-9), 2.0, 1e-12);
+  EXPECT_NEAR(phys::to_ua_per_um(2e-6, 1e-6), 2.0, 1e-12);
+}
+
+TEST(Constants, ThermalVoltageAt300K) {
+  EXPECT_NEAR(phys::thermal_voltage(300.0), 0.02585, 1e-4);
+}
+
+TEST(GateStack, CoaxialCapacitanceFormula) {
+  dev::GateStack g;
+  g.geometry = dev::GateGeometry::kGateAllAround;
+  g.t_ox = 3e-9;
+  g.eps_r = 16.0;
+  g.diameter = 1.5e-9;
+  const double expected = 2.0 * M_PI * phys::kEpsilon0 * 16.0 /
+                          std::log((0.75e-9 + 3e-9) / 0.75e-9);
+  EXPECT_NEAR(g.insulator_capacitance(), expected, 1e-15);
+}
+
+TEST(GateStack, GeometryOrderingOfControl) {
+  dev::GateStack gaa, omega, planar, back;
+  gaa.geometry = dev::GateGeometry::kGateAllAround;
+  omega.geometry = dev::GateGeometry::kOmega;
+  planar.geometry = dev::GateGeometry::kPlanarTop;
+  back.geometry = dev::GateGeometry::kPlanarBack;
+  EXPECT_GT(gaa.alpha_g(), omega.alpha_g());
+  EXPECT_GT(omega.alpha_g(), planar.alpha_g());
+  EXPECT_GT(planar.alpha_g(), back.alpha_g());
+  EXPECT_LT(gaa.alpha_d(), back.alpha_d());
+  EXPECT_GT(gaa.insulator_capacitance(), omega.insulator_capacitance());
+}
+
+TEST(GateStack, ThinnerOxideMoreCapacitance) {
+  dev::GateStack thin, thick;
+  thin.t_ox = 2e-9;
+  thick.t_ox = 8e-9;
+  EXPECT_GT(thin.insulator_capacitance(), thick.insulator_capacitance());
+}
+
+TEST(ScaleLength, CntBeatsIIIV) {
+  // Single-atomic-layer channel: tiny scale length.
+  const double cnt = dev::scale_length(1.0, 16.0, 1.5e-9, 3e-9);
+  const double iiiv = dev::scale_length(15.0, 9.0, 10e-9, 2.5e-9);
+  EXPECT_LT(cnt, 1e-9);
+  EXPECT_GT(iiiv / cnt, 3.0);
+}
+
+TEST(Waveforms, PulseTimingExact) {
+  sp::PulseWave p(0.0, 1.0, 1e-9, 1e-10, 1e-10, 2e-9, 10e-9);
+  EXPECT_DOUBLE_EQ(p.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.value(1e-9), 0.0);          // delay edge
+  EXPECT_NEAR(p.value(1.05e-9), 0.5, 1e-9);      // mid rise
+  EXPECT_DOUBLE_EQ(p.value(2e-9), 1.0);          // plateau
+  EXPECT_NEAR(p.value(3.15e-9), 0.5, 1e-9);      // mid fall
+  EXPECT_DOUBLE_EQ(p.value(5e-9), 0.0);          // off
+  EXPECT_DOUBLE_EQ(p.value(12e-9), 1.0);         // periodic repeat
+}
+
+TEST(Waveforms, PwlClampsOutsideRange) {
+  sp::PwlWave w({{1.0, 2.0}, {2.0, 4.0}});
+  EXPECT_DOUBLE_EQ(w.value(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(w.value(1.5), 3.0);
+  EXPECT_DOUBLE_EQ(w.value(9.0), 4.0);
+}
+
+TEST(Waveforms, SinDampingDecays) {
+  sp::SinWave w(0.0, 1.0, 1e6, 0.0, 1e6);
+  EXPECT_GT(std::abs(w.value(0.25e-6)), std::abs(w.value(1.25e-6)));
+}
+
+TEST(Waveforms, ValidationErrors) {
+  EXPECT_THROW(sp::PulseWave(0, 1, 0, 0.0, 1e-10, 1e-9, 1e-8),
+               phys::PreconditionError);
+  EXPECT_THROW(sp::PwlWave({{0.0, 1.0}}), phys::PreconditionError);
+  EXPECT_THROW(sp::SinWave(0, 1, 0.0), phys::PreconditionError);
+}
+
+TEST(Claims, BandScoring) {
+  std::ostringstream os;
+  const int misses = core::print_claims(
+      os, {{"a", "in band", 10.0, 11.0, "", 0.2},
+           {"b", "out of band", 10.0, 20.0, "", 0.2}});
+  EXPECT_EQ(misses, 1);
+  EXPECT_NE(os.str().find("[MISS]"), std::string::npos);
+  EXPECT_NE(os.str().find("[ok]"), std::string::npos);
+}
+
+TEST(Claims, DirectionalScoring) {
+  std::ostringstream os;
+  const int misses = core::print_claims(
+      os,
+      {{"ge", "exceeds floor", 10.0, 100.0, "", 0.2,
+        core::ClaimKind::kAtLeast},
+       {"le", "below ceiling", 10.0, 1.0, "", 0.2, core::ClaimKind::kAtMost},
+       {"ge2", "misses floor", 10.0, 1.0, "", 0.2,
+        core::ClaimKind::kAtLeast}});
+  EXPECT_EQ(misses, 1);
+}
+
+TEST(Banner, ContainsId) {
+  std::ostringstream os;
+  core::print_banner(os, "E9", "demo");
+  EXPECT_NE(os.str().find("E9"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Virtual-source baselines (Si trigate, InAs/InGaAs HEMT), the alpha-power
+// Fig. 2 device, and the Skotnicki-Boeuf dark-space electrostatics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/alpha_power.h"
+#include "device/mosfet.h"
+#include "device/rf_metrics.h"
+
+namespace {
+
+namespace dev = carbon::device;
+
+TEST(SiTrigate, PaperCalibrationPoint) {
+  // "~66 uA at VDS = 1 V and VGS = 1 V" for the 30 nm trigate fin.
+  const dev::VirtualSourceModel m(dev::make_si_trigate_params(30e-9));
+  EXPECT_NEAR(m.drain_current(1.0, 1.0) * 1e6, 66.0, 12.0);
+}
+
+TEST(SiTrigate, WeffIs88nm) {
+  const auto p = dev::make_si_trigate_params();
+  EXPECT_NEAR(p.width * 1e9, 88.0, 1e-9);
+}
+
+TEST(VirtualSource, OutputSaturates) {
+  const dev::VirtualSourceModel m(dev::make_si_trigate_params());
+  const double ratio = m.drain_current(1.0, 1.0) / m.drain_current(1.0, 0.6);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(VirtualSource, InAsBeatsSiAtLowVoltage) {
+  // del Alamo's headline: III-V HEMTs deliver more current at VDD = 0.5 V.
+  const dev::VirtualSourceModel si(dev::make_si_trigate_params(30e-9));
+  const dev::VirtualSourceModel inas(dev::make_inas_hemt_params(30e-9));
+  const double si_ma_um =
+      si.drain_current(0.5, 0.5) / (si.width_normalization() * 1e6) * 1e3;
+  const double inas_ma_um =
+      inas.drain_current(0.5, 0.5) / (inas.width_normalization() * 1e6) * 1e3;
+  EXPECT_GT(inas_ma_um, si_ma_um);
+  EXPECT_NEAR(inas_ma_um, 0.55, 0.2);  // ~0.5-0.6 mA/um benchmark band
+}
+
+TEST(VirtualSource, InGaAsBelowInAs) {
+  const dev::VirtualSourceModel inas(dev::make_inas_hemt_params(30e-9));
+  const dev::VirtualSourceModel ingaas(dev::make_ingaas_hemt_params(30e-9));
+  EXPECT_GT(inas.drain_current(0.5, 0.5), ingaas.drain_current(0.5, 0.5));
+}
+
+TEST(DarkSpace, IIIVScaleLengthExceedsSi) {
+  // The Skotnicki-Boeuf penalty: low DOS + high permittivity = large dark
+  // space = larger electrostatic scale length despite high-k gating.
+  const auto si = dev::make_si_trigate_params(30e-9);
+  const auto inas = dev::make_inas_hemt_params(30e-9);
+  EXPECT_GT(inas.scale_length_m(), si.scale_length_m());
+}
+
+TEST(DarkSpace, ShortChannelDegradesIIIVFaster) {
+  const auto long_inas = dev::make_inas_hemt_params(60e-9);
+  const auto short_inas = dev::make_inas_hemt_params(15e-9);
+  EXPECT_GT(short_inas.dibl(), 3.0 * long_inas.dibl());
+  EXPECT_GT(short_inas.ideality(), long_inas.ideality());
+}
+
+TEST(DarkSpace, RemovingDarkSpaceImprovesElectrostatics) {
+  auto with = dev::make_inas_hemt_params(20e-9);
+  auto without = with;
+  without.dark_space = 0.0;
+  EXPECT_LT(without.scale_length_m(), with.scale_length_m());
+  EXPECT_LT(without.dibl(), with.dibl());
+}
+
+TEST(VirtualSource, SubthresholdSwingTracksIdeality) {
+  const auto p = dev::make_si_trigate_params(30e-9);
+  const dev::VirtualSourceModel m(p);
+  const double ss =
+      carbon::device::subthreshold_swing_mv_dec(m, 0.05, 0.2, 0.5);
+  EXPECT_NEAR(ss, p.ideality() * 61.5, 8.0);
+}
+
+TEST(VirtualSource, ReverseBiasAntisymmetry) {
+  const dev::VirtualSourceModel m(dev::make_si_trigate_params());
+  const double fwd = m.drain_current(0.8, 0.4);
+  EXPECT_NEAR(m.drain_current(0.8 - 0.4, -0.4), -fwd, std::abs(fwd) * 1e-6);
+}
+
+TEST(AlphaPower, SaturatesAboveVdsat) {
+  const dev::AlphaPowerModel m(dev::make_fig2_saturating_params());
+  const double i08 = m.drain_current(1.0, 0.8);
+  const double i10 = m.drain_current(1.0, 1.0);
+  EXPECT_LT(i10 / i08, 1.05);
+}
+
+TEST(AlphaPower, Fig2OnCurrentScale) {
+  const dev::AlphaPowerModel m(dev::make_fig2_saturating_params());
+  EXPECT_NEAR(m.drain_current(1.0, 1.0) * 1e3, 0.45, 0.12);  // ~0.4 mA
+}
+
+TEST(AlphaPower, TriodeRegionRoughlyLinear) {
+  const dev::AlphaPowerModel m(dev::make_fig2_saturating_params());
+  const double g_lin =
+      m.drain_current(1.0, 0.05) / 0.05;
+  EXPECT_GT(g_lin, 0.0);
+  // Small-vds slope exceeds the saturated slope by a wide margin.
+  const double g_sat = carbon::device::output_conductance(m, 1.0, 0.9);
+  EXPECT_GT(g_lin, 5.0 * g_sat);
+}
+
+TEST(RfMetrics, SaturatingDeviceHasGainAndFmax) {
+  const dev::AlphaPowerModel m(dev::make_fig2_saturating_params());
+  const auto ss = dev::extract_small_signal(m, 0.8, 0.8);
+  EXPECT_GT(ss.gain, 3.0);
+  EXPECT_GT(ss.ft_hz, 1e9);
+  EXPECT_GT(ss.fmax_hz, 0.0);
+}
+
+// Gate-length sweep: currents grow as channels shrink; electrostatics
+// degrade smoothly (no kinks that would break the benchmark root solves).
+class VsLengthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(VsLengthSweep, CurrentsFiniteAndOrdered) {
+  const double lg = GetParam();
+  const dev::VirtualSourceModel m(dev::make_inas_hemt_params(lg));
+  const double ion = m.drain_current(0.5, 0.5);
+  EXPECT_GT(ion, 0.0);
+  EXPECT_TRUE(std::isfinite(ion));
+  const double ioff = m.drain_current(0.0, 0.5);
+  EXPECT_GT(ion, ioff);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, VsLengthSweep,
+                         ::testing::Values(15e-9, 30e-9, 60e-9, 120e-9));
+
+}  // namespace

@@ -1,0 +1,152 @@
+// SPICE-deck parser: numbers with engineering suffixes, element cards,
+// sources with waveforms, model registry resolution, and error reporting.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "device/alpha_power.h"
+#include "spice/analyses.h"
+#include "spice/netlist_parser.h"
+
+namespace {
+
+namespace sp = carbon::spice;
+namespace dev = carbon::device;
+
+TEST(SpiceNumber, PlainAndSuffixed) {
+  EXPECT_DOUBLE_EQ(sp::parse_spice_number("42"), 42.0);
+  EXPECT_DOUBLE_EQ(sp::parse_spice_number("-3.5"), -3.5);
+  EXPECT_DOUBLE_EQ(sp::parse_spice_number("2.5k"), 2500.0);
+  EXPECT_DOUBLE_EQ(sp::parse_spice_number("10f"), 1e-14);
+  EXPECT_DOUBLE_EQ(sp::parse_spice_number("3meg"), 3e6);
+  EXPECT_DOUBLE_EQ(sp::parse_spice_number("1u"), 1e-6);
+  EXPECT_DOUBLE_EQ(sp::parse_spice_number("5n"), 5e-9);
+  EXPECT_DOUBLE_EQ(sp::parse_spice_number("7p"), 7e-12);
+  EXPECT_DOUBLE_EQ(sp::parse_spice_number("2m"), 2e-3);
+  EXPECT_DOUBLE_EQ(sp::parse_spice_number("1g"), 1e9);
+  EXPECT_DOUBLE_EQ(sp::parse_spice_number("1e-3"), 1e-3);
+}
+
+TEST(SpiceNumber, UnitTailsAccepted) {
+  EXPECT_DOUBLE_EQ(sp::parse_spice_number("10kohm"), 10e3);
+  EXPECT_DOUBLE_EQ(sp::parse_spice_number("100nF"), 100e-9);
+}
+
+TEST(SpiceNumber, GarbageRejected) {
+  EXPECT_THROW(sp::parse_spice_number("abc"), sp::ParseError);
+  EXPECT_THROW(sp::parse_spice_number("1.5x"), sp::ParseError);
+}
+
+TEST(Parser, ResistorDividerSolves) {
+  const auto ckt = sp::parse_netlist(R"(
+* a comment
+v1 a 0 10
+r1 a b 2k
+r2 b 0 3k
+)");
+  const auto sol = sp::operating_point(*ckt);
+  EXPECT_NEAR(sp::node_voltage(*ckt, sol, "b"), 6.0, 1e-9);
+}
+
+TEST(Parser, CommentsAndBlankLinesIgnored) {
+  const auto ckt = sp::parse_netlist(
+      "* header\n\n# hash comment\nr1 a 0 1k ; trailing comment\n");
+  EXPECT_EQ(ckt->num_nodes(), 1);
+}
+
+TEST(Parser, PulseSourceParsed) {
+  const auto ckt = sp::parse_netlist(
+      "v1 in 0 PULSE(0 1 1n 10p 10p 2n 4n)\nr1 in 0 1k\n");
+  sp::TransientOptions opt;
+  opt.t_stop = 2e-9;
+  opt.dt = 1e-11;
+  const auto tr = sp::transient(*ckt, opt, {"in"});
+  // Before delay: 0; after rise: 1.
+  EXPECT_NEAR(tr.at(0, 1), 0.0, 1e-9);
+  EXPECT_NEAR(tr.at(tr.num_rows() - 1, 1), 1.0, 1e-6);
+}
+
+TEST(Parser, SinAndPwlParsed) {
+  EXPECT_NO_THROW(sp::parse_netlist(
+      "v1 a 0 SIN(0.5 0.5 1meg)\nv2 b 0 PWL(0 0 1u 1)\nr1 a b 1k\n"));
+}
+
+TEST(Parser, DiodeOptionsParsed) {
+  const auto ckt = sp::parse_netlist(
+      "v1 a 0 5\nr1 a d 1k\nd1 d 0 is=1e-14 n=1.2\n");
+  const auto sol = sp::operating_point(*ckt);
+  const double vd = sp::node_voltage(*ckt, sol, "d");
+  EXPECT_GT(vd, 0.5);
+  EXPECT_LT(vd, 1.0);
+}
+
+TEST(Parser, FetFromModelRegistry) {
+  sp::ModelRegistry models;
+  models["nfet"] = std::make_shared<dev::AlphaPowerModel>(
+      dev::make_fig2_saturating_params());
+  models["pfet"] = std::make_shared<dev::PTypeMirror>(
+      std::static_pointer_cast<const dev::IDeviceModel>(models["nfet"]));
+  const auto ckt = sp::parse_netlist(R"(
+vdd vdd 0 1.0
+vin in  0 0.5
+mn  out in 0   nfet
+mp  out in vdd pfet
+c1  out 0 10f
+)", models);
+  const auto sol = sp::operating_point(*ckt);
+  const double vout = sp::node_voltage(*ckt, sol, "out");
+  EXPECT_GT(vout, 0.0);
+  EXPECT_LT(vout, 1.0);
+}
+
+TEST(Parser, FetMultiplierOption) {
+  sp::ModelRegistry models;
+  models["nfet"] = std::make_shared<dev::AlphaPowerModel>(
+      dev::make_fig2_saturating_params());
+  const auto ckt1 = sp::parse_netlist(
+      "vd d 0 0.5\nvg g 0 1.0\nmn d g 0 nfet\n", models);
+  const auto ckt2 = sp::parse_netlist(
+      "vd d 0 0.5\nvg g 0 1.0\nmn d g 0 nfet m=3\n", models);
+  const auto s1 = sp::operating_point(*ckt1);
+  const auto s2 = sp::operating_point(*ckt2);
+  const auto* vd1 = dynamic_cast<sp::VSource*>(ckt1->elements()[0].get());
+  const auto* vd2 = dynamic_cast<sp::VSource*>(ckt2->elements()[0].get());
+  const double i1 = sp::vsource_current(*ckt1, s1, *vd1);
+  const double i2 = sp::vsource_current(*ckt2, s2, *vd2);
+  EXPECT_NEAR(i2 / i1, 3.0, 1e-6);
+}
+
+TEST(Parser, UnknownModelIsAnError) {
+  EXPECT_THROW(sp::parse_netlist("mn d g 0 mystery\n"), sp::ParseError);
+}
+
+TEST(Parser, MalformedCardsReportLineNumbers) {
+  try {
+    sp::parse_netlist("r1 a 0 1k\nr2 a\n");
+    FAIL() << "expected ParseError";
+  } catch (const sp::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, UnknownElementKindRejected) {
+  EXPECT_THROW(sp::parse_netlist("q1 a b c\n"), sp::ParseError);
+}
+
+TEST(Parser, CapacitorInitialCondition) {
+  const auto ckt = sp::parse_netlist("c1 a 0 1n ic=0.5\nr1 a 0 1k\n");
+  sp::TransientOptions opt;
+  opt.t_stop = 1e-8;
+  opt.dt = 1e-10;
+  const auto tr = sp::transient(*ckt, opt, {"a"});
+  // The cap starts charged at 0.5 V... after the DC OP it discharges;
+  // the IC applies to transient state. First recorded row is the DC OP
+  // (0 V since the cap is open in DC); just check the run completes.
+  EXPECT_GT(tr.num_rows(), 10);
+}
+
+TEST(Parser, DotCardsIgnored) {
+  EXPECT_NO_THROW(sp::parse_netlist(".tran 1n 10n\nr1 a 0 1k\n.end\n"));
+}
+
+}  // namespace

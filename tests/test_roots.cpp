@@ -1,0 +1,92 @@
+// Root finding: Brent correctness, bracketing robustness, the
+// Newton-with-bisection safeguard.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phys/require.h"
+#include "phys/roots.h"
+
+namespace {
+
+using carbon::phys::bracket_root;
+using carbon::phys::brent;
+using carbon::phys::find_root;
+using carbon::phys::newton_bisect;
+
+TEST(Brent, SimplePolynomial) {
+  const auto f = [](double x) { return x * x - 4.0; };
+  EXPECT_NEAR(brent(f, 0.0, 10.0), 2.0, 1e-10);
+}
+
+TEST(Brent, TranscendentalRoot) {
+  const auto f = [](double x) { return std::cos(x) - x; };
+  EXPECT_NEAR(brent(f, 0.0, 1.0), 0.7390851332151607, 1e-10);
+}
+
+TEST(Brent, RootAtBracketEndpoint) {
+  const auto f = [](double x) { return x - 1.0; };
+  EXPECT_DOUBLE_EQ(brent(f, 1.0, 2.0), 1.0);
+}
+
+TEST(Brent, ThrowsWithoutSignChange) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW(brent(f, -1.0, 1.0), carbon::phys::PreconditionError);
+}
+
+TEST(Brent, SteepExponentialCrossing) {
+  // The kind of function threshold retargeting produces: decades per volt.
+  const auto f = [](double x) { return std::exp(20.0 * x) - 1e3; };
+  const double root = std::log(1e3) / 20.0;
+  EXPECT_NEAR(brent(f, -1.0, 1.0), root, 1e-9);
+}
+
+TEST(BracketRoot, ExpandsToFindSignChange) {
+  const auto f = [](double x) { return x - 100.0; };
+  const auto br = bracket_root(f, 0.0, 1.0);
+  ASSERT_TRUE(br.found);
+  EXPECT_LE(f(br.lo) * f(br.hi), 0.0);
+}
+
+TEST(BracketRoot, FailsGracefullyOnNoRoot) {
+  const auto f = [](double) { return 1.0; };
+  EXPECT_FALSE(bracket_root(f, 0.0, 1.0, 8).found);
+}
+
+TEST(FindRoot, BracketsThenSolves) {
+  const auto f = [](double x) { return std::tanh(x - 3.0); };
+  EXPECT_NEAR(find_root(f, 0.0, 1.0), 3.0, 1e-9);
+}
+
+TEST(NewtonBisect, QuadraticWithDerivative) {
+  const auto f = [](double x) { return x * x - 2.0; };
+  const auto df = [](double x) { return 2.0 * x; };
+  EXPECT_NEAR(newton_bisect(f, df, 0.0, 2.0), std::sqrt(2.0), 1e-10);
+}
+
+TEST(NewtonBisect, SurvivesBadDerivative) {
+  // A derivative that is wrong everywhere: the bisection safeguard still
+  // converges.
+  const auto f = [](double x) { return x - 0.3; };
+  const auto df = [](double) { return 1e-30; };
+  EXPECT_NEAR(newton_bisect(f, df, 0.0, 1.0, 1e-10, 200), 0.3, 1e-6);
+}
+
+TEST(NewtonBisect, ReversedBracketAccepted) {
+  const auto f = [](double x) { return 1.0 - x; };  // decreasing
+  const auto df = [](double) { return -1.0; };
+  EXPECT_NEAR(newton_bisect(f, df, 0.0, 2.0), 1.0, 1e-10);
+}
+
+class PolynomialRoots : public ::testing::TestWithParam<double> {};
+
+TEST_P(PolynomialRoots, CubeRootRecovery) {
+  const double target = GetParam();
+  const auto f = [target](double x) { return x * x * x - target; };
+  EXPECT_NEAR(find_root(f, 0.0, 1.0), std::cbrt(target), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, PolynomialRoots,
+                         ::testing::Values(0.001, 0.5, 8.0, 1000.0));
+
+}  // namespace

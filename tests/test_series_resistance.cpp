@@ -1,0 +1,106 @@
+// Generic series-resistance solver: analytic checks against a linear
+// device, wrapper semantics and both polarities.
+#include "phys/require.h"
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "device/cntfet.h"
+#include "device/linear_fet.h"
+#include "device/series_resistance.h"
+
+namespace {
+
+namespace dev = carbon::device;
+
+// A device that is a pure resistor (gate ignored): the series solution has
+// a closed form I = V / (R_dev + Rs + Rd).
+class ResistorDevice final : public dev::IDeviceModel {
+ public:
+  explicit ResistorDevice(double ohms) : ohms_(ohms) {}
+  double drain_current(double, double vds) const override {
+    return vds / ohms_;
+  }
+  const std::string& name() const override { return name_; }
+
+ private:
+  double ohms_;
+  std::string name_ = "resistor-device";
+};
+
+TEST(SeriesResistance, LinearDeviceClosedForm) {
+  auto r = std::make_shared<ResistorDevice>(10e3);
+  const double i =
+      dev::solve_with_series_resistance(*r, 0.0, 1.0, 20e3, 30e3);
+  EXPECT_NEAR(i, 1.0 / 60e3, 1e-12);
+}
+
+TEST(SeriesResistance, ZeroResistanceIdentity) {
+  const dev::CntfetModel m(dev::make_franklin_cntfet_params(20e-9));
+  EXPECT_DOUBLE_EQ(dev::solve_with_series_resistance(m, 0.5, 0.5, 0.0, 0.0),
+                   m.drain_current(0.5, 0.5));
+}
+
+TEST(SeriesResistance, AlwaysReducesCurrent) {
+  const dev::CntfetModel m(dev::make_franklin_cntfet_params(20e-9));
+  for (double vg : {0.3, 0.5, 0.7}) {
+    const double i0 = m.drain_current(vg, 0.5);
+    const double ir = dev::solve_with_series_resistance(m, vg, 0.5, 25e3,
+                                                        25e3);
+    EXPECT_LT(ir, i0) << "vg=" << vg;
+    EXPECT_GT(ir, 0.0);
+  }
+}
+
+TEST(SeriesResistance, ConsistentInternalBias) {
+  // The solved current must satisfy I = f(vg - I rs, vd - I (rs+rd)).
+  const dev::CntfetModel m(dev::make_franklin_cntfet_params(20e-9));
+  const double rs = 30e3, rd = 20e3;
+  const double i = dev::solve_with_series_resistance(m, 0.6, 0.5, rs, rd);
+  const double check =
+      m.drain_current(0.6 - i * rs, 0.5 - i * (rs + rd));
+  EXPECT_NEAR(check, i, std::abs(i) * 1e-6);
+}
+
+TEST(SeriesResistance, PTypePolarityHandled) {
+  auto n = std::make_shared<dev::CntfetModel>(
+      dev::make_franklin_cntfet_params(20e-9));
+  auto p = std::make_shared<dev::PTypeMirror>(n);
+  const double i = dev::solve_with_series_resistance(*p, -0.6, -0.5, 10e3,
+                                                     10e3);
+  EXPECT_LT(i, 0.0);
+  // Magnitude mirrors the n-type solve.
+  const double i_n =
+      dev::solve_with_series_resistance(*n, 0.6, 0.5, 10e3, 10e3);
+  EXPECT_NEAR(i, -i_n, std::abs(i_n) * 1e-9);
+}
+
+TEST(SeriesResistanceModel, WrapperDelegatesAndNames) {
+  auto inner = std::make_shared<dev::LinearFetModel>(
+      dev::make_fig2_linear_params());
+  const dev::SeriesResistanceModel wrapped(inner, 1e3, 1e3);
+  EXPECT_NE(wrapped.name().find("+Rsd"), std::string::npos);
+  EXPECT_LT(wrapped.drain_current(1.0, 1.0),
+            inner->drain_current(1.0, 1.0));
+  EXPECT_EQ(wrapped.width_normalization(), inner->width_normalization());
+}
+
+TEST(SeriesResistanceModel, NegativeResistanceRejected) {
+  auto inner = std::make_shared<dev::LinearFetModel>(
+      dev::make_fig2_linear_params());
+  EXPECT_THROW(dev::SeriesResistanceModel(inner, -1.0, 0.0),
+               carbon::phys::PreconditionError);
+}
+
+TEST(SeriesResistance, LargeResistanceApproachesOhmicLimit) {
+  // When Rs+Rd >> device resistance the current approaches V/(Rs+Rd): the
+  // Fig. 4 "linearization" effect taken to its extreme.
+  const dev::CntfetModel m(dev::make_franklin_cntfet_params(20e-9));
+  const double r_total = 10e6;
+  const double i = dev::solve_with_series_resistance(m, 0.8, 0.5, r_total / 2,
+                                                     r_total / 2);
+  EXPECT_NEAR(i, 0.5 / r_total, 0.3 * 0.5 / r_total);
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// AC small-signal analysis: RC poles with closed forms, amplifier gain
+// consistent with the DC derivative, and complex LU correctness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "device/alpha_power.h"
+#include "phys/linalg_complex.h"
+#include "phys/require.h"
+#include "spice/ac.h"
+
+namespace {
+
+namespace sp = carbon::spice;
+namespace dev = carbon::device;
+
+TEST(ComplexLu, SolvesKnownSystem) {
+  using carbon::phys::Complex;
+  carbon::phys::ComplexMatrix a(2, 2);
+  a(0, 0) = {1.0, 1.0};
+  a(0, 1) = {0.0, -1.0};
+  a(1, 0) = {2.0, 0.0};
+  a(1, 1) = {1.0, 0.0};
+  // Pick x = (1+0i, 2i) and check recovery from b = A x.
+  const std::vector<Complex> x_true{{1.0, 0.0}, {0.0, 2.0}};
+  std::vector<Complex> b(2);
+  for (int i = 0; i < 2; ++i) {
+    b[i] = a(i, 0) * x_true[0] + a(i, 1) * x_true[1];
+  }
+  const auto x = carbon::phys::solve_dense_complex(a, b);
+  EXPECT_NEAR(std::abs(x[0] - x_true[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - x_true[1]), 0.0, 1e-12);
+}
+
+TEST(ComplexLu, SingularDetected) {
+  carbon::phys::ComplexMatrix a(2, 2);
+  a(0, 0) = {1.0, 0.0};
+  a(0, 1) = {2.0, 0.0};
+  a(1, 0) = {2.0, 0.0};
+  a(1, 1) = {4.0, 0.0};
+  EXPECT_THROW(carbon::phys::solve_dense_complex(a, {{1, 0}, {0, 0}}),
+               carbon::phys::ConvergenceError);
+}
+
+TEST(SpiceAc, RcLowPassPole) {
+  sp::Circuit ckt;
+  auto* vin = ckt.add_vsource("vin", "a", "0", 0.0);
+  ckt.add_resistor("r1", "a", "b", 1e3);
+  ckt.add_capacitor("c1", "b", "0", 1e-9);  // f_c = 1/(2 pi RC) = 159.2 kHz
+  sp::AcOptions opt;
+  opt.f_start_hz = 1e3;
+  opt.f_stop_hz = 1e8;
+  opt.points_per_decade = 20;
+  const auto ac = sp::ac_sweep(ckt, *vin, {"b"}, opt);
+  // Low-frequency gain ~ 1.
+  EXPECT_NEAR(ac.at(0, ac.column_index("mag(b)")), 1.0, 1e-3);
+  const double fc = sp::corner_frequency(ac, "mag(b)");
+  EXPECT_NEAR(fc, 1.0 / (2.0 * M_PI * 1e3 * 1e-9), 0.05 * 159.2e3);
+}
+
+TEST(SpiceAc, RcPhaseAtPole) {
+  sp::Circuit ckt;
+  auto* vin = ckt.add_vsource("vin", "a", "0", 0.0);
+  ckt.add_resistor("r1", "a", "b", 1e3);
+  ckt.add_capacitor("c1", "b", "0", 1e-9);
+  sp::AcOptions opt;
+  opt.f_start_hz = 159.15e3;  // exactly at the pole
+  opt.f_stop_hz = 159.16e3;
+  opt.points_per_decade = 100000;
+  const auto ac = sp::ac_sweep(ckt, *vin, {"b"}, opt);
+  EXPECT_NEAR(ac.at(0, ac.column_index("phase_deg(b)")), -45.0, 0.5);
+  EXPECT_NEAR(ac.at(0, ac.column_index("mag(b)")), 1.0 / std::sqrt(2.0),
+              0.01);
+}
+
+TEST(SpiceAc, HighPassBlocksDc) {
+  sp::Circuit ckt;
+  auto* vin = ckt.add_vsource("vin", "a", "0", 0.0);
+  ckt.add_capacitor("c1", "a", "b", 1e-9);
+  ckt.add_resistor("r1", "b", "0", 1e3);
+  sp::AcOptions opt;
+  opt.f_start_hz = 1e2;
+  opt.f_stop_hz = 1e9;
+  opt.points_per_decade = 10;
+  const auto ac = sp::ac_sweep(ckt, *vin, {"b"}, opt);
+  const int mag = ac.column_index("mag(b)");
+  EXPECT_LT(ac.at(0, mag), 0.01);                 // blocked at low f
+  EXPECT_NEAR(ac.at(ac.num_rows() - 1, mag), 1.0, 0.01);  // passes high f
+}
+
+TEST(SpiceAc, CommonSourceGainMatchesSmallSignal) {
+  // Common-source amplifier: |A| at low frequency = gm * (RL || ro).
+  auto m = std::make_shared<dev::AlphaPowerModel>(
+      dev::make_fig2_saturating_params());
+  sp::Circuit ckt;
+  ckt.add_vsource("vdd", "vdd", "0", 1.0);
+  auto* vg = ckt.add_vsource("vg", "g", "0", 0.45);
+  ckt.add_resistor("rl", "vdd", "d", 2e3);
+  ckt.add_fet("m1", "d", "g", "0", m);
+  sp::AcOptions opt;
+  opt.f_start_hz = 1e3;
+  opt.f_stop_hz = 1e4;
+  opt.points_per_decade = 2;
+  const auto ac = sp::ac_sweep(ckt, *vg, {"d"}, opt);
+
+  // Independent estimate from the device model at the same bias.
+  const auto sol = sp::operating_point(ckt);
+  const double vd = sp::node_voltage(ckt, sol, "d");
+  const double gm = carbon::device::transconductance(*m, 0.45, vd);
+  const double gds = carbon::device::output_conductance(*m, 0.45, vd);
+  const double expected = gm / (1.0 / 2e3 + gds);
+  EXPECT_NEAR(ac.at(0, ac.column_index("mag(d)")), expected,
+              0.02 * expected);
+  // Inverting stage: phase ~ 180 deg.
+  EXPECT_NEAR(std::abs(ac.at(0, ac.column_index("phase_deg(d)"))), 180.0,
+              1.0);
+}
+
+TEST(SpiceAc, LoadCapacitorRollsOffAmplifier) {
+  auto m = std::make_shared<dev::AlphaPowerModel>(
+      dev::make_fig2_saturating_params());
+  sp::Circuit ckt;
+  ckt.add_vsource("vdd", "vdd", "0", 1.0);
+  auto* vg = ckt.add_vsource("vg", "g", "0", 0.45);
+  ckt.add_resistor("rl", "vdd", "d", 2e3);
+  ckt.add_capacitor("cl", "d", "0", 100e-15);
+  ckt.add_fet("m1", "d", "g", "0", m);
+  sp::AcOptions opt;
+  opt.f_start_hz = 1e5;
+  opt.f_stop_hz = 1e12;
+  opt.points_per_decade = 10;
+  const auto ac = sp::ac_sweep(ckt, *vg, {"d"}, opt);
+  const double fc = sp::corner_frequency(ac, "mag(d)");
+  EXPECT_GT(fc, 0.0);
+  // Pole at 1/(2 pi (RL || ro) CL): within a factor ~1.3 of RL-only value.
+  const double f_est = 1.0 / (2.0 * M_PI * 2e3 * 100e-15);
+  EXPECT_NEAR(fc / f_est, 1.0, 0.35);
+}
+
+TEST(SpiceAc, InvalidRangeRejected) {
+  sp::Circuit ckt;
+  auto* vin = ckt.add_vsource("vin", "a", "0", 0.0);
+  ckt.add_resistor("r1", "a", "0", 1e3);
+  sp::AcOptions opt;
+  opt.f_start_hz = 1e6;
+  opt.f_stop_hz = 1e3;
+  EXPECT_THROW(sp::ac_sweep(ckt, *vin, {"a"}, opt),
+               carbon::phys::PreconditionError);
+}
+
+}  // namespace

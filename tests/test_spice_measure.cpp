@@ -1,0 +1,119 @@
+// Measurement layer: VTC analysis (the Fig. 2 metrics), crossing times,
+// oscillation period and supply energy on synthetic waveforms.
+#include "phys/require.h"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phys/table.h"
+#include "spice/measure.h"
+
+namespace {
+
+namespace sp = carbon::spice;
+using carbon::phys::DataTable;
+
+DataTable make_ideal_vtc(double vdd, double steepness, int points = 201) {
+  // vout = vdd/2 * (1 - tanh(s (vin - vdd/2))) : analytic inverter curve.
+  DataTable t({"vin", "vout"});
+  for (int i = 0; i < points; ++i) {
+    const double vin = vdd * i / (points - 1);
+    const double vout =
+        0.5 * vdd * (1.0 - std::tanh(steepness * (vin - 0.5 * vdd)));
+    t.add_row({vin, vout});
+  }
+  return t;
+}
+
+TEST(AnalyzeVtc, SteepCurveMetrics) {
+  const double vdd = 1.0, s = 20.0;
+  const auto m = sp::analyze_vtc(make_ideal_vtc(vdd, s), "vin", "vout", vdd);
+  EXPECT_TRUE(m.regenerative);
+  // Peak gain of the tanh curve is s*vdd/2 = 10.
+  EXPECT_NEAR(m.max_abs_gain, 10.0, 0.5);
+  EXPECT_NEAR(m.v_switch, 0.5, 0.01);
+  // Unity-gain points of tanh: s*vdd/2 * sech^2(s(x-1/2)) = 1.
+  EXPECT_LT(m.v_il, 0.5);
+  EXPECT_GT(m.v_ih, 0.5);
+  EXPECT_NEAR(m.v_il + m.v_ih, 1.0, 0.02);  // symmetry
+  EXPECT_GT(m.nm_low, 0.2);
+  EXPECT_NEAR(m.nm_low, m.nm_high, 0.02);
+}
+
+TEST(AnalyzeVtc, ShallowCurveHasZeroMargins) {
+  // Max gain s*vdd/2 = 0.4 < 1: the Fig. 2(d) situation.
+  const auto m =
+      sp::analyze_vtc(make_ideal_vtc(1.0, 0.8), "vin", "vout", 1.0);
+  EXPECT_FALSE(m.regenerative);
+  EXPECT_LT(m.max_abs_gain, 1.0);
+  EXPECT_DOUBLE_EQ(m.nm_low, 0.0);
+  EXPECT_DOUBLE_EQ(m.nm_high, 0.0);
+}
+
+TEST(AnalyzeVtc, SteeperMeansWiderMargins) {
+  const auto m1 = sp::analyze_vtc(make_ideal_vtc(1.0, 6.0), "vin", "vout", 1.0);
+  const auto m2 =
+      sp::analyze_vtc(make_ideal_vtc(1.0, 40.0), "vin", "vout", 1.0);
+  EXPECT_GT(m2.nm_low, m1.nm_low);
+  EXPECT_GT(m2.nm_high, m1.nm_high);
+}
+
+DataTable make_wave(const std::vector<std::pair<double, double>>& pts) {
+  DataTable t({"time_s", "v(x)"});
+  for (const auto& [tt, vv] : pts) t.add_row({tt, vv});
+  return t;
+}
+
+TEST(CrossingTime, LinearInterpolation) {
+  const auto tr = make_wave({{0.0, 0.0}, {1.0, 1.0}, {2.0, 0.0}});
+  EXPECT_NEAR(sp::crossing_time(tr, "v(x)", 0.5, true), 0.5, 1e-12);
+  EXPECT_NEAR(sp::crossing_time(tr, "v(x)", 0.5, false), 1.5, 1e-12);
+  EXPECT_LT(sp::crossing_time(tr, "v(x)", 2.0, true), 0.0);  // never
+}
+
+TEST(CrossingTime, RespectsStartTime) {
+  const auto tr = make_wave(
+      {{0.0, 0.0}, {1.0, 1.0}, {2.0, 0.0}, {3.0, 1.0}});
+  EXPECT_NEAR(sp::crossing_time(tr, "v(x)", 0.5, true, 1.5), 2.5, 1e-12);
+}
+
+TEST(PropagationDelay, FiftyPercentCrossings) {
+  DataTable t({"time_s", "v(in)", "v(out)"});
+  // Input rises at t=1 (50% at 1.0), output falls at t=1.3 (50% at 1.3).
+  t.add_row({0.0, 0.0, 1.0});
+  t.add_row({0.9, 0.0, 1.0});
+  t.add_row({1.1, 1.0, 1.0});
+  t.add_row({1.2, 1.0, 1.0});
+  t.add_row({1.4, 1.0, 0.0});
+  EXPECT_NEAR(sp::propagation_delay(t, "v(in)", "v(out)", 1.0, true), 0.3,
+              1e-9);
+}
+
+TEST(OscillationPeriod, UniformSquareWave) {
+  DataTable t({"time_s", "v(x)"});
+  const double period = 2.0;
+  for (int i = 0; i < 400; ++i) {
+    const double tt = i * 0.05;
+    const double ph = std::fmod(tt, period);
+    t.add_row({tt, ph < period / 2 ? 1.0 : 0.0});
+  }
+  EXPECT_NEAR(sp::oscillation_period(t, "v(x)", 0.5), period, 0.02);
+}
+
+TEST(SupplyEnergy, ConstantSourcingCurrent) {
+  DataTable t({"time_s", "i(vdd)"});
+  t.add_row({0.0, -1e-3});
+  t.add_row({1.0, -1e-3});
+  t.add_row({2.0, -1e-3});
+  // E = V * I * T = 2.0 V * 1 mA * 2 s = 4 mJ (sourcing => positive).
+  EXPECT_NEAR(sp::supply_energy(t, "i(vdd)", 2.0), 4e-3, 1e-12);
+}
+
+TEST(AnalyzeVtc, RejectsTinyTables) {
+  DataTable t({"vin", "vout"});
+  t.add_row({0.0, 1.0});
+  EXPECT_THROW(sp::analyze_vtc(t, "vin", "vout", 1.0),
+               carbon::phys::PreconditionError);
+}
+
+}  // namespace

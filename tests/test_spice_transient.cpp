@@ -1,0 +1,158 @@
+// Transient engine: RC networks with analytic solutions, integration-
+// method behaviour, waveform sources and nonlinear transients.
+#include "phys/require.h"
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "device/alpha_power.h"
+#include "spice/analyses.h"
+#include "spice/circuit.h"
+
+namespace {
+
+namespace sp = carbon::spice;
+namespace dev = carbon::device;
+
+double value_at(const carbon::phys::DataTable& tr, double t,
+                int col = 1) {
+  for (int i = 0; i < tr.num_rows(); ++i) {
+    if (tr.at(i, 0) >= t) return tr.at(i, col);
+  }
+  return tr.at(tr.num_rows() - 1, col);
+}
+
+TEST(SpiceTran, RcChargingCurve) {
+  sp::Circuit ckt;
+  ckt.add_vsource("v1", "a", "0",
+                  sp::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1.0, 2.0));
+  ckt.add_resistor("r1", "a", "b", 1e3);
+  ckt.add_capacitor("c1", "b", "0", 1e-9);  // tau = 1 us
+  sp::TransientOptions opt;
+  opt.t_stop = 5e-6;
+  opt.dt = 1e-8;
+  const auto tr = sp::transient(ckt, opt, {"b"});
+  EXPECT_NEAR(value_at(tr, 1e-6), 1.0 - std::exp(-1.0), 5e-3);
+  EXPECT_NEAR(value_at(tr, 3e-6), 1.0 - std::exp(-3.0), 5e-3);
+  EXPECT_NEAR(value_at(tr, 5e-6), 1.0 - std::exp(-5.0), 5e-3);
+}
+
+TEST(SpiceTran, BackwardEulerAlsoAccurateWithSmallStep) {
+  sp::Circuit ckt;
+  ckt.add_vsource("v1", "a", "0",
+                  sp::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1.0, 2.0));
+  ckt.add_resistor("r1", "a", "b", 1e3);
+  ckt.add_capacitor("c1", "b", "0", 1e-9);
+  sp::TransientOptions opt;
+  opt.t_stop = 2e-6;
+  opt.dt = 2e-9;
+  opt.trapezoidal = false;
+  const auto tr = sp::transient(ckt, opt, {"b"});
+  EXPECT_NEAR(value_at(tr, 1e-6), 1.0 - std::exp(-1.0), 2e-3);
+}
+
+TEST(SpiceTran, CapacitorInitialConditionRespected) {
+  sp::Circuit ckt;
+  ckt.add_resistor("r1", "b", "0", 1e3);
+  ckt.add_capacitor("c1", "b", "0", 1e-9, /*v_init=*/0.0);
+  ckt.add_isource("i1", "0", "b", sp::dc(1e-3));  // 1 mA into b: settles 1 V
+  sp::TransientOptions opt;
+  opt.t_stop = 6e-6;
+  opt.dt = 2e-8;
+  const auto tr = sp::transient(ckt, opt, {"b"});
+  EXPECT_NEAR(value_at(tr, 6e-6), 1.0, 0.01);
+}
+
+TEST(SpiceTran, PwlSourceFollowed) {
+  sp::Circuit ckt;
+  ckt.add_vsource("v1", "a", "0",
+                  sp::pwl({{0.0, 0.0}, {1e-6, 2.0}, {2e-6, 1.0}}));
+  ckt.add_resistor("r1", "a", "0", 1e3);
+  sp::TransientOptions opt;
+  opt.t_stop = 2e-6;
+  opt.dt = 1e-8;
+  const auto tr = sp::transient(ckt, opt, {"a"});
+  EXPECT_NEAR(value_at(tr, 0.5e-6), 1.0, 0.02);
+  EXPECT_NEAR(value_at(tr, 2e-6), 1.0, 0.02);
+}
+
+TEST(SpiceTran, SinSourceAmplitudeAndPeriod) {
+  sp::Circuit ckt;
+  ckt.add_vsource("v1", "a", "0", sp::sine(0.5, 0.5, 1e6));
+  ckt.add_resistor("r1", "a", "0", 1e3);
+  sp::TransientOptions opt;
+  opt.t_stop = 2e-6;
+  opt.dt = 2e-9;
+  const auto tr = sp::transient(ckt, opt, {"a"});
+  // Peak near t = 0.25 us, trough near 0.75 us.
+  EXPECT_NEAR(value_at(tr, 0.25e-6), 1.0, 0.02);
+  EXPECT_NEAR(value_at(tr, 0.75e-6), 0.0, 0.02);
+}
+
+TEST(SpiceTran, SupplyCurrentRecorded) {
+  sp::Circuit ckt;
+  auto* vdd = ckt.add_vsource("vdd", "a", "0", 2.0);
+  ckt.add_resistor("r1", "a", "0", 1e3);
+  sp::TransientOptions opt;
+  opt.t_stop = 1e-7;
+  opt.dt = 1e-9;
+  const auto tr = sp::transient(ckt, opt, {"a"}, {vdd});
+  // Column "i(vdd)" must be ~ -2 mA throughout.
+  const int icol = tr.column_index("i(vdd)");
+  for (int i = 0; i < tr.num_rows(); ++i) {
+    EXPECT_NEAR(tr.at(i, icol), -2e-3, 1e-6);
+  }
+}
+
+TEST(SpiceTran, InverterDischargesLoad) {
+  auto m = std::make_shared<dev::AlphaPowerModel>(
+      dev::make_fig2_saturating_params());
+  auto p = std::make_shared<dev::PTypeMirror>(m);
+  sp::Circuit ckt;
+  ckt.add_vsource("vdd", "vdd", "0", 1.0);
+  ckt.add_vsource("vin", "in", "0",
+                  sp::pulse(0.0, 1.0, 1e-10, 2e-11, 2e-11, 1e-9, 2e-9));
+  ckt.add_fet("mn", "out", "in", "0", m);
+  ckt.add_fet("mp", "out", "in", "vdd", p);
+  ckt.add_capacitor("cl", "out", "0", 10e-15);
+  sp::TransientOptions opt;
+  opt.t_stop = 1e-9;
+  opt.dt = 1e-12;
+  const auto tr = sp::transient(ckt, opt, {"in", "out"});
+  // Starts high (input low), ends low (input high).
+  EXPECT_GT(tr.at(0, 2), 0.9);
+  EXPECT_LT(value_at(tr, 1e-9, 2), 0.1);
+}
+
+TEST(SpiceTran, InvalidOptionsRejected) {
+  sp::Circuit ckt;
+  ckt.add_resistor("r1", "a", "0", 1.0);
+  sp::TransientOptions opt;
+  opt.t_stop = 0.0;
+  EXPECT_THROW(sp::transient(ckt, opt, {"a"}),
+               carbon::phys::PreconditionError);
+}
+
+TEST(SpiceTran, EnergyConservationRcCharge) {
+  // Charging a cap through a resistor from a step: the source delivers
+  // C V^2 (half stored, half dissipated).
+  sp::Circuit ckt;
+  auto* v1 = ckt.add_vsource(
+      "v1", "a", "0", sp::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1.0, 2.0));
+  ckt.add_resistor("r1", "a", "b", 1e3);
+  ckt.add_capacitor("c1", "b", "0", 1e-9);
+  sp::TransientOptions opt;
+  opt.t_stop = 10e-6;  // 10 tau: fully charged
+  opt.dt = 1e-8;
+  const auto tr = sp::transient(ckt, opt, {"b"}, {v1});
+  double energy = 0.0;
+  const int icol = tr.column_index("i(v1)");
+  for (int i = 1; i < tr.num_rows(); ++i) {
+    const double dt = tr.at(i, 0) - tr.at(i - 1, 0);
+    energy += -0.5 * (tr.at(i, icol) + tr.at(i - 1, icol)) * 1.0 * dt;
+  }
+  EXPECT_NEAR(energy, 1e-9, 5e-11);  // C V^2 = 1 nJ
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Statistics accumulators, percentiles, histograms, and the deterministic
+// RNG facade used by the fabrication Monte Carlo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phys/require.h"
+#include "phys/rng.h"
+#include "phys/stats.h"
+
+namespace {
+
+using carbon::phys::Histogram;
+using carbon::phys::median;
+using carbon::phys::percentile;
+using carbon::phys::Rng;
+using carbon::phys::RunningStats;
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(Percentile, OrderStatistics) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 30.0), 3.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50.0), carbon::phys::PreconditionError);
+  EXPECT_THROW(percentile({1.0}, 101.0), carbon::phys::PreconditionError);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(-5.0);  // clamped to bin 0
+  h.add(50.0);  // clamped to bin 9
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(9), 2);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.5);
+  EXPECT_NEAR(h.bin_center(0), 0.5, 1e-12);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, NormalMomentsConverge) {
+  Rng rng(42);
+  RunningStats s;
+  for (int i = 0; i < 40000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, PoissonMeanConverges) {
+  Rng rng(43);
+  RunningStats s;
+  for (int i = 0; i < 40000; ++i) s.add(rng.poisson(3.7));
+  EXPECT_NEAR(s.mean(), 3.7, 0.06);
+}
+
+TEST(RngTest, BernoulliFraction) {
+  Rng rng(44);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, TruncatedNormalRespectsBounds) {
+  Rng rng(45);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.truncated_normal(1.0, 2.0, 0.5, 1.5);
+    EXPECT_GE(x, 0.5);
+    EXPECT_LE(x, 1.5);
+  }
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(46);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[rng.categorical({1.0, 2.0, 7.0})];
+  }
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.7, 0.02);
+}
+
+TEST(RngTest, CategoricalRejectsDegenerateWeights) {
+  Rng rng(47);
+  EXPECT_THROW(rng.categorical({}), carbon::phys::PreconditionError);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), carbon::phys::PreconditionError);
+  EXPECT_THROW(rng.categorical({-1.0, 2.0}), carbon::phys::PreconditionError);
+}
+
+TEST(RngTest, UniformIntRange) {
+  Rng rng(48);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+  }
+}
+
+}  // namespace

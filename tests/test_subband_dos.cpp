@@ -1,0 +1,116 @@
+// Hyperbolic subband DOS, carrier statistics and quantum capacitance.
+#include "phys/require.h"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "band/cnt.h"
+#include "band/subband.h"
+#include "phys/constants.h"
+
+namespace {
+
+using carbon::band::Subband;
+using carbon::band::SubbandLadder;
+using carbon::band::make_cnt_ladder_from_gap;
+namespace phys = carbon::phys;
+
+constexpr double kKt = 0.02585;
+
+Subband make_band(double delta = 0.28, int deg = 4, double vf = 9.06e5) {
+  Subband s;
+  s.delta_ev = delta;
+  s.degeneracy = deg;
+  s.fermi_velocity = vf;
+  return s;
+}
+
+TEST(SubbandDos, ZeroBelowBandEdge) {
+  const Subband s = make_band();
+  EXPECT_DOUBLE_EQ(s.dos(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.dos(0.27), 0.0);
+}
+
+TEST(SubbandDos, VanHoveDivergenceNearEdge) {
+  const Subband s = make_band();
+  EXPECT_GT(s.dos(0.2801), s.dos(0.30));
+  EXPECT_GT(s.dos(0.30), s.dos(0.50));
+}
+
+TEST(SubbandDos, ApproachesUniversalValueFarAboveEdge) {
+  // g -> D / (pi hbar vF) at E >> Delta.
+  const Subband s = make_band();
+  const double hbar_vf = phys::kHbar * s.fermi_velocity / phys::kQ;
+  const double universal = s.degeneracy / (M_PI * hbar_vf);
+  EXPECT_NEAR(s.dos(5.0) / universal, 1.0, 0.01);
+}
+
+TEST(SubbandDos, EffectiveMassMatchesHyperbolicBand) {
+  // m* = Delta / vF^2 ~ 0.055 m0 for Delta = 0.28 eV.
+  const Subband s = make_band();
+  EXPECT_NEAR(s.effective_mass() / phys::kElectronMass, 0.060, 0.005);
+}
+
+TEST(SubbandLadderTest, BandGapIsTwiceSmallestDelta) {
+  const SubbandLadder lad = make_cnt_ladder_from_gap(0.56, 3);
+  EXPECT_NEAR(lad.band_gap(), 0.56, 1e-12);
+}
+
+TEST(SubbandLadderTest, DensityMonotoneInFermiLevel) {
+  const SubbandLadder lad = make_cnt_ladder_from_gap(0.56, 3);
+  double prev = 0.0;
+  for (double mu = -0.3; mu <= 0.6; mu += 0.05) {
+    const double n = lad.electron_density(mu, kKt);
+    EXPECT_GE(n, prev) << "mu=" << mu;
+    prev = n;
+  }
+}
+
+TEST(SubbandLadderTest, NondegenerateDensityIsBoltzmann) {
+  // Deep in the gap the density scales as exp(mu/kT).
+  const SubbandLadder lad = make_cnt_ladder_from_gap(0.56, 1);
+  const double n1 = lad.electron_density(-0.20, kKt);
+  const double n2 = lad.electron_density(-0.20 + kKt * std::log(10.0), kKt);
+  EXPECT_NEAR(n2 / n1, 10.0, 0.3);
+}
+
+TEST(SubbandLadderTest, DegeneracyScalesDensity) {
+  SubbandLadder l2, l4;
+  l2.subbands = {make_band(0.28, 2)};
+  l4.subbands = {make_band(0.28, 4)};
+  const double mu = 0.1;
+  EXPECT_NEAR(l4.electron_density(mu, kKt) / l2.electron_density(mu, kKt),
+              2.0, 1e-9);
+}
+
+TEST(QuantumCapacitance, PositiveAndPeaksNearBandEdge) {
+  const SubbandLadder lad = make_cnt_ladder_from_gap(0.56, 2);
+  const double cq_gap = lad.quantum_capacitance(0.0, kKt);
+  const double cq_edge = lad.quantum_capacitance(0.28, kKt);
+  const double cq_deep = lad.quantum_capacitance(0.8, kKt);
+  EXPECT_GT(cq_edge, cq_gap);
+  EXPECT_GT(cq_edge, 0.0);
+  EXPECT_GT(cq_deep, 0.0);
+}
+
+TEST(QuantumCapacitance, ApproachesUniversalLimitWellAboveEdge) {
+  // Cq -> q^2 D / (pi hbar vF) ~ 0.34 nF/m for D=4 at vF = 9.06e5 m/s,
+  // approached from above once several kT past the band edge.
+  SubbandLadder lad;
+  lad.subbands = {make_band(0.28, 4)};
+  const double hbar_vf = phys::kHbar * 9.06e5 / phys::kQ;
+  const double cq_inf = phys::kQ * 4.0 / (M_PI * hbar_vf);
+  // The van Hove factor E/sqrt(E^2-Delta^2) still lifts Cq ~18% at 0.25 eV
+  // past the edge; approach from above.
+  const double cq = lad.quantum_capacitance(0.28 + 0.25, kKt);
+  EXPECT_NEAR(cq / cq_inf, 1.18, 0.12);
+  EXPECT_GT(cq, cq_inf);
+  EXPECT_NEAR(cq_inf, 3.4e-10, 0.4e-10);  // literature anchor
+}
+
+TEST(SubbandLadderTest, EmptyLadderRejected) {
+  const SubbandLadder empty;
+  EXPECT_THROW(empty.band_gap(), carbon::phys::PreconditionError);
+}
+
+}  // namespace

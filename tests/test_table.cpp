@@ -1,0 +1,82 @@
+// DataTable: the carrier of every regenerated figure series.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "phys/require.h"
+#include "phys/table.h"
+
+namespace {
+
+using carbon::phys::DataTable;
+
+TEST(DataTable, RowColumnAccess) {
+  DataTable t({"x", "y"});
+  t.add_row({1.0, 2.0});
+  t.add_row({3.0, 4.0});
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.num_cols(), 2);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 3.0);
+  const auto y = t.column("y");
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[1], 4.0);
+}
+
+TEST(DataTable, ColumnLookupByName) {
+  DataTable t({"alpha", "beta", "gamma"});
+  EXPECT_EQ(t.column_index("beta"), 1);
+  EXPECT_THROW(t.column_index("delta"), carbon::phys::PreconditionError);
+}
+
+TEST(DataTable, RejectsRaggedRows) {
+  DataTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), carbon::phys::PreconditionError);
+  EXPECT_THROW(t.add_row({1.0, 2.0, 3.0}), carbon::phys::PreconditionError);
+}
+
+TEST(DataTable, OutOfRangeAccessThrows) {
+  DataTable t({"a"});
+  t.add_row({1.0});
+  EXPECT_THROW(t.at(1, 0), carbon::phys::PreconditionError);
+  EXPECT_THROW(t.at(0, 1), carbon::phys::PreconditionError);
+  EXPECT_THROW(t.column(5), carbon::phys::PreconditionError);
+}
+
+TEST(DataTable, PrintContainsHeaderAndValues) {
+  DataTable t({"vgs_v", "id_a"});
+  t.add_row({0.5, 1.25e-6});
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("vgs_v"), std::string::npos);
+  EXPECT_NE(s.find("1.25e-06"), std::string::npos);
+}
+
+TEST(DataTable, CsvRoundTrip) {
+  DataTable t({"x", "y"});
+  t.add_row({1.5, -2.25});
+  t.add_row({3.0, 4.0});
+  const std::string path = "test_table_tmp.csv";
+  t.write_csv(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header, row1, row2;
+  std::getline(in, header);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  EXPECT_EQ(header, "x,y");
+  EXPECT_EQ(row1, "1.5,-2.25");
+  EXPECT_EQ(row2, "3,4");
+  std::remove(path.c_str());
+}
+
+TEST(DataTable, EmptyColumnListRejected) {
+  EXPECT_THROW(DataTable(std::vector<std::string>{}),
+               carbon::phys::PreconditionError);
+}
+
+}  // namespace

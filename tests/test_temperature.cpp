@@ -1,0 +1,96 @@
+// Temperature physics across the stack: thermal-limit scaling of
+// subthreshold swing, carrier statistics and device currents from 77 K to
+// 400 K (parameterized property sweeps).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "band/cnt.h"
+#include "device/cntfet.h"
+#include "phys/constants.h"
+#include "transport/top_of_barrier.h"
+
+namespace {
+
+namespace dev = carbon::device;
+namespace tr = carbon::transport;
+namespace phys = carbon::phys;
+
+class TemperatureSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TemperatureSweep, SubthresholdSwingScalesWithT) {
+  const double t_k = GetParam();
+  dev::CntfetParams p = dev::make_franklin_cntfet_params(20e-9);
+  p.temperature_k = t_k;
+  const dev::CntfetModel m(p);
+  const double ss = dev::subthreshold_swing_mv_dec(m, 0.05, 0.2, 0.5);
+  // SS = ln10 kT/q / alpha_g; alpha_g = 0.97 (GAA).
+  const double expected =
+      std::log(10.0) * phys::kBoltzmannEv * t_k * 1e3 / 0.97;
+  EXPECT_NEAR(ss, expected, 0.08 * expected) << "T = " << t_k;
+}
+
+TEST_P(TemperatureSweep, OffCurrentActivated) {
+  // Ioff is thermally activated over the barrier: colder = exponentially
+  // less leakage.
+  const double t_k = GetParam();
+  if (t_k >= 400.0) GTEST_SKIP();  // compare each T against 400 K below
+  dev::CntfetParams p_cold = dev::make_franklin_cntfet_params(20e-9);
+  p_cold.temperature_k = t_k;
+  dev::CntfetParams p_hot = p_cold;
+  p_hot.temperature_k = 400.0;
+  const dev::CntfetModel cold(p_cold);
+  const dev::CntfetModel hot(p_hot);
+  EXPECT_LT(cold.drain_current(0.0, 0.5), hot.drain_current(0.0, 0.5));
+}
+
+TEST_P(TemperatureSweep, EquilibriumDensityGrowsWithT) {
+  const double t_k = GetParam();
+  const auto ladder = carbon::band::make_cnt_ladder_from_gap(0.56, 2);
+  const double kt = phys::kBoltzmannEv * t_k;
+  const double n_cold = ladder.electron_density(-0.1, kt * 0.8);
+  const double n_warm = ladder.electron_density(-0.1, kt);
+  EXPECT_GT(n_warm, n_cold);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kelvin, TemperatureSweep,
+                         ::testing::Values(77.0, 150.0, 250.0, 300.0, 400.0));
+
+TEST(Temperature, OnCurrentOnlyWeaklyTemperatureDependent) {
+  // Above threshold the ballistic current is set by the Landauer integral
+  // over a degenerate window: far less T-sensitive than the off state.
+  dev::CntfetParams p_cold = dev::make_franklin_cntfet_params(20e-9);
+  p_cold.temperature_k = 200.0;
+  dev::CntfetParams p_hot = p_cold;
+  p_hot.temperature_k = 400.0;
+  const dev::CntfetModel cold(p_cold);
+  const dev::CntfetModel hot(p_hot);
+  const double ratio_on =
+      hot.drain_current(0.6, 0.5) / cold.drain_current(0.6, 0.5);
+  const double ratio_off =
+      hot.drain_current(0.0, 0.5) / cold.drain_current(0.0, 0.5);
+  EXPECT_LT(std::abs(ratio_on - 1.0), 0.35);
+  EXPECT_GT(ratio_off, 100.0);
+}
+
+TEST(Temperature, BarrierSolverConsistentAtLowT) {
+  // The solver must stay stable at 77 K (sharp Fermi edges).
+  tr::TopOfBarrierParams p;
+  p.ladder = carbon::band::make_cnt_ladder_from_gap(0.56, 2);
+  p.alpha_g = 0.97;
+  p.alpha_d = 0.02;
+  p.c_total = 5e-10;
+  p.ef_source_ev = -0.14;
+  p.include_holes = false;
+  p.temperature_k = 77.0;
+  const tr::TopOfBarrierSolver s(p);
+  double prev = 0.0;
+  for (double vg = 0.0; vg <= 0.8; vg += 0.05) {
+    const double i = s.current(vg, 0.4);
+    EXPECT_TRUE(std::isfinite(i));
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+}
+
+}  // namespace

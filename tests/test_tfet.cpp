@@ -1,0 +1,144 @@
+// CNT tunnel-FET (Fig. 6): reverse-bias BTBT turn-on with sub-thermal
+// segments, ~1 mA/um on-current, forward diode barely gate-modulated.
+#include "phys/require.h"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/tfet.h"
+
+namespace {
+
+using carbon::device::CntTfetModel;
+using carbon::device::CntTfetParams;
+using carbon::device::make_fig6_tfet_params;
+
+constexpr double kVrev = -0.5;  // reverse diode bias of the Fig. 6 sweep
+
+TEST(Tfet, OffStateIsLeakageLimited) {
+  const CntTfetModel m(make_fig6_tfet_params());
+  const double i_off = std::abs(m.drain_current(0.5, kVrev));
+  EXPECT_LT(i_off, 2.0 * m.params().leakage_floor_a + 1e-11);
+}
+
+TEST(Tfet, ReverseBranchTurnsOnTowardNegativeGate) {
+  const CntTfetModel m(make_fig6_tfet_params());
+  const double i_mid = std::abs(m.drain_current(-1.0, kVrev));
+  const double i_on = std::abs(m.drain_current(-2.0, kVrev));
+  EXPECT_GT(i_mid, 1e-9);
+  EXPECT_GT(i_on, i_mid);
+  EXPECT_GT(i_on / std::abs(m.drain_current(0.3, kVrev)), 1e4);
+}
+
+TEST(Tfet, OnCurrentAboutOneMilliampPerMicron) {
+  const CntTfetModel m(make_fig6_tfet_params());
+  const double i_on = std::abs(m.drain_current(-2.0, kVrev));
+  const double ma_um =
+      i_on / (m.width_normalization() * 1e6) * 1e3;
+  EXPECT_GT(ma_um, 0.3);
+  EXPECT_LT(ma_um, 4.0);
+}
+
+TEST(Tfet, AverageSwingNearPaperValue) {
+  // "a very sharp turn-on ... SS = 83 mV/dec": average over the first two
+  // decades of the turn-on.
+  const CntTfetModel m(make_fig6_tfet_params());
+  // Locate the gate voltage where the current is 100x the leakage floor.
+  double vg_start = 0.0;
+  for (double vg = 0.0; vg >= -2.5; vg -= 0.005) {
+    if (std::abs(m.drain_current(vg, kVrev)) >
+        100.0 * m.params().leakage_floor_a) {
+      vg_start = vg;
+      break;
+    }
+  }
+  ASSERT_LT(vg_start, 0.0);
+  const double i1 = std::abs(m.drain_current(vg_start, kVrev));
+  const double i2 = std::abs(m.drain_current(vg_start - 0.25, kVrev));
+  const double ss = 0.25 / std::log10(i2 / i1) * 1e3;
+  EXPECT_GT(ss, 40.0);
+  EXPECT_LT(ss, 130.0);
+}
+
+TEST(Tfet, BestPointSwingBeatsThermalLimit) {
+  // "individual sweep points do even have a better SS like 32 mV/dec":
+  // the steepest local segment must beat 60 mV/dec.
+  const CntTfetModel m(make_fig6_tfet_params());
+  double best = 1e9;
+  double prev = std::abs(m.drain_current(0.0, kVrev));
+  for (double vg = -0.005; vg >= -2.0; vg -= 0.005) {
+    const double cur = std::abs(m.drain_current(vg, kVrev));
+    if (cur > prev && prev > m.params().leakage_floor_a * 3.0) {
+      best = std::min(best, 0.005 / std::log10(cur / prev) * 1e3);
+    }
+    prev = cur;
+  }
+  EXPECT_LT(best, 60.0);
+}
+
+TEST(Tfet, ForwardBranchBarelyGateModulated) {
+  // "If biased in the forward direction of the diode, the application of
+  // the back voltage is hardly modulating the current."
+  const CntTfetModel m(make_fig6_tfet_params());
+  const double i0 = m.drain_current(0.5, 0.5);
+  const double i1 = m.drain_current(-2.0, 0.5);
+  EXPECT_GT(i0, 0.0);
+  EXPECT_LT(std::abs(i1 - i0) / i0, 0.45);
+}
+
+TEST(Tfet, ForwardCurrentSeriesLimited) {
+  // Without the series resistance the junction law explodes; with it the
+  // forward current stays in the uA range of the measured device.
+  const CntTfetModel m(make_fig6_tfet_params());
+  EXPECT_LT(m.drain_current(0.0, 0.5), 20e-6);
+  EXPECT_GT(m.drain_current(0.0, 0.5), 0.1e-6);
+}
+
+TEST(Tfet, WindowClosedAtZeroOpensWithGate) {
+  const CntTfetModel m(make_fig6_tfet_params());
+  EXPECT_LT(m.tunnel_window_ev(0.5, kVrev), 0.05);
+  EXPECT_GT(m.tunnel_window_ev(-2.0, kVrev), 0.3);
+}
+
+TEST(Tfet, FieldGrowsWithGateDrive) {
+  const CntTfetModel m(make_fig6_tfet_params());
+  EXPECT_GT(m.junction_field(-2.0, kVrev), m.junction_field(0.0, kVrev));
+}
+
+TEST(Tfet, BetterElectrostaticsSteepenTheSwing) {
+  // The paper's Section IV outlook: "if the electrostatic design is
+  // improved by implementing high-k dielectrics and segmented gates, an
+  // even better result should be obtainable."
+  CntTfetParams improved = make_fig6_tfet_params();
+  improved.gate_efficiency = 0.9;
+  improved.tunnel_length = 2.0e-9;
+  const CntTfetModel base(make_fig6_tfet_params());
+  const CntTfetModel better(improved);
+  const auto s_base = carbon::device::measure_tfet_swing(base);
+  const auto s_better = carbon::device::measure_tfet_swing(better);
+  EXPECT_LT(s_better.ss_avg_mv_dec, s_base.ss_avg_mv_dec);
+  EXPECT_GT(s_better.i_on_a, s_base.i_on_a);
+  EXPECT_GT(better.junction_field(-1.0, kVrev),
+            base.junction_field(-1.0, kVrev));
+}
+
+TEST(Tfet, ReverseCurrentMonotoneInGate) {
+  const CntTfetModel m(make_fig6_tfet_params());
+  double prev = 0.0;
+  for (double vg = 0.0; vg >= -2.2; vg -= 0.05) {
+    const double i = std::abs(m.drain_current(vg, kVrev));
+    EXPECT_GE(i, prev * 0.999) << "vg=" << vg;
+    prev = i;
+  }
+}
+
+TEST(Tfet, ParameterValidation) {
+  CntTfetParams p = make_fig6_tfet_params();
+  p.gate_efficiency = 0.0;
+  EXPECT_THROW(CntTfetModel{p}, carbon::phys::PreconditionError);
+  p = make_fig6_tfet_params();
+  p.tunnel_length = -1.0;
+  EXPECT_THROW(CntTfetModel{p}, carbon::phys::PreconditionError);
+}
+
+}  // namespace

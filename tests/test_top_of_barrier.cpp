@@ -1,0 +1,173 @@
+// Self-consistent top-of-barrier solver: equilibrium, monotonicity,
+// electrostatic control and the charge-feedback physics.
+#include "phys/constants.h"
+#include "phys/require.h"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "band/cnt.h"
+#include "transport/top_of_barrier.h"
+
+namespace {
+
+namespace tr = carbon::transport;
+
+tr::TopOfBarrierParams base_params() {
+  tr::TopOfBarrierParams p;
+  p.ladder = carbon::band::make_cnt_ladder_from_gap(0.56, 3);
+  p.alpha_g = 0.97;
+  p.alpha_d = 0.015;
+  p.c_total = 5.6e-10;
+  p.ef_source_ev = -0.14;
+  p.include_holes = false;
+  return p;
+}
+
+TEST(TopOfBarrier, EquilibriumHasZeroCurrentAndZeroShift) {
+  const tr::TopOfBarrierSolver s(base_params());
+  const auto st = s.solve(0.0, 0.0);
+  EXPECT_NEAR(st.current_a, 0.0, 1e-18);
+  EXPECT_NEAR(st.u_scf_ev, 0.0, 1e-5);
+  EXPECT_NEAR(st.n_electrons, s.equilibrium_density(), 1e-3);
+}
+
+TEST(TopOfBarrier, CurrentMonotoneInGateVoltage) {
+  const tr::TopOfBarrierSolver s(base_params());
+  double prev = 0.0;
+  for (double vg = 0.0; vg <= 0.8; vg += 0.05) {
+    const double i = s.current(vg, 0.5);
+    EXPECT_GT(i, prev) << "vg=" << vg;
+    prev = i;
+  }
+}
+
+TEST(TopOfBarrier, CurrentMonotoneInDrainVoltage) {
+  const tr::TopOfBarrierSolver s(base_params());
+  double prev = -1.0;
+  for (double vd = 0.0; vd <= 0.6; vd += 0.04) {
+    const double i = s.current(0.5, vd);
+    EXPECT_GE(i, prev) << "vd=" << vd;
+    prev = i;
+  }
+}
+
+TEST(TopOfBarrier, OutputCurveSaturates) {
+  // The defining well-behaved-FET property of Fig. 1(b): between
+  // VDS = 0.2 V and 0.5 V the current "hardly changes".
+  const tr::TopOfBarrierSolver s(base_params());
+  const double i02 = s.current(0.5, 0.2);
+  const double i05 = s.current(0.5, 0.5);
+  EXPECT_LT(i05 / i02, 1.12);
+  EXPECT_GE(i05, i02);
+}
+
+TEST(TopOfBarrier, SubthresholdSwingNearThermalLimit) {
+  // SS = (kT/q) ln10 / alpha_g ~ 61.5/0.97 = 63 mV/dec.
+  const tr::TopOfBarrierSolver s(base_params());
+  const double i1 = s.current(0.05, 0.5);
+  const double i2 = s.current(0.15, 0.5);
+  const double ss = 0.1 / std::log10(i2 / i1) * 1e3;
+  EXPECT_NEAR(ss, 61.5 / 0.97, 3.0);
+}
+
+TEST(TopOfBarrier, DiblFollowsAlphaD) {
+  // In subthreshold, raising vd by dV lowers the barrier by alpha_d*dV:
+  // current rises by exp(alpha_d dV / kT).
+  tr::TopOfBarrierParams p = base_params();
+  p.alpha_d = 0.10;
+  const tr::TopOfBarrierSolver s(p);
+  const double i1 = s.current(0.1, 0.3);
+  const double i2 = s.current(0.1, 0.5);
+  const double expected = std::exp(0.10 * 0.2 / 0.02585);
+  EXPECT_NEAR(i2 / i1, expected, 0.12 * expected);
+}
+
+TEST(TopOfBarrier, ChargeFeedbackReducesOnCurrent) {
+  // Halving C_total strengthens the Poisson push-back: less current at the
+  // same gate drive (the quantum-capacitance effect).
+  tr::TopOfBarrierParams weak = base_params();
+  weak.c_total = 1.4e-10;
+  const tr::TopOfBarrierSolver strong(base_params());
+  const tr::TopOfBarrierSolver weaker(weak);
+  EXPECT_GT(strong.current(0.6, 0.5), weaker.current(0.6, 0.5));
+}
+
+TEST(TopOfBarrier, GateControlScalesWithAlphaG) {
+  tr::TopOfBarrierParams poor = base_params();
+  poor.alpha_g = 0.55;  // back-gate-grade control
+  const tr::TopOfBarrierSolver good(base_params());
+  const tr::TopOfBarrierSolver bad(poor);
+  // Same bias, worse gate: higher barrier, lower current.
+  EXPECT_GT(good.current(0.4, 0.5), bad.current(0.4, 0.5));
+}
+
+TEST(TopOfBarrier, HoleBranchAddsAmbipolarLeakage) {
+  tr::TopOfBarrierParams ambi = base_params();
+  ambi.include_holes = true;
+  const tr::TopOfBarrierSolver uni(base_params());
+  const tr::TopOfBarrierSolver amb(ambi);
+  // At negative gate drive and high vd the valence branch conducts.
+  const double i_uni = uni.current(-0.3, 0.6);
+  const double i_amb = amb.current(-0.3, 0.6);
+  EXPECT_GT(i_amb, i_uni * 5.0);
+}
+
+TEST(TopOfBarrier, HolesOffEquilibriumIsConsistent) {
+  // Regression for the p0 bookkeeping bug: with holes disabled the zero-
+  // bias potential must stay ~0, not drift to +70 meV.
+  tr::TopOfBarrierParams p = base_params();
+  p.ef_source_ev = -0.32;  // deep: large would-be hole density
+  const tr::TopOfBarrierSolver s(p);
+  EXPECT_NEAR(s.solve(0.0, 0.0).u_scf_ev, 0.0, 1e-4);
+  EXPECT_NEAR(s.solve(0.0, 0.5).u_scf_ev, -p.alpha_d * 0.5, 5e-3);
+}
+
+TEST(TopOfBarrier, DegeneracyRatioInSubthreshold) {
+  // CNT (D=4) vs GNR (D=2) with identical gap and electrostatics: exactly
+  // a factor 2 in subthreshold — invisible on the paper's log plot.
+  tr::TopOfBarrierParams gnr = base_params();
+  for (auto& sb : gnr.ladder.subbands) sb.degeneracy = 2;
+  const tr::TopOfBarrierSolver cnt(base_params());
+  const tr::TopOfBarrierSolver gnr_s(gnr);
+  const double ratio = cnt.current(0.1, 0.5) / gnr_s.current(0.1, 0.5);
+  EXPECT_NEAR(ratio, 2.0, 0.1);
+}
+
+TEST(TopOfBarrier, SolverValidatesParameters) {
+  tr::TopOfBarrierParams p = base_params();
+  p.c_total = 0.0;
+  EXPECT_THROW(tr::TopOfBarrierSolver{p}, carbon::phys::PreconditionError);
+  p = base_params();
+  p.alpha_g = 1.5;
+  EXPECT_THROW(tr::TopOfBarrierSolver{p}, carbon::phys::PreconditionError);
+  p = base_params();
+  p.ladder.subbands.clear();
+  EXPECT_THROW(tr::TopOfBarrierSolver{p}, carbon::phys::PreconditionError);
+}
+
+// Property sweep: the converged state must satisfy its own self-consistency
+// equation across the bias plane.
+class TobBiasGrid
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(TobBiasGrid, SelfConsistencyResidualSmall) {
+  const auto [vg, vd] = GetParam();
+  const tr::TopOfBarrierParams p = base_params();
+  const tr::TopOfBarrierSolver s(p);
+  const auto st = s.solve(vg, vd);
+  const double u_l = -(p.alpha_g * vg + p.alpha_d * vd);
+  const double charging = carbon::phys::kQ / p.c_total;
+  const double residual =
+      st.u_scf_ev - u_l -
+      charging * (st.n_electrons - s.equilibrium_density());
+  EXPECT_NEAR(residual, 0.0, 1e-6) << "vg=" << vg << " vd=" << vd;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasPlane, TobBiasGrid,
+    ::testing::Values(std::pair{0.0, 0.0}, std::pair{0.2, 0.1},
+                      std::pair{0.4, 0.3}, std::pair{0.6, 0.5},
+                      std::pair{0.8, 0.6}, std::pair{0.3, 0.6}));
+
+}  // namespace

@@ -9,10 +9,12 @@
 #include "circuit/vtc.h"
 #include "device/cntfet.h"
 #include "device/mosfet.h"
+#include "device/tabulated.h"
 #include "device/tfet.h"
 #include "fab/devstats.h"
 #include "fab/placement.h"
 #include "logic/subneg.h"
+#include "phys/parallel.h"
 #include "spice/analyses.h"
 
 namespace {
@@ -90,6 +92,52 @@ void BM_SpiceVtcSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_SpiceVtcSweep);
 
+// ---- the tabulated fast path vs the direct self-consistent models ----
+
+device::CntfetParams vtc_cntfet_params() {
+  device::CntfetParams p = device::make_franklin_cntfet_params(20e-9);
+  p.ef_source_ev = -0.18;  // digital-threshold retarget for a 0.6 V cell
+  return p;
+}
+
+void BM_TabulatedCntfetEval(benchmark::State& state) {
+  auto exact = std::make_shared<device::CntfetModel>(vtc_cntfet_params());
+  const device::DeviceModelPtr tab = device::make_tabulated(exact, 0.6);
+  double vg = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tab->eval(vg, 0.5));
+    vg = (vg < 0.6) ? vg + 1e-4 : 0.1;  // defeat any caching
+  }
+}
+BENCHMARK(BM_TabulatedCntfetEval);
+
+/// Seed path: the exact CNTFET inside the Newton loop (every stamp pays
+/// nested bracket+Brent barrier solves through the FD fallback).
+void BM_SpiceVtcSweepCntfetDirect(benchmark::State& state) {
+  auto exact = std::make_shared<device::CntfetModel>(vtc_cntfet_params());
+  circuit::CellOptions opt;
+  opt.v_dd = 0.6;
+  auto bench = circuit::make_inverter(exact, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::run_vtc(bench, 41));
+  }
+}
+BENCHMARK(BM_SpiceVtcSweepCntfetDirect);
+
+/// Fast path: same sweep on the table-compiled CNTFET with the persistent
+/// Newton workspace and point-to-point warm starts.
+void BM_SpiceVtcSweepWarmStart(benchmark::State& state) {
+  auto exact = std::make_shared<device::CntfetModel>(vtc_cntfet_params());
+  const device::DeviceModelPtr tab = device::make_tabulated(exact, 0.6);
+  circuit::CellOptions opt;
+  opt.v_dd = 0.6;
+  auto bench = circuit::make_inverter(tab, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::run_vtc(bench, 41));
+  }
+}
+BENCHMARK(BM_SpiceVtcSweepWarmStart);
+
 void BM_PlacementMonteCarlo(benchmark::State& state) {
   const fab::ChiralityPopulation pop(1.4e-9, 0.2e-9);
   fab::TrenchAssemblyModel model;
@@ -99,6 +147,19 @@ void BM_PlacementMonteCarlo(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PlacementMonteCarlo);
+
+void BM_PlacementMonteCarloParallel(benchmark::State& state) {
+  const fab::ChiralityPopulation pop(1.4e-9, 0.2e-9);
+  fab::TrenchAssemblyModel model;
+  const int threads = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.run_parallel(pop, 1000, seed++, threads));
+  }
+}
+BENCHMARK(BM_PlacementMonteCarloParallel)
+    ->Arg(1)
+    ->Arg(0);  // 0 = default pool width (hardware concurrency)
 
 void BM_GateLevelSubtract(benchmark::State& state) {
   logic::CellTiming timing;

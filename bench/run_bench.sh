@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Run the perf-kernel microbenchmarks and record the results (plus the
+# headline tabulated-vs-direct VTC speedup) in BENCH_perf.json at the repo
+# root.  Usage:
+#
+#   bench/run_bench.sh [build_dir] [extra google-benchmark args...]
+#
+# The build dir defaults to ./build and must contain the perf_kernels
+# binary (configure with -DCARBON_BUILD_BENCH=ON, the default).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+bin="$build_dir/perf_kernels"
+if [[ ! -x "$bin" ]]; then
+  echo "error: $bin not found — build with: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+raw_json="$(mktemp)"
+trap 'rm -f "$raw_json"' EXIT
+
+"$bin" --benchmark_format=json --benchmark_out_format=json \
+       --benchmark_out="$raw_json" "$@" >/dev/null
+
+python3 - "$raw_json" "$repo_root/BENCH_perf.json" <<'EOF'
+import json, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    data = json.load(f)
+
+times = {b["name"]: b for b in data.get("benchmarks", [])}
+
+def real_time_ns(name):
+    b = times.get(name)
+    return b["real_time"] if b else None
+
+summary = {}
+direct = real_time_ns("BM_SpiceVtcSweepCntfetDirect")
+fast = real_time_ns("BM_SpiceVtcSweepWarmStart")
+if direct and fast:
+    summary["vtc_sweep_direct_ns"] = direct
+    summary["vtc_sweep_tabulated_warmstart_ns"] = fast
+    summary["vtc_sweep_speedup"] = direct / fast
+
+serial = real_time_ns("BM_PlacementMonteCarlo")
+par = real_time_ns("BM_PlacementMonteCarloParallel/0")
+if serial and par:
+    summary["placement_mc_serial_ns"] = serial
+    summary["placement_mc_parallel_ns"] = par
+    summary["placement_mc_speedup"] = serial / par
+
+data["summary"] = summary
+with open(out_path, "w") as f:
+    json.dump(data, f, indent=2)
+
+for k, v in summary.items():
+    print(f"{k}: {v:.4g}")
+print(f"wrote {out_path}")
+EOF

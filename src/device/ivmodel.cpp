@@ -9,6 +9,14 @@
 
 namespace carbon::device {
 
+DeviceEval IDeviceModel::eval(double vgs, double vds) const {
+  DeviceEval e;
+  e.id = drain_current(vgs, vds);
+  e.gm = transconductance(*this, vgs, vds);
+  e.gds = output_conductance(*this, vgs, vds);
+  return e;
+}
+
 PTypeMirror::PTypeMirror(DeviceModelPtr n_model)
     : n_model_(std::move(n_model)) {
   CARBON_REQUIRE(n_model_ != nullptr, "null base model");
@@ -19,6 +27,14 @@ PTypeMirror::PTypeMirror(DeviceModelPtr n_model)
 
 double PTypeMirror::drain_current(double vgs, double vds) const {
   return -n_model_->drain_current(-vgs, -vds);
+}
+
+DeviceEval PTypeMirror::eval(double vgs, double vds) const {
+  // Id_p(vgs, vds) = -Id_n(-vgs, -vds); the sign flips of current and
+  // voltage cancel in both derivatives.
+  DeviceEval e = n_model_->eval(-vgs, -vds);
+  e.id = -e.id;
+  return e;
 }
 
 double PTypeMirror::width_normalization() const {
@@ -33,6 +49,10 @@ GateShifted::GateShifted(DeviceModelPtr base, double shift_v)
 
 double GateShifted::drain_current(double vgs, double vds) const {
   return base_->drain_current(vgs + shift_, vds);
+}
+
+DeviceEval GateShifted::eval(double vgs, double vds) const {
+  return base_->eval(vgs + shift_, vds);
 }
 
 double transconductance(const IDeviceModel& m, double vgs, double vds,

@@ -17,6 +17,15 @@ namespace carbon::device {
 /// <= 0 (current flows source -> drain internally).
 enum class Polarity { kNType, kPType };
 
+/// One-shot small-signal evaluation of a device model at a bias point: the
+/// drain current together with both conductances.  This is the unit of work
+/// a SPICE Newton iteration consumes per transistor.
+struct DeviceEval {
+  double id = 0.0;   ///< drain current [A]
+  double gm = 0.0;   ///< transconductance dId/dVgs [S]
+  double gds = 0.0;  ///< output conductance dId/dVds [S]
+};
+
 /// Abstract DC transistor model: terminal current as a function of terminal
 /// voltages.  Implementations must be:
 ///  * deterministic and continuous in (vgs, vds),
@@ -30,6 +39,12 @@ class IDeviceModel {
   /// Drain current [A] for gate-source voltage @p vgs and drain-source
   /// voltage @p vds (source is the reference terminal).
   virtual double drain_current(double vgs, double vds) const = 0;
+
+  /// Current and conductances in one call.  The base implementation falls
+  /// back to central finite differences (five drain_current calls); models
+  /// with analytic or tabulated derivatives override this so a SPICE stamp
+  /// costs a single cheap evaluation.
+  virtual DeviceEval eval(double vgs, double vds) const;
 
   /// Human-readable model name used in reports.
   virtual const std::string& name() const = 0;
@@ -54,6 +69,7 @@ class PTypeMirror final : public IDeviceModel {
   explicit PTypeMirror(DeviceModelPtr n_model);
 
   double drain_current(double vgs, double vds) const override;
+  DeviceEval eval(double vgs, double vds) const override;
   const std::string& name() const override { return name_; }
   Polarity polarity() const override { return Polarity::kPType; }
   double width_normalization() const override;
@@ -72,6 +88,7 @@ class GateShifted final : public IDeviceModel {
   GateShifted(DeviceModelPtr base, double shift_v);
 
   double drain_current(double vgs, double vds) const override;
+  DeviceEval eval(double vgs, double vds) const override;
   const std::string& name() const override { return name_; }
   Polarity polarity() const override { return base_->polarity(); }
   double width_normalization() const override {

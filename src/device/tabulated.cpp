@@ -1,0 +1,94 @@
+#include "device/tabulated.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "phys/require.h"
+
+namespace carbon::device {
+
+TabulatedDeviceModel::TabulatedDeviceModel(DeviceModelPtr base,
+                                           const TabulatedGrid& grid)
+    : base_(std::move(base)), grid_(grid) {
+  CARBON_REQUIRE(base_ != nullptr, "null base model");
+  CARBON_REQUIRE(grid_.n_vgs >= 4 && grid_.n_vds >= 4,
+                 "need at least a 4x4 bias grid");
+  CARBON_REQUIRE(grid_.vgs_max > grid_.vgs_min && grid_.vds_max > grid_.vds_min,
+                 "empty bias box");
+  CARBON_REQUIRE(!grid_.mirror_vds || grid_.vds_min >= 0.0,
+                 "mirror_vds requires a vds >= 0 grid");
+  name_ = base_->name() + "/tab";
+
+  std::vector<double> vgs(grid_.n_vgs), vds(grid_.n_vds);
+  for (int i = 0; i < grid_.n_vgs; ++i) {
+    vgs[i] = grid_.vgs_min +
+             (grid_.vgs_max - grid_.vgs_min) * i / (grid_.n_vgs - 1);
+  }
+  for (int j = 0; j < grid_.n_vds; ++j) {
+    vds[j] = grid_.vds_min +
+             (grid_.vds_max - grid_.vds_min) * j / (grid_.n_vds - 1);
+  }
+  std::vector<double> id(static_cast<size_t>(grid_.n_vgs) * grid_.n_vds);
+  for (int i = 0; i < grid_.n_vgs; ++i) {
+    for (int j = 0; j < grid_.n_vds; ++j) {
+      id[i * grid_.n_vds + j] = base_->drain_current(vgs[i], vds[j]);
+    }
+  }
+  table_ = phys::BicubicTable(std::move(vgs), std::move(vds), std::move(id));
+}
+
+phys::BicubicTable::Eval TabulatedDeviceModel::lookup(double vgs,
+                                                      double vds) const {
+  // Clamp the query to the bias box and extend C1-linearly with the edge
+  // gradient.  Cubic extrapolation grows fast enough off the box to hand
+  // the Newton homotopy spurious equilibria (e.g. an inverter output above
+  // VDD); the linear extension keeps the surface monotone and tame while
+  // staying continuous in value and derivative.
+  const double cg = std::clamp(vgs, grid_.vgs_min, grid_.vgs_max);
+  const double cd = std::clamp(vds, grid_.vds_min, grid_.vds_max);
+  phys::BicubicTable::Eval t = table_.eval(cg, cd);
+  t.f += t.fx * (vgs - cg) + t.fy * (vds - cd);
+  return t;
+}
+
+double TabulatedDeviceModel::drain_current(double vgs, double vds) const {
+  if (grid_.mirror_vds && vds < 0.0) {
+    return -lookup(vgs - vds, -vds).f;
+  }
+  return lookup(vgs, vds).f;
+}
+
+DeviceEval TabulatedDeviceModel::eval(double vgs, double vds) const {
+  DeviceEval e;
+  if (grid_.mirror_vds && vds < 0.0) {
+    // I(vgs, vds) = -T(w, u) with w = vgs - vds, u = -vds:
+    //   dI/dvgs = -Tw,   dI/dvds = Tw + Tu.
+    const phys::BicubicTable::Eval t = lookup(vgs - vds, -vds);
+    e.id = -t.f;
+    e.gm = -t.fx;
+    e.gds = t.fx + t.fy;
+    return e;
+  }
+  const phys::BicubicTable::Eval t = lookup(vgs, vds);
+  e.id = t.f;
+  e.gm = t.fx;
+  e.gds = t.fy;
+  return e;
+}
+
+DeviceModelPtr make_tabulated(DeviceModelPtr base, double v_max, int n_vgs,
+                              int n_vds) {
+  CARBON_REQUIRE(v_max > 0.0, "supply must be positive");
+  TabulatedGrid g;
+  const double guard = 0.1 * v_max;
+  g.vgs_min = -guard;
+  g.vgs_max = v_max + guard;
+  g.n_vgs = n_vgs;
+  g.vds_min = 0.0;
+  g.vds_max = v_max + guard;
+  g.n_vds = n_vds;
+  g.mirror_vds = true;
+  return std::make_shared<TabulatedDeviceModel>(std::move(base), g);
+}
+
+}  // namespace carbon::device

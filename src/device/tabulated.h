@@ -1,0 +1,86 @@
+#pragma once
+
+/// @file tabulated.h
+/// Table-compiled device models.  TabulatedDeviceModel pre-samples any
+/// IDeviceModel on a bias grid into a phys::BicubicTable, turning every
+/// subsequent drain_current / eval call — and therefore every SPICE Newton
+/// stamp — into a constant-time table lookup with analytic derivatives.
+/// This is the fast path that makes VTC sweeps, SRAM SNM maps and Monte
+/// Carlo studies on the self-consistent CNTFET/TFET models affordable.
+
+#include <string>
+
+#include "device/ivmodel.h"
+#include "phys/interp.h"
+
+namespace carbon::device {
+
+/// Bias box and resolution of the table.
+struct TabulatedGrid {
+  double vgs_min = 0.0;
+  double vgs_max = 1.0;
+  int n_vgs = 97;
+
+  double vds_min = 0.0;
+  double vds_max = 1.0;
+  int n_vds = 65;
+
+  /// When true (default), the grid covers vds >= 0 only and queries with
+  /// vds < 0 are answered through the source/drain exchange symmetry
+  /// I(vgs, vds) = -I(vgs - vds, -vds) of a symmetric device — the same
+  /// convention the CNTFET model uses internally.  The mirrored lookup
+  /// lands at gate bias vgs - vds, so full accuracy at reverse bias needs
+  /// vgs_max to exceed the largest expected vgs + |vds|; beyond that the
+  /// edge patch extrapolates (C1, adequate for the transient excursions
+  /// Newton makes near vds = 0).  Disable for devices that are asymmetric
+  /// in vds (e.g. the gated-PIN TFET, whose reverse branch is the
+  /// interesting one) and give a grid spanning negative vds.
+  bool mirror_vds = true;
+};
+
+/// A device model compiled to a bicubic I–V table.
+///
+/// Accuracy is set by the grid resolution; for the smooth ballistic models
+/// in this library the default grid holds the current to well under 1%
+/// relative error across the box.  Queries outside the box continue
+/// C1-linearly from the nearest edge point (Newton homotopy may visit such
+/// points transiently; the linear extension cannot manufacture spurious
+/// equilibria), but accuracy is only guaranteed inside.
+class TabulatedDeviceModel final : public IDeviceModel {
+ public:
+  /// Samples @p base on @p grid ((n_vgs * n_vds) drain_current calls).
+  TabulatedDeviceModel(DeviceModelPtr base, const TabulatedGrid& grid);
+
+  double drain_current(double vgs, double vds) const override;
+  /// Constant-time: one bicubic cell evaluation, derivatives analytic.
+  DeviceEval eval(double vgs, double vds) const override;
+
+  const std::string& name() const override { return name_; }
+  Polarity polarity() const override { return base_->polarity(); }
+  double width_normalization() const override {
+    return base_->width_normalization();
+  }
+
+  const TabulatedGrid& grid() const { return grid_; }
+  /// The exact model the table was compiled from.
+  const IDeviceModel& base() const { return *base_; }
+
+ private:
+  /// Table evaluation with the clamped linear extension past the box.
+  phys::BicubicTable::Eval lookup(double vgs, double vds) const;
+
+  DeviceModelPtr base_;
+  TabulatedGrid grid_;
+  phys::BicubicTable table_;  // axes: (vgs, vds)
+  std::string name_;
+};
+
+/// Convenience: compile @p base over the bias box a digital cell at supply
+/// @p v_max exercises, with a 10% guard band on every edge so Newton
+/// iterates that overshoot the rails stay on the table.  Wrap the result in
+/// PTypeMirror for the complementary device — the mirror adapter forwards
+/// eval() with the chain rule, so the p-side is just as fast.
+DeviceModelPtr make_tabulated(DeviceModelPtr base, double v_max,
+                              int n_vgs = 97, int n_vds = 65);
+
+}  // namespace carbon::device

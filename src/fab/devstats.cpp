@@ -3,9 +3,37 @@
 #include <algorithm>
 #include <cmath>
 
+#include "phys/parallel.h"
 #include "phys/require.h"
 
 namespace carbon::fab {
+
+namespace {
+
+MeasuredDevice measure_one(const DeviceSite& site,
+                           const MeasurementModel& model, phys::Rng& rng) {
+  MeasuredDevice d;
+  for (const auto& tube : site.tubes) {
+    if (!tube.bridges_channel) continue;
+    ++d.tubes;
+    const double spread = std::exp(rng.normal(0.0, model.sigma_ln));
+    if (tube.chirality.is_metallic()) {
+      ++d.metallic_tubes;
+      const double i_m = model.metallic_current * spread;
+      d.ion_a += i_m;
+      d.ioff_a += i_m;  // no gate control: conducts in the off state too
+    } else {
+      d.ion_a += model.ion_semi_mean * spread;
+      d.ioff_a += model.ioff_semi_mean * spread;
+    }
+  }
+  d.on_off = (d.ioff_a > 0.0) ? d.ion_a / d.ioff_a : 0.0;
+  d.functional = d.tubes > 0 && d.on_off >= model.min_on_off &&
+                 d.ion_a >= model.min_ion_a;
+  return d;
+}
+
+}  // namespace
 
 std::vector<MeasuredDevice> measure_sites(const std::vector<DeviceSite>& sites,
                                           const MeasurementModel& model,
@@ -13,26 +41,22 @@ std::vector<MeasuredDevice> measure_sites(const std::vector<DeviceSite>& sites,
   std::vector<MeasuredDevice> out;
   out.reserve(sites.size());
   for (const auto& site : sites) {
-    MeasuredDevice d;
-    for (const auto& tube : site.tubes) {
-      if (!tube.bridges_channel) continue;
-      ++d.tubes;
-      const double spread = std::exp(rng.normal(0.0, model.sigma_ln));
-      if (tube.chirality.is_metallic()) {
-        ++d.metallic_tubes;
-        const double i_m = model.metallic_current * spread;
-        d.ion_a += i_m;
-        d.ioff_a += i_m;  // no gate control: conducts in the off state too
-      } else {
-        d.ion_a += model.ion_semi_mean * spread;
-        d.ioff_a += model.ioff_semi_mean * spread;
-      }
-    }
-    d.on_off = (d.ioff_a > 0.0) ? d.ion_a / d.ioff_a : 0.0;
-    d.functional = d.tubes > 0 && d.on_off >= model.min_on_off &&
-                   d.ion_a >= model.min_ion_a;
-    out.push_back(d);
+    out.push_back(measure_one(site, model, rng));
   }
+  return out;
+}
+
+std::vector<MeasuredDevice> measure_sites_parallel(
+    const std::vector<DeviceSite>& sites, const MeasurementModel& model,
+    std::uint64_t seed, int num_threads) {
+  std::vector<MeasuredDevice> out(sites.size());
+  phys::parallel_for_seeded(static_cast<long>(sites.size()), seed,
+                            [&](long begin, long end, phys::Rng& rng) {
+                              for (long i = begin; i < end; ++i) {
+                                out[i] = measure_one(sites[i], model, rng);
+                              }
+                            },
+                            num_threads);
   return out;
 }
 

@@ -44,6 +44,14 @@ std::vector<MeasuredDevice> measure_sites(const std::vector<DeviceSite>& sites,
                                           const MeasurementModel& model,
                                           phys::Rng& rng);
 
+/// Parallel measurement: fixed chunks of devices each draw their variation
+/// from their own RNG stream (phys::parallel_for_seeded), so the statistics
+/// are bit-for-bit identical for any thread count (num_threads 0 = default
+/// pool).
+std::vector<MeasuredDevice> measure_sites_parallel(
+    const std::vector<DeviceSite>& sites, const MeasurementModel& model,
+    std::uint64_t seed, int num_threads = 0);
+
 /// Aggregate statistics of a measured population.
 struct PopulationStats {
   int devices = 0;

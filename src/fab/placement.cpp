@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "phys/parallel.h"
 #include "phys/require.h"
 
 namespace carbon::fab {
@@ -20,6 +21,26 @@ int DeviceSite::metallic_count() const {
   return n;
 }
 
+DeviceSite QuartzGrowthModel::sample_site(const ChiralityPopulation& pop,
+                                          double width_um,
+                                          phys::Rng& rng) const {
+  DeviceSite site;
+  const int n_tubes = rng.poisson(tubes_per_um * width_um);
+  for (int t = 0; t < n_tubes; ++t) {
+    PlacedTube tube;
+    tube.chirality = pop.sample(rng);
+    // Electrical burn-off removes most metallic tubes post growth.
+    if (tube.chirality.is_metallic() && rng.bernoulli(metallic_burnoff)) {
+      continue;
+    }
+    tube.misalignment_deg = rng.normal(0.0, alignment_sigma_deg);
+    tube.bridges_channel =
+        std::abs(tube.misalignment_deg) <= max_usable_angle_deg;
+    site.tubes.push_back(tube);
+  }
+  return site;
+}
+
 std::vector<DeviceSite> QuartzGrowthModel::run(const ChiralityPopulation& pop,
                                                int n_sites, double width_um,
                                                phys::Rng& rng) const {
@@ -28,23 +49,41 @@ std::vector<DeviceSite> QuartzGrowthModel::run(const ChiralityPopulation& pop,
   std::vector<DeviceSite> sites;
   sites.reserve(n_sites);
   for (int i = 0; i < n_sites; ++i) {
-    DeviceSite site;
-    const int n_tubes = rng.poisson(tubes_per_um * width_um);
-    for (int t = 0; t < n_tubes; ++t) {
-      PlacedTube tube;
-      tube.chirality = pop.sample(rng);
-      // Electrical burn-off removes most metallic tubes post growth.
-      if (tube.chirality.is_metallic() && rng.bernoulli(metallic_burnoff)) {
-        continue;
-      }
-      tube.misalignment_deg = rng.normal(0.0, alignment_sigma_deg);
-      tube.bridges_channel =
-          std::abs(tube.misalignment_deg) <= max_usable_angle_deg;
-      site.tubes.push_back(tube);
-    }
-    sites.push_back(std::move(site));
+    sites.push_back(sample_site(pop, width_um, rng));
   }
   return sites;
+}
+
+std::vector<DeviceSite> QuartzGrowthModel::run_parallel(
+    const ChiralityPopulation& pop, int n_sites, double width_um,
+    std::uint64_t seed, int num_threads) const {
+  CARBON_REQUIRE(n_sites > 0, "need at least one site");
+  CARBON_REQUIRE(width_um > 0.0, "width must be positive");
+  std::vector<DeviceSite> sites(n_sites);
+  phys::parallel_for_seeded(n_sites, seed,
+                            [&](long begin, long end, phys::Rng& rng) {
+                              for (long i = begin; i < end; ++i) {
+                                sites[i] = sample_site(pop, width_um, rng);
+                              }
+                            },
+                            num_threads);
+  return sites;
+}
+
+DeviceSite TrenchAssemblyModel::sample_site(const ChiralityPopulation& pop,
+                                            phys::Rng& rng) const {
+  DeviceSite site;
+  int n_tubes = rng.bernoulli(fill_probability) ? 1 : 0;
+  n_tubes += rng.poisson(mean_extra_tubes);
+  for (int t = 0; t < n_tubes; ++t) {
+    PlacedTube tube;
+    tube.chirality = pop.sample(rng);
+    tube.misalignment_deg = rng.normal(0.0, alignment_sigma_deg);
+    tube.bridges_channel =
+        std::abs(tube.misalignment_deg) <= max_usable_angle_deg;
+    site.tubes.push_back(tube);
+  }
+  return site;
 }
 
 std::vector<DeviceSite> TrenchAssemblyModel::run(
@@ -53,19 +92,23 @@ std::vector<DeviceSite> TrenchAssemblyModel::run(
   std::vector<DeviceSite> sites;
   sites.reserve(n_sites);
   for (int i = 0; i < n_sites; ++i) {
-    DeviceSite site;
-    int n_tubes = rng.bernoulli(fill_probability) ? 1 : 0;
-    n_tubes += rng.poisson(mean_extra_tubes);
-    for (int t = 0; t < n_tubes; ++t) {
-      PlacedTube tube;
-      tube.chirality = pop.sample(rng);
-      tube.misalignment_deg = rng.normal(0.0, alignment_sigma_deg);
-      tube.bridges_channel =
-          std::abs(tube.misalignment_deg) <= max_usable_angle_deg;
-      site.tubes.push_back(tube);
-    }
-    sites.push_back(std::move(site));
+    sites.push_back(sample_site(pop, rng));
   }
+  return sites;
+}
+
+std::vector<DeviceSite> TrenchAssemblyModel::run_parallel(
+    const ChiralityPopulation& pop, int n_sites, std::uint64_t seed,
+    int num_threads) const {
+  CARBON_REQUIRE(n_sites > 0, "need at least one site");
+  std::vector<DeviceSite> sites(n_sites);
+  phys::parallel_for_seeded(n_sites, seed,
+                            [&](long begin, long end, phys::Rng& rng) {
+                              for (long i = begin; i < end; ++i) {
+                                sites[i] = sample_site(pop, rng);
+                              }
+                            },
+                            num_threads);
   return sites;
 }
 

@@ -8,6 +8,7 @@
 ///  * chemical self-assembly into pre-patterned trenches from solution
 ///    (H. Park et al., ref [22] — the >10,000-device statistical study).
 
+#include <cstdint>
 #include <vector>
 
 #include "fab/chirality.h"
@@ -43,6 +44,19 @@ struct QuartzGrowthModel {
   /// Populate @p n_sites device sites of channel width @p width_um.
   std::vector<DeviceSite> run(const ChiralityPopulation& pop, int n_sites,
                               double width_um, phys::Rng& rng) const;
+
+  /// Parallel Monte Carlo over the sites: fixed chunks of sites each draw
+  /// from their own RNG stream (phys::parallel_for_seeded), so the output
+  /// is bit-for-bit identical for any thread count (num_threads 0 =
+  /// default pool).
+  std::vector<DeviceSite> run_parallel(const ChiralityPopulation& pop,
+                                       int n_sites, double width_um,
+                                       std::uint64_t seed,
+                                       int num_threads = 0) const;
+
+  /// One site drawn from @p rng (the unit both run variants are built on).
+  DeviceSite sample_site(const ChiralityPopulation& pop, double width_um,
+                         phys::Rng& rng) const;
 };
 
 /// Trench self-assembly (route 2, Park-style ion-exchange chemistry).
@@ -54,6 +68,14 @@ struct TrenchAssemblyModel {
 
   std::vector<DeviceSite> run(const ChiralityPopulation& pop, int n_sites,
                               phys::Rng& rng) const;
+
+  /// Parallel, thread-count-invariant variant (one RNG stream per site).
+  std::vector<DeviceSite> run_parallel(const ChiralityPopulation& pop,
+                                       int n_sites, std::uint64_t seed,
+                                       int num_threads = 0) const;
+
+  /// One trench drawn from @p rng.
+  DeviceSite sample_site(const ChiralityPopulation& pop, phys::Rng& rng) const;
 };
 
 }  // namespace carbon::fab

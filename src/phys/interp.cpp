@@ -8,12 +8,59 @@
 namespace carbon::phys {
 
 namespace {
-void check_grid(const std::vector<double>& x, const std::vector<double>& y) {
-  CARBON_REQUIRE(x.size() == y.size(), "x/y size mismatch");
-  CARBON_REQUIRE(x.size() >= 2, "need at least two samples");
+void check_axis(const std::vector<double>& x) {
+  CARBON_REQUIRE(x.size() >= 2, "need at least two samples per axis");
   for (size_t i = 1; i < x.size(); ++i) {
     CARBON_REQUIRE(x[i] > x[i - 1], "abscissae must be strictly increasing");
   }
+}
+
+void check_grid(const std::vector<double>& x, const std::vector<double>& y) {
+  CARBON_REQUIRE(x.size() == y.size(), "x/y size mismatch");
+  check_axis(x);
+}
+
+/// Fritsch–Carlson shape-preserving node slopes for samples y over abscissae
+/// x (the PCHIP construction, shared by the 1-D and 2-D interpolants).
+std::vector<double> pchip_slopes(const std::vector<double>& x,
+                                 const std::vector<double>& y) {
+  const int n = static_cast<int>(x.size());
+  std::vector<double> h(n - 1), delta(n - 1);
+  for (int i = 0; i < n - 1; ++i) {
+    h[i] = x[i + 1] - x[i];
+    delta[i] = (y[i + 1] - y[i]) / h[i];
+  }
+  std::vector<double> m(n, 0.0);
+  // Interior slopes as weighted harmonic means.
+  for (int i = 1; i < n - 1; ++i) {
+    if (delta[i - 1] * delta[i] > 0.0) {
+      const double w1 = 2.0 * h[i] + h[i - 1];
+      const double w2 = h[i] + 2.0 * h[i - 1];
+      m[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+    }
+  }
+  // One-sided endpoint slopes (shape-preserving limiting).
+  auto endpoint = [](double h0, double h1, double d0, double d1) {
+    double me = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+    if (me * d0 <= 0.0) me = 0.0;
+    else if (d0 * d1 < 0.0 && std::abs(me) > 3.0 * std::abs(d0)) me = 3.0 * d0;
+    return me;
+  };
+  if (n == 2) {
+    m[0] = m[1] = delta[0];
+  } else {
+    m[0] = endpoint(h[0], h[1], delta[0], delta[1]);
+    m[n - 1] = endpoint(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
+  }
+  return m;
+}
+
+/// Index of the segment containing xq, clamped to valid cells so queries
+/// outside the grid extrapolate with the edge segment.
+int clamped_segment(const std::vector<double>& x, double xq) {
+  const auto it = std::upper_bound(x.begin(), x.end(), xq);
+  int i = static_cast<int>(it - x.begin()) - 1;
+  return std::clamp(i, 0, static_cast<int>(x.size()) - 2);
 }
 }  // namespace
 
@@ -22,11 +69,7 @@ LinearInterp::LinearInterp(std::vector<double> x, std::vector<double> y)
   check_grid(x_, y_);
 }
 
-int LinearInterp::segment(double xq) const {
-  const auto it = std::upper_bound(x_.begin(), x_.end(), xq);
-  int i = static_cast<int>(it - x_.begin()) - 1;
-  return std::clamp(i, 0, static_cast<int>(x_.size()) - 2);
-}
+int LinearInterp::segment(double xq) const { return clamped_segment(x_, xq); }
 
 double LinearInterp::operator()(double xq) const {
   const int i = segment(xq);
@@ -42,41 +85,10 @@ double LinearInterp::derivative(double xq) const {
 PchipInterp::PchipInterp(std::vector<double> x, std::vector<double> y)
     : x_(std::move(x)), y_(std::move(y)) {
   check_grid(x_, y_);
-  const int n = static_cast<int>(x_.size());
-  std::vector<double> h(n - 1), delta(n - 1);
-  for (int i = 0; i < n - 1; ++i) {
-    h[i] = x_[i + 1] - x_[i];
-    delta[i] = (y_[i + 1] - y_[i]) / h[i];
-  }
-  m_.assign(n, 0.0);
-  // Fritsch–Carlson: interior slopes as weighted harmonic means.
-  for (int i = 1; i < n - 1; ++i) {
-    if (delta[i - 1] * delta[i] > 0.0) {
-      const double w1 = 2.0 * h[i] + h[i - 1];
-      const double w2 = h[i] + 2.0 * h[i - 1];
-      m_[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
-    }
-  }
-  // One-sided endpoint slopes (shape-preserving limiting).
-  auto endpoint = [](double h0, double h1, double d0, double d1) {
-    double m = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
-    if (m * d0 <= 0.0) m = 0.0;
-    else if (d0 * d1 < 0.0 && std::abs(m) > 3.0 * std::abs(d0)) m = 3.0 * d0;
-    return m;
-  };
-  if (n == 2) {
-    m_[0] = m_[1] = delta[0];
-  } else {
-    m_[0] = endpoint(h[0], h[1], delta[0], delta[1]);
-    m_[n - 1] = endpoint(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
-  }
+  m_ = pchip_slopes(x_, y_);
 }
 
-int PchipInterp::segment(double xq) const {
-  const auto it = std::upper_bound(x_.begin(), x_.end(), xq);
-  int i = static_cast<int>(it - x_.begin()) - 1;
-  return std::clamp(i, 0, static_cast<int>(x_.size()) - 2);
-}
+int PchipInterp::segment(double xq) const { return clamped_segment(x_, xq); }
 
 double PchipInterp::operator()(double xq) const {
   const int i = segment(xq);
@@ -100,6 +112,82 @@ double PchipInterp::derivative(double xq) const {
   const double dh01 = (-6 * t2 + 6 * t) / h;
   const double dh11 = 3 * t2 - 2 * t;
   return dh00 * y_[i] + dh10 * m_[i] + dh01 * y_[i + 1] + dh11 * m_[i + 1];
+}
+
+BicubicTable::BicubicTable(std::vector<double> x, std::vector<double> y,
+                           std::vector<double> z)
+    : x_(std::move(x)), y_(std::move(y)), z_(std::move(z)) {
+  check_axis(x_);
+  check_axis(y_);
+  const int nx = static_cast<int>(x_.size());
+  const int ny = static_cast<int>(y_.size());
+  CARBON_REQUIRE(static_cast<int>(z_.size()) == nx * ny,
+                 "z must hold size_x * size_y samples");
+
+  zx_.resize(z_.size());
+  zy_.resize(z_.size());
+  // Slopes along x: one PCHIP pass per y-column.
+  std::vector<double> line(nx);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) line[i] = z_[i * ny + j];
+    const std::vector<double> m = pchip_slopes(x_, line);
+    for (int i = 0; i < nx; ++i) zx_[i * ny + j] = m[i];
+  }
+  // Slopes along y: one PCHIP pass per x-row (rows are contiguous).
+  for (int i = 0; i < nx; ++i) {
+    const std::vector<double> row(z_.begin() + i * ny,
+                                  z_.begin() + (i + 1) * ny);
+    const std::vector<double> m = pchip_slopes(y_, row);
+    std::copy(m.begin(), m.end(), zy_.begin() + i * ny);
+  }
+}
+
+BicubicTable::Eval BicubicTable::eval(double xq, double yq) const {
+  const int i = clamped_segment(x_, xq);
+  const int j = clamped_segment(y_, yq);
+  const double hx = x_[i + 1] - x_[i];
+  const double hy = y_[j + 1] - y_[j];
+  const double u = (xq - x_[i]) / hx;
+  const double v = (yq - y_[j]) / hy;
+
+  // Hermite bases and their parameter derivatives in each direction.
+  const auto basis = [](double t, double b[4], double db[4]) {
+    const double t2 = t * t, t3 = t2 * t;
+    b[0] = 2 * t3 - 3 * t2 + 1;   // h00: value at left node
+    b[1] = t3 - 2 * t2 + t;       // h10: slope at left node
+    b[2] = -2 * t3 + 3 * t2;      // h01: value at right node
+    b[3] = t3 - t2;               // h11: slope at right node
+    db[0] = 6 * t2 - 6 * t;
+    db[1] = 3 * t2 - 4 * t + 1;
+    db[2] = -6 * t2 + 6 * t;
+    db[3] = 3 * t2 - 2 * t;
+  };
+  double bu[4], dbu[4], bv[4], dbv[4];
+  basis(u, bu, dbu);
+  basis(v, bv, dbv);
+
+  // Interpolate values and x-slopes along y on both x-edges of the cell;
+  // cross derivatives are taken as zero (standard for FC tensor tables).
+  const auto along_y = [&](const double bw[4], int ii, bool slopes) {
+    if (slopes) return bw[0] * zx(ii, j) + bw[2] * zx(ii, j + 1);
+    return bw[0] * z(ii, j) + bw[1] * hy * zy(ii, j) + bw[2] * z(ii, j + 1) +
+           bw[3] * hy * zy(ii, j + 1);
+  };
+  const double a0 = along_y(bv, i, false);      // f(x_i, yq)
+  const double a1 = along_y(bv, i + 1, false);  // f(x_{i+1}, yq)
+  const double s0 = along_y(bv, i, true);       // fx(x_i, yq)
+  const double s1 = along_y(bv, i + 1, true);   // fx(x_{i+1}, yq)
+  const double da0 = along_y(dbv, i, false) / hy;
+  const double da1 = along_y(dbv, i + 1, false) / hy;
+  const double ds0 = along_y(dbv, i, true) / hy;
+  const double ds1 = along_y(dbv, i + 1, true) / hy;
+
+  Eval e;
+  e.f = bu[0] * a0 + bu[1] * hx * s0 + bu[2] * a1 + bu[3] * hx * s1;
+  e.fx = (dbu[0] * a0 + dbu[1] * hx * s0 + dbu[2] * a1 + dbu[3] * hx * s1) /
+         hx;
+  e.fy = bu[0] * da0 + bu[1] * hx * ds0 + bu[2] * da1 + bu[3] * hx * ds1;
+  return e;
 }
 
 }  // namespace carbon::phys

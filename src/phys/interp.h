@@ -49,4 +49,47 @@ class PchipInterp {
   std::vector<double> x_, y_, m_;  // m_: endpoint slopes
 };
 
+/// 2-D tensor-product cubic Hermite table on a rectilinear grid with
+/// shape-preserving (Fritsch–Carlson) slopes along each axis and zero cross
+/// derivatives.  Built for tabulated I–V surfaces: C1 everywhere, analytic
+/// partial derivatives, and near-monotone along grid lines (the PCHIP slope
+/// limiting suppresses the overshoot a plain bicubic spline would add).
+/// Queries outside the grid extrapolate with the edge patch, matching the
+/// 1-D interpolants' behavior.
+class BicubicTable {
+ public:
+  /// Value and both partial derivatives at a query point.
+  struct Eval {
+    double f = 0.0;
+    double fx = 0.0;  ///< df/dx
+    double fy = 0.0;  ///< df/dy
+  };
+
+  BicubicTable() = default;
+  /// @param x strictly increasing sample locations (size >= 2)
+  /// @param y strictly increasing sample locations (size >= 2)
+  /// @param z row-major samples: z[i * y.size() + j] = f(x[i], y[j])
+  BicubicTable(std::vector<double> x, std::vector<double> y,
+               std::vector<double> z);
+
+  /// Value + analytic partials at (xq, yq).
+  Eval eval(double xq, double yq) const;
+  /// Value only.
+  double operator()(double xq, double yq) const { return eval(xq, yq).f; }
+
+  int size_x() const { return static_cast<int>(x_.size()); }
+  int size_y() const { return static_cast<int>(y_.size()); }
+  const std::vector<double>& x() const { return x_; }
+  const std::vector<double>& y() const { return y_; }
+
+ private:
+  double z(int i, int j) const { return z_[i * y_.size() + j]; }
+  double zx(int i, int j) const { return zx_[i * y_.size() + j]; }
+  double zy(int i, int j) const { return zy_[i * y_.size() + j]; }
+
+  std::vector<double> x_, y_;
+  std::vector<double> z_;            // values, row-major [i][j]
+  std::vector<double> zx_, zy_;      // FC slopes along x and along y
+};
+
 }  // namespace carbon::phys

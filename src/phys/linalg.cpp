@@ -23,6 +23,18 @@ double Matrix::max_abs() const {
 }
 
 LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
+  factor_stored();
+  factored_ = true;
+}
+
+void LuFactorization::factor(const Matrix& a) {
+  factored_ = false;
+  lu_ = a;  // reuses lu_'s buffer when the size matches
+  factor_stored();
+  factored_ = true;
+}
+
+void LuFactorization::factor_stored() {
   const int n = lu_.rows();
   CARBON_REQUIRE(n == lu_.cols(), "LU requires a square matrix");
   perm_.resize(n);
@@ -60,9 +72,26 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
 
 std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
   const int n = lu_.rows();
+  CARBON_REQUIRE(factored_, "LU: no factorization held");
   CARBON_REQUIRE(static_cast<int>(b.size()) == n, "rhs size mismatch");
   std::vector<double> x(n);
   for (int i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  substitute(x);
+  return x;
+}
+
+void LuFactorization::solve_in_place(std::vector<double>& bx) const {
+  const int n = lu_.rows();
+  CARBON_REQUIRE(factored_, "LU: no factorization held");
+  CARBON_REQUIRE(static_cast<int>(bx.size()) == n, "rhs size mismatch");
+  scratch_.resize(n);
+  for (int i = 0; i < n; ++i) scratch_[i] = bx[perm_[i]];
+  bx.swap(scratch_);
+  substitute(bx);
+}
+
+void LuFactorization::substitute(std::vector<double>& x) const {
+  const int n = lu_.rows();
   // Forward substitution (unit lower triangle).
   for (int i = 1; i < n; ++i) {
     double s = x[i];
@@ -75,7 +104,6 @@ std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
     for (int j = i + 1; j < n; ++j) s -= lu_(i, j) * x[j];
     x[i] = s / lu_(i, i);
   }
-  return x;
 }
 
 std::vector<double> solve_dense(Matrix a, const std::vector<double>& b) {

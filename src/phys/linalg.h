@@ -34,21 +34,50 @@ class Matrix {
 
 /// LU factorization with partial pivoting of a square matrix.
 /// Throws ConvergenceError on (numerical) singularity.
+///
+/// Besides the one-shot constructor the class doubles as a reusable
+/// workspace: a default-constructed instance can be refactored repeatedly
+/// with factor(), which reuses the internal pivot/LU storage — after the
+/// first call on a given size, refactor + solve_in_place perform no heap
+/// allocation.  This is what the SPICE Newton loop runs on.
 class LuFactorization {
  public:
+  /// Empty workspace: call factor() before solving.
+  LuFactorization() = default;
+
   /// Factor @p a in-place (a copy is stored).
   explicit LuFactorization(Matrix a);
 
-  /// Solve A x = b; returns x.
+  /// (Re)factor @p a, reusing the existing storage when the size matches.
+  /// Throws ConvergenceError on singularity (factored() stays false).
+  void factor(const Matrix& a);
+
+  /// True when a valid factorization is held.
+  bool factored() const { return factored_; }
+
+  /// Solve A x = b; returns x.  Safe to call concurrently on a shared
+  /// factorization (allocates its own work vector).
   std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solve A x = b with b supplied (and x returned) in @p bx — no
+  /// allocation (an internal scratch buffer is reused, so concurrent
+  /// solve_in_place calls on one instance are NOT safe; each Newton
+  /// workspace owns its factorization).
+  void solve_in_place(std::vector<double>& bx) const;
 
   /// Reciprocal pivot-growth estimate: min|pivot| / max|A| (0 = singular).
   double pivot_quality() const { return pivot_quality_; }
 
  private:
+  void factor_stored();
+  /// Forward + back substitution on a permuted RHS.
+  void substitute(std::vector<double>& x) const;
+
   Matrix lu_;
   std::vector<int> perm_;
+  mutable std::vector<double> scratch_;
   double pivot_quality_ = 0.0;
+  bool factored_ = false;
 };
 
 /// One-shot solve of A x = b.

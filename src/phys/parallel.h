@@ -1,0 +1,79 @@
+#pragma once
+
+/// @file parallel.h
+/// A small fixed-size thread pool and a blocked parallel_for on top of it,
+/// used by the embarrassingly parallel Monte-Carlo loops in the fab layer.
+///
+/// Determinism contract: parallel_for partitions [0, n) into contiguous
+/// blocks whose boundaries depend only on n and the requested thread count,
+/// and the caller's body must make per-index work independent (e.g. one RNG
+/// stream per index via stream_seed).  Under that contract results are
+/// bit-for-bit identical for any number of worker threads.
+
+#include <cstdint>
+#include <functional>
+
+#include "phys/rng.h"
+
+namespace carbon::phys {
+
+/// Worker-thread count used when a parallel call passes 0: the
+/// CARBON_NUM_THREADS environment variable when set (>= 1), otherwise
+/// std::thread::hardware_concurrency (at least 1).
+int default_num_threads();
+
+/// Lazily constructed process-wide pool of persistent worker threads.
+/// Tasks are submitted in batches; run() blocks until the batch completes.
+class ThreadPool {
+ public:
+  /// The shared pool, created on first use with default_num_threads()
+  /// workers.
+  static ThreadPool& instance();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  /// Run task(0) ... task(num_tasks - 1) on the pool and wait for all of
+  /// them.  The calling thread participates, so the pool also works when it
+  /// has a single (or zero) workers.  The first exception thrown by any
+  /// task is rethrown on the caller after the batch drains.
+  void run(int num_tasks, const std::function<void(int)>& task);
+
+ private:
+  explicit ThreadPool(int num_workers);
+  struct Impl;
+  Impl* impl_;
+  int num_workers_ = 0;
+};
+
+/// Blocked parallel loop: body(begin, end) is invoked over contiguous,
+/// disjoint blocks covering [0, n).  @p num_threads 0 = default pool size;
+/// 1 (or n <= 1) runs inline on the caller.  Block boundaries depend only
+/// on n and the resolved thread count's block count — but per-index results
+/// must not depend on blocking for the determinism contract to hold.
+void parallel_for(long n, const std::function<void(long, long)>& body,
+                  int num_threads = 0);
+
+/// Per-index convenience wrapper over parallel_for.
+void parallel_for_each(long n, const std::function<void(long)>& body,
+                       int num_threads = 0);
+
+/// Deterministic parallel Monte-Carlo loop: [0, n) is split into fixed
+/// chunks of ~@p grain indices (the layout depends only on n and grain,
+/// never on the thread count) and chunk c runs body(begin, end, rng) with
+/// its own Rng seeded from stream_seed(seed, c).  Results are therefore
+/// bit-identical for any pool width, while the mt19937 seeding cost is
+/// amortized over a chunk instead of being paid per trial.
+void parallel_for_seeded(long n, std::uint64_t seed,
+                         const std::function<void(long, long, Rng&)>& body,
+                         int num_threads = 0, long grain = 64);
+
+/// Decorrelated per-stream seed: a splitmix64 mix of the base seed and a
+/// stream index.  Use one stream per Monte-Carlo site so trial i draws the
+/// same variates no matter which thread runs it.
+std::uint64_t stream_seed(std::uint64_t base_seed, std::uint64_t stream);
+
+}  // namespace carbon::phys

@@ -8,49 +8,56 @@
 
 namespace carbon::spice {
 
-namespace {
+void NewtonWorkspace::resize(int n) {
+  if (jac.rows() != n || jac.cols() != n) jac = phys::Matrix(n, n);
+  rhs.resize(n);
+  x_new.resize(n);
+}
 
-/// One full Newton–Raphson solve at fixed gmin / source scale.
-/// Returns true on convergence; x is updated in place.
+/// One full Newton–Raphson solve at fixed gmin / source scale, on a
+/// caller-provided workspace.  The loop body is allocation-free: the
+/// Jacobian and RHS are refilled in place, the LU refactors into its
+/// existing storage and the solve happens in the x_new buffer.
 bool newton_solve(Circuit& ckt, std::vector<double>& x,
                   const SolverOptions& opts, double gmin, double source_scale,
-                  const StampContext& proto, int* iterations) {
+                  const StampContext& proto, NewtonWorkspace& ws,
+                  int* iterations) {
   const int n = ckt.num_unknowns();
-  phys::Matrix jac(n, n);
-  std::vector<double> rhs(n);
+  ws.resize(n);
 
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
-    jac.fill(0.0);
-    std::fill(rhs.begin(), rhs.end(), 0.0);
+    ws.jac.fill(0.0);
+    std::fill(ws.rhs.begin(), ws.rhs.end(), 0.0);
 
     StampContext ctx = proto;
-    ctx.jac = &jac;
-    ctx.rhs = &rhs;
+    ctx.jac = &ws.jac;
+    ctx.rhs = &ws.rhs;
     ctx.x = &x;
     ctx.gmin = gmin;
     ctx.source_scale = source_scale;
 
     for (const auto& el : ckt.elements()) el->stamp(ctx);
 
-    std::vector<double> x_new;
     try {
-      x_new = phys::solve_dense(jac, rhs);
+      ws.lu.factor(ws.jac);
     } catch (const phys::ConvergenceError&) {
       return false;  // singular at this homotopy rung
     }
+    std::copy(ws.rhs.begin(), ws.rhs.end(), ws.x_new.begin());
+    ws.lu.solve_in_place(ws.x_new);
 
     // Damped update: limit node-voltage movement per iteration.
     double max_dv = 0.0;
     const int n_nodes = ckt.num_nodes();
     for (int i = 0; i < n_nodes; ++i) {
-      max_dv = std::max(max_dv, std::abs(x_new[i] - x[i]));
+      max_dv = std::max(max_dv, std::abs(ws.x_new[i] - x[i]));
     }
     double damp = 1.0;
     if (max_dv > opts.v_step_limit) damp = opts.v_step_limit / max_dv;
 
     double worst = 0.0;
     for (int i = 0; i < n; ++i) {
-      const double xi = x[i] + damp * (x_new[i] - x[i]);
+      const double xi = x[i] + damp * (ws.x_new[i] - x[i]);
       const double tol = opts.v_abstol + opts.reltol * std::abs(xi);
       worst = std::max(worst, std::abs(xi - x[i]) / tol);
       x[i] = xi;
@@ -61,13 +68,14 @@ bool newton_solve(Circuit& ckt, std::vector<double>& x,
   return false;
 }
 
-}  // namespace
-
 Solution operating_point(Circuit& ckt, const SolverOptions& opts,
-                         const std::vector<double>* x0) {
+                         const std::vector<double>* x0, NewtonWorkspace* ws) {
   ckt.assign_branches();
   const int n = ckt.num_unknowns();
   CARBON_REQUIRE(n > 0, "empty circuit");
+
+  NewtonWorkspace local_ws;
+  NewtonWorkspace& w = ws ? *ws : local_ws;
 
   Solution sol;
   sol.x.assign(n, 0.0);
@@ -78,7 +86,7 @@ Solution operating_point(Circuit& ckt, const SolverOptions& opts,
 
   // 1) Plain Newton from the initial point.
   std::vector<double> x = sol.x;
-  if (newton_solve(ckt, x, opts, opts.gmin_final, 1.0, proto, &iters)) {
+  if (newton_solve(ckt, x, opts, opts.gmin_final, 1.0, proto, w, &iters)) {
     sol.x = std::move(x);
     sol.iterations = iters;
     return sol;
@@ -91,13 +99,14 @@ Solution operating_point(Circuit& ckt, const SolverOptions& opts,
                                 1.0 / std::max(1, opts.gmin_steps - 1));
   double gmin = opts.gmin_initial;
   for (int s = 0; s < opts.gmin_steps; ++s) {
-    if (!newton_solve(ckt, x, opts, gmin, 1.0, proto, &iters)) {
+    if (!newton_solve(ckt, x, opts, gmin, 1.0, proto, w, &iters)) {
       ok = false;
       break;
     }
     gmin *= ratio;
   }
-  if (ok && newton_solve(ckt, x, opts, opts.gmin_final, 1.0, proto, &iters)) {
+  if (ok &&
+      newton_solve(ckt, x, opts, opts.gmin_final, 1.0, proto, w, &iters)) {
     sol.x = std::move(x);
     sol.iterations = iters;
     sol.used_gmin_stepping = true;
@@ -109,7 +118,8 @@ Solution operating_point(Circuit& ckt, const SolverOptions& opts,
   ok = true;
   for (int s = 1; s <= opts.source_steps; ++s) {
     const double scale = static_cast<double>(s) / opts.source_steps;
-    if (!newton_solve(ckt, x, opts, opts.gmin_final, scale, proto, &iters)) {
+    if (!newton_solve(ckt, x, opts, opts.gmin_final, scale, proto, w,
+                      &iters)) {
       ok = false;
       break;
     }
@@ -149,11 +159,14 @@ phys::DataTable dc_sweep(Circuit& ckt, VSource& swept,
   for (const auto& p : probes) cols.push_back("v(" + p + ")");
   phys::DataTable table(cols);
 
+  // One workspace for the whole sweep: the Jacobian/LU buffers persist
+  // across points, and each point warm-starts from the previous solution.
+  NewtonWorkspace ws;
   std::vector<double> warm;
   for (double v : values) {
     swept.set_wave(dc(v));
     const Solution sol =
-        operating_point(ckt, opts, warm.empty() ? nullptr : &warm);
+        operating_point(ckt, opts, warm.empty() ? nullptr : &warm, &ws);
     warm = sol.x;
     std::vector<double> row{v};
     for (const auto& p : probes) row.push_back(node_voltage(ckt, sol, p));
@@ -177,9 +190,13 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
   ckt.reset_state();
   ckt.assign_branches();
 
+  // Workspace shared by the initial OP and every time step.
+  NewtonWorkspace ws;
+
   // Initial condition: DC operating point with sources at t=0.
-  Solution sol = operating_point(ckt, opts.solver);
+  Solution sol = operating_point(ckt, opts.solver, nullptr, &ws);
   std::vector<double> x = sol.x;
+  std::vector<double> x_try;
 
   const auto record = [&](double t) {
     std::vector<double> row{t};
@@ -206,15 +223,15 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
       proto.trapezoidal = opts.trapezoidal && !first_step;
       proto.time_s = t + dt;
 
-      std::vector<double> x_try = x;
+      x_try = x;
       int iters = 0;
       if (newton_solve(ckt, x_try, opts.solver, opts.solver.gmin_final, 1.0,
-                       proto, &iters)) {
+                       proto, ws, &iters)) {
         // Accept: update element state with the converged voltages.
         StampContext accept_ctx = proto;
         accept_ctx.x = &x_try;
         for (const auto& el : ckt.elements()) el->accept_step(accept_ctx);
-        x = std::move(x_try);
+        std::swap(x, x_try);
         t += dt;
         first_step = false;
         record(t);

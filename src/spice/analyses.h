@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "phys/linalg.h"
 #include "phys/table.h"
 #include "spice/circuit.h"
 
@@ -34,10 +35,38 @@ struct Solution {
   bool used_source_stepping = false;
 };
 
+/// Persistent Newton scratch: the Jacobian, RHS, update vector and LU
+/// factorization are allocated once and reused across iterations — and,
+/// when the caller keeps the workspace alive, across the points of a sweep
+/// or the steps of a transient.  After resize(n) has run once for a given
+/// circuit size, a Newton iteration performs no heap allocation.
+struct NewtonWorkspace {
+  phys::Matrix jac;
+  std::vector<double> rhs;
+  std::vector<double> x_new;
+  phys::LuFactorization lu;
+
+  /// Adapt the buffers to @p n unknowns (no-op when already sized).
+  void resize(int n);
+  int size() const { return static_cast<int>(rhs.size()); }
+};
+
+/// One full Newton–Raphson solve at fixed gmin / source scale, running on
+/// @p ws.  Returns true on convergence; @p x is updated in place.  Exposed
+/// for benchmarks and custom analysis drivers; most callers want
+/// operating_point.
+bool newton_solve(Circuit& ckt, std::vector<double>& x,
+                  const SolverOptions& opts, double gmin, double source_scale,
+                  const StampContext& proto, NewtonWorkspace& ws,
+                  int* iterations);
+
 /// DC operating point.  Throws ConvergenceError when every strategy fails.
 /// @param x0  optional warm start (same layout as Solution::x)
+/// @param ws  optional caller-owned workspace, reused across calls (sweep
+///            drivers pass one so per-point solves allocate nothing)
 Solution operating_point(Circuit& ckt, const SolverOptions& opts = {},
-                         const std::vector<double>* x0 = nullptr);
+                         const std::vector<double>* x0 = nullptr,
+                         NewtonWorkspace* ws = nullptr);
 
 /// Voltage of a named node in a solution.
 double node_voltage(const Circuit& ckt, const Solution& sol,

@@ -216,15 +216,12 @@ void Fet::stamp(const StampContext& ctx) const {
   const double vgs = ctx.v(g) - ctx.v(s);
   const double vds = ctx.v(d) - ctx.v(s);
 
-  const double h = 1e-4;
-  const double id0 = mult_ * model_->drain_current(vgs, vds);
-  const double gm =
-      mult_ * (model_->drain_current(vgs + h, vds) -
-               model_->drain_current(vgs - h, vds)) / (2.0 * h);
-  const double gds_raw =
-      mult_ * (model_->drain_current(vgs, vds + h) -
-               model_->drain_current(vgs, vds - h)) / (2.0 * h);
-  const double gds = gds_raw + ctx.gmin;  // keep the Jacobian non-singular
+  // One eval() gives current and both conductances — a single table lookup
+  // for tabulated models, a finite-difference fallback otherwise.
+  const device::DeviceEval e = model_->eval(vgs, vds);
+  const double id0 = mult_ * e.id;
+  const double gm = mult_ * e.gm;
+  const double gds = mult_ * e.gds + ctx.gmin;  // keep Jacobian non-singular
 
   // Norton companion: id = id0 + gm (vgs - vgs0) + gds (vds - vds0)
   //                     = gm*vgs + gds*vds + ieq.
@@ -252,13 +249,9 @@ void Fet::stamp_ac(const AcStampContext& ctx) const {
   const NodeId d = nodes_[0], g = nodes_[1], s = nodes_[2];
   const double vgs = ctx.v_dc(g) - ctx.v_dc(s);
   const double vds = ctx.v_dc(d) - ctx.v_dc(s);
-  const double h = 1e-4;
-  const double gm =
-      mult_ * (model_->drain_current(vgs + h, vds) -
-               model_->drain_current(vgs - h, vds)) / (2.0 * h);
-  const double gds =
-      mult_ * (model_->drain_current(vgs, vds + h) -
-               model_->drain_current(vgs, vds - h)) / (2.0 * h) + 1e-12;
+  const device::DeviceEval e = model_->eval(vgs, vds);
+  const double gm = mult_ * e.gm;
+  const double gds = mult_ * e.gds + 1e-12;
   ctx.add_jac(d, g, gm);
   ctx.add_jac(d, s, -gm - gds);
   ctx.add_jac(d, d, gds);

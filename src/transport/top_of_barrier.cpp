@@ -28,10 +28,25 @@ TopOfBarrierSolver::TopOfBarrierSolver(TopOfBarrierParams params)
   // Fermi level measured from midgap.  The exact integral is smooth and
   // monotone, so a monotone PCHIP over a uniform grid is accurate and keeps
   // each SPICE Newton iteration cheap.
+  //
+  // Window sizing: eta = mu - u_mid excursions grow with the subband ladder
+  // extent and with how far the terminals are swept, so a fixed +-2.5 eV
+  // window silently degraded deep sweeps (e.g. TFET gates to -2 V) into
+  // exact-integral evaluations inside the root loop.  Cover the ladder
+  // extent plus a 3.5 eV bias allowance; fallbacks past that are counted
+  // per solve in TopOfBarrierState::table_fallbacks.
   const double kt = kBoltzmannEv * params_.temperature_k;
-  eta_lo_ = -2.5;
-  eta_hi_ = 2.5;
-  const int n_pts = 501;
+  double ladder_extent = 0.0;
+  for (const auto& sb : params_.ladder.subbands) {
+    ladder_extent = std::max(ladder_extent, sb.delta_ev);
+  }
+  const double half_width =
+      std::max(2.5, ladder_extent + 3.5 + std::abs(params_.ef_source_ev));
+  eta_hi_ = half_width;
+  eta_lo_ = -half_width;
+  const double spacing_ev = 0.01;  // same resolution as the old table
+  const int n_pts =
+      static_cast<int>(std::ceil((eta_hi_ - eta_lo_) / spacing_ev)) + 1;
   std::vector<double> eta(n_pts), dens(n_pts);
   for (int i = 0; i < n_pts; ++i) {
     eta[i] = eta_lo_ + (eta_hi_ - eta_lo_) * i / (n_pts - 1);
@@ -39,32 +54,36 @@ TopOfBarrierSolver::TopOfBarrierSolver(TopOfBarrierParams params)
   }
   density_table_ = phys::PchipInterp(std::move(eta), std::move(dens));
 
-  n0_ = density_vs_eta(params_.ef_source_ev);
+  n0_ = density_vs_eta(params_.ef_source_ev, nullptr);
   // Keep the equilibrium hole density consistent with hole_density(): both
   // must vanish together or the charging term picks up a spurious offset.
-  p0_ = params_.include_holes ? density_vs_eta(-params_.ef_source_ev) : 0.0;
+  p0_ = params_.include_holes ? density_vs_eta(-params_.ef_source_ev, nullptr)
+                              : 0.0;
 }
 
-double TopOfBarrierSolver::density_vs_eta(double eta_ev) const {
-  const double kt = kBoltzmannEv * params_.temperature_k;
+double TopOfBarrierSolver::density_vs_eta(double eta_ev,
+                                          int* fallbacks) const {
   if (eta_ev >= eta_lo_ && eta_ev <= eta_hi_) return density_table_(eta_ev);
+  if (fallbacks) ++*fallbacks;
+  const double kt = kBoltzmannEv * params_.temperature_k;
   return params_.ladder.electron_density(eta_ev, kt);  // rare fallback
 }
 
 double TopOfBarrierSolver::electron_density(double u_mid_ev, double mu_s,
-                                            double mu_d) const {
+                                            double mu_d,
+                                            int* fallbacks) const {
   // +k states filled from the source, -k from the drain: average the two
   // reservoir densities.
-  return 0.5 * (density_vs_eta(mu_s - u_mid_ev) +
-                density_vs_eta(mu_d - u_mid_ev));
+  return 0.5 * (density_vs_eta(mu_s - u_mid_ev, fallbacks) +
+                density_vs_eta(mu_d - u_mid_ev, fallbacks));
 }
 
 double TopOfBarrierSolver::hole_density(double u_mid_ev, double mu_s,
-                                        double mu_d) const {
+                                        double mu_d, int* fallbacks) const {
   if (!params_.include_holes) return 0.0;
   // Valence bands mirror the conduction bands: p(mu) = n(-mu) about midgap.
-  return 0.5 * (density_vs_eta(u_mid_ev - mu_s) +
-                density_vs_eta(u_mid_ev - mu_d));
+  return 0.5 * (density_vs_eta(u_mid_ev - mu_s, fallbacks) +
+                density_vs_eta(u_mid_ev - mu_d, fallbacks));
 }
 
 TopOfBarrierState TopOfBarrierSolver::solve(double vg, double vd) const {
@@ -74,11 +93,12 @@ TopOfBarrierState TopOfBarrierSolver::solve(double vg, double vd) const {
   const double charging_ev = kQ / params_.c_total;  // eV per unit line density
 
   int evals = 0;
+  int fallbacks = 0;
   const auto residual = [&](double u) {
     ++evals;
     const double mid = u - params_.ef_source_ev;  // midgap vs source Fermi
-    const double dn = electron_density(mid, mu_s, mu_d) - n0_;
-    const double dp = hole_density(mid, mu_s, mu_d) - p0_;
+    const double dn = electron_density(mid, mu_s, mu_d, &fallbacks) - n0_;
+    const double dp = hole_density(mid, mu_s, mu_d, &fallbacks) - p0_;
     return u - u_laplace - charging_ev * (dn - dp);
   };
 
@@ -95,8 +115,9 @@ TopOfBarrierState TopOfBarrierSolver::solve(double vg, double vd) const {
   st.u_scf_ev = u;
   st.iterations = evals;
   const double mid = u - params_.ef_source_ev;
-  st.n_electrons = electron_density(mid, mu_s, mu_d);
-  st.p_holes = hole_density(mid, mu_s, mu_d);
+  st.n_electrons = electron_density(mid, mu_s, mu_d, &fallbacks);
+  st.p_holes = hole_density(mid, mu_s, mu_d, &fallbacks);
+  st.table_fallbacks = fallbacks;
 
   const double kt = kBoltzmannEv * params_.temperature_k;
   double current = 0.0;

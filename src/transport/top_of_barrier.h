@@ -63,6 +63,12 @@ struct TopOfBarrierState {
   double p_holes = 0.0;      ///< hole line density [1/m]
   double current_a = 0.0;    ///< drain current [A]
   int iterations = 0;        ///< root-finder evaluations used
+  /// Density lookups that fell off the pre-tabulated eta window and paid
+  /// for the exact DOS integral.  The window is sized from the subband
+  /// ladder extent plus a generous bias allowance, so this should stay 0
+  /// for any physical sweep; a nonzero count flags a mis-sized table (the
+  /// silent performance trap this counter was added to expose).
+  int table_fallbacks = 0;
 };
 
 /// Self-consistent ballistic FET solver.  Thread-compatible (const solve).
@@ -82,13 +88,19 @@ class TopOfBarrierSolver {
   /// Equilibrium electron density N0 [1/m] (cached at construction).
   double equilibrium_density() const { return n0_; }
 
+  /// Half-width of the pre-tabulated n(eta) window [eV].
+  double table_window_ev() const { return eta_hi_; }
+
  private:
   /// Reservoir-averaged electron density for midgap at energy u rel. source
-  /// Fermi level (uses the cached density table).
-  double electron_density(double u_mid_ev, double mu_s, double mu_d) const;
-  double hole_density(double u_mid_ev, double mu_s, double mu_d) const;
-  /// Density for a single reservoir: Fermi level at x above midgap.
-  double density_vs_eta(double eta_ev) const;
+  /// Fermi level (uses the cached density table).  @p fallbacks counts
+  /// lookups that left the table window (may be null).
+  double electron_density(double u_mid_ev, double mu_s, double mu_d,
+                          int* fallbacks) const;
+  double hole_density(double u_mid_ev, double mu_s, double mu_d,
+                      int* fallbacks) const;
+  /// Density for a single reservoir: Fermi level at eta above midgap.
+  double density_vs_eta(double eta_ev, int* fallbacks) const;
 
   TopOfBarrierParams params_;
   phys::PchipInterp density_table_;  ///< n(eta): Fermi level above midgap

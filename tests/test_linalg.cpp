@@ -117,4 +117,60 @@ TEST(Norms, BasicValues) {
   EXPECT_DOUBLE_EQ(norm2({}), 0.0);
 }
 
+// ---- the reusable-workspace API the SPICE Newton loop runs on ----
+
+TEST(LuWorkspace, RefactorMatchesSolveDenseAcrossReuses) {
+  std::mt19937 gen(21);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  LuFactorization lu;
+  EXPECT_FALSE(lu.factored());
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 10;
+    Matrix a(n, n);
+    std::vector<double> b(n);
+    for (int i = 0; i < n; ++i) {
+      b[i] = u(gen);
+      for (int j = 0; j < n; ++j) a(i, j) = u(gen) + (i == j ? 4.0 : 0.0);
+    }
+    lu.factor(a);
+    EXPECT_TRUE(lu.factored());
+    std::vector<double> x = b;
+    lu.solve_in_place(x);
+    const auto x_ref = solve_dense(a, b);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-11);
+  }
+}
+
+TEST(LuWorkspace, HandlesSizeChanges) {
+  LuFactorization lu;
+  for (int n : {3, 8, 2, 12}) {
+    Matrix a(n, n);
+    for (int i = 0; i < n; ++i) a(i, i) = 2.0 + i;
+    lu.factor(a);
+    std::vector<double> x(n, 1.0);
+    lu.solve_in_place(x);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], 1.0 / (2.0 + i), 1e-13);
+  }
+}
+
+TEST(LuWorkspace, SingularityThrowsAndWorkspaceRecovers) {
+  LuFactorization lu;
+  Matrix bad(2, 2);
+  bad(0, 0) = 1.0; bad(0, 1) = 2.0;
+  bad(1, 0) = 2.0; bad(1, 1) = 4.0;
+  EXPECT_THROW(lu.factor(bad), carbon::phys::ConvergenceError);
+  EXPECT_FALSE(lu.factored());
+  std::vector<double> x{1.0, 1.0};
+  EXPECT_THROW(lu.solve_in_place(x), carbon::phys::PreconditionError);
+
+  Matrix good(2, 2);
+  good(0, 0) = 2.0; good(0, 1) = 0.0;
+  good(1, 0) = 0.0; good(1, 1) = 4.0;
+  lu.factor(good);
+  x = {2.0, 4.0};
+  lu.solve_in_place(x);
+  EXPECT_NEAR(x[0], 1.0, 1e-13);
+  EXPECT_NEAR(x[1], 1.0, 1e-13);
+}
+
 }  // namespace

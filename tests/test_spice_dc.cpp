@@ -144,6 +144,37 @@ TEST(SpiceDc, WarmStartConvergesFaster) {
   EXPECT_LE(warm.iterations, cold.iterations);
 }
 
+TEST(SpiceDc, SharedNewtonWorkspaceReproducesFreshSolves) {
+  // Sweep drivers keep one NewtonWorkspace across points (and even across
+  // differently-sized circuits); the solutions must match fresh solves.
+  auto m = std::make_shared<dev::AlphaPowerModel>(
+      dev::make_fig2_saturating_params());
+  sp::NewtonWorkspace ws;
+
+  sp::Circuit small;
+  small.add_vsource("v1", "a", "0", 10.0);
+  small.add_resistor("r1", "a", "b", 2e3);
+  small.add_resistor("r2", "b", "0", 3e3);
+  const auto s1 = sp::operating_point(small, {}, nullptr, &ws);
+  EXPECT_NEAR(sp::node_voltage(small, s1, "b"), 6.0, 1e-9);
+
+  sp::Circuit fet;
+  fet.add_vsource("vdd", "vdd", "0", 1.0);
+  fet.add_vsource("vg", "g", "0", 0.5);
+  fet.add_resistor("rl", "vdd", "d", 2e3);
+  fet.add_fet("m1", "d", "g", "0", m);
+  const auto with_ws = sp::operating_point(fet, {}, nullptr, &ws);
+  const auto fresh = sp::operating_point(fet);
+  ASSERT_EQ(with_ws.x.size(), fresh.x.size());
+  for (size_t i = 0; i < fresh.x.size(); ++i) {
+    EXPECT_NEAR(with_ws.x[i], fresh.x[i], 1e-12);
+  }
+
+  // Workspace still valid for the first circuit again (size shrinks back).
+  const auto s2 = sp::operating_point(small, {}, nullptr, &ws);
+  EXPECT_NEAR(sp::node_voltage(small, s2, "b"), 6.0, 1e-9);
+}
+
 TEST(SpiceDc, NodeNameLookup) {
   sp::Circuit ckt;
   ckt.add_resistor("r1", "alpha", "0", 1.0);

@@ -170,4 +170,26 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair{0.4, 0.3}, std::pair{0.6, 0.5},
                       std::pair{0.8, 0.6}, std::pair{0.3, 0.6}));
 
+TEST(TopOfBarrier, DeepBiasSweepStaysOnDensityTable) {
+  // The old fixed +-2.5 eV eta window was exceeded by deep gate sweeps,
+  // silently degrading every residual evaluation to the exact DOS integral.
+  // The window now covers the ladder extent plus a bias allowance, so a
+  // +-2 V sweep must never leave the table.
+  tr::TopOfBarrierParams p = base_params();
+  p.include_holes = true;
+  const tr::TopOfBarrierSolver s(p);
+  for (double vg = -2.0; vg <= 2.0; vg += 0.25) {
+    const auto st = s.solve(vg, 0.5);
+    EXPECT_EQ(st.table_fallbacks, 0) << "vg=" << vg;
+  }
+}
+
+TEST(TopOfBarrier, FallbacksAreCountedPastTheWindow) {
+  // Drive the barrier far beyond any physical bias: the exact-integral
+  // fallback must kick in and be reported instead of staying silent.
+  const tr::TopOfBarrierSolver s(base_params());
+  const auto st = s.solve(12.0, 0.0);
+  EXPECT_GT(st.table_fallbacks, 0);
+}
+
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include "circuit/cells.h"
 #include "circuit/vtc.h"
+#include "device/alpha_power.h"
 #include "device/cntfet.h"
 #include "device/mosfet.h"
 #include "device/tabulated.h"
@@ -138,6 +139,73 @@ void BM_SpiceVtcSweepWarmStart(benchmark::State& state) {
 }
 BENCHMARK(BM_SpiceVtcSweepWarmStart);
 
+// ---- Newton-solve scaling: dense LU vs sparse symbolic-reuse LU ----
+//
+// The workload is a diode-loaded resistor ladder (make_diode_ladder): a
+// nonlinear circuit whose Jacobian has the tridiagonal-plus-diagonal
+// pattern typical of device arrays.  Each benchmark iteration runs a full
+// cold-start operating point on a persistent workspace, so the sparse
+// backend pays its symbolic analysis once on the first iteration and pure
+// numeric refactorization afterwards — exactly the sweep/transient duty
+// cycle.  state.range(0) is the MNA unknown count.
+
+void newton_scaling_bench(benchmark::State& state, spice::LinearBackend be) {
+  const int unknowns = static_cast<int>(state.range(0));
+  auto bench = circuit::make_diode_ladder(unknowns - 2, 100.0, 1e-14, 1.0);
+  spice::SolverOptions opts;
+  opts.backend = be;
+  spice::NewtonWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        spice::operating_point(*bench.ckt, opts, nullptr, &ws));
+  }
+  state.SetComplexityN(unknowns);
+}
+
+void BM_NewtonSolveDense(benchmark::State& state) {
+  newton_scaling_bench(state, spice::LinearBackend::kDense);
+}
+BENCHMARK(BM_NewtonSolveDense)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond)->Complexity();
+
+void BM_NewtonSolveSparse(benchmark::State& state) {
+  newton_scaling_bench(state, spice::LinearBackend::kSparse);
+}
+BENCHMARK(BM_NewtonSolveSparse)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond)->Complexity();
+
+/// A 2-D FET mesh stresses the ordering with a less regular pattern: a
+/// grid of common-source stages whose gates tap the previous row.
+void BM_NewtonSolveSparseFetGrid(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  auto model = std::make_shared<device::AlphaPowerModel>(
+      device::make_fig2_saturating_params());
+  spice::Circuit ckt;
+  ckt.add_vsource("vdd", "vdd", "0", 1.0);
+  ckt.add_vsource("vg", "g0x0", "0", 0.45);
+  for (int r = 0; r < side; ++r) {
+    for (int c = 0; c < side; ++c) {
+      const std::string drain =
+          "d" + std::to_string(r) + "x" + std::to_string(c);
+      const std::string gate =
+          r == 0 ? (c == 0 ? "g0x0" : "d0x" + std::to_string(c - 1))
+                 : "d" + std::to_string(r - 1) + "x" + std::to_string(c);
+      ckt.add_resistor("r" + drain, "vdd", drain, 5e3);
+      ckt.add_fet("m" + drain, drain, gate, "0", model);
+    }
+  }
+  spice::SolverOptions opts;
+  opts.backend = spice::LinearBackend::kSparse;
+  spice::NewtonWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spice::operating_point(ckt, opts, nullptr, &ws));
+  }
+}
+BENCHMARK(BM_NewtonSolveSparseFetGrid)
+    ->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMicrosecond);
+
 void BM_PlacementMonteCarlo(benchmark::State& state) {
   const fab::ChiralityPopulation pop(1.4e-9, 0.2e-9);
   fab::TrenchAssemblyModel model;
@@ -188,4 +256,23 @@ BENCHMARK(BM_SubnegCountingProgram);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Recorded into the JSON context so bench/run_bench.sh can refuse to
+  // publish numbers from a non-Release build of libcarbon.
+#ifdef CARBON_CMAKE_BUILD_TYPE
+  benchmark::AddCustomContext("carbon_cmake_build_type",
+                              CARBON_CMAKE_BUILD_TYPE);
+#endif
+  benchmark::AddCustomContext("carbon_build_type",
+#ifdef NDEBUG
+                              "release"
+#else
+                              "debug"
+#endif
+  );
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,23 +1,29 @@
 #!/usr/bin/env bash
 # Run the perf-kernel microbenchmarks and record the results (plus the
-# headline tabulated-vs-direct VTC speedup) in BENCH_perf.json at the repo
-# root.  Usage:
+# headline speedups: tabulated-vs-direct VTC sweep, parallel Monte Carlo,
+# and the dense-vs-sparse Newton-solve scaling family) in BENCH_perf.json
+# at the repo root.  Usage:
 #
 #   bench/run_bench.sh [build_dir] [extra google-benchmark args...]
 #
-# The build dir defaults to ./build and must contain the perf_kernels
-# binary (configure with -DCARBON_BUILD_BENCH=ON, the default).
+# The build dir defaults to ./build.  The script configures and builds it
+# with -DCMAKE_BUILD_TYPE=Release -DCARBON_BUILD_BENCH=ON itself, and the
+# recording step REFUSES to write BENCH_perf.json when the perf_kernels
+# binary reports anything but a Release build of libcarbon (the JSON
+# context keys carbon_build_type / carbon_cmake_build_type).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 shift || true
 
-bin="$build_dir/perf_kernels"
-if [[ ! -x "$bin" ]]; then
-  echo "error: $bin not found — build with: cmake -B build -S . && cmake --build build -j" >&2
+cmake -B "$build_dir" -S "$repo_root" \
+      -DCMAKE_BUILD_TYPE=Release -DCARBON_BUILD_BENCH=ON
+if ! cmake --build "$build_dir" -j --target perf_kernels; then
+  echo "error: could not build perf_kernels — is google-benchmark installed?" >&2
   exit 1
 fi
+bin="$build_dir/perf_kernels"
 
 raw_json="$(mktemp)"
 trap 'rm -f "$raw_json"' EXIT
@@ -32,11 +38,26 @@ raw_path, out_path = sys.argv[1], sys.argv[2]
 with open(raw_path) as f:
     data = json.load(f)
 
+ctx = data.get("context", {})
+build_type = ctx.get("carbon_build_type", "unknown")
+cmake_type = ctx.get("carbon_cmake_build_type", "unknown")
+if build_type != "release" or cmake_type.lower() != "release":
+    sys.exit(
+        f"error: refusing to record benchmarks from a non-Release library "
+        f"build (carbon_build_type={build_type}, "
+        f"carbon_cmake_build_type={cmake_type}); rebuild with "
+        f"-DCMAKE_BUILD_TYPE=Release")
+
 times = {b["name"]: b for b in data.get("benchmarks", [])}
 
 def real_time_ns(name):
     b = times.get(name)
-    return b["real_time"] if b else None
+    if b is None:
+        return None
+    # Benchmarks may report in us (the Newton family) or ns; normalise.
+    unit = b.get("time_unit", "ns")
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+    return b["real_time"] * scale
 
 summary = {}
 direct = real_time_ns("BM_SpiceVtcSweepCntfetDirect")
@@ -53,11 +74,35 @@ if serial and par:
     summary["placement_mc_parallel_ns"] = par
     summary["placement_mc_speedup"] = serial / par
 
+# Newton-solve scaling family: per-size times for both backends plus the
+# headline sparse-vs-dense speedup at the largest size the dense backend
+# still runs (>= 1024 unknowns in the default family).
+newton = {}
+for name, b in times.items():
+    for backend in ("Dense", "Sparse"):
+        prefix = f"BM_NewtonSolve{backend}/"
+        if name.startswith(prefix) and name[len(prefix):].isdigit():
+            n = int(name[len(prefix):])
+            newton.setdefault(n, {})[backend.lower()] = real_time_ns(name)
+if newton:
+    summary["newton_solve_ns"] = {str(n): d for n, d in sorted(newton.items())}
+    both = [n for n, d in newton.items() if "dense" in d and "sparse" in d]
+    if both:
+        n_big = max(both)
+        summary["newton_sparse_speedup_at"] = n_big
+        summary["newton_sparse_speedup"] = (
+            newton[n_big]["dense"] / newton[n_big]["sparse"])
+
 data["summary"] = summary
 with open(out_path, "w") as f:
     json.dump(data, f, indent=2)
 
 for k, v in summary.items():
-    print(f"{k}: {v:.4g}")
+    if isinstance(v, dict):
+        print(f"{k}:")
+        for kk, vv in v.items():
+            print(f"  {kk}: {vv}")
+    else:
+        print(f"{k}: {v:.4g}")
 print(f"wrote {out_path}")
 EOF

@@ -85,6 +85,38 @@ InverterBench make_ring_oscillator(DeviceModelPtr n_model, int stages,
   return b;
 }
 
+LadderBench make_rc_ladder(int sections, double r_ohm, double c_f,
+                           double v_in) {
+  CARBON_REQUIRE(sections >= 1, "need at least one ladder section");
+  LadderBench b;
+  b.ckt = std::make_unique<spice::Circuit>();
+  b.vin = b.ckt->add_vsource("vin", "n0", "0", v_in);
+  for (int s = 1; s <= sections; ++s) {
+    const std::string prev = "n" + std::to_string(s - 1);
+    const std::string node = "n" + std::to_string(s);
+    b.ckt->add_resistor("r" + std::to_string(s), prev, node, r_ohm);
+    b.ckt->add_capacitor("c" + std::to_string(s), node, "0", c_f);
+  }
+  b.out_node = "n" + std::to_string(sections);
+  return b;
+}
+
+LadderBench make_diode_ladder(int sections, double r_ohm, double i_sat_a,
+                              double v_in) {
+  CARBON_REQUIRE(sections >= 1, "need at least one ladder section");
+  LadderBench b;
+  b.ckt = std::make_unique<spice::Circuit>();
+  b.vin = b.ckt->add_vsource("vin", "n0", "0", v_in);
+  for (int s = 1; s <= sections; ++s) {
+    const std::string prev = "n" + std::to_string(s - 1);
+    const std::string node = "n" + std::to_string(s);
+    b.ckt->add_resistor("r" + std::to_string(s), prev, node, r_ohm);
+    b.ckt->add_diode("d" + std::to_string(s), node, "0", i_sat_a);
+  }
+  b.out_node = "n" + std::to_string(sections);
+  return b;
+}
+
 Nand2Bench make_nand2(DeviceModelPtr n_model, const CellOptions& opt) {
   CARBON_REQUIRE(n_model != nullptr, "null device model");
   Nand2Bench b;

@@ -61,4 +61,28 @@ struct Nand2Bench {
 Nand2Bench make_nand2(device::DeviceModelPtr n_model,
                       const CellOptions& opt = {});
 
+/// A generated scaling bench: circuit plus its driving source and the node
+/// at the far end.  Used by the Newton-scaling benchmarks and the
+/// dense/sparse agreement tests, where the interesting parameter is the
+/// number of MNA unknowns rather than the logic function.
+struct LadderBench {
+  std::unique_ptr<spice::Circuit> ckt;
+  spice::VSource* vin = nullptr;
+  std::string out_node;
+};
+
+/// RC ladder: vin -> R -> "n1" -> R -> ... -> "n<sections>", a capacitor
+/// to ground at every interior node.  MNA unknowns: sections + 2 (input
+/// node + ladder nodes + one source branch).  Linear; its sparse pattern
+/// is tridiagonal, the classic interconnect / RC-delay model.
+LadderBench make_rc_ladder(int sections, double r_ohm = 1e3,
+                           double c_f = 1e-15, double v_in = 1.0);
+
+/// Diode-loaded resistor ladder: like make_rc_ladder but with a junction
+/// diode to ground at every node, making the system nonlinear so a Newton
+/// solve takes several iterations — the scaling workload of
+/// BM_NewtonSolve.  MNA unknowns: sections + 2.
+LadderBench make_diode_ladder(int sections, double r_ohm = 1e3,
+                              double i_sat_a = 1e-14, double v_in = 1.0);
+
 }  // namespace carbon::circuit

@@ -1,9 +1,10 @@
 #pragma once
 
 /// @file linalg.h
-/// Small dense linear algebra for the MNA circuit solver: a row-major
-/// matrix type and LU factorization with partial pivoting.  Circuit sizes in
-/// this library are tens of unknowns, so a dense solver is the right tool.
+/// Dense linear algebra for the MNA circuit solver: a row-major matrix type
+/// and LU factorization with partial pivoting.  The dense path is the right
+/// tool up to a few dozen unknowns; above the SolverOptions threshold the
+/// solver switches to the sparse engine in phys/sparse.h.
 
 #include <vector>
 
@@ -20,6 +21,11 @@ class Matrix {
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
+
+  /// Raw row-major storage (rows*cols doubles); stable until the matrix is
+  /// resized.  The slot-stamping assembler writes through this.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
 
   /// Set every entry to @p value.
   void fill(double value);

@@ -23,51 +23,66 @@ double ComplexMatrix::max_abs() const {
   return m;
 }
 
-std::vector<Complex> solve_dense_complex(ComplexMatrix a,
-                                         const std::vector<Complex>& b) {
+void ComplexLuFactorization::factor(const ComplexMatrix& a) {
   const int n = a.rows();
   CARBON_REQUIRE(n == a.cols(), "LU requires a square matrix");
-  CARBON_REQUIRE(static_cast<int>(b.size()) == n, "rhs size mismatch");
-  std::vector<int> perm(n);
-  for (int i = 0; i < n; ++i) perm[i] = i;
-  const double amax = std::max(a.max_abs(), 1e-300);
+  factored_ = false;
+  lu_ = a;  // reuses lu_'s buffer when the size matches
+  perm_.resize(n);
+  for (int i = 0; i < n; ++i) perm_[i] = i;
+  const double amax = std::max(lu_.max_abs(), 1e-300);
 
   for (int k = 0; k < n; ++k) {
     int piv = k;
-    double best = std::abs(a(k, k));
+    double best = std::abs(lu_(k, k));
     for (int i = k + 1; i < n; ++i) {
-      const double v = std::abs(a(i, k));
+      const double v = std::abs(lu_(i, k));
       if (v > best) { best = v; piv = i; }
     }
     if (best <= amax * 1e-14) {
       throw ConvergenceError("complex LU: matrix is numerically singular");
     }
     if (piv != k) {
-      for (int j = 0; j < n; ++j) std::swap(a(k, j), a(piv, j));
-      std::swap(perm[k], perm[piv]);
+      for (int j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
+      std::swap(perm_[k], perm_[piv]);
     }
-    const Complex inv = 1.0 / a(k, k);
+    const Complex inv = 1.0 / lu_(k, k);
     for (int i = k + 1; i < n; ++i) {
-      const Complex factor = a(i, k) * inv;
-      a(i, k) = factor;
+      const Complex factor = lu_(i, k) * inv;
+      lu_(i, k) = factor;
       if (factor != Complex{}) {
-        for (int j = k + 1; j < n; ++j) a(i, j) -= factor * a(k, j);
+        for (int j = k + 1; j < n; ++j) lu_(i, j) -= factor * lu_(k, j);
       }
     }
   }
+  factored_ = true;
+}
 
-  std::vector<Complex> x(n);
-  for (int i = 0; i < n; ++i) x[i] = b[perm[i]];
+void ComplexLuFactorization::solve_in_place(std::vector<Complex>& bx) const {
+  const int n = lu_.rows();
+  CARBON_REQUIRE(factored_, "complex LU: no factorization held");
+  CARBON_REQUIRE(static_cast<int>(bx.size()) == n, "rhs size mismatch");
+  scratch_.resize(n);
+  for (int i = 0; i < n; ++i) scratch_[i] = bx[perm_[i]];
+  bx.swap(scratch_);
   for (int i = 1; i < n; ++i) {
-    Complex s = x[i];
-    for (int j = 0; j < i; ++j) s -= a(i, j) * x[j];
-    x[i] = s;
+    Complex s = bx[i];
+    for (int j = 0; j < i; ++j) s -= lu_(i, j) * bx[j];
+    bx[i] = s;
   }
   for (int i = n - 1; i >= 0; --i) {
-    Complex s = x[i];
-    for (int j = i + 1; j < n; ++j) s -= a(i, j) * x[j];
-    x[i] = s / a(i, i);
+    Complex s = bx[i];
+    for (int j = i + 1; j < n; ++j) s -= lu_(i, j) * bx[j];
+    bx[i] = s / lu_(i, i);
   }
+}
+
+std::vector<Complex> solve_dense_complex(ComplexMatrix a,
+                                         const std::vector<Complex>& b) {
+  ComplexLuFactorization lu;
+  lu.factor(a);
+  std::vector<Complex> x = b;
+  lu.solve_in_place(x);
   return x;
 }
 

@@ -30,6 +30,30 @@ class ComplexMatrix {
   std::vector<Complex> data_;
 };
 
+/// Reusable complex LU workspace (partial pivoting), mirroring the real
+/// phys::LuFactorization: after the first factor() for a given size,
+/// refactor + solve_in_place perform no heap allocation.  The AC sweep
+/// keeps one instance across all frequency points.
+class ComplexLuFactorization {
+ public:
+  ComplexLuFactorization() = default;
+
+  /// (Re)factor @p a, reusing existing storage when the size matches.
+  /// Throws ConvergenceError on numerical singularity.
+  void factor(const ComplexMatrix& a);
+  bool factored() const { return factored_; }
+
+  /// Solve A x = b with b supplied (and x returned) in @p bx.  Reuses an
+  /// internal scratch buffer; not safe to call concurrently.
+  void solve_in_place(std::vector<Complex>& bx) const;
+
+ private:
+  ComplexMatrix lu_;
+  std::vector<int> perm_;
+  mutable std::vector<Complex> scratch_;
+  bool factored_ = false;
+};
+
 /// Solve A x = b by LU with partial pivoting (A copied).  Throws
 /// ConvergenceError on numerical singularity.
 std::vector<Complex> solve_dense_complex(ComplexMatrix a,

@@ -1,0 +1,376 @@
+#include "phys/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "phys/require.h"
+
+namespace carbon::phys {
+
+// ------------------------------------------------------------ SparseMatrix
+
+SparseMatrix SparseMatrix::from_coords(
+    int n, std::vector<std::pair<int, int>> coords) {
+  CARBON_REQUIRE(n >= 0, "matrix dimension must be non-negative");
+  for (const auto& [r, c] : coords) {
+    CARBON_REQUIRE(r >= 0 && r < n && c >= 0 && c < n,
+                   "coordinate out of range");
+  }
+  std::sort(coords.begin(), coords.end());
+  coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
+
+  SparseMatrix m;
+  m.n_ = n;
+  m.row_ptr_.assign(n + 1, 0);
+  m.col_idx_.reserve(coords.size());
+  for (const auto& [r, c] : coords) {
+    ++m.row_ptr_[r + 1];
+    m.col_idx_.push_back(c);
+  }
+  for (int r = 0; r < n; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  m.values_.assign(coords.size(), 0.0);
+  return m;
+}
+
+int SparseMatrix::slot(int r, int c) const {
+  CARBON_REQUIRE(r >= 0 && r < n_ && c >= 0 && c < n_, "index out of range");
+  const auto first = col_idx_.begin() + row_ptr_[r];
+  const auto last = col_idx_.begin() + row_ptr_[r + 1];
+  const auto it = std::lower_bound(first, last, c);
+  if (it == last || *it != c) return -1;
+  return static_cast<int>(it - col_idx_.begin());
+}
+
+double SparseMatrix::at(int r, int c) const {
+  const int s = slot(r, c);
+  return s < 0 ? 0.0 : values_[s];
+}
+
+void SparseMatrix::zero_values() {
+  std::fill(values_.begin(), values_.end(), 0.0);
+}
+
+double SparseMatrix::max_abs() const {
+  double m = 0.0;
+  for (double v : values_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix d(n_, n_);
+  for (int r = 0; r < n_; ++r) {
+    for (int t = row_ptr_[r]; t < row_ptr_[r + 1]; ++t) {
+      d(r, col_idx_[t]) = values_[t];
+    }
+  }
+  return d;
+}
+
+// -------------------------------------------------------- min_degree_order
+
+std::vector<int> min_degree_order(const SparseMatrix& a) {
+  const int n = a.size();
+  // Adjacency of the symmetrized pattern (A + At), diagonal dropped.
+  std::vector<std::vector<int>> adj(n);
+  for (int r = 0; r < n; ++r) {
+    for (int t = a.row_ptr()[r]; t < a.row_ptr()[r + 1]; ++t) {
+      const int c = a.col_idx()[t];
+      if (c == r) continue;
+      adj[r].push_back(c);
+      adj[c].push_back(r);
+    }
+  }
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+
+  // Lazy min-heap of (degree, vertex); stale entries skipped on pop.
+  using Entry = std::pair<int, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (int v = 0; v < n; ++v) heap.emplace(static_cast<int>(adj[v].size()), v);
+
+  std::vector<char> dead(n, 0);
+  std::vector<int> mark(n, -1);
+  int stamp = 0;  // unique per adjacency rebuild
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<int> scratch;
+
+  while (static_cast<int>(order.size()) < n) {
+    CARBON_REQUIRE(!heap.empty(), "min-degree heap exhausted early");
+    const auto [deg, v] = heap.top();
+    heap.pop();
+    if (dead[v] || deg != static_cast<int>(adj[v].size())) continue;
+
+    dead[v] = 1;
+    order.push_back(v);
+
+    // Eliminating v turns its (alive) neighborhood into a clique.
+    std::vector<int> nbrs;
+    nbrs.reserve(adj[v].size());
+    for (int u : adj[v]) {
+      if (!dead[u]) nbrs.push_back(u);
+    }
+    for (int u : nbrs) {
+      // adj[u] := (alive(adj[u]) \ {v}) ∪ (nbrs \ {u}), deduped via mark.
+      scratch.clear();
+      ++stamp;
+      mark[u] = stamp;  // never insert self
+      for (int w : adj[u]) {
+        if (dead[w] || mark[w] == stamp) continue;
+        mark[w] = stamp;
+        scratch.push_back(w);
+      }
+      for (int w : nbrs) {
+        if (mark[w] == stamp) continue;
+        mark[w] = stamp;
+        scratch.push_back(w);
+      }
+      adj[u].swap(scratch);
+      heap.emplace(static_cast<int>(adj[u].size()), u);
+    }
+    adj[v].clear();
+    adj[v].shrink_to_fit();
+  }
+  return order;
+}
+
+// ----------------------------------------------------------------- SparseLu
+
+void SparseLu::require_pattern_match(const SparseMatrix& a) const {
+  CARBON_REQUIRE(analyzed_, "SparseLu: analyze_factor() has not run");
+  CARBON_REQUIRE(a.size() == n_ && a.nnz() == pattern_nnz_,
+                 "SparseLu: matrix pattern does not match the analysis");
+}
+
+void SparseLu::analyze_factor(const SparseMatrix& a) {
+  const int n = a.size();
+  CARBON_REQUIRE(n > 0, "SparseLu: empty matrix");
+  analyzed_ = false;
+  factored_ = false;
+  ++analyze_count_;
+  n_ = n;
+  pattern_nnz_ = a.nnz();
+
+  // Fill-reducing symmetric preorder: we factor C(i, j) = A(p[i], p[j]).
+  p_ = min_degree_order(a);
+  std::vector<int> pos(n);  // original index -> permuted index
+  for (int i = 0; i < n; ++i) pos[p_[i]] = i;
+
+  const double amax = a.max_abs();
+  const double floor_abs =
+      std::max(1e-300, std::max(amax, 1e-300) * opt_.singular_tol);
+
+  // Column pivot state: cpiv[j] = pivot position of permuted column j.
+  std::vector<int> cpiv(n, -1);
+
+  // Growing factors, indexed in *permuted-column* space during analysis;
+  // translated to pivot space at the end.
+  aptr_.assign(n + 1, 0);
+  asrc_.clear();
+  adst_.clear();
+  eptr_.assign(n + 1, 0);
+  ek_.clear();
+  lval_.clear();
+  uptr_.assign(n + 1, 0);
+  ucol_.clear();
+  uval_.clear();
+  udiag_.assign(n, 0.0);
+
+  std::vector<double> x(n, 0.0);       // dense accumulator (permuted cols)
+  std::vector<int> vstamp(n, -1);      // DFS visited marker, stamped by row
+  std::vector<int> postorder;          // pivotal columns, DFS postorder
+  std::vector<int> cand;               // non-pivotal columns reached
+  std::vector<std::pair<int, int>> dfs_stack;  // (column, child cursor)
+
+  for (int i = 0; i < n; ++i) {
+    postorder.clear();
+    cand.clear();
+
+    // --- symbolic: reach of row i's pattern through the finished U rows.
+    const int row = p_[i];
+    for (int t = a.row_ptr()[row]; t < a.row_ptr()[row + 1]; ++t) {
+      const int seed = pos[a.col_idx()[t]];
+      if (vstamp[seed] == i) continue;
+      vstamp[seed] = i;
+      if (cpiv[seed] < 0) {
+        cand.push_back(seed);
+        continue;
+      }
+      dfs_stack.emplace_back(seed, uptr_[cpiv[seed]]);
+      while (!dfs_stack.empty()) {
+        auto& [j, cursor] = dfs_stack.back();
+        const int k = cpiv[j];
+        if (cursor < uptr_[k + 1]) {
+          const int child = ucol_[cursor++];
+          if (vstamp[child] != i) {
+            vstamp[child] = i;
+            if (cpiv[child] < 0) {
+              cand.push_back(child);
+            } else {
+              dfs_stack.emplace_back(child, uptr_[cpiv[child]]);
+            }
+          }
+        } else {
+          postorder.push_back(j);
+          dfs_stack.pop_back();
+        }
+      }
+    }
+
+    // --- numeric: scatter A row, eliminate along the reach.
+    for (int t = a.row_ptr()[row]; t < a.row_ptr()[row + 1]; ++t) {
+      const int j = pos[a.col_idx()[t]];
+      x[j] = a.values()[t];
+      asrc_.push_back(t);
+      adst_.push_back(j);  // translated to pivot space below
+    }
+    aptr_[i + 1] = static_cast<int>(asrc_.size());
+
+    // Reverse postorder is a topological order of the elimination DAG:
+    // every pivot row is applied after all updates into it have landed.
+    for (auto it = postorder.rbegin(); it != postorder.rend(); ++it) {
+      const int j = *it;
+      const int k = cpiv[j];
+      const double l = x[j] / udiag_[k];
+      x[j] = 0.0;
+      ek_.push_back(k);
+      lval_.push_back(l);
+      if (l != 0.0) {
+        for (int s = uptr_[k]; s < uptr_[k + 1]; ++s) {
+          x[ucol_[s]] -= l * uval_[s];
+        }
+      }
+    }
+    eptr_[i + 1] = static_cast<int>(ek_.size());
+
+    // --- pivot: largest candidate, preferring the (permuted) diagonal.
+    double amax_c = 0.0;
+    int jmax = -1;
+    for (int j : cand) {
+      const double v = std::abs(x[j]);
+      if (v > amax_c) {
+        amax_c = v;
+        jmax = j;
+      }
+    }
+    if (jmax < 0 || amax_c <= floor_abs || !std::isfinite(amax_c)) {
+      // Leave no stale state behind for a later refactor().
+      for (int j : cand) x[j] = 0.0;
+      throw ConvergenceError("sparse LU: matrix is numerically singular");
+    }
+    int jp = jmax;
+    if (vstamp[i] == i && cpiv[i] < 0 &&
+        std::abs(x[i]) >= opt_.pivot_tol * amax_c) {
+      jp = i;  // diagonal of C keeps the preorder's fill prediction
+    }
+    cpiv[jp] = i;
+    udiag_[i] = x[jp];
+    x[jp] = 0.0;
+    for (int j : cand) {
+      if (j == jp) continue;
+      ucol_.push_back(j);  // translated to pivot space below
+      uval_.push_back(x[j]);
+      x[j] = 0.0;
+    }
+    uptr_[i + 1] = static_cast<int>(ucol_.size());
+  }
+
+  // Translate all permuted-column references into final pivot positions.
+  for (int& c : ucol_) c = cpiv[c];
+  for (int& c : adst_) c = cpiv[c];
+  solcol_.assign(n, 0);
+  for (int j = 0; j < n; ++j) solcol_[cpiv[j]] = p_[j];
+
+  work_.assign(n, 0.0);
+  analyzed_ = true;
+  factored_ = true;
+}
+
+bool SparseLu::refactor(const SparseMatrix& a) {
+  require_pattern_match(a);
+  factored_ = false;
+
+  const double amax = a.max_abs();
+  const double floor_abs =
+      std::max(1e-300, std::max(amax, 1e-300) * opt_.singular_tol);
+  const std::vector<double>& av = a.values();
+
+  std::vector<double>& x = work_;  // kept all-zero between uses
+  for (int i = 0; i < n_; ++i) {
+    for (int t = aptr_[i]; t < aptr_[i + 1]; ++t) x[adst_[t]] = av[asrc_[t]];
+
+    for (int t = eptr_[i]; t < eptr_[i + 1]; ++t) {
+      const int k = ek_[t];
+      const double l = x[k] / udiag_[k];
+      x[k] = 0.0;
+      lval_[t] = l;
+      if (l != 0.0) {
+        for (int s = uptr_[k]; s < uptr_[k + 1]; ++s) {
+          x[ucol_[s]] -= l * uval_[s];
+        }
+      }
+    }
+
+    const double piv = x[i];
+    if (!std::isfinite(piv) || std::abs(piv) <= floor_abs) {
+      // Pivot collapse: scrub the scatter and report the stale ordering.
+      x[i] = 0.0;
+      for (int s = uptr_[i]; s < uptr_[i + 1]; ++s) x[ucol_[s]] = 0.0;
+      return false;
+    }
+    udiag_[i] = piv;
+    x[i] = 0.0;
+    for (int s = uptr_[i]; s < uptr_[i + 1]; ++s) {
+      uval_[s] = x[ucol_[s]];
+      x[ucol_[s]] = 0.0;
+    }
+  }
+  factored_ = true;
+  return true;
+}
+
+void SparseLu::factor(const SparseMatrix& a) {
+  if (!analyzed_ || a.size() != n_ || a.nnz() != pattern_nnz_) {
+    analyze_factor(a);
+    return;
+  }
+  if (refactor(a)) return;
+  analyze_factor(a);  // re-pick pivots for the drifted values
+}
+
+void SparseLu::solve_in_place(std::vector<double>& bx) const {
+  CARBON_REQUIRE(factored_, "SparseLu: no factorization held");
+  CARBON_REQUIRE(static_cast<int>(bx.size()) == n_, "rhs size mismatch");
+  std::vector<double>& w = work_;
+
+  // Row-permuted RHS, then L (unit diagonal, rows = elimination records).
+  for (int i = 0; i < n_; ++i) w[i] = bx[p_[i]];
+  for (int i = 0; i < n_; ++i) {
+    double s = w[i];
+    for (int t = eptr_[i]; t < eptr_[i + 1]; ++t) s -= lval_[t] * w[ek_[t]];
+    w[i] = s;
+  }
+  // U back-substitution.
+  for (int i = n_ - 1; i >= 0; --i) {
+    double s = w[i];
+    for (int t = uptr_[i]; t < uptr_[i + 1]; ++t) s -= uval_[t] * w[ucol_[t]];
+    w[i] = s / udiag_[i];
+  }
+  // Undo the column pivoting: position k holds variable solcol_[k].
+  for (int k = 0; k < n_; ++k) bx[solcol_[k]] = w[k];
+  std::fill(w.begin(), w.end(), 0.0);  // keep the scatter invariant
+}
+
+std::vector<double> SparseLu::solve(std::vector<double> b) const {
+  solve_in_place(b);
+  return b;
+}
+
+int SparseLu::fill_nnz() const {
+  return static_cast<int>(ek_.size() + ucol_.size()) + n_;
+}
+
+}  // namespace carbon::phys

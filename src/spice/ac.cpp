@@ -33,8 +33,13 @@ phys::DataTable ac_sweep(Circuit& ckt, VSource& input,
   const int n_points =
       static_cast<int>(std::ceil(decades * opt.points_per_decade)) + 1;
 
+  // Probe names resolve once; the LU workspace persists across points.
+  const std::vector<NodeId> probe_ids = resolve_probes(ckt, probes);
+
   phys::ComplexMatrix jac(n, n);
   std::vector<phys::Complex> rhs(n);
+  std::vector<phys::Complex> x(n);
+  phys::ComplexLuFactorization lu;
   for (int i = 0; i < n_points; ++i) {
     const double f = opt.f_start_hz *
                      std::pow(10.0, decades * i / (n_points - 1));
@@ -47,12 +52,12 @@ phys::DataTable ac_sweep(Circuit& ckt, VSource& input,
     ctx.omega = 2.0 * M_PI * f;
     for (const auto& el : ckt.elements()) el->stamp_ac(ctx);
 
-    const std::vector<phys::Complex> x =
-        phys::solve_dense_complex(jac, rhs);
+    lu.factor(jac);
+    x = rhs;
+    lu.solve_in_place(x);
 
     std::vector<double> row{f};
-    for (const auto& p : probes) {
-      const NodeId id = ckt.find_node(p);
+    for (const NodeId id : probe_ids) {
       const phys::Complex v = (id == 0) ? phys::Complex{} : x[id - 1];
       row.push_back(std::abs(v));
       row.push_back(std::arg(v) * 180.0 / M_PI);

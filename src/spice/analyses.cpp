@@ -8,43 +8,37 @@
 
 namespace carbon::spice {
 
-void NewtonWorkspace::resize(int n) {
-  if (jac.rows() != n || jac.cols() != n) jac = phys::Matrix(n, n);
-  rhs.resize(n);
-  x_new.resize(n);
+void NewtonWorkspace::prepare(Circuit& ckt, const SolverOptions& opts) {
+  mna.build(ckt, opts.backend, opts.sparse_threshold);
+  x_new.resize(mna.size());
 }
 
 /// One full Newton–Raphson solve at fixed gmin / source scale, on a
-/// caller-provided workspace.  The loop body is allocation-free: the
-/// Jacobian and RHS are refilled in place, the LU refactors into its
-/// existing storage and the solve happens in the x_new buffer.
+/// caller-provided workspace.  The loop body is allocation-free: every
+/// element stamps through its pre-resolved slot table, the LU refactors on
+/// the recorded pattern (sparse) or into its existing storage (dense), and
+/// the solve happens in the x_new buffer.
 bool newton_solve(Circuit& ckt, std::vector<double>& x,
                   const SolverOptions& opts, double gmin, double source_scale,
                   const StampContext& proto, NewtonWorkspace& ws,
                   int* iterations) {
   const int n = ckt.num_unknowns();
-  ws.resize(n);
+  ws.prepare(ckt, opts);
 
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
-    ws.jac.fill(0.0);
-    std::fill(ws.rhs.begin(), ws.rhs.end(), 0.0);
+    ws.mna.zero();
 
     StampContext ctx = proto;
-    ctx.jac = &ws.jac;
-    ctx.rhs = &ws.rhs;
     ctx.x = &x;
     ctx.gmin = gmin;
     ctx.source_scale = source_scale;
+    ws.mna.stamp_all(ckt, ctx);
 
-    for (const auto& el : ckt.elements()) el->stamp(ctx);
-
-    try {
-      ws.lu.factor(ws.jac);
-    } catch (const phys::ConvergenceError&) {
+    if (!ws.mna.factor()) {
       return false;  // singular at this homotopy rung
     }
-    std::copy(ws.rhs.begin(), ws.rhs.end(), ws.x_new.begin());
-    ws.lu.solve_in_place(ws.x_new);
+    ws.mna.copy_rhs(ws.x_new);
+    ws.mna.solve_in_place(ws.x_new);
 
     // Damped update: limit node-voltage movement per iteration.
     double max_dv = 0.0;
@@ -149,6 +143,14 @@ double vsource_current(const Circuit& ckt, const Solution& sol,
   return sol.x[row - 1];
 }
 
+std::vector<NodeId> resolve_probes(const Circuit& ckt,
+                                   const std::vector<std::string>& probes) {
+  std::vector<NodeId> ids;
+  ids.reserve(probes.size());
+  for (const auto& p : probes) ids.push_back(ckt.find_node(p));
+  return ids;
+}
+
 phys::DataTable dc_sweep(Circuit& ckt, VSource& swept,
                          const std::vector<double>& values,
                          const std::vector<std::string>& probes,
@@ -159,8 +161,12 @@ phys::DataTable dc_sweep(Circuit& ckt, VSource& swept,
   for (const auto& p : probes) cols.push_back("v(" + p + ")");
   phys::DataTable table(cols);
 
-  // One workspace for the whole sweep: the Jacobian/LU buffers persist
-  // across points, and each point warm-starts from the previous solution.
+  // Probe names resolve to node ids once, not once per point.
+  const std::vector<NodeId> probe_ids = resolve_probes(ckt, probes);
+
+  // One workspace for the whole sweep: the matrix pattern, slot tables and
+  // LU buffers persist across points, and each point warm-starts from the
+  // previous solution.
   NewtonWorkspace ws;
   std::vector<double> warm;
   for (double v : values) {
@@ -169,7 +175,9 @@ phys::DataTable dc_sweep(Circuit& ckt, VSource& swept,
         operating_point(ckt, opts, warm.empty() ? nullptr : &warm, &ws);
     warm = sol.x;
     std::vector<double> row{v};
-    for (const auto& p : probes) row.push_back(node_voltage(ckt, sol, p));
+    for (const NodeId id : probe_ids) {
+      row.push_back(id == 0 ? 0.0 : sol.x[id - 1]);
+    }
     table.add_row(row);
   }
   return table;
@@ -198,15 +206,21 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
   std::vector<double> x = sol.x;
   std::vector<double> x_try;
 
+  // Resolve probe nodes and source branch rows once; the record loop runs
+  // every accepted time step.
+  const std::vector<NodeId> probe_ids = resolve_probes(ckt, probes);
+  std::vector<int> branch_rows;
+  branch_rows.reserve(current_probes.size());
+  for (const auto* src : current_probes) {
+    branch_rows.push_back(ckt.vsource_branch_index(*src));
+  }
+
   const auto record = [&](double t) {
     std::vector<double> row{t};
-    for (const auto& p : probes) {
-      const NodeId id = ckt.find_node(p);
+    for (const NodeId id : probe_ids) {
       row.push_back(id == 0 ? 0.0 : x[id - 1]);
     }
-    for (const auto* src : current_probes) {
-      row.push_back(x[ckt.vsource_branch_index(*src) - 1]);
-    }
+    for (const int br : branch_rows) row.push_back(x[br - 1]);
     table.add_row(row);
   };
   record(0.0);

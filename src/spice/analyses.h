@@ -12,6 +12,7 @@
 #include "phys/linalg.h"
 #include "phys/table.h"
 #include "spice/circuit.h"
+#include "spice/mna.h"
 
 namespace carbon::spice {
 
@@ -25,6 +26,15 @@ struct SolverOptions {
   double gmin_final = 1e-12;   ///< residual gmin kept in the Jacobian [S]
   int gmin_steps = 10;         ///< geometric gmin ladder length
   int source_steps = 10;       ///< source-stepping ladder length (fallback)
+
+  /// Linear-solver backend.  kAuto picks dense below sparse_threshold
+  /// unknowns and the sparse engine (symbolic-pattern reuse) above it;
+  /// kDense/kSparse force a backend (tests, benchmarks).
+  LinearBackend backend = LinearBackend::kAuto;
+  /// kAuto crossover in unknowns; benchmarked on the BM_NewtonSolve family
+  /// (bench/perf_kernels.cpp) — the sparse engine wins from a few dozen
+  /// unknowns up on circuit-typical sparsity.
+  int sparse_threshold = 48;
 };
 
 /// Converged solution plus metadata.
@@ -35,20 +45,21 @@ struct Solution {
   bool used_source_stepping = false;
 };
 
-/// Persistent Newton scratch: the Jacobian, RHS, update vector and LU
-/// factorization are allocated once and reused across iterations — and,
+/// Persistent Newton scratch: the assembled MNA system (Jacobian pattern,
+/// slot tables, LU workspace — dense or sparse) plus the update vector,
+/// built once per circuit topology and reused across iterations — and,
 /// when the caller keeps the workspace alive, across the points of a sweep
-/// or the steps of a transient.  After resize(n) has run once for a given
-/// circuit size, a Newton iteration performs no heap allocation.
+/// or the steps of a transient.  After prepare() has run for a topology, a
+/// Newton iteration performs no heap allocation and no symbolic
+/// factorization work.
 struct NewtonWorkspace {
-  phys::Matrix jac;
-  std::vector<double> rhs;
+  MnaSystem mna;
   std::vector<double> x_new;
-  phys::LuFactorization lu;
 
-  /// Adapt the buffers to @p n unknowns (no-op when already sized).
-  void resize(int n);
-  int size() const { return static_cast<int>(rhs.size()); }
+  /// (Re)build the MNA system when the circuit topology or the requested
+  /// backend changed; cheap no-op otherwise.
+  void prepare(Circuit& ckt, const SolverOptions& opts);
+  int size() const { return mna.size(); }
 };
 
 /// One full Newton–Raphson solve at fixed gmin / source scale, running on
@@ -71,6 +82,12 @@ Solution operating_point(Circuit& ckt, const SolverOptions& opts = {},
 /// Voltage of a named node in a solution.
 double node_voltage(const Circuit& ckt, const Solution& sol,
                     const std::string& node_name);
+
+/// Resolve probe names to node ids once per analysis (sweep/transient/AC
+/// record loops then index the solution vector directly instead of doing a
+/// name lookup per point).  Throws on unknown nodes.
+std::vector<NodeId> resolve_probes(const Circuit& ckt,
+                                   const std::vector<std::string>& probes);
 
 /// Current through a voltage source (positive = into its + terminal,
 /// i.e. SPICE convention: current delivered *into* the source).

@@ -1,10 +1,14 @@
 #include "spice/circuit.h"
 
+#include <atomic>
+
 #include "phys/require.h"
 
 namespace carbon::spice {
 
 Circuit::Circuit() {
+  static std::atomic<std::uint64_t> next_uid{0};
+  uid_ = ++next_uid;
   names_.push_back("0");
   node_ids_["0"] = 0;
   node_ids_["gnd"] = 0;
@@ -36,6 +40,7 @@ T* Circuit::add_element(Args&&... args) {
   auto el = std::make_unique<T>(std::forward<Args>(args)...);
   T* raw = el.get();
   elements_.push_back(std::move(el));
+  ++revision_;
   return raw;
 }
 

@@ -3,9 +3,10 @@
 /// @file circuit.h
 /// The netlist container: named nodes plus an ordered list of elements.
 
-#include <map>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "spice/elements.h"
@@ -62,14 +63,28 @@ class Circuit {
   /// after assign_branches().
   int vsource_branch_index(const VSource& src) const;
 
+  /// Process-unique identity of this circuit instance.  Distinguishes
+  /// circuits even when one is destroyed and another is constructed at the
+  /// same address (workspaces cache per-circuit state across calls).
+  std::uint64_t uid() const { return uid_; }
+
+  /// Monotonic topology counter, bumped whenever an element (and possibly
+  /// nodes) is added.  Solver workspaces key their cached matrix pattern
+  /// and slot tables on (uid, revision).
+  std::uint64_t revision() const { return revision_; }
+
  private:
   template <typename T, typename... Args>
   T* add_element(Args&&... args);
 
-  std::map<std::string, NodeId> node_ids_;
+  // Hash registry: netlist construction and probe lookups stay O(1) even
+  // for generated circuits with thousands of named nodes.
+  std::unordered_map<std::string, NodeId> node_ids_;
   std::vector<std::string> names_;  // index = NodeId
   std::vector<std::unique_ptr<Element>> elements_;
   int num_branches_ = 0;
+  std::uint64_t uid_ = 0;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace carbon::spice

@@ -1,6 +1,7 @@
 #include "spice/elements.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "phys/require.h"
@@ -8,11 +9,39 @@
 namespace carbon::spice {
 
 void StampContext::add_jac(int row, int col, double val) const {
+  if (jac_slots) {
+#ifndef NDEBUG
+    assert(jac_cursor < debug_jac_count &&
+           "stamp() issued more add_jac calls than its captured footprint");
+    assert(debug_jac[jac_cursor] == std::make_pair(row, col) &&
+           "stamp() add_jac order diverged from its captured footprint");
+#endif
+    *jac_slots[jac_cursor++] += val;
+    return;
+  }
+  if (capture_jac) {
+    capture_jac->emplace_back(row, col);
+    return;
+  }
   if (row <= 0 || col <= 0) return;  // ground row/col eliminated
   (*jac)(row - 1, col - 1) += val;
 }
 
 void StampContext::add_rhs(int row, double val) const {
+  if (rhs_slots) {
+#ifndef NDEBUG
+    assert(rhs_cursor < debug_rhs_count &&
+           "stamp() issued more add_rhs calls than its captured footprint");
+    assert(debug_rhs[rhs_cursor] == row &&
+           "stamp() add_rhs order diverged from its captured footprint");
+#endif
+    *rhs_slots[rhs_cursor++] += val;
+    return;
+  }
+  if (capture_rhs) {
+    capture_rhs->push_back(row);
+    return;
+  }
   if (row <= 0) return;
   (*rhs)[row - 1] += val;
 }

@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "device/ivmodel.h"
@@ -21,6 +22,22 @@ namespace carbon::spice {
 using NodeId = int;
 
 /// Everything an element needs to stamp itself.
+///
+/// Three write modes, in priority order:
+///  1. slot mode — jac_slots/rhs_slots point at the element's pre-resolved
+///     value-pointer list (built once per topology by spice::MnaSystem);
+///     add_jac/add_rhs stream through them with no index arithmetic and no
+///     ground branch.  This is the Newton hot path for both the dense and
+///     the sparse backend.
+///  2. capture mode — capture_jac/capture_rhs record the (row, col) /
+///     row footprint of each add call instead of writing values; MnaSystem
+///     uses one capture pass to build the matrix pattern and slot tables.
+///  3. direct mode — the original dense write into *jac / *rhs.
+///
+/// Contract for slot mode: an element must issue its add_jac/add_rhs calls
+/// in a fixed order; a mode may truncate the sequence (e.g. a capacitor
+/// stamps nothing in DC) but never reorder or extend it beyond the sequence
+/// captured with transient=true.
 struct StampContext {
   phys::Matrix* jac = nullptr;          ///< (n_nodes-1 + n_branches)^2
   std::vector<double>* rhs = nullptr;
@@ -33,6 +50,25 @@ struct StampContext {
   bool transient = false;    ///< capacitors: companion model vs open
   double dt_s = 0.0;         ///< current step size
   bool trapezoidal = false;  ///< trapezoidal vs backward Euler companion
+
+  // --- slot mode (set per element by MnaSystem::stamp_all) ---
+  double* const* jac_slots = nullptr;  ///< value pointer per add_jac call
+  double* const* rhs_slots = nullptr;  ///< value pointer per add_rhs call
+  mutable int jac_cursor = 0;
+  mutable int rhs_cursor = 0;
+
+  // --- capture mode (set by MnaSystem::build) ---
+  std::vector<std::pair<int, int>>* capture_jac = nullptr;
+  std::vector<int>* capture_rhs = nullptr;
+
+#ifndef NDEBUG
+  // Captured footprint of the element being stamped; add_jac/add_rhs
+  // assert the slot-mode call sequence against it.
+  const std::pair<int, int>* debug_jac = nullptr;
+  const int* debug_rhs = nullptr;
+  int debug_jac_count = 0;
+  int debug_rhs_count = 0;
+#endif
 
   /// Voltage of node @p n in the current iterate (0 for ground).
   double v(NodeId n) const { return n == 0 ? 0.0 : (*x)[n - 1]; }

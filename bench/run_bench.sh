@@ -8,9 +8,18 @@
 #
 # The build dir defaults to ./build.  The script configures and builds it
 # with -DCMAKE_BUILD_TYPE=Release -DCARBON_BUILD_BENCH=ON itself, and the
-# recording step REFUSES to write BENCH_perf.json when the perf_kernels
-# binary reports anything but a Release build of libcarbon (the JSON
-# context keys carbon_build_type / carbon_cmake_build_type).
+# recording step REFUSES to write BENCH_perf.json when:
+#  * the perf_kernels binary reports anything but a Release build of
+#    libcarbon (JSON context keys carbon_build_type /
+#    carbon_cmake_build_type), or
+#  * google-benchmark itself is a debug build (context key
+#    library_build_type) — a debug benchmark library taints the timing
+#    loop itself.  CI builds benchmark Release from source (see the
+#    bench-smoke job); on a machine where only a distro debug build is
+#    available, CARBON_BENCH_ALLOW_DEBUG_BENCHLIB=1 records anyway and
+#    stamps the override into the summary (the fixed-vs-adaptive and
+#    dense-vs-sparse *ratios* are measured inside one binary and stay
+#    valid; absolute times should not be trusted).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -32,7 +41,7 @@ trap 'rm -f "$raw_json"' EXIT
        --benchmark_out="$raw_json" "$@" >/dev/null
 
 python3 - "$raw_json" "$repo_root/BENCH_perf.json" <<'EOF'
-import json, sys
+import json, os, sys
 
 raw_path, out_path = sys.argv[1], sys.argv[2]
 with open(raw_path) as f:
@@ -47,6 +56,24 @@ if build_type != "release" or cmake_type.lower() != "release":
         f"build (carbon_build_type={build_type}, "
         f"carbon_cmake_build_type={cmake_type}); rebuild with "
         f"-DCMAKE_BUILD_TYPE=Release")
+
+# Same gate for google-benchmark itself: a debug benchmark library taints
+# the timing loop around every measurement.
+bench_lib_type = ctx.get("library_build_type", "unknown")
+bench_lib_override = False
+if bench_lib_type != "release":
+    if os.environ.get("CARBON_BENCH_ALLOW_DEBUG_BENCHLIB") != "1":
+        sys.exit(
+            f"error: refusing to record benchmarks against a non-Release "
+            f"google-benchmark (library_build_type={bench_lib_type}); build "
+            f"benchmark Release from source (see the bench-smoke job in "
+            f".github/workflows/ci.yml) or set "
+            f"CARBON_BENCH_ALLOW_DEBUG_BENCHLIB=1 to record anyway — "
+            f"in-binary ratios stay valid, absolute times are tainted")
+    bench_lib_override = True
+    print("warning: recording against a debug google-benchmark library "
+          "(CARBON_BENCH_ALLOW_DEBUG_BENCHLIB=1); absolute times tainted",
+          file=sys.stderr)
 
 times = {b["name"]: b for b in data.get("benchmarks", [])}
 
@@ -92,6 +119,33 @@ if newton:
         summary["newton_sparse_speedup_at"] = n_big
         summary["newton_sparse_speedup"] = (
             newton[n_big]["dense"] / newton[n_big]["sparse"])
+
+# Adaptive transient engine: fixed-vs-adaptive pairs on the ring-oscillator
+# and SRAM-write workloads.  Wall-clock speedup plus the deterministic work
+# counters (Newton iterations, device evals) and the accuracy-vs-reference
+# metrics each benchmark computed against its 4x-finer fixed-step run.
+for pair, key in (("RingOsc", "transient_ring"),
+                  ("SramWrite", "transient_sram")):
+    fx = times.get(f"BM_Transient{pair}Fixed")
+    ad = times.get(f"BM_Transient{pair}Adaptive")
+    if not (fx and ad):
+        continue
+    t_fx = real_time_ns(f"BM_Transient{pair}Fixed")
+    t_ad = real_time_ns(f"BM_Transient{pair}Adaptive")
+    summary[f"{key}_fixed_ns"] = t_fx
+    summary[f"{key}_adaptive_ns"] = t_ad
+    summary[f"{key}_speedup"] = t_fx / t_ad
+    summary[f"{key}_newton_reduction"] = fx["newton_iters"] / ad["newton_iters"]
+    summary[f"{key}_deviceeval_reduction"] = (
+        fx["device_evals"] / ad["device_evals"])
+    summary[f"{key}_fixed_rms_v"] = fx["rms_v_vs_ref"]
+    summary[f"{key}_adaptive_rms_v"] = ad["rms_v_vs_ref"]
+    if "period_relerr" in fx:
+        summary[f"{key}_fixed_period_relerr"] = fx["period_relerr"]
+        summary[f"{key}_adaptive_period_relerr"] = ad["period_relerr"]
+
+if bench_lib_override:
+    summary["benchmark_library_debug_override"] = True
 
 data["summary"] = summary
 with open(out_path, "w") as f:

@@ -123,4 +123,43 @@ SnmResult hold_snm(device::DeviceModelPtr n_model, const CellOptions& opt,
   return r;
 }
 
+SramWriteBench make_sram_write_bench(device::DeviceModelPtr n_model,
+                                     const CellOptions& opt,
+                                     const SramWriteOptions& wopt) {
+  CARBON_REQUIRE(n_model != nullptr, "null device model");
+  CARBON_REQUIRE(wopt.t_wl_on_s > 0.0 && wopt.t_wl_edge_s > 0.0 &&
+                     wopt.t_wl_width_s > 0.0,
+                 "wordline pulse needs positive timing");
+  auto p_model = std::make_shared<device::PTypeMirror>(n_model);
+
+  SramWriteBench b;
+  b.v_dd = opt.v_dd;
+  b.t_wl_on_s = wopt.t_wl_on_s;
+  b.t_wl_off_s = wopt.t_wl_on_s + 2.0 * wopt.t_wl_edge_s + wopt.t_wl_width_s;
+  b.ckt = std::make_unique<spice::Circuit>();
+  auto& c = *b.ckt;
+
+  b.vdd = c.add_vsource("vdd", "vdd", "0", opt.v_dd);
+  // Cross-coupled pair with storage capacitance on both internal nodes.
+  c.add_fet("mn1", "q", "qb", "0", n_model, opt.fet_multiplier);
+  c.add_fet("mp1", "q", "qb", "vdd", p_model, opt.fet_multiplier);
+  c.add_fet("mn2", "qb", "q", "0", n_model, opt.fet_multiplier);
+  c.add_fet("mp2", "qb", "q", "vdd", p_model, opt.fet_multiplier);
+  c.add_capacitor("cq", "q", "0", wopt.c_node);
+  c.add_capacitor("cqb", "qb", "0", wopt.c_node);
+  // Deterministic hold state: the skew tips the bistable OP to q = 1.
+  c.add_isource("iskew", "0", "q", spice::dc(wopt.i_skew_a));
+  // Access transistors and write drive: BL low / BLB high write a 0.
+  b.vwl = c.add_vsource(
+      "vwl", "wl", "0",
+      spice::pulse(0.0, opt.v_dd, wopt.t_wl_on_s, wopt.t_wl_edge_s,
+                   wopt.t_wl_edge_s, wopt.t_wl_width_s,
+                   100.0 * (b.t_wl_off_s + wopt.t_wl_on_s)));
+  b.vbl = c.add_vsource("vbl", "bl", "0", 0.0);
+  b.vblb = c.add_vsource("vblb", "blb", "0", opt.v_dd);
+  c.add_fet("ma1", "bl", "wl", "q", n_model, opt.fet_multiplier);
+  c.add_fet("ma2", "blb", "wl", "qb", n_model, opt.fet_multiplier);
+  return b;
+}
+
 }  // namespace carbon::circuit

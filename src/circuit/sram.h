@@ -36,4 +36,35 @@ phys::DataTable butterfly_curve(device::DeviceModelPtr n_model,
                                 const CellOptions& opt = {},
                                 int points = 161);
 
+/// A 6T-cell write test bench: cross-coupled inverter pair (nodes "q",
+/// "qb", storage capacitors on both), nFET access transistors to the
+/// bitlines, and a wordline pulse.  A small skew current source makes the
+/// t = 0 operating point settle deterministically into the q = 1 hold
+/// state; the bitlines are driven to write a 0 onto q, so a successful
+/// write flips the cell — the dynamic counterpart of hold_snm, and the
+/// paper's SRAM argument under write conditions.
+struct SramWriteBench {
+  std::unique_ptr<spice::Circuit> ckt;
+  spice::VSource* vdd = nullptr;
+  spice::VSource* vwl = nullptr;  ///< wordline pulse
+  spice::VSource* vbl = nullptr;  ///< bitline (driven low: writes 0 on q)
+  spice::VSource* vblb = nullptr; ///< complement bitline (driven high)
+  double v_dd = 1.0;
+  double t_wl_on_s = 0.0;   ///< wordline rise start
+  double t_wl_off_s = 0.0;  ///< wordline fall end
+};
+
+/// Options for the write bench beyond CellOptions.
+struct SramWriteOptions {
+  double c_node = 2e-15;       ///< storage-node capacitance [F]
+  double t_wl_on_s = 1e-9;     ///< wordline turn-on time
+  double t_wl_edge_s = 50e-12; ///< wordline rise/fall time
+  double t_wl_width_s = 1.5e-9;///< wordline high time
+  double i_skew_a = 1e-7;      ///< OP-steering skew current into q
+};
+
+SramWriteBench make_sram_write_bench(device::DeviceModelPtr n_model,
+                                     const CellOptions& opt = {},
+                                     const SramWriteOptions& wopt = {});
+
 }  // namespace carbon::circuit

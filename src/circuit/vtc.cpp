@@ -22,6 +22,29 @@ spice::VtcMetrics measure_vtc(InverterBench& bench, int points) {
                             bench.v_dd);
 }
 
+namespace {
+
+/// Shared transient configuration of the characterization paths: adaptive
+/// LTE stepping at timing-grade tolerance, rows recorded on the caller's
+/// dt grid so downstream crossing/energy extraction sees the resolution it
+/// asked for, OP-consistent capacitor initialization (no t = 0 reload
+/// glitch in the energy integral), and quiescent-FET bypass scaled to the
+/// supply.
+spice::TransientOptions characterization_transient(double t_stop, double dt,
+                                                   double v_dd) {
+  spice::TransientOptions opts;
+  opts.t_stop = t_stop;
+  opts.dt = dt;
+  opts.adaptive = true;
+  opts.lte_reltol = 1e-4;
+  opts.dt_print = dt;
+  opts.bypass_vtol = 1e-4 * v_dd;
+  opts.ic = spice::TransientIc::kFromOperatingPoint;
+  return opts;
+}
+
+}  // namespace
+
 phys::DataTable run_step_response(InverterBench& bench, double t_ramp,
                                   double t_stop, double dt, bool rising) {
   CARBON_REQUIRE(bench.vin != nullptr, "bench has no input source");
@@ -31,9 +54,8 @@ phys::DataTable run_step_response(InverterBench& bench, double t_ramp,
                                   {0.1 * t_stop, v0},
                                   {0.1 * t_stop + t_ramp, v1},
                                   {t_stop, v1}}));
-  spice::TransientOptions opts;
-  opts.t_stop = t_stop;
-  opts.dt = dt;
+  const spice::TransientOptions opts =
+      characterization_transient(t_stop, dt, bench.v_dd);
   return spice::transient(*bench.ckt, opts, {bench.in_node, bench.out_node},
                           {bench.vdd});
 }
@@ -44,9 +66,8 @@ SwitchingEnergy measure_switching(InverterBench& bench, double t_period,
   const double edge = t_period / 50.0;
   bench.vin->set_wave(spice::pulse(0.0, bench.v_dd, 0.1 * t_period, edge,
                                    edge, 0.4 * t_period, t_period));
-  spice::TransientOptions opts;
-  opts.t_stop = t_period;
-  opts.dt = dt;
+  const spice::TransientOptions opts =
+      characterization_transient(t_period, dt, bench.v_dd);
   const phys::DataTable tr = spice::transient(
       *bench.ckt, opts, {bench.in_node, bench.out_node}, {bench.vdd});
 

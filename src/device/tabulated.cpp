@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "phys/parallel.h"
 #include "phys/require.h"
 
 namespace carbon::device {
@@ -28,12 +29,20 @@ TabulatedDeviceModel::TabulatedDeviceModel(DeviceModelPtr base,
     vds[j] = grid_.vds_min +
              (grid_.vds_max - grid_.vds_min) * j / (grid_.n_vds - 1);
   }
+  // Grid compilation is the expensive part of construction (each sample is
+  // a self-consistent barrier solve for physical base models) and each
+  // sample is independent, so the bias-grid rows fan out across the shared
+  // pool.  IDeviceModel requires const-thread-compatible implementations,
+  // and the row layout is independent of the worker count, so the table is
+  // bit-identical to the serial build.
   std::vector<double> id(static_cast<size_t>(grid_.n_vgs) * grid_.n_vds);
-  for (int i = 0; i < grid_.n_vgs; ++i) {
-    for (int j = 0; j < grid_.n_vds; ++j) {
-      id[i * grid_.n_vds + j] = base_->drain_current(vgs[i], vds[j]);
+  phys::parallel_for(grid_.n_vgs, [&](long row_begin, long row_end) {
+    for (long i = row_begin; i < row_end; ++i) {
+      for (int j = 0; j < grid_.n_vds; ++j) {
+        id[i * grid_.n_vds + j] = base_->drain_current(vgs[i], vds[j]);
+      }
     }
-  }
+  });
   table_ = phys::BicubicTable(std::move(vgs), std::move(vds), std::move(id));
 }
 

@@ -5,6 +5,7 @@
 
 #include "phys/linalg.h"
 #include "phys/require.h"
+#include "spice/integrator.h"
 
 namespace carbon::spice {
 
@@ -26,7 +27,7 @@ bool newton_solve(Circuit& ckt, std::vector<double>& x,
   ws.prepare(ckt, opts);
 
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
-    ws.mna.zero();
+    ws.mna.restore_baseline();
 
     StampContext ctx = proto;
     ctx.x = &x;
@@ -183,6 +184,119 @@ phys::DataTable dc_sweep(Circuit& ckt, VSource& swept,
   return table;
 }
 
+namespace {
+
+/// Row recorder shared by the fixed and adaptive transient paths: either
+/// one row per accepted step (dt_print = 0), or rows thinned onto a
+/// uniform dt_print grid interpolated between accepted steps — adaptive
+/// runs then don't explode the DataTable, and runs with different stepping
+/// land on a common grid for RMS comparison.  Interior samples use a
+/// quadratic through the last three accepted points when one is available:
+/// adaptive steps can span many print intervals, and linear interpolation
+/// over such a span would add an O(h^2 x'') waveform error far above the
+/// LTE the controller worked to bound.
+class TransientRecorder {
+ public:
+  TransientRecorder(phys::DataTable& table, std::vector<NodeId> probe_ids,
+                    std::vector<int> branch_rows, double dt_print)
+      : table_(table), probe_ids_(std::move(probe_ids)),
+        branch_rows_(std::move(branch_rows)), dt_print_(dt_print) {}
+
+  void initial(const std::vector<double>& x) {
+    emit_point(0.0, x);
+    next_print_ = dt_print_;
+  }
+
+  void accepted(double t_old, const std::vector<double>& x_old, double t_new,
+                const std::vector<double>& x_new) {
+    if (dt_print_ <= 0.0) {
+      emit_point(t_new, x_new);
+      return;
+    }
+    const double eps = 1e-9 * dt_print_;
+    while (next_print_ <= t_new + eps) {
+      emit_interp(std::min(next_print_, t_new), t_old, x_old, t_new, x_new);
+      next_print_ += dt_print_;
+    }
+    // Slide the 3-point window.
+    t_m1_ = t_old;
+    x_m1_ = x_old;
+    have_m1_ = true;
+  }
+
+  /// The integrator landed on a waveform corner: the solution is only C0
+  /// there, so drop the pre-corner history point instead of letting the
+  /// quadratic smear the kink.
+  void discontinuity() { have_m1_ = false; }
+
+  /// Make sure the run ends with an exact row at t_end (thinned mode only;
+  /// per-step mode already recorded it).
+  void finish(double t_end, const std::vector<double>& x_end) {
+    if (dt_print_ <= 0.0) return;
+    if (last_t_ < t_end - 1e-9 * dt_print_) emit_point(t_end, x_end);
+  }
+
+ private:
+  void emit_point(double t, const std::vector<double>& x) {
+    row_.clear();
+    row_.push_back(t);
+    for (const NodeId id : probe_ids_) {
+      row_.push_back(id == 0 ? 0.0 : x[id - 1]);
+    }
+    for (const int br : branch_rows_) row_.push_back(x[br - 1]);
+    table_.add_row(row_);
+    last_t_ = t;
+  }
+
+  void emit_interp(double t, double t0, const std::vector<double>& x0,
+                   double t1, const std::vector<double>& x1) {
+    // Lagrange weights for (t_m1, t0, t1) -> t; linear fallback without a
+    // third point.
+    double wm = 0.0, w0, w1;
+    if (have_m1_ && t_m1_ < t0) {
+      wm = (t - t0) * (t - t1) / ((t_m1_ - t0) * (t_m1_ - t1));
+      w0 = (t - t_m1_) * (t - t1) / ((t0 - t_m1_) * (t0 - t1));
+      w1 = (t - t_m1_) * (t - t0) / ((t1 - t_m1_) * (t1 - t0));
+    } else {
+      const double f = std::clamp((t - t0) / (t1 - t0), 0.0, 1.0);
+      w0 = 1.0 - f;
+      w1 = f;
+    }
+    row_.clear();
+    row_.push_back(t);
+    const auto interp = [&](int idx) {
+      const double quad = wm == 0.0 ? 0.0 : wm * x_m1_[idx];
+      return quad + w0 * x0[idx] + w1 * x1[idx];
+    };
+    for (const NodeId id : probe_ids_) {
+      row_.push_back(id == 0 ? 0.0 : interp(id - 1));
+    }
+    for (const int br : branch_rows_) row_.push_back(interp(br - 1));
+    table_.add_row(row_);
+    last_t_ = t;
+  }
+
+  phys::DataTable& table_;
+  std::vector<NodeId> probe_ids_;
+  std::vector<int> branch_rows_;
+  double dt_print_ = 0.0;
+  double next_print_ = 0.0;
+  double last_t_ = -1.0;
+  double t_m1_ = 0.0;
+  std::vector<double> x_m1_;
+  bool have_m1_ = false;
+  std::vector<double> row_;
+};
+
+void note_accepted_step(TransientStats& st, double h) {
+  ++st.steps_accepted;
+  st.dt_smallest =
+      st.dt_smallest == 0.0 ? h : std::min(st.dt_smallest, h);
+  st.dt_largest = std::max(st.dt_largest, h);
+}
+
+}  // namespace
+
 phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
                           const std::vector<std::string>& probes,
                           const std::vector<const VSource*>& current_probes) {
@@ -204,7 +318,7 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
   // Initial condition: DC operating point with sources at t=0.
   Solution sol = operating_point(ckt, opts.solver, nullptr, &ws);
   std::vector<double> x = sol.x;
-  std::vector<double> x_try;
+  std::vector<double> x_try, x_pred;
 
   // Resolve probe nodes and source branch rows once; the record loop runs
   // every accepted time step.
@@ -215,48 +329,172 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
     branch_rows.push_back(ckt.vsource_branch_index(*src));
   }
 
-  const auto record = [&](double t) {
-    std::vector<double> row{t};
-    for (const NodeId id : probe_ids) {
-      row.push_back(id == 0 ? 0.0 : x[id - 1]);
-    }
-    for (const int br : branch_rows) row.push_back(x[br - 1]);
-    table.add_row(row);
-  };
-  record(0.0);
+  if (opts.ic == TransientIc::kFromOperatingPoint) {
+    StampContext ic_ctx;
+    ic_ctx.x = &x;
+    for (const auto& el : ckt.elements()) el->set_transient_ic(ic_ctx);
+  }
+
+  TransientStats local_stats;
+  TransientStats& st = opts.stats ? *opts.stats : local_stats;
+  st = TransientStats{};
+
+  TransientRecorder rec(table, probe_ids, branch_rows, opts.dt_print);
+  rec.initial(x);
+
+  // Stamp-context prototype shared by every step of either path.
+  StampContext proto_base;
+  proto_base.transient = true;
+  proto_base.bypass_vtol = opts.bypass_vtol;
+  proto_base.counters = &st.evals;
 
   double t = 0.0;
-  bool first_step = true;  // BE start-up step stabilizes trap ringing
-  while (t < opts.t_stop - 1e-21) {
-    double dt = std::min(opts.dt, opts.t_stop - t);
-    int halvings = 0;
-    for (;;) {
-      StampContext proto;
-      proto.transient = true;
-      proto.dt_s = dt;
-      proto.trapezoidal = opts.trapezoidal && !first_step;
-      proto.time_s = t + dt;
 
-      x_try = x;
-      int iters = 0;
-      if (newton_solve(ckt, x_try, opts.solver, opts.solver.gmin_final, 1.0,
-                       proto, ws, &iters)) {
-        // Accept: update element state with the converged voltages.
-        StampContext accept_ctx = proto;
-        accept_ctx.x = &x_try;
-        for (const auto& el : ckt.elements()) el->accept_step(accept_ctx);
-        std::swap(x, x_try);
-        t += dt;
-        first_step = false;
-        record(t);
-        break;
+  if (!opts.adaptive) {
+    // ---- fixed-step path: the classic dt grid with halving-on-failure,
+    // kept as the bit-stable reference the adaptive engine is verified
+    // against.
+    bool first_step = true;  // BE start-up step stabilizes trap ringing
+    while (t < opts.t_stop - 1e-21) {
+      double dt = std::min(opts.dt, opts.t_stop - t);
+      int halvings = 0;
+      for (;;) {
+        StampContext proto = proto_base;
+        proto.dt_s = dt;
+        proto.trapezoidal = opts.trapezoidal && !first_step;
+        proto.time_s = t + dt;
+
+        x_try = x;
+        int iters = 0;
+        if (newton_solve(ckt, x_try, opts.solver, opts.solver.gmin_final,
+                         1.0, proto, ws, &iters)) {
+          st.newton_iterations += iters;
+          // Accept: update element state with the converged voltages.
+          StampContext accept_ctx = proto;
+          accept_ctx.x = &x_try;
+          for (const auto& el : ckt.elements()) el->accept_step(accept_ctx);
+          rec.accepted(t, x, t + dt, x_try);
+          std::swap(x, x_try);
+          t += dt;
+          first_step = false;
+          note_accepted_step(st, dt);
+          break;
+        }
+        st.newton_iterations += iters;
+        ++st.steps_rejected_newton;
+        ++halvings;
+        CARBON_REQUIRE(halvings <= opts.max_step_halvings,
+                       "transient: step size collapsed without convergence");
+        dt *= 0.5;
       }
-      ++halvings;
-      CARBON_REQUIRE(halvings <= opts.max_step_halvings,
-                     "transient: step size collapsed without convergence");
-      dt *= 0.5;
+    }
+    rec.finish(t, x);
+    return table;
+  }
+
+  // ---- adaptive path: LTE-controlled variable steps on a trapezoidal
+  // corrector (BE at start-up and after breakpoints), with the polynomial
+  // predictor doubling as the Newton warm start.
+  LteControlConfig cfg;
+  cfg.reltol = opts.lte_reltol;
+  cfg.abstol = opts.lte_abstol;
+  cfg.trtol = opts.trtol;
+  cfg.dt_max = opts.dt_max > 0.0 ? opts.dt_max : opts.t_stop / 50.0;
+  cfg.dt_min = opts.dt_min > 0.0
+                   ? opts.dt_min
+                   : std::max(opts.t_stop * 1e-12, opts.dt * 1e-6);
+  cfg.dt_min = std::min(cfg.dt_min, cfg.dt_max);
+  const LteController ctl(cfg);
+  PredictorHistory hist;
+
+  const std::vector<double> bps = ckt.collect_breakpoints(opts.t_stop);
+  size_t bp_idx = 0;
+
+  const double t_eps = 1e-12 * opts.t_stop;
+  double dt = std::clamp(opts.dt, cfg.dt_min, cfg.dt_max);
+  int consecutive_failures = 0;
+
+  while (t < opts.t_stop - t_eps) {
+    // Never step across a source corner: clamp to the next breakpoint (or
+    // t_stop) and land on it exactly.
+    while (bp_idx < bps.size() && bps[bp_idx] <= t + t_eps) ++bp_idx;
+    const double t_limit = bp_idx < bps.size() ? bps[bp_idx] : opts.t_stop;
+    double h = dt;
+    bool hits_limit = false;
+    if (t + h >= t_limit - t_eps) {
+      h = t_limit - t;
+      hits_limit = true;
+    }
+
+    const bool use_trap = opts.trapezoidal && hist.depth() >= 2;
+
+    StampContext proto = proto_base;
+    proto.dt_s = h;
+    proto.trapezoidal = use_trap;
+    proto.time_s = t + h;
+
+    const int pred_order = hist.predict(x, h, x_pred);
+    x_try = pred_order > 0 ? x_pred : x;
+
+    int iters = 0;
+    const bool converged =
+        newton_solve(ckt, x_try, opts.solver, opts.solver.gmin_final, 1.0,
+                     proto, ws, &iters);
+    st.newton_iterations += iters;
+    if (!converged) {
+      ++st.steps_rejected_newton;
+      ++consecutive_failures;
+      CARBON_REQUIRE(consecutive_failures <= opts.max_step_halvings &&
+                         h > cfg.dt_min * (1.0 + 1e-12),
+                     "transient: adaptive step collapsed without "
+                     "convergence");
+      dt = std::max(0.25 * h, cfg.dt_min);
+      continue;
+    }
+    consecutive_failures = 0;
+
+    if (pred_order > 0) {
+      const double factor = hist.lte_factor(h, use_trap, pred_order);
+      const double ratio =
+          lte_error_ratio(x_try, x_pred, ckt.num_nodes(), factor, cfg);
+      const LteController::Decision dec =
+          ctl.decide(h, ratio, use_trap && pred_order >= 2 ? 3 : 2);
+      if (!dec.accept) {
+        ++st.steps_rejected_lte;
+        dt = dec.dt_next;
+        continue;
+      }
+      dt = dec.dt_next;
+    } else {
+      // Start-up / post-breakpoint step has no error estimate: accept but
+      // grow only modestly until the predictor is back.
+      dt = std::clamp(2.0 * h, cfg.dt_min, cfg.dt_max);
+    }
+
+    // Accept: update element state with the converged voltages.
+    StampContext accept_ctx = proto;
+    accept_ctx.x = &x_try;
+    for (const auto& el : ckt.elements()) el->accept_step(accept_ctx);
+    const double t_new = hits_limit ? t_limit : t + h;
+    rec.accepted(t, x, t_new, x_try);
+    hist.advance(x, h);
+    std::swap(x, x_try);
+    t = t_new;
+    note_accepted_step(st, h);
+
+    if (hits_limit && t < opts.t_stop - t_eps) {
+      // Landed on a waveform corner: the history on the far side describes
+      // a different polynomial, so restart the integrator.  The first step
+      // after the restart is a blind BE step (no predictor, no LTE test),
+      // so take it at a tenth of the reference dt — its uncontrolled
+      // O(h^2) error would otherwise set the accuracy floor of the run.
+      ++st.breakpoints_hit;
+      hist.reset();
+      rec.discontinuity();
+      dt = std::clamp(0.1 * opts.dt, cfg.dt_min, cfg.dt_max);
     }
   }
+  rec.finish(opts.t_stop, x);
   return table;
 }
 

@@ -101,12 +101,70 @@ phys::DataTable dc_sweep(Circuit& ckt, VSource& swept,
                          const std::vector<std::string>& probes,
                          const SolverOptions& opts = {});
 
-/// Transient options.
+/// Instrumentation of one transient run (optional; attach via
+/// TransientOptions::stats).  The adaptive/fixed benchmark pair and the CI
+/// smoke job compare these counters at matched waveform accuracy.
+struct TransientStats {
+  long steps_accepted = 0;
+  long steps_rejected_lte = 0;     ///< LTE-controller rejections (adaptive)
+  long steps_rejected_newton = 0;  ///< nonconvergence retries
+  long newton_iterations = 0;      ///< total NR iterations, incl. rejected
+  long breakpoints_hit = 0;        ///< source corners stepped onto exactly
+  double dt_smallest = 0.0;        ///< smallest accepted step [s]
+  double dt_largest = 0.0;         ///< largest accepted step [s]
+  EvalCounters evals;              ///< FET eval()/bypass accounting
+};
+
+/// How the transient initializes energy-storage elements.
+enum class TransientIc {
+  /// Capacitors start from their construction-time v_init (the seed
+  /// engine's behaviour, kept as the default): a node held high by the DC
+  /// operating point but loaded by a v_init = 0 capacitor snaps toward 0
+  /// on the first step.
+  kFromInit,
+  /// Capacitors take their initial voltage from the t = 0 operating
+  /// point (standard SPICE semantics without UIC): the transient starts
+  /// from a true equilibrium, which is what hold-state workloads (SRAM
+  /// write, bias-settled cells) need.
+  kFromOperatingPoint,
+};
+
+/// Transient options.  Two stepping modes share one surface:
+///  * fixed (adaptive = false): march the dt grid exactly as the classic
+///    engine did, halving only on Newton failure — the bit-stable
+///    reference path;
+///  * adaptive (adaptive = true): local-truncation-error controlled
+///    variable steps.  dt becomes the *initial* step; each accepted step
+///    estimates the corrector LTE from its divergence from a polynomial
+///    predictor, grows/shrinks the step against lte_reltol/lte_abstol,
+///    rejects oversized steps, and lands exactly on source-waveform
+///    breakpoints (restarting the integrator there with a BE step).
 struct TransientOptions {
   double t_stop = 1e-9;
-  double dt = 1e-12;
+  double dt = 1e-12;         ///< fixed: the grid; adaptive: initial step
   bool trapezoidal = true;   ///< trapezoidal after a BE start-up step
   int max_step_halvings = 12;
+
+  bool adaptive = false;
+  double lte_reltol = 1e-3;  ///< relative LTE tolerance per node
+  double lte_abstol = 1e-6;  ///< absolute LTE tolerance [V]
+  double trtol = 7.0;        ///< LTE overestimation factor (SPICE trtol)
+  double dt_min = 0.0;       ///< 0 = auto: max(t_stop * 1e-12, dt * 1e-6)
+  double dt_max = 0.0;       ///< 0 = auto: t_stop / 50
+
+  /// Quiescent-device bypass tolerance [V] forwarded to the stamps; a FET
+  /// whose terminal voltages moved less than this since its last eval()
+  /// serves its cached {id, gm, gds} linearization.  0 disables.
+  double bypass_vtol = 0.0;
+
+  /// When > 0, record rows at this fixed interval (linearly interpolated
+  /// from the accepted steps) instead of one row per accepted step, so
+  /// adaptive runs don't explode DataTable row counts — and so runs with
+  /// different stepping land on a common grid for RMS comparison.
+  double dt_print = 0.0;
+
+  TransientIc ic = TransientIc::kFromInit;
+  TransientStats* stats = nullptr;  ///< optional out-param
   SolverOptions solver;
 };
 

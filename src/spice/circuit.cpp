@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "phys/require.h"
+#include "spice/integrator.h"
 
 namespace carbon::spice {
 
@@ -94,6 +95,12 @@ Fet* Circuit::add_fet(const std::string& name, const std::string& drain,
 
 void Circuit::reset_state() {
   for (auto& el : elements_) el->reset_state();
+}
+
+std::vector<double> Circuit::collect_breakpoints(double t_stop) const {
+  std::vector<double> raw;
+  for (const auto& el : elements_) el->collect_breakpoints(t_stop, raw);
+  return merge_breakpoints(std::move(raw), t_stop);
 }
 
 void Circuit::assign_branches() {

@@ -55,6 +55,11 @@ class Circuit {
   /// Reset all element dynamic state (capacitor history etc.).
   void reset_state();
 
+  /// Source-waveform discontinuity times in (0, t_stop), sorted and
+  /// deduplicated.  The adaptive transient engine steps exactly onto each
+  /// so the LTE controller never straddles a corner.
+  std::vector<double> collect_breakpoints(double t_stop) const;
+
   /// Assign branch-current rows to the sources.  The analyses call this
   /// before assembling; it must run after the netlist is complete.
   void assign_branches();

@@ -16,6 +16,10 @@ void StampContext::add_jac(int row, int col, double val) const {
     assert(debug_jac[jac_cursor] == std::make_pair(row, col) &&
            "stamp() add_jac order diverged from its captured footprint");
 #endif
+    if (suppress_jac) {
+      ++jac_cursor;  // value already lives in the static baseline
+      return;
+    }
     *jac_slots[jac_cursor++] += val;
     return;
   }
@@ -132,6 +136,11 @@ void Capacitor::stamp_ac(const AcStampContext& ctx) const {
   ctx.add_jac(b, a, -y);
 }
 
+void Capacitor::set_transient_ic(const StampContext& ctx) {
+  v_prev_ = ctx.v(nodes_[0]) - ctx.v(nodes_[1]);
+  i_prev_ = 0.0;
+}
+
 void Capacitor::accept_step(const StampContext& ctx) {
   const double v_new = ctx.v(nodes_[0]) - ctx.v(nodes_[1]);
   if (ctx.trapezoidal) {
@@ -165,6 +174,11 @@ void VSource::stamp(const StampContext& ctx) const {
   ctx.add_rhs(br, ctx.source_scale * v);
 }
 
+void VSource::collect_breakpoints(double t_stop,
+                                  std::vector<double>& out) const {
+  wave_->breakpoints(t_stop, out);
+}
+
 void VSource::stamp_ac(const AcStampContext& ctx) const {
   const NodeId a = nodes_[0], b = nodes_[1];
   const int br = branch_base_;
@@ -181,6 +195,11 @@ ISource::ISource(std::string name, NodeId n_plus, NodeId n_minus,
                  WaveformPtr wave)
     : Element(std::move(name), {n_plus, n_minus}), wave_(std::move(wave)) {
   CARBON_REQUIRE(wave_ != nullptr, "null waveform");
+}
+
+void ISource::collect_breakpoints(double t_stop,
+                                  std::vector<double>& out) const {
+  wave_->breakpoints(t_stop, out);
 }
 
 void ISource::stamp(const StampContext& ctx) const {
@@ -240,21 +259,44 @@ Fet::Fet(std::string name, NodeId drain, NodeId gate, NodeId source,
   CARBON_REQUIRE(multiplier > 0.0, "multiplier must be positive");
 }
 
+void Fet::reset_state() { cache_valid_ = false; }
+
 void Fet::stamp(const StampContext& ctx) const {
   const NodeId d = nodes_[0], g = nodes_[1], s = nodes_[2];
   const double vgs = ctx.v(g) - ctx.v(s);
   const double vds = ctx.v(d) - ctx.v(s);
 
-  // One eval() gives current and both conductances — a single table lookup
-  // for tabulated models, a finite-difference fallback otherwise.
-  const device::DeviceEval e = model_->eval(vgs, vds);
+  // Quiescent-device bypass: when the terminal voltages moved less than
+  // bypass_vtol since the cached eval(), reuse the cached {id, gm, gds}
+  // and linearize the companion around the *cached* bias point — that is
+  // exactly the Taylor expansion the cache is valid for, so the served
+  // stamp is consistent to O(bypass_vtol^2 * curvature).
+  double vgs_lin = vgs, vds_lin = vds;
+  device::DeviceEval e;
+  if (cache_valid_ && ctx.bypass_vtol > 0.0 &&
+      std::abs(vgs - vgs_cache_) <= ctx.bypass_vtol &&
+      std::abs(vds - vds_cache_) <= ctx.bypass_vtol) {
+    e = eval_cache_;
+    vgs_lin = vgs_cache_;
+    vds_lin = vds_cache_;
+    if (ctx.counters) ++ctx.counters->device_bypasses;
+  } else {
+    // One eval() gives current and both conductances — a single table
+    // lookup for tabulated models, a finite-difference fallback otherwise.
+    e = model_->eval(vgs, vds);
+    eval_cache_ = e;
+    vgs_cache_ = vgs;
+    vds_cache_ = vds;
+    cache_valid_ = true;
+    if (ctx.counters) ++ctx.counters->device_evals;
+  }
   const double id0 = mult_ * e.id;
   const double gm = mult_ * e.gm;
   const double gds = mult_ * e.gds + ctx.gmin;  // keep Jacobian non-singular
 
   // Norton companion: id = id0 + gm (vgs - vgs0) + gds (vds - vds0)
   //                     = gm*vgs + gds*vds + ieq.
-  const double ieq = id0 - gm * vgs - gds * vds;
+  const double ieq = id0 - gm * vgs_lin - gds * vds_lin;
 
   // Drain row: +id; source row: -id.
   ctx.add_jac(d, g, gm);

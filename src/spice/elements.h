@@ -21,6 +21,14 @@ namespace carbon::spice {
 /// Node index; 0 is ground.
 using NodeId = int;
 
+/// Device-evaluation accounting for a transient run (quiescent-device
+/// bypass diagnostics).  Attached to a StampContext by the analysis; null
+/// when nobody is counting.
+struct EvalCounters {
+  long device_evals = 0;     ///< compact-model eval() calls issued
+  long device_bypasses = 0;  ///< stamps served from the quiescent cache
+};
+
 /// Everything an element needs to stamp itself.
 ///
 /// Three write modes, in priority order:
@@ -50,6 +58,18 @@ struct StampContext {
   bool transient = false;    ///< capacitors: companion model vs open
   double dt_s = 0.0;         ///< current step size
   bool trapezoidal = false;  ///< trapezoidal vs backward Euler companion
+
+  /// Quiescent-device bypass tolerance [V]; > 0 lets a FET whose terminal
+  /// voltages moved less than this since its last eval() reuse the cached
+  /// {id, gm, gds} stamp.  0 disables the bypass (every stamp evaluates).
+  double bypass_vtol = 0.0;
+  /// Optional eval/bypass accounting (owned by the analysis driver).
+  EvalCounters* counters = nullptr;
+
+  /// When true, add_jac advances the slot cursor without writing: set by
+  /// MnaSystem::stamp_all for elements whose Jacobian footprint is constant
+  /// and already present in the memcpy-restored static baseline.
+  bool suppress_jac = false;
 
   // --- slot mode (set per element by MnaSystem::stamp_all) ---
   double* const* jac_slots = nullptr;  ///< value pointer per add_jac call
@@ -102,6 +122,19 @@ class Element {
   /// True when the element's I(V) is nonlinear (affects gmin placement).
   virtual bool is_nonlinear() const { return false; }
 
+  /// True when every value this element adds to the Jacobian is a constant
+  /// of the netlist (independent of the iterate, time, step size, gmin and
+  /// source scale).  MnaSystem stamps such elements once into a static
+  /// baseline that is memcpy-restored each iteration instead of re-stamped;
+  /// their RHS contributions (if any) are still stamped every iteration.
+  virtual bool jacobian_is_constant() const { return false; }
+
+  /// Append the element's waveform discontinuity times in [0, t_stop] to
+  /// @p out (source corner points).  The adaptive transient engine steps
+  /// exactly onto these so the LTE controller never straddles a corner.
+  virtual void collect_breakpoints(double /*t_stop*/,
+                                   std::vector<double>& /*out*/) const {}
+
   /// Number of MNA branch-current unknowns this element owns.
   virtual int num_branches() const { return 0; }
   /// Assign the element's first branch index (rows after node voltages).
@@ -118,6 +151,10 @@ class Element {
   /// Transient bookkeeping: accept the converged step (update state).
   virtual void accept_step(const StampContext& /*ctx*/) {}
 
+  /// Adopt the t = 0 operating point @p ctx.x as the element's initial
+  /// dynamic state (TransientIc::kFromOperatingPoint).  Default: nothing.
+  virtual void set_transient_ic(const StampContext& /*ctx*/) {}
+
   /// Reset dynamic state (before a new analysis).
   virtual void reset_state() {}
 
@@ -131,6 +168,7 @@ class Element {
 class Resistor final : public Element {
  public:
   Resistor(std::string name, NodeId n1, NodeId n2, double ohms);
+  bool jacobian_is_constant() const override { return true; }
   void stamp(const StampContext& ctx) const override;
   void stamp_ac(const AcStampContext& ctx) const override;
   double resistance() const { return ohms_; }
@@ -147,6 +185,7 @@ class Capacitor final : public Element {
   void stamp(const StampContext& ctx) const override;
   void stamp_ac(const AcStampContext& ctx) const override;
   void accept_step(const StampContext& ctx) override;
+  void set_transient_ic(const StampContext& ctx) override;
   void reset_state() override;
   double capacitance() const { return farad_; }
   /// Current charging current (after accept_step) [A].
@@ -164,6 +203,11 @@ class VSource final : public Element {
  public:
   VSource(std::string name, NodeId n_plus, NodeId n_minus, WaveformPtr wave);
   int num_branches() const override { return 1; }
+  /// The incidence/branch rows are +-1 constants; only the RHS follows the
+  /// waveform, so the Jacobian footprint lives in the static baseline.
+  bool jacobian_is_constant() const override { return true; }
+  void collect_breakpoints(double t_stop,
+                           std::vector<double>& out) const override;
   void stamp(const StampContext& ctx) const override;
   void stamp_ac(const AcStampContext& ctx) const override;
   const Waveform& wave() const { return *wave_; }
@@ -183,6 +227,10 @@ class VSource final : public Element {
 class ISource final : public Element {
  public:
   ISource(std::string name, NodeId n_plus, NodeId n_minus, WaveformPtr wave);
+  /// Stamps no Jacobian entries at all, so trivially constant.
+  bool jacobian_is_constant() const override { return true; }
+  void collect_breakpoints(double t_stop,
+                           std::vector<double>& out) const override;
   void stamp(const StampContext& ctx) const override;
 
  private:
@@ -213,12 +261,21 @@ class Fet final : public Element {
   bool is_nonlinear() const override { return true; }
   void stamp(const StampContext& ctx) const override;
   void stamp_ac(const AcStampContext& ctx) const override;
+  void reset_state() override;
   const device::IDeviceModel& model() const { return *model_; }
   double multiplier() const { return mult_; }
 
  private:
   device::DeviceModelPtr model_;
   double mult_;
+  // Quiescent-device bypass: the last evaluated bias point and its raw
+  // (unscaled) model evaluation.  When StampContext::bypass_vtol > 0 and
+  // the terminal voltages moved less than it since the cache was filled,
+  // stamp() reuses the cached linearization instead of calling eval().
+  // mutable because stamp() is const; analyses are single-threaded.
+  mutable double vgs_cache_ = 0.0, vds_cache_ = 0.0;
+  mutable device::DeviceEval eval_cache_{};
+  mutable bool cache_valid_ = false;
 };
 
 }  // namespace carbon::spice

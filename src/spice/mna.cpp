@@ -1,6 +1,7 @@
 #include "spice/mna.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "phys/require.h"
 
@@ -83,6 +84,46 @@ void MnaSystem::build(Circuit& ckt, LinearBackend backend,
     rhs_slots_[t] = r <= 0 ? &rhs_trash_ : &rhs_[r - 1];
   }
 
+  // --- static/dynamic split: classify every element, then stamp the
+  // constant-Jacobian ones once into the baseline that restore_baseline()
+  // memcpy's back each iteration.  Elements with a constant Jacobian and
+  // no RHS footprint (resistors) disappear from the stamp loop entirely.
+  stamp_mode_.assign(elements.size(), StampMode::kDynamic);
+  static_skipped_ = 0;
+  for (size_t e = 0; e < elements.size(); ++e) {
+    if (!elements[e]->jacobian_is_constant()) continue;
+    const bool has_rhs = rhs_off_[e + 1] > rhs_off_[e];
+    stamp_mode_[e] = has_rhs ? StampMode::kStaticRhs : StampMode::kSkip;
+    if (!has_rhs) ++static_skipped_;
+  }
+
+  zero();
+  {
+    StampContext base;
+    base.x = &x_probe;  // static stamps must not read the iterate
+    base.transient = true;
+    base.dt_s = 1.0;
+    for (size_t e = 0; e < elements.size(); ++e) {
+      if (stamp_mode_[e] == StampMode::kDynamic) continue;
+      base.jac_slots = jac_slots_.data() + jac_off_[e];
+      base.rhs_slots = rhs_slots_.data() + rhs_off_[e];
+      base.jac_cursor = 0;
+      base.rhs_cursor = 0;
+#ifndef NDEBUG
+      base.debug_jac = jac_coords_.data() + jac_off_[e];
+      base.debug_rhs = rhs_rows_.data() + rhs_off_[e];
+      base.debug_jac_count = jac_off_[e + 1] - jac_off_[e];
+      base.debug_rhs_count = rhs_off_[e + 1] - rhs_off_[e];
+#endif
+      elements[e]->stamp(base);
+    }
+  }
+  const double* vals = sparse_ ? smat_.values().data() : djac_.data();
+  const size_t nvals = sparse_ ? static_cast<size_t>(smat_.nnz())
+                               : static_cast<size_t>(n_) * n_;
+  baseline_.assign(vals, vals + nvals);
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);  // drop baseline RHS writes
+
   ckt_ = &ckt;
   uid_ = ckt.uid();
   revision_ = ckt.revision();
@@ -103,6 +144,14 @@ void MnaSystem::zero() {
   rhs_trash_ = 0.0;
 }
 
+void MnaSystem::restore_baseline() {
+  double* vals = sparse_ ? smat_.values().data() : djac_.data();
+  std::memcpy(vals, baseline_.data(), baseline_.size() * sizeof(double));
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);
+  jac_trash_ = 0.0;
+  rhs_trash_ = 0.0;
+}
+
 void MnaSystem::stamp_all(const Circuit& ckt, StampContext& ctx) {
   CARBON_REQUIRE(ckt_ == &ckt && uid_ == ckt.uid(),
                  "MnaSystem stamped with a foreign circuit");
@@ -112,6 +161,9 @@ void MnaSystem::stamp_all(const Circuit& ckt, StampContext& ctx) {
   ctx.capture_rhs = nullptr;
   const auto& elements = ckt.elements();
   for (size_t e = 0; e < elements.size(); ++e) {
+    const StampMode mode = stamp_mode_[e];
+    if (mode == StampMode::kSkip) continue;  // fully in the static baseline
+    ctx.suppress_jac = mode == StampMode::kStaticRhs;
     ctx.jac_slots = jac_slots_.data() + jac_off_[e];
     ctx.rhs_slots = rhs_slots_.data() + rhs_off_[e];
     ctx.jac_cursor = 0;
@@ -126,6 +178,7 @@ void MnaSystem::stamp_all(const Circuit& ckt, StampContext& ctx) {
   }
   ctx.jac_slots = nullptr;
   ctx.rhs_slots = nullptr;
+  ctx.suppress_jac = false;
 }
 
 bool MnaSystem::factor() {

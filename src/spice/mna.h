@@ -8,10 +8,18 @@
 /// one capture pass per circuit topology records each element's stamp
 /// footprint, builds the matrix pattern from it, and resolves every future
 /// add_jac/add_rhs call to a direct value pointer.  After build(), a Newton
-/// iteration is: zero(), stamp_all(), factor(), solve_in_place() — no index
-/// arithmetic in the stamps, no allocation, and (sparse backend) no symbolic
-/// factorization work: the LU reuses the ordering and fill pattern computed
-/// once per topology across every iteration, sweep point and time step.
+/// iteration is: restore_baseline(), stamp_all(), factor(),
+/// solve_in_place() — no index arithmetic in the stamps, no allocation,
+/// and (sparse backend) no symbolic factorization work: the LU reuses the
+/// ordering and fill pattern computed once per topology across every
+/// iteration, sweep point and time step.
+///
+/// Static/dynamic stamp split: build() classifies every element, stamps
+/// the constant-Jacobian ones (resistors, source incidence rows) once
+/// into a *baseline* value image, and stamp_all() then skips their
+/// Jacobian writes — so an assembly pass MUST start from
+/// restore_baseline(), not zero().  zero() alone leaves the static
+/// entries absent (it exists for the pattern-build internals).
 
 #include <cstdint>
 #include <utility>
@@ -52,8 +60,22 @@ class MnaSystem {
   /// Structural nonzeros of the Jacobian (sparse backend; n*n for dense).
   int nnz() const;
 
-  /// Zero the Jacobian values and the RHS.
+  /// Zero the Jacobian values and the RHS.  NOT the start of an assembly
+  /// pass — stamp_all() skips the static elements, whose values only
+  /// restore_baseline() brings back.
   void zero();
+
+  /// Start a stamping pass: restore the Jacobian values to the static
+  /// baseline (the summed contributions of every jacobian_is_constant()
+  /// element, memcpy'd back instead of re-stamped) and zero the RHS.  This
+  /// is what the Newton loop calls instead of zero(); stamp_all() then
+  /// skips the static elements' Jacobian writes.
+  void restore_baseline();
+
+  /// Elements whose stamp() call is skipped entirely by stamp_all()
+  /// (constant Jacobian already in the baseline, no RHS footprint) —
+  /// resistors, mostly.  Diagnostics for tests.
+  int static_skipped_count() const { return static_skipped_; }
 
   /// Stamp every element of @p ckt through its slot table.  @p ctx carries
   /// the solve state (iterate, gmin, source scale, transient step); its
@@ -103,6 +125,16 @@ class MnaSystem {
   // Captured footprints, kept for slot-order assertions in debug builds.
   std::vector<std::pair<int, int>> jac_coords_;
   std::vector<int> rhs_rows_;
+
+  // Static/dynamic stamp split: how stamp_all() treats each element.
+  enum class StampMode : std::uint8_t {
+    kDynamic,    ///< full stamp every iteration
+    kStaticRhs,  ///< Jacobian from the baseline, RHS stamped (sources)
+    kSkip,       ///< Jacobian from the baseline, no RHS — not visited
+  };
+  std::vector<StampMode> stamp_mode_;
+  std::vector<double> baseline_;  ///< static Jacobian values (dense or CSR)
+  int static_skipped_ = 0;
 };
 
 }  // namespace carbon::spice

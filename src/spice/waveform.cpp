@@ -28,6 +28,21 @@ double PulseWave::value(double t_s) const {
   return v1_;
 }
 
+void PulseWave::breakpoints(double t_stop, std::vector<double>& out) const {
+  // One corner set per period until t_stop; capped so a pathological
+  // period/t_stop ratio cannot explode the list (beyond the cap the LTE
+  // controller re-finds the edges by rejection, just less cheaply).
+  constexpr int kMaxPeriods = 100000;
+  for (int k = 0; k < kMaxPeriods; ++k) {
+    const double base = delay_ + k * period_;
+    if (base >= t_stop) break;
+    out.push_back(base);
+    out.push_back(base + rise_);
+    out.push_back(base + rise_ + width_);
+    out.push_back(base + rise_ + width_ + fall_);
+  }
+}
+
 PwlWave::PwlWave(std::vector<std::pair<double, double>> points)
     : pts_(std::move(points)) {
   CARBON_REQUIRE(pts_.size() >= 2, "PWL needs at least two points");
@@ -49,6 +64,10 @@ double PwlWave::value(double t_s) const {
   return lo.second + f * (hi.second - lo.second);
 }
 
+void PwlWave::breakpoints(double /*t_stop*/, std::vector<double>& out) const {
+  for (const auto& p : pts_) out.push_back(p.first);
+}
+
 SinWave::SinWave(double offset, double amplitude, double freq_hz,
                  double delay_s, double damping)
     : offset_(offset), amplitude_(amplitude), freq_(freq_hz), delay_(delay_s),
@@ -61,6 +80,10 @@ double SinWave::value(double t_s) const {
   const double t = t_s - delay_;
   return offset_ + amplitude_ * std::exp(-damping_ * t) *
                        std::sin(2.0 * M_PI * freq_ * t);
+}
+
+void SinWave::breakpoints(double /*t_stop*/, std::vector<double>& out) const {
+  if (delay_ > 0.0) out.push_back(delay_);
 }
 
 WaveformPtr dc(double value) { return std::make_shared<DcWave>(value); }

@@ -17,6 +17,12 @@ class Waveform {
   virtual double value(double t_s) const = 0;
   /// Value used by DC analyses (t = 0 unless overridden).
   virtual double dc_value() const { return value(0.0); }
+  /// Append the waveform's slope discontinuities in (0, @p t_stop) to
+  /// @p out.  The adaptive transient engine lands a step on each so the
+  /// LTE controller never extrapolates across a source corner.  Smooth
+  /// waveforms (DC, SIN past the delay) contribute nothing.
+  virtual void breakpoints(double /*t_stop*/,
+                           std::vector<double>& /*out*/) const {}
 };
 
 using WaveformPtr = std::shared_ptr<const Waveform>;
@@ -37,6 +43,7 @@ class PulseWave final : public Waveform {
   PulseWave(double v1, double v2, double delay_s, double rise_s,
             double fall_s, double width_s, double period_s);
   double value(double t_s) const override;
+  void breakpoints(double t_stop, std::vector<double>& out) const override;
 
  private:
   double v1_, v2_, delay_, rise_, fall_, width_, period_;
@@ -47,6 +54,7 @@ class PwlWave final : public Waveform {
  public:
   explicit PwlWave(std::vector<std::pair<double, double>> points);
   double value(double t_s) const override;
+  void breakpoints(double t_stop, std::vector<double>& out) const override;
 
  private:
   std::vector<std::pair<double, double>> pts_;
@@ -59,6 +67,7 @@ class SinWave final : public Waveform {
           double damping = 0);
   double value(double t_s) const override;
   double dc_value() const override { return offset_; }
+  void breakpoints(double t_stop, std::vector<double>& out) const override;
 
  private:
   double offset_, amplitude_, freq_, delay_, damping_;

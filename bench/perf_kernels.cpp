@@ -10,6 +10,8 @@
 #include "circuit/cells.h"
 #include "circuit/sram.h"
 #include "circuit/vtc.h"
+#include "spice/ac.h"
+#include "spice/smallsignal.h"
 #include "device/alpha_power.h"
 #include "device/cntfet.h"
 #include "device/mosfet.h"
@@ -362,6 +364,128 @@ void BM_TransientSramWriteAdaptive(benchmark::State& state) {
   transient_sram_bench(state, true);
 }
 BENCHMARK(BM_TransientSramWriteAdaptive)->Unit(benchmark::kMillisecond);
+
+// ---- small-signal AC scaling: dense complex LU vs the sparse-complex
+// engine with one symbolic analysis amortized across the whole sweep ----
+//
+// Workload: an RC-ladder AC sweep (7 log-spaced points over 3 decades) at
+// state.range(0) MNA unknowns.  The dense path factors an n x n complex
+// matrix from scratch at every frequency; the sparse path memcpy-restores
+// the captured G image, rescales the jωC slots and numerically refactors
+// on the pattern analyzed once per sweep.  The CI smoke job asserts
+// sparse >= 10x dense at 1024 unknowns.
+
+void ac_scaling_bench(benchmark::State& state, spice::LinearBackend be) {
+  const int unknowns = static_cast<int>(state.range(0));
+  auto bench = circuit::make_rc_ladder(unknowns - 2, 1e3, 1e-15, 1.0);
+  spice::AcOptions opt;
+  opt.f_start_hz = 1e6;
+  opt.f_stop_hz = 1e9;
+  opt.points_per_decade = 2;  // 7 points: a realistic pole-hunt sweep
+  opt.dc.backend = be;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        spice::ac_sweep(*bench.ckt, *bench.vin, {bench.out_node}, opt));
+  }
+  state.SetComplexityN(unknowns);
+}
+
+void BM_AcSweepDense(benchmark::State& state) {
+  ac_scaling_bench(state, spice::LinearBackend::kDense);
+}
+BENCHMARK(BM_AcSweepDense)
+    ->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond)->Complexity();
+
+void BM_AcSweepSparse(benchmark::State& state) {
+  ac_scaling_bench(state, spice::LinearBackend::kSparse);
+}
+BENCHMARK(BM_AcSweepSparse)
+    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond)->Complexity();
+
+// ---- large-array transients: O(N) end-to-end scaling guard ----
+//
+// A 51- vs 501-stage ring oscillator and an SRAM column array, all through
+// the adaptive engine with the quiescent-device bypass, the PI step
+// controller and the sparse backend.  Per-stage cost must stay ~flat from
+// 51 to 501 stages (the run_bench.sh summary records the ratio and the CI
+// smoke job gates on it): a superlinear solve path, a lost pattern reuse
+// or an accidental dense fallback shows up as a blown ratio.
+
+void BM_TransientRingScaleAdaptive(benchmark::State& state) {
+  static const device::DeviceModelPtr tab = [] {
+    auto exact = std::make_shared<device::CntfetModel>(vtc_cntfet_params());
+    return device::make_tabulated(exact, 0.6);
+  }();
+  const int stages = static_cast<int>(state.range(0));
+  circuit::CellOptions copt;
+  copt.v_dd = 0.6;
+  copt.c_load = 5e-15;
+  auto bench = circuit::make_ring_oscillator(tab, stages, copt);
+  // Power-up start: ramping VDD makes the t = 0 operating point the
+  // trivial all-zero solution for ANY stage count (a kilostage ring's
+  // powered-up metastable OP is a Newton stress case of its own).
+  bench.vdd->set_wave(
+      spice::pwl({{0.0, 0.0}, {50e-12, 0.6}, {1.0, 0.6}}));
+
+  spice::TransientOptions opts;
+  opts.t_stop = 1e-9;  // fixed simulated time: cost should scale ~O(N)
+  opts.dt = 2e-12;
+  opts.adaptive = true;
+  opts.lte_reltol = 1e-4;
+  opts.lte_pi = true;
+  opts.bypass_vtol = 1e-4;
+  spice::TransientStats stats;
+  opts.stats = &stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spice::transient(*bench.ckt, opts, {"n0"}));
+  }
+  state.counters["steps"] = static_cast<double>(stats.steps_accepted);
+  state.counters["newton_iters"] =
+      static_cast<double>(stats.newton_iterations);
+  state.counters["jacobian_reuses"] =
+      static_cast<double>(stats.jacobian_reuses);
+  state.SetComplexityN(stages);
+}
+BENCHMARK(BM_TransientRingScaleAdaptive)
+    ->Arg(51)->Arg(501)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+void BM_TransientSramColumnAdaptive(benchmark::State& state) {
+  static const device::DeviceModelPtr tab = [] {
+    auto exact = std::make_shared<device::CntfetModel>(vtc_cntfet_params());
+    return device::make_tabulated(exact, 0.6);
+  }();
+  const int cells = static_cast<int>(state.range(0));
+  circuit::CellOptions copt;
+  copt.v_dd = 0.6;
+  auto bench = circuit::make_sram_column_bench(tab, cells, copt);
+
+  spice::TransientOptions opts;
+  opts.t_stop = 4e-9;
+  opts.dt = 1e-12;
+  opts.adaptive = true;
+  opts.lte_reltol = 1e-4;
+  opts.lte_pi = true;
+  opts.bypass_vtol = 1e-4;
+  opts.dt_print = 8e-12;
+  opts.ic = spice::TransientIc::kFromOperatingPoint;
+  spice::TransientStats stats;
+  opts.stats = &stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        spice::transient(*bench.ckt, opts, {"q0", "qb0"}));
+  }
+  state.counters["newton_iters"] =
+      static_cast<double>(stats.newton_iterations);
+  state.counters["jacobian_reuses"] =
+      static_cast<double>(stats.jacobian_reuses);
+  state.SetComplexityN(cells);
+}
+BENCHMARK(BM_TransientSramColumnAdaptive)
+    ->Arg(8)->Arg(64)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
 
 void BM_PlacementMonteCarlo(benchmark::State& state) {
   const fab::ChiralityPopulation pop(1.4e-9, 0.2e-9);

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Run the perf-kernel microbenchmarks and record the results (plus the
 # headline speedups: tabulated-vs-direct VTC sweep, parallel Monte Carlo,
-# and the dense-vs-sparse Newton-solve scaling family) in BENCH_perf.json
-# at the repo root.  Usage:
+# the dense-vs-sparse Newton-solve and AC-sweep scaling families, and the
+# large-array O(N) transient ratios) in BENCH_perf.json at the repo root.
+# Usage:
 #
 #   bench/run_bench.sh [build_dir] [extra google-benchmark args...]
 #
@@ -119,6 +120,43 @@ if newton:
         summary["newton_sparse_speedup_at"] = n_big
         summary["newton_sparse_speedup"] = (
             newton[n_big]["dense"] / newton[n_big]["sparse"])
+
+# Small-signal AC scaling family: per-size sweep times for both complex
+# backends plus the headline sparse-vs-dense speedup at the largest size
+# the dense backend still runs (>= 1024 unknowns in the default family).
+ac = {}
+for name, b in times.items():
+    for backend in ("Dense", "Sparse"):
+        prefix = f"BM_AcSweep{backend}/"
+        if name.startswith(prefix) and name[len(prefix):].isdigit():
+            n = int(name[len(prefix):])
+            ac.setdefault(n, {})[backend.lower()] = real_time_ns(name)
+if ac:
+    summary["ac_sweep_ns"] = {str(n): d for n, d in sorted(ac.items())}
+    both = [n for n, d in ac.items() if "dense" in d and "sparse" in d]
+    if both:
+        n_big = max(both)
+        summary["ac_sparse_speedup_at"] = n_big
+        summary["ac_sparse_speedup"] = (
+            ac[n_big]["dense"] / ac[n_big]["sparse"])
+
+# Large-array adaptive transients: per-stage/per-cell cost ratio between
+# the small and the large configuration guards O(N) end-to-end scaling
+# through the adaptive engine (1.0 = perfectly linear).
+for family, key in (("BM_TransientRingScaleAdaptive", "transient_ring_scale"),
+                    ("BM_TransientSramColumnAdaptive",
+                     "transient_sram_column")):
+    sizes = {}
+    for name in times:
+        prefix = f"{family}/"
+        if name.startswith(prefix) and name[len(prefix):].isdigit():
+            n = int(name[len(prefix):])
+            sizes[n] = real_time_ns(name)
+    if len(sizes) >= 2:
+        n_lo, n_hi = min(sizes), max(sizes)
+        summary[f"{key}_ns"] = {str(n): t for n, t in sorted(sizes.items())}
+        summary[f"{key}_per_unit_ratio"] = (
+            (sizes[n_hi] / n_hi) / (sizes[n_lo] / n_lo))
 
 # Adaptive transient engine: fixed-vs-adaptive pairs on the ring-oscillator
 # and SRAM-write workloads.  Wall-clock speedup plus the deterministic work

@@ -162,4 +162,48 @@ SramWriteBench make_sram_write_bench(device::DeviceModelPtr n_model,
   return b;
 }
 
+SramColumnBench make_sram_column_bench(device::DeviceModelPtr n_model,
+                                       int cells, const CellOptions& opt,
+                                       const SramWriteOptions& wopt) {
+  CARBON_REQUIRE(n_model != nullptr, "null device model");
+  CARBON_REQUIRE(cells >= 1, "need at least one cell");
+  auto p_model = std::make_shared<device::PTypeMirror>(n_model);
+
+  SramColumnBench b;
+  b.cells = cells;
+  b.v_dd = opt.v_dd;
+  b.ckt = std::make_unique<spice::Circuit>();
+  auto& c = *b.ckt;
+
+  b.vdd = c.add_vsource("vdd", "vdd", "0", opt.v_dd);
+  b.vwl = c.add_vsource(
+      "vwl", "wl0", "0",
+      spice::pulse(0.0, opt.v_dd, wopt.t_wl_on_s, wopt.t_wl_edge_s,
+                   wopt.t_wl_edge_s, wopt.t_wl_width_s,
+                   1000.0 * wopt.t_wl_width_s));
+  b.vbl = c.add_vsource("vbl", "bl", "0", 0.0);
+  b.vblb = c.add_vsource("vblb", "blb", "0", opt.v_dd);
+  // Bitline wire capacitance grows with the column height.
+  c.add_capacitor("cbl", "bl", "0", wopt.c_node * cells);
+  c.add_capacitor("cblb", "blb", "0", wopt.c_node * cells);
+
+  for (int i = 0; i < cells; ++i) {
+    const std::string s = std::to_string(i);
+    const std::string q = "q" + s, qb = "qb" + s;
+    c.add_fet("mn1_" + s, q, qb, "0", n_model, opt.fet_multiplier);
+    c.add_fet("mp1_" + s, q, qb, "vdd", p_model, opt.fet_multiplier);
+    c.add_fet("mn2_" + s, qb, q, "0", n_model, opt.fet_multiplier);
+    c.add_fet("mp2_" + s, qb, q, "vdd", p_model, opt.fet_multiplier);
+    c.add_capacitor("cq" + s, q, "0", wopt.c_node);
+    c.add_capacitor("cqb" + s, qb, "0", wopt.c_node);
+    // Deterministic hold state: every cell's OP tips to q = 1.
+    c.add_isource("iskew" + s, "0", q, spice::dc(wopt.i_skew_a));
+    // Only row 0 sees the wordline pulse; held rows' gates are grounded.
+    const std::string wl = i == 0 ? "wl0" : "0";
+    c.add_fet("ma1_" + s, "bl", wl, q, n_model, opt.fet_multiplier);
+    c.add_fet("ma2_" + s, "blb", wl, qb, n_model, opt.fet_multiplier);
+  }
+  return b;
+}
+
 }  // namespace carbon::circuit

@@ -67,4 +67,23 @@ SramWriteBench make_sram_write_bench(device::DeviceModelPtr n_model,
                                      const CellOptions& opt = {},
                                      const SramWriteOptions& wopt = {});
 
+/// A column of 6T cells sharing one bitline pair — the kilodevice-array
+/// scaling workload.  Row 0 is written exactly like make_sram_write_bench
+/// (wordline pulse, BL low / BLB high); every other row holds its state
+/// with a grounded wordline, its access devices loading the bitlines.
+/// Storage nodes are "q<i>" / "qb<i>".
+struct SramColumnBench {
+  std::unique_ptr<spice::Circuit> ckt;
+  spice::VSource* vdd = nullptr;
+  spice::VSource* vwl = nullptr;   ///< row-0 wordline pulse
+  spice::VSource* vbl = nullptr;
+  spice::VSource* vblb = nullptr;
+  int cells = 0;
+  double v_dd = 1.0;
+};
+
+SramColumnBench make_sram_column_bench(device::DeviceModelPtr n_model,
+                                       int cells, const CellOptions& opt = {},
+                                       const SramWriteOptions& wopt = {});
+
 }  // namespace carbon::circuit

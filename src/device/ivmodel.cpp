@@ -55,6 +55,17 @@ DeviceEval GateShifted::eval(double vgs, double vds) const {
   return base_->eval(vgs + shift_, vds);
 }
 
+WithNoise::WithNoise(DeviceModelPtr base, NoiseParams params)
+    : base_(std::move(base)), params_(params) {
+  CARBON_REQUIRE(base_ != nullptr, "null base model");
+  CARBON_REQUIRE(params.gamma >= 0.0 && params.kf >= 0.0 && params.af > 0.0,
+                 "noise parameters must be non-negative (af > 0)");
+}
+
+DeviceModelPtr with_noise(DeviceModelPtr base, NoiseParams params) {
+  return std::make_shared<WithNoise>(std::move(base), params);
+}
+
 double transconductance(const IDeviceModel& m, double vgs, double vds,
                         double h) {
   return (m.drain_current(vgs + h, vds) - m.drain_current(vgs - h, vds)) /

@@ -26,6 +26,17 @@ struct DeviceEval {
   double gds = 0.0;  ///< output conductance dId/dVds [S]
 };
 
+/// Small-signal noise parameters of a transistor model, SPICE-style.  The
+/// channel thermal noise is S_id = gamma * 4kT * gm [A^2/Hz] (gamma = 2/3
+/// is the classic long-channel saturation value; quasi-ballistic CNT/GNR
+/// channels measure closer to 1); flicker noise is S_id = kf * |Id|^af / f.
+/// spice::noise_sweep reads these through Fet::collect_noise.
+struct NoiseParams {
+  double gamma = 2.0 / 3.0;  ///< channel thermal excess factor
+  double kf = 0.0;           ///< flicker (1/f) coefficient [A^(2-af)]
+  double af = 1.0;           ///< flicker current exponent
+};
+
 /// Abstract DC transistor model: terminal current as a function of terminal
 /// voltages.  Implementations must be:
 ///  * deterministic and continuous in (vgs, vds),
@@ -56,6 +67,12 @@ class IDeviceModel {
   /// cross-technology comparison (CNT: diameter; GNR: ribbon width;
   /// MOSFET: gate width).  Zero means "not normalizable".
   virtual double width_normalization() const { return 0.0; }
+
+  /// Noise parameters of the device (channel thermal gamma, flicker
+  /// kf/af).  Defaults to long-channel thermal noise with no flicker;
+  /// adapter models forward to their base, and with_noise() overrides them
+  /// on any model.
+  virtual NoiseParams noise_params() const { return {}; }
 };
 
 /// Shared pointer alias used across the circuit layers.
@@ -73,6 +90,9 @@ class PTypeMirror final : public IDeviceModel {
   const std::string& name() const override { return name_; }
   Polarity polarity() const override { return Polarity::kPType; }
   double width_normalization() const override;
+  NoiseParams noise_params() const override {
+    return n_model_->noise_params();
+  }
 
  private:
   DeviceModelPtr n_model_;
@@ -94,6 +114,7 @@ class GateShifted final : public IDeviceModel {
   double width_normalization() const override {
     return base_->width_normalization();
   }
+  NoiseParams noise_params() const override { return base_->noise_params(); }
   double shift() const { return shift_; }
 
  private:
@@ -101,6 +122,34 @@ class GateShifted final : public IDeviceModel {
   double shift_;
   std::string name_;
 };
+
+/// Decorator that attaches explicit noise parameters to any model without
+/// touching its I–V behaviour: the Kf/Af flicker pair and the channel
+/// thermal gamma the paper-level RF/analog comparisons sweep.
+class WithNoise final : public IDeviceModel {
+ public:
+  WithNoise(DeviceModelPtr base, NoiseParams params);
+
+  double drain_current(double vgs, double vds) const override {
+    return base_->drain_current(vgs, vds);
+  }
+  DeviceEval eval(double vgs, double vds) const override {
+    return base_->eval(vgs, vds);
+  }
+  const std::string& name() const override { return base_->name(); }
+  Polarity polarity() const override { return base_->polarity(); }
+  double width_normalization() const override {
+    return base_->width_normalization();
+  }
+  NoiseParams noise_params() const override { return params_; }
+
+ private:
+  DeviceModelPtr base_;
+  NoiseParams params_;
+};
+
+/// Convenience factory for the WithNoise decorator.
+DeviceModelPtr with_noise(DeviceModelPtr base, NoiseParams params);
 
 // ---------------------------------------------------------------------------
 // Characterization helpers

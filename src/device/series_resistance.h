@@ -30,6 +30,9 @@ class SeriesResistanceModel final : public IDeviceModel {
   double width_normalization() const override {
     return intrinsic_->width_normalization();
   }
+  NoiseParams noise_params() const override {
+    return intrinsic_->noise_params();
+  }
 
   double rs() const { return rs_; }
   double rd() const { return rd_; }

@@ -60,6 +60,7 @@ class TabulatedDeviceModel final : public IDeviceModel {
   double width_normalization() const override {
     return base_->width_normalization();
   }
+  NoiseParams noise_params() const override { return base_->noise_params(); }
 
   const TabulatedGrid& grid() const { return grid_; }
   /// The exact model the table was compiled from.

@@ -77,6 +77,29 @@ void ComplexLuFactorization::solve_in_place(std::vector<Complex>& bx) const {
   }
 }
 
+void ComplexLuFactorization::solve_transpose_in_place(
+    std::vector<Complex>& bx) const {
+  const int n = lu_.rows();
+  CARBON_REQUIRE(factored_, "complex LU: no factorization held");
+  CARBON_REQUIRE(static_cast<int>(bx.size()) == n, "rhs size mismatch");
+  // factor() recorded A = Pᵀ L U, so Aᵀ x = b unwinds as a forward sweep
+  // with Uᵀ (lower triangular), a backward sweep with Lᵀ (unit upper
+  // triangular) and a final row-permutation scatter x = Pᵀ z.
+  for (int i = 0; i < n; ++i) {
+    Complex s = bx[i];
+    for (int j = 0; j < i; ++j) s -= lu_(j, i) * bx[j];
+    bx[i] = s / lu_(i, i);
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    Complex s = bx[i];
+    for (int j = i + 1; j < n; ++j) s -= lu_(j, i) * bx[j];
+    bx[i] = s;
+  }
+  scratch_.resize(n);
+  for (int i = 0; i < n; ++i) scratch_[perm_[i]] = bx[i];
+  bx.swap(scratch_);
+}
+
 std::vector<Complex> solve_dense_complex(ComplexMatrix a,
                                          const std::vector<Complex>& b) {
   ComplexLuFactorization lu;

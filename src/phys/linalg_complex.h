@@ -22,6 +22,12 @@ class ComplexMatrix {
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
+
+  /// Raw row-major storage (rows*cols entries); stable until the matrix is
+  /// resized.  The AC slot-stamping assembler writes through this.
+  Complex* data() { return data_.data(); }
+  const Complex* data() const { return data_.data(); }
+
   void fill(Complex value);
   double max_abs() const;
 
@@ -46,6 +52,12 @@ class ComplexLuFactorization {
   /// Solve A x = b with b supplied (and x returned) in @p bx.  Reuses an
   /// internal scratch buffer; not safe to call concurrently.
   void solve_in_place(std::vector<Complex>& bx) const;
+
+  /// Solve Aᵀ x = b (plain transpose, NOT conjugated) from the same
+  /// factorization — the adjoint-network solve of the noise analysis,
+  /// mirroring phys::SparseLuT::solve_transpose_in_place on the dense
+  /// backend.
+  void solve_transpose_in_place(std::vector<Complex>& bx) const;
 
  private:
   ComplexMatrix lu_;

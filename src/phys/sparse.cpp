@@ -8,9 +8,10 @@
 
 namespace carbon::phys {
 
-// ------------------------------------------------------------ SparseMatrix
+// ------------------------------------------------------------ SparseMatrixT
 
-SparseMatrix SparseMatrix::from_coords(
+template <typename T>
+SparseMatrixT<T> SparseMatrixT<T>::from_coords(
     int n, std::vector<std::pair<int, int>> coords) {
   CARBON_REQUIRE(n >= 0, "matrix dimension must be non-negative");
   for (const auto& [r, c] : coords) {
@@ -20,7 +21,7 @@ SparseMatrix SparseMatrix::from_coords(
   std::sort(coords.begin(), coords.end());
   coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
 
-  SparseMatrix m;
+  SparseMatrixT m;
   m.n_ = n;
   m.row_ptr_.assign(n + 1, 0);
   m.col_idx_.reserve(coords.size());
@@ -29,11 +30,12 @@ SparseMatrix SparseMatrix::from_coords(
     m.col_idx_.push_back(c);
   }
   for (int r = 0; r < n; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
-  m.values_.assign(coords.size(), 0.0);
+  m.values_.assign(coords.size(), T{});
   return m;
 }
 
-int SparseMatrix::slot(int r, int c) const {
+template <typename T>
+int SparseMatrixT<T>::slot(int r, int c) const {
   CARBON_REQUIRE(r >= 0 && r < n_ && c >= 0 && c < n_, "index out of range");
   const auto first = col_idx_.begin() + row_ptr_[r];
   const auto last = col_idx_.begin() + row_ptr_[r + 1];
@@ -42,23 +44,27 @@ int SparseMatrix::slot(int r, int c) const {
   return static_cast<int>(it - col_idx_.begin());
 }
 
-double SparseMatrix::at(int r, int c) const {
+template <typename T>
+T SparseMatrixT<T>::at(int r, int c) const {
   const int s = slot(r, c);
-  return s < 0 ? 0.0 : values_[s];
+  return s < 0 ? T{} : values_[s];
 }
 
-void SparseMatrix::zero_values() {
-  std::fill(values_.begin(), values_.end(), 0.0);
+template <typename T>
+void SparseMatrixT<T>::zero_values() {
+  std::fill(values_.begin(), values_.end(), T{});
 }
 
-double SparseMatrix::max_abs() const {
+template <typename T>
+double SparseMatrixT<T>::max_abs() const {
   double m = 0.0;
-  for (double v : values_) m = std::max(m, std::abs(v));
+  for (const T& v : values_) m = std::max(m, std::abs(v));
   return m;
 }
 
-Matrix SparseMatrix::to_dense() const {
-  Matrix d(n_, n_);
+template <typename T>
+typename detail::DenseMatrixFor<T>::type SparseMatrixT<T>::to_dense() const {
+  typename detail::DenseMatrixFor<T>::type d(n_, n_);
   for (int r = 0; r < n_; ++r) {
     for (int t = row_ptr_[r]; t < row_ptr_[r + 1]; ++t) {
       d(r, col_idx_[t]) = values_[t];
@@ -69,7 +75,8 @@ Matrix SparseMatrix::to_dense() const {
 
 // -------------------------------------------------------- min_degree_order
 
-std::vector<int> min_degree_order(const SparseMatrix& a) {
+template <typename T>
+std::vector<int> min_degree_order(const SparseMatrixT<T>& a) {
   const int n = a.size();
   // Adjacency of the symmetrized pattern (A + At), diagonal dropped.
   std::vector<std::vector<int>> adj(n);
@@ -137,15 +144,17 @@ std::vector<int> min_degree_order(const SparseMatrix& a) {
   return order;
 }
 
-// ----------------------------------------------------------------- SparseLu
+// ---------------------------------------------------------------- SparseLuT
 
-void SparseLu::require_pattern_match(const SparseMatrix& a) const {
+template <typename T>
+void SparseLuT<T>::require_pattern_match(const SparseMatrixT<T>& a) const {
   CARBON_REQUIRE(analyzed_, "SparseLu: analyze_factor() has not run");
   CARBON_REQUIRE(a.size() == n_ && a.nnz() == pattern_nnz_,
                  "SparseLu: matrix pattern does not match the analysis");
 }
 
-void SparseLu::analyze_factor(const SparseMatrix& a) {
+template <typename T>
+void SparseLuT<T>::analyze_factor(const SparseMatrixT<T>& a) {
   const int n = a.size();
   CARBON_REQUIRE(n > 0, "SparseLu: empty matrix");
   analyzed_ = false;
@@ -177,9 +186,9 @@ void SparseLu::analyze_factor(const SparseMatrix& a) {
   uptr_.assign(n + 1, 0);
   ucol_.clear();
   uval_.clear();
-  udiag_.assign(n, 0.0);
+  udiag_.assign(n, T{});
 
-  std::vector<double> x(n, 0.0);       // dense accumulator (permuted cols)
+  std::vector<T> x(n, T{});            // dense accumulator (permuted cols)
   std::vector<int> vstamp(n, -1);      // DFS visited marker, stamped by row
   std::vector<int> postorder;          // pivotal columns, DFS postorder
   std::vector<int> cand;               // non-pivotal columns reached
@@ -234,11 +243,11 @@ void SparseLu::analyze_factor(const SparseMatrix& a) {
     for (auto it = postorder.rbegin(); it != postorder.rend(); ++it) {
       const int j = *it;
       const int k = cpiv[j];
-      const double l = x[j] / udiag_[k];
-      x[j] = 0.0;
+      const T l = x[j] / udiag_[k];
+      x[j] = T{};
       ek_.push_back(k);
       lval_.push_back(l);
-      if (l != 0.0) {
+      if (l != T{}) {
         for (int s = uptr_[k]; s < uptr_[k + 1]; ++s) {
           x[ucol_[s]] -= l * uval_[s];
         }
@@ -258,7 +267,7 @@ void SparseLu::analyze_factor(const SparseMatrix& a) {
     }
     if (jmax < 0 || amax_c <= floor_abs || !std::isfinite(amax_c)) {
       // Leave no stale state behind for a later refactor().
-      for (int j : cand) x[j] = 0.0;
+      for (int j : cand) x[j] = T{};
       throw ConvergenceError("sparse LU: matrix is numerically singular");
     }
     int jp = jmax;
@@ -268,12 +277,12 @@ void SparseLu::analyze_factor(const SparseMatrix& a) {
     }
     cpiv[jp] = i;
     udiag_[i] = x[jp];
-    x[jp] = 0.0;
+    x[jp] = T{};
     for (int j : cand) {
       if (j == jp) continue;
       ucol_.push_back(j);  // translated to pivot space below
       uval_.push_back(x[j]);
-      x[j] = 0.0;
+      x[j] = T{};
     }
     uptr_[i + 1] = static_cast<int>(ucol_.size());
   }
@@ -284,55 +293,58 @@ void SparseLu::analyze_factor(const SparseMatrix& a) {
   solcol_.assign(n, 0);
   for (int j = 0; j < n; ++j) solcol_[cpiv[j]] = p_[j];
 
-  work_.assign(n, 0.0);
+  work_.assign(n, T{});
   analyzed_ = true;
   factored_ = true;
 }
 
-bool SparseLu::refactor(const SparseMatrix& a) {
+template <typename T>
+bool SparseLuT<T>::refactor(const SparseMatrixT<T>& a) {
   require_pattern_match(a);
   factored_ = false;
 
   const double amax = a.max_abs();
   const double floor_abs =
       std::max(1e-300, std::max(amax, 1e-300) * opt_.singular_tol);
-  const std::vector<double>& av = a.values();
+  const std::vector<T>& av = a.values();
 
-  std::vector<double>& x = work_;  // kept all-zero between uses
+  std::vector<T>& x = work_;  // kept all-zero between uses
   for (int i = 0; i < n_; ++i) {
     for (int t = aptr_[i]; t < aptr_[i + 1]; ++t) x[adst_[t]] = av[asrc_[t]];
 
     for (int t = eptr_[i]; t < eptr_[i + 1]; ++t) {
       const int k = ek_[t];
-      const double l = x[k] / udiag_[k];
-      x[k] = 0.0;
+      const T l = x[k] / udiag_[k];
+      x[k] = T{};
       lval_[t] = l;
-      if (l != 0.0) {
+      if (l != T{}) {
         for (int s = uptr_[k]; s < uptr_[k + 1]; ++s) {
           x[ucol_[s]] -= l * uval_[s];
         }
       }
     }
 
-    const double piv = x[i];
-    if (!std::isfinite(piv) || std::abs(piv) <= floor_abs) {
+    const T piv = x[i];
+    const double piv_abs = std::abs(piv);
+    if (!std::isfinite(piv_abs) || piv_abs <= floor_abs) {
       // Pivot collapse: scrub the scatter and report the stale ordering.
-      x[i] = 0.0;
-      for (int s = uptr_[i]; s < uptr_[i + 1]; ++s) x[ucol_[s]] = 0.0;
+      x[i] = T{};
+      for (int s = uptr_[i]; s < uptr_[i + 1]; ++s) x[ucol_[s]] = T{};
       return false;
     }
     udiag_[i] = piv;
-    x[i] = 0.0;
+    x[i] = T{};
     for (int s = uptr_[i]; s < uptr_[i + 1]; ++s) {
       uval_[s] = x[ucol_[s]];
-      x[ucol_[s]] = 0.0;
+      x[ucol_[s]] = T{};
     }
   }
   factored_ = true;
   return true;
 }
 
-void SparseLu::factor(const SparseMatrix& a) {
+template <typename T>
+void SparseLuT<T>::factor(const SparseMatrixT<T>& a) {
   if (!analyzed_ || a.size() != n_ || a.nnz() != pattern_nnz_) {
     analyze_factor(a);
     return;
@@ -341,36 +353,81 @@ void SparseLu::factor(const SparseMatrix& a) {
   analyze_factor(a);  // re-pick pivots for the drifted values
 }
 
-void SparseLu::solve_in_place(std::vector<double>& bx) const {
+template <typename T>
+void SparseLuT<T>::solve_in_place(std::vector<T>& bx) const {
   CARBON_REQUIRE(factored_, "SparseLu: no factorization held");
   CARBON_REQUIRE(static_cast<int>(bx.size()) == n_, "rhs size mismatch");
-  std::vector<double>& w = work_;
+  std::vector<T>& w = work_;
 
   // Row-permuted RHS, then L (unit diagonal, rows = elimination records).
   for (int i = 0; i < n_; ++i) w[i] = bx[p_[i]];
   for (int i = 0; i < n_; ++i) {
-    double s = w[i];
+    T s = w[i];
     for (int t = eptr_[i]; t < eptr_[i + 1]; ++t) s -= lval_[t] * w[ek_[t]];
     w[i] = s;
   }
   // U back-substitution.
   for (int i = n_ - 1; i >= 0; --i) {
-    double s = w[i];
+    T s = w[i];
     for (int t = uptr_[i]; t < uptr_[i + 1]; ++t) s -= uval_[t] * w[ucol_[t]];
     w[i] = s / udiag_[i];
   }
   // Undo the column pivoting: position k holds variable solcol_[k].
   for (int k = 0; k < n_; ++k) bx[solcol_[k]] = w[k];
-  std::fill(w.begin(), w.end(), 0.0);  // keep the scatter invariant
+  std::fill(w.begin(), w.end(), T{});  // keep the scatter invariant
 }
 
-std::vector<double> SparseLu::solve(std::vector<double> b) const {
+template <typename T>
+void SparseLuT<T>::solve_transpose_in_place(std::vector<T>& bx) const {
+  CARBON_REQUIRE(factored_, "SparseLu: no factorization held");
+  CARBON_REQUIRE(static_cast<int>(bx.size()) == n_, "rhs size mismatch");
+  std::vector<T>& w = work_;
+
+  // The recorded factorization is A = Pᵀ L U Q (solve_in_place applies
+  // P, L⁻¹, U⁻¹, Qᵀ in that order), so Aᵀ x = b unwinds as
+  // Uᵀ (Lᵀ (Pᵀ x)) = Q b: scatter b through Q, a forward sweep with Uᵀ
+  // (lower triangular, diagonal udiag_), a backward sweep with Lᵀ (unit
+  // upper triangular), and a final scatter through Pᵀ.
+  for (int k = 0; k < n_; ++k) w[k] = bx[solcol_[k]];
+  for (int i = 0; i < n_; ++i) {
+    const T wi = w[i] / udiag_[i];
+    w[i] = wi;
+    if (wi != T{}) {
+      for (int t = uptr_[i]; t < uptr_[i + 1]; ++t) {
+        w[ucol_[t]] -= uval_[t] * wi;
+      }
+    }
+  }
+  for (int i = n_ - 1; i >= 0; --i) {
+    const T zi = w[i];  // unit diagonal
+    if (zi != T{}) {
+      for (int t = eptr_[i]; t < eptr_[i + 1]; ++t) {
+        w[ek_[t]] -= lval_[t] * zi;
+      }
+    }
+  }
+  for (int i = 0; i < n_; ++i) bx[p_[i]] = w[i];
+  std::fill(w.begin(), w.end(), T{});  // keep the scatter invariant
+}
+
+template <typename T>
+std::vector<T> SparseLuT<T>::solve(std::vector<T> b) const {
   solve_in_place(b);
   return b;
 }
 
-int SparseLu::fill_nnz() const {
+template <typename T>
+int SparseLuT<T>::fill_nnz() const {
   return static_cast<int>(ek_.size() + ucol_.size()) + n_;
 }
+
+// ---------------------------------------------------- explicit instantiation
+
+template class SparseMatrixT<double>;
+template class SparseMatrixT<Complex>;
+template class SparseLuT<double>;
+template class SparseLuT<Complex>;
+template std::vector<int> min_degree_order(const SparseMatrixT<double>&);
+template std::vector<int> min_degree_order(const SparseMatrixT<Complex>&);
 
 }  // namespace carbon::phys

@@ -4,7 +4,16 @@
 /// Sparse linear algebra for circuit-scale MNA systems: a CSR matrix with an
 /// immutable pattern and a sparse LU factorization built for SPICE-style
 /// workloads, where one circuit topology is factored thousands of times with
-/// different values (Newton iterations, sweep points, transient steps).
+/// different values (Newton iterations, sweep points, transient steps,
+/// AC frequency points).
+///
+/// Both classes are templated over the scalar so the real Newton backend
+/// (T = double) and the small-signal AC/noise backend (T = Complex) share
+/// one implementation: the symbolic machinery (ordering, reach computation,
+/// fill pattern, pivot sequence) only ever looks at |entry|, which is a
+/// double either way.  `SparseMatrix`/`SparseLu` are the real aliases the
+/// Newton path has always used; `SparseMatrixZ`/`SparseLuZ` are the complex
+/// twins behind spice::AcSystem.
 ///
 /// The LU splits the work the way production circuit solvers (Sparse 1.3,
 /// KLU) do:
@@ -31,49 +40,69 @@
 #include <vector>
 
 #include "phys/linalg.h"
+#include "phys/linalg_complex.h"
 
 namespace carbon::phys {
+
+namespace detail {
+/// Dense mirror type of a sparse matrix (tests and small-system
+/// diagnostics): phys::Matrix for double, phys::ComplexMatrix for Complex.
+template <typename T>
+struct DenseMatrixFor;
+template <>
+struct DenseMatrixFor<double> {
+  using type = Matrix;
+};
+template <>
+struct DenseMatrixFor<Complex> {
+  using type = ComplexMatrix;
+};
+}  // namespace detail
 
 /// Sparse matrix in compressed-sparse-row (CSR) form.  The pattern is fixed
 /// at construction; only the values are mutable.  Built for assembly loops:
 /// callers resolve (row, col) positions to value slots once via slot() and
 /// then write straight into values().
-class SparseMatrix {
+template <typename T>
+class SparseMatrixT {
  public:
-  SparseMatrix() = default;
+  SparseMatrixT() = default;
 
   /// Build an n x n matrix from a coordinate list (0-based row/col pairs).
   /// Duplicates are merged; values start at zero.
-  static SparseMatrix from_coords(int n,
-                                  std::vector<std::pair<int, int>> coords);
+  static SparseMatrixT from_coords(int n,
+                                   std::vector<std::pair<int, int>> coords);
 
   int size() const { return n_; }
   int nnz() const { return static_cast<int>(col_idx_.size()); }
 
   const std::vector<int>& row_ptr() const { return row_ptr_; }
   const std::vector<int>& col_idx() const { return col_idx_; }
-  std::vector<double>& values() { return values_; }
-  const std::vector<double>& values() const { return values_; }
+  std::vector<T>& values() { return values_; }
+  const std::vector<T>& values() const { return values_; }
 
   /// Index into values() of entry (r, c); -1 when the position is not in
   /// the pattern.  O(log nnz(row)).
   int slot(int r, int c) const;
 
   /// Entry (r, c), zero when outside the pattern.
-  double at(int r, int c) const;
+  T at(int r, int c) const;
 
   void zero_values();
   double max_abs() const;
 
   /// Dense copy (tests and small-system diagnostics only).
-  Matrix to_dense() const;
+  typename detail::DenseMatrixFor<T>::type to_dense() const;
 
  private:
   int n_ = 0;
   std::vector<int> row_ptr_;
   std::vector<int> col_idx_;
-  std::vector<double> values_;
+  std::vector<T> values_;
 };
+
+using SparseMatrix = SparseMatrixT<double>;
+using SparseMatrixZ = SparseMatrixT<Complex>;
 
 /// Tuning knobs of SparseLu.
 struct SparseLuOptions {
@@ -89,36 +118,43 @@ struct SparseLuOptions {
 /// analyze/refactor contract.  Instances are reusable workspaces: after
 /// analyze_factor() has run for a pattern, refactor() + solve_in_place()
 /// perform no heap allocation.
-class SparseLu {
+template <typename T>
+class SparseLuT {
  public:
-  SparseLu() = default;
-  explicit SparseLu(SparseLuOptions opt) : opt_(opt) {}
+  SparseLuT() = default;
+  explicit SparseLuT(SparseLuOptions opt) : opt_(opt) {}
 
   /// Full analysis + factorization of @p a.  Records ordering, pivot
   /// sequence and fill pattern for later refactor() calls.  Throws
   /// ConvergenceError when the matrix is numerically singular.
-  void analyze_factor(const SparseMatrix& a);
+  void analyze_factor(const SparseMatrixT<T>& a);
 
   /// Numeric-only refactorization of a matrix with the SAME pattern as the
   /// one analyzed.  Returns false (factorization invalidated) when a pivot
   /// collapses; the pattern analysis stays valid numbers-wise but the pivot
   /// sequence should be re-picked via analyze_factor().
-  bool refactor(const SparseMatrix& a);
+  bool refactor(const SparseMatrixT<T>& a);
 
   /// Convenience: analyze on first use, refactor afterwards, transparently
   /// re-analyzing once when the recorded pivot sequence goes stale.  Throws
   /// ConvergenceError when the matrix is truly singular.
-  void factor(const SparseMatrix& a);
+  void factor(const SparseMatrixT<T>& a);
 
   bool analyzed() const { return analyzed_; }
   bool factored() const { return factored_; }
 
   /// Solve A x = b with b supplied (and x returned) in @p bx.  Reuses
   /// internal scratch, so concurrent calls on one instance are not safe.
-  void solve_in_place(std::vector<double>& bx) const;
+  void solve_in_place(std::vector<T>& bx) const;
+
+  /// Solve Aᵀ x = b (plain transpose, NOT conjugated) in place, from the
+  /// same factorization.  This is the adjoint-network solve behind the
+  /// noise analysis: one transpose solve per frequency yields the transfer
+  /// from *every* noise-current injection site to the output node at once.
+  void solve_transpose_in_place(std::vector<T>& bx) const;
 
   /// Allocating convenience solve.
-  std::vector<double> solve(std::vector<double> b) const;
+  std::vector<T> solve(std::vector<T> b) const;
 
   /// Entries of L + U including the diagonal (fill diagnostics).
   int fill_nnz() const;
@@ -128,7 +164,7 @@ class SparseLu {
   int analyze_count() const { return analyze_count_; }
 
  private:
-  void require_pattern_match(const SparseMatrix& a) const;
+  void require_pattern_match(const SparseMatrixT<T>& a) const;
 
   SparseLuOptions opt_;
   bool analyzed_ = false;
@@ -145,16 +181,20 @@ class SparseLu {
   std::vector<int> uptr_, ucol_;         ///< U row patterns (excluding diagonal)
 
   // Numeric payload, rewritten by every (re)factorization.
-  std::vector<double> lval_;   ///< parallel to ek_
-  std::vector<double> uval_;   ///< parallel to ucol_
-  std::vector<double> udiag_;
+  std::vector<T> lval_;   ///< parallel to ek_
+  std::vector<T> uval_;   ///< parallel to ucol_
+  std::vector<T> udiag_;
 
-  mutable std::vector<double> work_;  ///< dense scatter / solve scratch
+  mutable std::vector<T> work_;  ///< dense scatter / solve scratch
 };
+
+using SparseLu = SparseLuT<double>;
+using SparseLuZ = SparseLuT<Complex>;
 
 /// Minimum-degree ordering of the symmetrized pattern of @p a (the pattern
 /// of A + Aᵀ).  Returns the elimination order: order[k] = original index
 /// eliminated k-th.  Exposed for tests and diagnostics.
-std::vector<int> min_degree_order(const SparseMatrix& a);
+template <typename T>
+std::vector<int> min_degree_order(const SparseMatrixT<T>& a);
 
 }  // namespace carbon::phys

@@ -2,25 +2,29 @@
 
 #include <cmath>
 
-#include "phys/linalg_complex.h"
 #include "phys/require.h"
 #include "spice/analyses.h"
+#include "spice/smallsignal.h"
 
 namespace carbon::spice {
 
 phys::DataTable ac_sweep(Circuit& ckt, VSource& input,
                          const std::vector<std::string>& probes,
                          const AcOptions& opt) {
-  CARBON_REQUIRE(opt.f_stop_hz > opt.f_start_hz && opt.f_start_hz > 0.0,
-                 "need a positive ascending frequency range");
-  CARBON_REQUIRE(opt.points_per_decade >= 1, "points per decade >= 1");
   CARBON_REQUIRE(!probes.empty(), "no probe nodes");
+  const std::vector<double> freqs =
+      log_frequency_grid(opt.f_start_hz, opt.f_stop_hz, opt.points_per_decade);
 
   // DC operating point first; the AC system is linearized around it.
   const Solution dc_sol = operating_point(ckt, opt.dc);
 
+  // The stimulus magnitude must come back down even when the sweep throws
+  // (singular small-signal system at some frequency).
+  struct MagnitudeGuard {
+    VSource& src;
+    ~MagnitudeGuard() { src.set_ac_magnitude(0.0); }
+  } guard{input};
   input.set_ac_magnitude(1.0);
-  const int n = ckt.num_unknowns();
 
   std::vector<std::string> cols{"freq_hz"};
   for (const auto& p : probes) {
@@ -29,34 +33,24 @@ phys::DataTable ac_sweep(Circuit& ckt, VSource& input,
   }
   phys::DataTable table(cols);
 
-  const double decades = std::log10(opt.f_stop_hz / opt.f_start_hz);
-  const int n_points =
-      static_cast<int>(std::ceil(decades * opt.points_per_decade)) + 1;
-
-  // Probe names resolve once; the LU workspace persists across points.
+  // Probe names resolve once; the complex system captures every element's
+  // small-signal footprint once (G image + jωC slots) and the sparse LU
+  // analyzes the pattern once — each frequency point is a baseline
+  // restore, a jωC rescale, a numeric refactor and one solve.
   const std::vector<NodeId> probe_ids = resolve_probes(ckt, probes);
+  AcSystem sys;
+  sys.build(ckt, dc_sol.x, opt.dc.backend, opt.dc.sparse_threshold);
 
-  phys::ComplexMatrix jac(n, n);
-  std::vector<phys::Complex> rhs(n);
-  std::vector<phys::Complex> x(n);
-  phys::ComplexLuFactorization lu;
-  for (int i = 0; i < n_points; ++i) {
-    const double f = opt.f_start_hz *
-                     std::pow(10.0, decades * i / (n_points - 1));
-    jac.fill({});
-    std::fill(rhs.begin(), rhs.end(), phys::Complex{});
-    AcStampContext ctx;
-    ctx.jac = &jac;
-    ctx.rhs = &rhs;
-    ctx.x_dc = &dc_sol.x;
-    ctx.omega = 2.0 * M_PI * f;
-    for (const auto& el : ckt.elements()) el->stamp_ac(ctx);
+  std::vector<phys::Complex> x;
+  std::vector<double> row;
+  for (const double f : freqs) {
+    CARBON_REQUIRE(sys.assemble_factor(2.0 * M_PI * f),
+                   "ac_sweep: singular small-signal system");
+    x = sys.stimulus();
+    sys.solve_in_place(x);
 
-    lu.factor(jac);
-    x = rhs;
-    lu.solve_in_place(x);
-
-    std::vector<double> row{f};
+    row.clear();
+    row.push_back(f);
     for (const NodeId id : probe_ids) {
       const phys::Complex v = (id == 0) ? phys::Complex{} : x[id - 1];
       row.push_back(std::abs(v));
@@ -64,7 +58,6 @@ phys::DataTable ac_sweep(Circuit& ckt, VSource& input,
     }
     table.add_row(row);
   }
-  input.set_ac_magnitude(0.0);
   return table;
 }
 

@@ -389,6 +389,7 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
       }
     }
     rec.finish(t, x);
+    st.jacobian_reuses = ws.mna.factor_skip_count();
     return table;
   }
 
@@ -404,7 +405,8 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
                    ? opts.dt_min
                    : std::max(opts.t_stop * 1e-12, opts.dt * 1e-6);
   cfg.dt_min = std::min(cfg.dt_min, cfg.dt_max);
-  const LteController ctl(cfg);
+  cfg.pi = opts.lte_pi;
+  LteController ctl(cfg);
   PredictorHistory hist;
 
   const std::vector<double> bps = ckt.collect_breakpoints(opts.t_stop);
@@ -449,6 +451,7 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
                      "transient: adaptive step collapsed without "
                      "convergence");
       dt = std::max(0.25 * h, cfg.dt_min);
+      ctl.reset_history();  // the stored PI error belongs to the failed step
       continue;
     }
     consecutive_failures = 0;
@@ -458,7 +461,7 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
       const double ratio =
           lte_error_ratio(x_try, x_pred, ckt.num_nodes(), factor, cfg);
       const LteController::Decision dec =
-          ctl.decide(h, ratio, use_trap && pred_order >= 2 ? 3 : 2);
+          ctl.step(h, ratio, use_trap && pred_order >= 2 ? 3 : 2);
       if (!dec.accept) {
         ++st.steps_rejected_lte;
         dt = dec.dt_next;
@@ -490,11 +493,13 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
       // O(h^2) error would otherwise set the accuracy floor of the run.
       ++st.breakpoints_hit;
       hist.reset();
+      ctl.reset_history();
       rec.discontinuity();
       dt = std::clamp(0.1 * opts.dt, cfg.dt_min, cfg.dt_max);
     }
   }
   rec.finish(opts.t_stop, x);
+  st.jacobian_reuses = ws.mna.factor_skip_count();
   return table;
 }
 

@@ -110,9 +110,12 @@ struct TransientStats {
   long steps_rejected_newton = 0;  ///< nonconvergence retries
   long newton_iterations = 0;      ///< total NR iterations, incl. rejected
   long breakpoints_hit = 0;        ///< source corners stepped onto exactly
+  long jacobian_reuses = 0;        ///< factor() calls served by the
+                                   ///< identical-Jacobian (Shamanskii)
+                                   ///< fast path of MnaSystem
   double dt_smallest = 0.0;        ///< smallest accepted step [s]
   double dt_largest = 0.0;         ///< largest accepted step [s]
-  EvalCounters evals;              ///< FET eval()/bypass accounting
+  EvalCounters evals;              ///< FET/diode eval()/bypass accounting
 };
 
 /// How the transient initializes energy-storage elements.
@@ -149,6 +152,11 @@ struct TransientOptions {
   double lte_reltol = 1e-3;  ///< relative LTE tolerance per node
   double lte_abstol = 1e-6;  ///< absolute LTE tolerance [V]
   double trtol = 7.0;        ///< LTE overestimation factor (SPICE trtol)
+  /// PI (Gustafsson) step control instead of the deadbeat growth rule:
+  /// damps step growth while the LTE is rising, cutting the rejection
+  /// thrash on fast waveforms (see LteControlConfig::pi).  Off by default
+  /// to keep the seeded controller behaviour bit-stable.
+  bool lte_pi = false;
   double dt_min = 0.0;       ///< 0 = auto: max(t_stop * 1e-12, dt * 1e-6)
   double dt_max = 0.0;       ///< 0 = auto: t_stop / 50
 

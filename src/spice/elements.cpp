@@ -50,15 +50,45 @@ void StampContext::add_rhs(int row, double val) const {
   (*rhs)[row - 1] += val;
 }
 
-void AcStampContext::add_jac(int row, int col, phys::Complex val) const {
+void AcStampContext::add_g(int row, int col, double g_siemens) const {
+  if (cap_g) {
+    cap_g->push_back({row, col, g_siemens});
+    return;
+  }
+  if (row <= 0 || col <= 0) return;  // ground row/col eliminated
+  (*jac)(row - 1, col - 1) += phys::Complex{g_siemens, 0.0};
+}
+
+void AcStampContext::add_c(int row, int col, double c_farad) const {
+  if (cap_c) {
+    cap_c->push_back({row, col, c_farad});
+    return;
+  }
   if (row <= 0 || col <= 0) return;
-  (*jac)(row - 1, col - 1) += val;
+  (*jac)(row - 1, col - 1) += phys::Complex{0.0, omega * c_farad};
 }
 
 void AcStampContext::add_rhs(int row, phys::Complex val) const {
+  if (cap_rhs) {
+    cap_rhs->push_back({row, val});
+    return;
+  }
   if (row <= 0) return;
   (*rhs)[row - 1] += val;
 }
+
+double NoiseSource::psd_a2_hz(double f_hz) const {
+  double s = white_a2_hz;
+  if (flicker_a2 > 0.0 && f_hz > 0.0) {
+    s += flicker_a2 * std::pow(f_hz, -flicker_exp);
+  }
+  return s;
+}
+
+namespace {
+constexpr double kBoltzmann = 1.380649e-23;       // [J/K]
+constexpr double kElementaryCharge = 1.602176634e-19;  // [C]
+}  // namespace
 
 Element::Element(std::string name, std::vector<NodeId> nodes)
     : name_(std::move(name)), nodes_(std::move(nodes)) {
@@ -84,12 +114,22 @@ void Resistor::stamp(const StampContext& ctx) const {
 }
 
 void Resistor::stamp_ac(const AcStampContext& ctx) const {
-  const phys::Complex g{1.0 / ohms_, 0.0};
+  const double g = 1.0 / ohms_;
   const NodeId a = nodes_[0], b = nodes_[1];
-  ctx.add_jac(a, a, g);
-  ctx.add_jac(b, b, g);
-  ctx.add_jac(a, b, -g);
-  ctx.add_jac(b, a, -g);
+  ctx.add_g(a, a, g);
+  ctx.add_g(b, b, g);
+  ctx.add_g(a, b, -g);
+  ctx.add_g(b, a, -g);
+}
+
+void Resistor::collect_noise(const NoiseContext& ctx,
+                             std::vector<NoiseSource>& out) const {
+  NoiseSource s;
+  s.label = name_ + ".thermal";
+  s.n_plus = nodes_[0];
+  s.n_minus = nodes_[1];
+  s.white_a2_hz = 4.0 * kBoltzmann * ctx.temperature_k / ohms_;
+  out.push_back(std::move(s));
 }
 
 // --------------------------------------------------------------- Capacitor
@@ -128,12 +168,11 @@ void Capacitor::stamp(const StampContext& ctx) const {
 }
 
 void Capacitor::stamp_ac(const AcStampContext& ctx) const {
-  const phys::Complex y{0.0, ctx.omega * farad_};  // j omega C
   const NodeId a = nodes_[0], b = nodes_[1];
-  ctx.add_jac(a, a, y);
-  ctx.add_jac(b, b, y);
-  ctx.add_jac(a, b, -y);
-  ctx.add_jac(b, a, -y);
+  ctx.add_c(a, a, farad_);
+  ctx.add_c(b, b, farad_);
+  ctx.add_c(a, b, -farad_);
+  ctx.add_c(b, a, -farad_);
 }
 
 void Capacitor::set_transient_ic(const StampContext& ctx) {
@@ -182,10 +221,10 @@ void VSource::collect_breakpoints(double t_stop,
 void VSource::stamp_ac(const AcStampContext& ctx) const {
   const NodeId a = nodes_[0], b = nodes_[1];
   const int br = branch_base_;
-  ctx.add_jac(a, br, 1.0);
-  ctx.add_jac(b, br, -1.0);
-  ctx.add_jac(br, a, 1.0);
-  ctx.add_jac(br, b, -1.0);
+  ctx.add_g(a, br, 1.0);
+  ctx.add_g(b, br, -1.0);
+  ctx.add_g(br, a, 1.0);
+  ctx.add_g(br, b, -1.0);
   ctx.add_rhs(br, phys::Complex{ac_magnitude_, 0.0});
 }
 
@@ -221,16 +260,46 @@ Diode::Diode(std::string name, NodeId anode, NodeId cathode, double i_sat_a,
   CARBON_REQUIRE(ideality >= 1.0, "ideality must be >= 1");
 }
 
-void Diode::stamp(const StampContext& ctx) const {
-  const NodeId a = nodes_[0], b = nodes_[1];
+void Diode::reset_state() { cache_valid_ = false; }
+
+double Diode::evaluate(double v_raw, double* i0, double* g) const {
   // Junction-voltage limiting keeps exp() in range during NR.
-  const double v_raw = ctx.v(a) - ctx.v(b);
   const double v_crit = n_ * vt_ * std::log(n_ * vt_ / (i_sat_ * 1.414));
   const double v = std::min(v_raw, std::max(v_crit, 0.8));
   const double e = std::exp(v / (n_ * vt_));
-  const double i0 = i_sat_ * (e - 1.0);
-  const double g = std::max(i_sat_ * e / (n_ * vt_), ctx.gmin);
-  const double ieq = i0 - g * v;
+  *i0 = i_sat_ * (e - 1.0);
+  *g = i_sat_ * e / (n_ * vt_);
+  return v;
+}
+
+void Diode::stamp(const StampContext& ctx) const {
+  const NodeId a = nodes_[0], b = nodes_[1];
+  const double v_raw = ctx.v(a) - ctx.v(b);
+
+  // Quiescent-device bypass, mirroring Fet: when the junction voltage
+  // moved less than bypass_vtol since the cached evaluation, reuse the
+  // cached {i0, g} and linearize about the cached (limited) bias — the
+  // Taylor expansion the cache is valid for, consistent to
+  // O(bypass_vtol^2 / Vt) here.
+  double i0, g_exp, v_lin;
+  if (cache_valid_ && ctx.bypass_vtol > 0.0 &&
+      std::abs(v_raw - v_cache_) <= ctx.bypass_vtol) {
+    i0 = i0_cache_;
+    g_exp = g_cache_;
+    v_lin = vlim_cache_;
+    if (ctx.counters) ++ctx.counters->device_bypasses;
+  } else {
+    v_lin = evaluate(v_raw, &i0, &g_exp);
+    v_cache_ = v_raw;
+    vlim_cache_ = v_lin;
+    i0_cache_ = i0;
+    g_cache_ = g_exp;
+    cache_valid_ = true;
+    if (ctx.counters) ++ctx.counters->device_evals;
+  }
+
+  const double g = std::max(g_exp, ctx.gmin);
+  const double ieq = i0 - g * v_lin;
   ctx.add_jac(a, a, g);
   ctx.add_jac(b, b, g);
   ctx.add_jac(a, b, -g);
@@ -241,12 +310,27 @@ void Diode::stamp(const StampContext& ctx) const {
 
 void Diode::stamp_ac(const AcStampContext& ctx) const {
   const NodeId a = nodes_[0], b = nodes_[1];
-  const double v = std::min(ctx.v_dc(a) - ctx.v_dc(b), 0.9);
-  const double g = i_sat_ * std::exp(v / (n_ * vt_)) / (n_ * vt_) + 1e-12;
-  ctx.add_jac(a, a, g);
-  ctx.add_jac(b, b, g);
-  ctx.add_jac(a, b, -g);
-  ctx.add_jac(b, a, -g);
+  // Same junction linearization as the DC stamp and collect_noise, so the
+  // AC conductance and the shot-noise current always describe one bias.
+  double i0, g_exp;
+  evaluate(ctx.v_dc(a) - ctx.v_dc(b), &i0, &g_exp);
+  const double g = g_exp + 1e-12;  // floor keeps a reverse-biased row regular
+  ctx.add_g(a, a, g);
+  ctx.add_g(b, b, g);
+  ctx.add_g(a, b, -g);
+  ctx.add_g(b, a, -g);
+}
+
+void Diode::collect_noise(const NoiseContext& ctx,
+                          std::vector<NoiseSource>& out) const {
+  double i0, g;
+  evaluate(ctx.v_dc(nodes_[0]) - ctx.v_dc(nodes_[1]), &i0, &g);
+  NoiseSource s;
+  s.label = name_ + ".shot";
+  s.n_plus = nodes_[0];
+  s.n_minus = nodes_[1];
+  s.white_a2_hz = 2.0 * kElementaryCharge * std::abs(i0);
+  out.push_back(std::move(s));
 }
 
 // --------------------------------------------------------------------- Fet
@@ -323,13 +407,40 @@ void Fet::stamp_ac(const AcStampContext& ctx) const {
   const device::DeviceEval e = model_->eval(vgs, vds);
   const double gm = mult_ * e.gm;
   const double gds = mult_ * e.gds + 1e-12;
-  ctx.add_jac(d, g, gm);
-  ctx.add_jac(d, s, -gm - gds);
-  ctx.add_jac(d, d, gds);
-  ctx.add_jac(s, g, -gm);
-  ctx.add_jac(s, s, gm + gds);
-  ctx.add_jac(s, d, -gds);
-  ctx.add_jac(g, g, 1e-12);
+  ctx.add_g(d, g, gm);
+  ctx.add_g(d, s, -gm - gds);
+  ctx.add_g(d, d, gds);
+  ctx.add_g(s, g, -gm);
+  ctx.add_g(s, s, gm + gds);
+  ctx.add_g(s, d, -gds);
+  ctx.add_g(g, g, 1e-12);
+}
+
+void Fet::collect_noise(const NoiseContext& ctx,
+                        std::vector<NoiseSource>& out) const {
+  const NodeId d = nodes_[0], g = nodes_[1], s = nodes_[2];
+  const double vgs = ctx.v_dc(g) - ctx.v_dc(s);
+  const double vds = ctx.v_dc(d) - ctx.v_dc(s);
+  const device::DeviceEval e = model_->eval(vgs, vds);
+  const device::NoiseParams p = model_->noise_params();
+
+  NoiseSource th;
+  th.label = name_ + ".thermal";
+  th.n_plus = d;
+  th.n_minus = s;
+  th.white_a2_hz =
+      p.gamma * 4.0 * kBoltzmann * ctx.temperature_k * std::abs(mult_ * e.gm);
+  out.push_back(std::move(th));
+
+  if (p.kf > 0.0) {
+    NoiseSource fl;
+    fl.label = name_ + ".flicker";
+    fl.n_plus = d;
+    fl.n_minus = s;
+    fl.flicker_a2 = p.kf * std::pow(std::abs(mult_ * e.id), p.af);
+    fl.flicker_exp = 1.0;
+    out.push_back(std::move(fl));
+  }
 }
 
 }  // namespace carbon::spice

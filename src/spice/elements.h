@@ -99,15 +99,71 @@ struct StampContext {
 };
 
 /// Context of a small-signal (AC) assembly around a DC operating point.
+///
+/// Elements describe their linearized equivalent through three calls whose
+/// *values* are all frequency-independent:
+///   add_g(r, c, g)    — conductance part [S] (the real G matrix),
+///   add_c(r, c, c_f)  — capacitance part [F], entering as j*omega*c_f,
+///   add_rhs(r, v)     — stimulus phasor.
+/// Two write modes:
+///  1. direct mode — jac/rhs point at a dense complex system and omega is
+///     set; add_g writes {g, 0}, add_c writes {0, omega*c}.  One-off
+///     assemblies and tests.
+///  2. value-capture mode — cap_g/cap_c/cap_rhs record the footprint AND
+///     the value of every call.  spice::AcSystem runs ONE capture pass per
+///     (topology, operating point) and then never calls stamp_ac again:
+///     per frequency point it memcpy-restores the captured G image and
+///     rescales the captured jωC entries through direct value pointers.
 struct AcStampContext {
   phys::ComplexMatrix* jac = nullptr;
   std::vector<phys::Complex>* rhs = nullptr;
   const std::vector<double>* x_dc = nullptr;  ///< converged DC solution
   double omega = 0.0;                          ///< angular frequency [rad/s]
 
+  /// One captured add_g/add_c call: MNA coordinates (1-based, 0 = ground)
+  /// plus the frequency-independent value.
+  struct CoordValue {
+    int row = 0;
+    int col = 0;
+    double value = 0.0;
+  };
+  struct RhsValue {
+    int row = 0;
+    phys::Complex value;
+  };
+  std::vector<CoordValue>* cap_g = nullptr;
+  std::vector<CoordValue>* cap_c = nullptr;
+  std::vector<RhsValue>* cap_rhs = nullptr;
+
   double v_dc(NodeId n) const { return n == 0 ? 0.0 : (*x_dc)[n - 1]; }
-  void add_jac(int row, int col, phys::Complex val) const;
+  void add_g(int row, int col, double g_siemens) const;
+  void add_c(int row, int col, double c_farad) const;
   void add_rhs(int row, phys::Complex val) const;
+};
+
+/// One equivalent noise-current source between two circuit nodes, with the
+/// standard white + 1/f^exp power spectral density [A^2/Hz]:
+///   S_i(f) = white_a2_hz + flicker_a2 / f^flicker_exp.
+/// Elements emit these from collect_noise() at the DC operating point;
+/// spice::noise_sweep propagates each to the output through one adjoint
+/// solve per frequency.
+struct NoiseSource {
+  std::string label;           ///< "element.kind", e.g. "m1.flicker"
+  NodeId n_plus = 0;           ///< current injected into this node...
+  NodeId n_minus = 0;          ///< ...and drawn from this one
+  double white_a2_hz = 0.0;    ///< white PSD [A^2/Hz]
+  double flicker_a2 = 0.0;     ///< flicker coefficient [A^2 * Hz^(exp-1)]
+  double flicker_exp = 1.0;    ///< flicker frequency exponent
+
+  double psd_a2_hz(double f_hz) const;
+};
+
+/// Operating-point context handed to Element::collect_noise.
+struct NoiseContext {
+  const std::vector<double>* x_dc = nullptr;  ///< converged DC solution
+  double temperature_k = 300.0;
+
+  double v_dc(NodeId n) const { return n == 0 ? 0.0 : (*x_dc)[n - 1]; }
 };
 
 /// Base class of all circuit elements.
@@ -148,6 +204,12 @@ class Element {
   /// default stamps nothing (ideal current sources are AC-open).
   virtual void stamp_ac(const AcStampContext& /*ctx*/) const {}
 
+  /// Append the element's small-signal noise sources, evaluated at the DC
+  /// operating point in @p ctx, to @p out.  Default: noiseless (sources,
+  /// capacitors, ideal elements).
+  virtual void collect_noise(const NoiseContext& /*ctx*/,
+                             std::vector<NoiseSource>& /*out*/) const {}
+
   /// Transient bookkeeping: accept the converged step (update state).
   virtual void accept_step(const StampContext& /*ctx*/) {}
 
@@ -171,6 +233,9 @@ class Resistor final : public Element {
   bool jacobian_is_constant() const override { return true; }
   void stamp(const StampContext& ctx) const override;
   void stamp_ac(const AcStampContext& ctx) const override;
+  /// Thermal (Johnson) noise: white 4kT/R current PSD across the resistor.
+  void collect_noise(const NoiseContext& ctx,
+                     std::vector<NoiseSource>& out) const override;
   double resistance() const { return ohms_; }
 
  private:
@@ -245,9 +310,25 @@ class Diode final : public Element {
   bool is_nonlinear() const override { return true; }
   void stamp(const StampContext& ctx) const override;
   void stamp_ac(const AcStampContext& ctx) const override;
+  /// Shot noise 2qI at the operating-point junction current.
+  void collect_noise(const NoiseContext& ctx,
+                     std::vector<NoiseSource>& out) const override;
+  void reset_state() override;
 
  private:
+  /// Junction current/conductance at @p v_raw with NR junction-voltage
+  /// limiting; returns the limited voltage actually used.
+  double evaluate(double v_raw, double* i0, double* g) const;
+
   double i_sat_, n_, vt_;
+  // Quiescent-device bypass, mirroring Fet: when StampContext::bypass_vtol
+  // > 0 and the junction voltage moved less than it since the cache was
+  // filled, stamp() reuses the cached {i0, g} linearization about the
+  // cached (limited) bias instead of recomputing the exponential.
+  mutable double v_cache_ = 0.0;     ///< raw junction voltage at cache fill
+  mutable double vlim_cache_ = 0.0;  ///< limited voltage the stamp expands at
+  mutable double i0_cache_ = 0.0, g_cache_ = 0.0;
+  mutable bool cache_valid_ = false;
 };
 
 /// Three-terminal FET wrapping any device compact model.
@@ -261,6 +342,10 @@ class Fet final : public Element {
   bool is_nonlinear() const override { return true; }
   void stamp(const StampContext& ctx) const override;
   void stamp_ac(const AcStampContext& ctx) const override;
+  /// Channel thermal noise gamma*4kT*gm plus Kf/Af flicker noise, with the
+  /// parameters supplied by the device model's noise_params().
+  void collect_noise(const NoiseContext& ctx,
+                     std::vector<NoiseSource>& out) const override;
   void reset_state() override;
   const device::IDeviceModel& model() const { return *model_; }
   double multiplier() const { return mult_; }

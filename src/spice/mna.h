@@ -87,7 +87,19 @@ class MnaSystem {
   /// backend refactors on the recorded pattern and transparently re-runs
   /// the pivot analysis if the values drifted too far from the ones the
   /// pivots were picked for.
+  ///
+  /// Shamanskii / modified-Newton fast path: when the assembled values are
+  /// bit-identical to the last successfully factored Jacobian — which is
+  /// exactly what happens when every device served its stamp from the
+  /// quiescent-bypass cache and the companion conductances (dt) did not
+  /// change — the numeric refactorization is skipped entirely and the held
+  /// factorization is reused.  Bitwise comparison makes the reuse exact,
+  /// never approximate.
   bool factor();
+
+  /// factor() calls served by the identical-Jacobian fast path (cumulative
+  /// for the life of the instance).
+  long factor_skip_count() const { return factor_skips_; }
 
   /// Solve J x = b in place (b in @p bx, x out).  factor() must have
   /// succeeded.
@@ -135,6 +147,11 @@ class MnaSystem {
   std::vector<StampMode> stamp_mode_;
   std::vector<double> baseline_;  ///< static Jacobian values (dense or CSR)
   int static_skipped_ = 0;
+
+  // Shamanskii fast path: image of the last successfully factored values.
+  std::vector<double> factored_values_;
+  bool factored_valid_ = false;
+  long factor_skips_ = 0;
 };
 
 }  // namespace carbon::spice

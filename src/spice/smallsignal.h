@@ -1,0 +1,153 @@
+#pragma once
+
+/// @file smallsignal.h
+/// The small-signal subsystem: a complex MNA backend with the same
+/// symbolic-reuse discipline as the real Newton engine, plus the device
+/// noise analysis built on top of it.  This is the third analysis pillar
+/// next to DC and transient — it backs the paper's RF/analog case for
+/// CNT/GNR FETs (transconductance roll-off, f_T, noise at scaled supplies).
+///
+/// AcSystem is the engine.  One *value-capture* pass per (topology,
+/// operating point) records every element's small-signal footprint — the
+/// frequency-independent conductance image G, the capacitance entries that
+/// enter as jωC, and the stimulus phasor — and resolves them to direct
+/// value slots of a complex CSR matrix (or a dense one below the sparse
+/// threshold, mirroring NewtonWorkspace's auto selection).  After that no
+/// element is ever consulted again: each frequency point memcpy-restores
+/// the G image, rescales the captured jωC entries in place, and refactors
+/// the complex sparse LU on the pattern analyzed ONCE for the whole sweep
+/// (the MNA pattern is frequency-independent).
+///
+/// noise_sweep() adds the classic adjoint-network method: per frequency,
+/// one transposed-system solve yields the transfer from every noise
+/// injection site to the output node simultaneously, so the cost is two
+/// triangular solves per point regardless of how many devices make noise.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "phys/linalg_complex.h"
+#include "phys/sparse.h"
+#include "phys/table.h"
+#include "spice/analyses.h"
+#include "spice/circuit.h"
+
+namespace carbon::spice {
+
+/// Complex MNA system for small-signal analyses.  Build once per circuit
+/// topology + operating point; assemble_factor() + solve per frequency.
+/// The sparse pattern and its LU symbolic analysis persist across builds
+/// for the same topology (only the captured values are refreshed), so
+/// repeated sweeps after re-biasing pay no symbolic work either.
+class AcSystem {
+ public:
+  AcSystem() = default;
+  // Slot tables index the instance's own value buffers.
+  AcSystem(const AcSystem&) = delete;
+  AcSystem& operator=(const AcSystem&) = delete;
+
+  /// (Re)capture the circuit linearized at the DC solution @p x_dc.
+  /// Backend selection mirrors NewtonWorkspace: kAuto goes sparse at
+  /// sparse_threshold unknowns.  Cheap when the topology is unchanged:
+  /// the pattern, slot tables and LU analysis are reused and only the
+  /// captured values are refreshed.
+  void build(Circuit& ckt, const std::vector<double>& x_dc,
+             LinearBackend backend, int sparse_threshold);
+
+  bool is_sparse() const { return sparse_; }
+  int size() const { return n_; }
+  /// Structural nonzeros of the complex Jacobian (n*n for dense).
+  int nnz() const;
+
+  /// Assemble the system at angular frequency @p omega (restore the G
+  /// baseline, add jωC through the recorded slots) and factor it.
+  /// Returns false on numerical singularity.
+  bool assemble_factor(double omega);
+
+  /// Solve A x = b in place.  assemble_factor() must have succeeded.
+  void solve_in_place(std::vector<phys::Complex>& bx) const;
+
+  /// Adjoint solve Aᵀ x = b in place (plain transpose): the noise
+  /// analysis' one-solve-per-frequency transfer evaluation.
+  void solve_transpose_in_place(std::vector<phys::Complex>& bx) const;
+
+  /// The captured stimulus vector (frequency-independent): solve this to
+  /// get the response to the designated AC inputs.
+  const std::vector<phys::Complex>& stimulus() const { return rhs_; }
+
+  /// Symbolic analyses performed by the complex sparse LU; stays at 1 per
+  /// topology when pattern reuse works (diagnostics, 0 for dense).
+  int analyze_count() const { return slu_.analyze_count(); }
+
+ private:
+  std::uint64_t uid_ = 0;
+  std::uint64_t revision_ = 0;
+  LinearBackend requested_ = LinearBackend::kAuto;
+  int threshold_ = 0;
+  int n_ = 0;
+  bool sparse_ = false;
+  bool built_ = false;
+
+  // Backends.
+  phys::SparseMatrixZ smat_;
+  phys::SparseLuZ slu_;
+  phys::ComplexMatrix djac_;
+  phys::ComplexLuFactorization dlu_;
+  bool dense_factored_ = false;
+
+  /// Captured G image over the full value storage (CSR values or dense
+  /// row-major), memcpy-restored at every frequency point.
+  std::vector<phys::Complex> baseline_;
+  /// Captured jωC entries: value-storage slot plus capacitance, merged per
+  /// slot.  Per point: value[slot] += j * omega * c.
+  std::vector<std::pair<int, double>> c_entries_;
+  std::vector<phys::Complex> rhs_;
+};
+
+/// Log-spaced frequency grid with @p points_per_decade, endpoints
+/// inclusive — the grid ac_sweep and noise_sweep march.
+std::vector<double> log_frequency_grid(double f_start_hz, double f_stop_hz,
+                                       int points_per_decade);
+
+/// Options of a noise sweep.
+struct NoiseOptions {
+  double f_start_hz = 1e3;
+  double f_stop_hz = 1e12;
+  int points_per_decade = 10;
+  double temperature_k = 300.0;
+  SolverOptions dc;  ///< operating-point solver options (also selects the
+                     ///< AC backend via backend/sparse_threshold)
+};
+
+/// Result of a noise sweep.
+struct NoiseResult {
+  /// Columns: freq_hz, onoise_v2_hz (output noise PSD [V^2/Hz]),
+  /// inoise_v2_hz (input-referred PSD), gain_mag (|H| input -> output).
+  phys::DataTable table;
+
+  /// Integrated output / input-referred noise [V^2] over [0, f_stop]:
+  /// trapezoid across the swept band plus a flat extension of the
+  /// f_start PSD down to DC (exact for white-dominated spectra; a 1/f
+  /// corner below f_start is deliberately not extrapolated).
+  double onoise_total_v2 = 0.0;
+  double inoise_total_v2 = 0.0;
+
+  /// Per-source integrated output-noise contributions [V^2], labelled as
+  /// the elements labelled them ("r1.thermal", "m1.flicker", ...), in
+  /// netlist order.  Sums to onoise_total_v2.
+  std::vector<std::pair<std::string, double>> contributions;
+};
+
+/// Small-signal noise analysis: collect every element's noise sources at
+/// the DC operating point, propagate each to @p output_node via one
+/// adjoint solve per frequency, and report output and input-referred
+/// spectral densities plus integrated totals.  @p input only defines the
+/// gain reference for input-referred noise (its AC magnitude is treated
+/// as 1); it contributes no noise itself.
+NoiseResult noise_sweep(Circuit& ckt, VSource& input,
+                        const std::string& output_node,
+                        const NoiseOptions& opt = {});
+
+}  // namespace carbon::spice

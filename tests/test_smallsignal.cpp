@@ -1,0 +1,353 @@
+// Small-signal subsystem: dense/sparse complex backend agreement on the
+// standard decks (RC ladder, diode ladder, FET amplifier chain), symbolic
+// analysis amortized across a sweep, adjoint-transfer consistency, and the
+// noise analysis against closed forms (4kTR divider, kT/C integrated
+// noise, diode shot noise, FET channel thermal and 1/f flicker).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "circuit/cells.h"
+#include "device/alpha_power.h"
+#include "phys/require.h"
+#include "spice/ac.h"
+#include "spice/analyses.h"
+#include "spice/smallsignal.h"
+
+namespace {
+
+namespace sp = carbon::spice;
+namespace dev = carbon::device;
+namespace ckt_lib = carbon::circuit;
+
+constexpr double kBoltzmann = 1.380649e-23;
+constexpr double kQ = 1.602176634e-19;
+
+/// Common-source amplifier chain: per stage a resistor load, a FET whose
+/// gate taps the previous drain, and a load capacitor.  The FET deck of
+/// the dense/sparse agreement tests.
+void build_fet_chain(sp::Circuit& ckt, int stages, sp::VSource** vg_out) {
+  static auto model = std::make_shared<dev::AlphaPowerModel>(
+      dev::make_fig2_saturating_params());
+  ckt.add_vsource("vdd", "vdd", "0", 1.0);
+  *vg_out = ckt.add_vsource("vg", "g0", "0", 0.45);
+  for (int s = 0; s < stages; ++s) {
+    const std::string drain = "d" + std::to_string(s);
+    const std::string gate =
+        s == 0 ? "g0" : "d" + std::to_string(s - 1);
+    ckt.add_resistor("r" + std::to_string(s), "vdd", drain, 2e3);
+    ckt.add_fet("m" + std::to_string(s), drain, gate, "0", model);
+    ckt.add_capacitor("c" + std::to_string(s), drain, "0", 10e-15);
+  }
+}
+
+/// Max |dense - sparse| over the full solution vectors across a sweep,
+/// with both backends fed the SAME operating point.
+double backend_disagreement(sp::Circuit& ckt, sp::VSource& input,
+                            const std::vector<double>& x_dc, double f_start,
+                            double f_stop) {
+  input.set_ac_magnitude(1.0);
+  sp::AcSystem dense, sparse;
+  dense.build(ckt, x_dc, sp::LinearBackend::kDense, 48);
+  sparse.build(ckt, x_dc, sp::LinearBackend::kSparse, 48);
+  EXPECT_FALSE(dense.is_sparse());
+  EXPECT_TRUE(sparse.is_sparse());
+
+  double worst = 0.0;
+  for (const double f : sp::log_frequency_grid(f_start, f_stop, 4)) {
+    const double w = 2.0 * M_PI * f;
+    EXPECT_TRUE(dense.assemble_factor(w));
+    EXPECT_TRUE(sparse.assemble_factor(w));
+    std::vector<carbon::phys::Complex> xd = dense.stimulus();
+    std::vector<carbon::phys::Complex> xs = sparse.stimulus();
+    dense.solve_in_place(xd);
+    sparse.solve_in_place(xs);
+    for (size_t i = 0; i < xd.size(); ++i) {
+      worst = std::max(worst, std::abs(xd[i] - xs[i]));
+    }
+  }
+  input.set_ac_magnitude(0.0);
+  return worst;
+}
+
+// ------------------------------------------- dense/sparse backend agreement
+
+TEST(AcBackends, RcLadderAgreesTo1em9) {
+  auto bench = ckt_lib::make_rc_ladder(40, 1e3, 1e-15, 1.0);
+  const sp::Solution sol = sp::operating_point(*bench.ckt);
+  EXPECT_LT(backend_disagreement(*bench.ckt, *bench.vin, sol.x, 1e5, 1e11),
+            1e-9);
+}
+
+TEST(AcBackends, DiodeLadderAgreesTo1em9) {
+  auto bench = ckt_lib::make_diode_ladder(20, 1e3, 1e-14, 2.0);
+  const sp::Solution sol = sp::operating_point(*bench.ckt);
+  EXPECT_LT(backend_disagreement(*bench.ckt, *bench.vin, sol.x, 1e3, 1e9),
+            1e-9);
+}
+
+TEST(AcBackends, FetChainAgreesTo1em9) {
+  sp::Circuit ckt;
+  sp::VSource* vg = nullptr;
+  build_fet_chain(ckt, 20, &vg);
+  const sp::Solution sol = sp::operating_point(ckt);
+  EXPECT_LT(backend_disagreement(ckt, *vg, sol.x, 1e5, 1e11), 1e-9);
+}
+
+TEST(AcBackends, SweepLevelAgreementOnLinearDeck) {
+  // Full ac_sweep through both backends on a linear deck (the operating
+  // point is backend-exact there): magnitudes agree to 1e-9.
+  auto run = [](sp::LinearBackend be) {
+    auto bench = ckt_lib::make_rc_ladder(30, 1e3, 1e-15, 1.0);
+    sp::AcOptions opt;
+    opt.f_start_hz = 1e5;
+    opt.f_stop_hz = 1e11;
+    opt.points_per_decade = 5;
+    opt.dc.backend = be;
+    return sp::ac_sweep(*bench.ckt, *bench.vin, {bench.out_node}, opt);
+  };
+  const auto d = run(sp::LinearBackend::kDense);
+  const auto s = run(sp::LinearBackend::kSparse);
+  ASSERT_EQ(d.num_rows(), s.num_rows());
+  for (int i = 0; i < d.num_rows(); ++i) {
+    EXPECT_NEAR(d.at(i, 1), s.at(i, 1), 1e-9) << "row " << i;
+  }
+}
+
+// ---------------------------------------------------------- symbolic reuse
+
+TEST(AcSystem, SymbolicAnalysisAmortizedAcrossSweep) {
+  auto bench = ckt_lib::make_rc_ladder(100, 1e3, 1e-15, 1.0);
+  const sp::Solution sol = sp::operating_point(*bench.ckt);
+  bench.vin->set_ac_magnitude(1.0);
+
+  sp::AcSystem sys;
+  sys.build(*bench.ckt, sol.x, sp::LinearBackend::kSparse, 48);
+  std::vector<carbon::phys::Complex> x;
+  for (const double f : sp::log_frequency_grid(1e3, 1e12, 10)) {
+    ASSERT_TRUE(sys.assemble_factor(2.0 * M_PI * f));
+    x = sys.stimulus();
+    sys.solve_in_place(x);
+  }
+  EXPECT_EQ(sys.analyze_count(), 1)
+      << "pattern is frequency-independent: one symbolic analysis per sweep";
+
+  // Rebuild for the same topology (re-biased sweep): the pattern and the
+  // LU analysis survive; only values are refreshed.
+  sys.build(*bench.ckt, sol.x, sp::LinearBackend::kSparse, 48);
+  for (const double f : sp::log_frequency_grid(1e3, 1e12, 5)) {
+    ASSERT_TRUE(sys.assemble_factor(2.0 * M_PI * f));
+  }
+  EXPECT_EQ(sys.analyze_count(), 1);
+}
+
+TEST(AcSystem, AutoSelectionMirrorsNewtonWorkspace) {
+  auto small = ckt_lib::make_rc_ladder(10, 1e3, 1e-15, 1.0);
+  const sp::Solution sol_s = sp::operating_point(*small.ckt);
+  sp::AcSystem sys_s;
+  sys_s.build(*small.ckt, sol_s.x, sp::LinearBackend::kAuto, 48);
+  EXPECT_FALSE(sys_s.is_sparse());
+
+  auto big = ckt_lib::make_rc_ladder(60, 1e3, 1e-15, 1.0);
+  const sp::Solution sol_b = sp::operating_point(*big.ckt);
+  sp::AcSystem sys_b;
+  sys_b.build(*big.ckt, sol_b.x, sp::LinearBackend::kAuto, 48);
+  EXPECT_TRUE(sys_b.is_sparse());
+}
+
+// ------------------------------------------------------------ adjoint solve
+
+TEST(AcSystem, AdjointTransferMatchesForwardSolve) {
+  auto bench = ckt_lib::make_rc_ladder(12, 1e3, 1e-13, 1.0);
+  sp::Circuit& ckt = *bench.ckt;
+  const sp::Solution sol = sp::operating_point(ckt);
+  const int out = ckt.find_node(bench.out_node);
+
+  sp::AcSystem sys;
+  sys.build(ckt, sol.x, sp::LinearBackend::kSparse, 1);
+  ASSERT_TRUE(sys.assemble_factor(2.0 * M_PI * 1e6));
+  const int n = sys.size();
+
+  // Adjoint: y[j] = transfer from unit current at row j to V(out).
+  std::vector<carbon::phys::Complex> y(n);
+  y[out - 1] = {1.0, 0.0};
+  sys.solve_transpose_in_place(y);
+
+  // Forward check at a handful of injection rows.
+  for (const int row : {1, 4, 7, n - 1}) {
+    std::vector<carbon::phys::Complex> b(n);
+    b[row] = {1.0, 0.0};
+    sys.solve_in_place(b);
+    EXPECT_LT(std::abs(b[out - 1] - y[row]), 1e-12) << "row " << row;
+  }
+}
+
+// ------------------------------------------------------------------- noise
+
+TEST(Noise, ResistorDividerMatches4kTParallelR) {
+  sp::Circuit ckt;
+  auto* vin = ckt.add_vsource("vin", "in", "0", 0.0);
+  ckt.add_resistor("r1", "in", "out", 1e3);
+  ckt.add_resistor("r2", "out", "0", 3e3);
+
+  sp::NoiseOptions opt;
+  opt.f_start_hz = 1e3;
+  opt.f_stop_hz = 1e6;
+  opt.points_per_decade = 3;
+  const sp::NoiseResult res = sp::noise_sweep(ckt, *vin, "out", opt);
+
+  const double r_par = 1e3 * 3e3 / (1e3 + 3e3);  // 750 ohm
+  const double s_expected = 4.0 * kBoltzmann * 300.0 * r_par;
+  const int oc = res.table.column_index("onoise_v2_hz");
+  const int ic = res.table.column_index("inoise_v2_hz");
+  const int gc = res.table.column_index("gain_mag");
+  for (int i = 0; i < res.table.num_rows(); ++i) {
+    EXPECT_NEAR(res.table.at(i, oc), s_expected, 1e-3 * s_expected);
+    EXPECT_NEAR(res.table.at(i, gc), 0.75, 1e-9);
+    EXPECT_NEAR(res.table.at(i, ic), s_expected / (0.75 * 0.75),
+                1e-3 * s_expected);
+  }
+
+  // Per-source contributions are labelled and sum to the total.
+  ASSERT_EQ(res.contributions.size(), 2u);
+  EXPECT_EQ(res.contributions[0].first, "r1.thermal");
+  EXPECT_EQ(res.contributions[1].first, "r2.thermal");
+  const double sum =
+      res.contributions[0].second + res.contributions[1].second;
+  EXPECT_NEAR(sum, res.onoise_total_v2, 1e-9 * res.onoise_total_v2);
+}
+
+TEST(Noise, RcIntegratedOutputNoiseIsKtOverC) {
+  // The textbook result: integrating 4kTR / (1 + (2 pi f R C)^2) over all
+  // frequency gives kT/C, independent of R.
+  sp::Circuit ckt;
+  auto* vin = ckt.add_vsource("vin", "in", "0", 0.0);
+  ckt.add_resistor("r1", "in", "out", 1e3);
+  ckt.add_capacitor("c1", "out", "0", 1e-9);
+
+  const double fc = 1.0 / (2.0 * M_PI * 1e3 * 1e-9);  // 159.2 kHz
+  sp::NoiseOptions opt;
+  opt.f_start_hz = fc / 100.0;
+  opt.f_stop_hz = 1000.0 * fc;
+  opt.points_per_decade = 20;
+  const sp::NoiseResult res = sp::noise_sweep(ckt, *vin, "out", opt);
+
+  const double kt_over_c = kBoltzmann * 300.0 / 1e-9;
+  EXPECT_NEAR(res.onoise_total_v2, kt_over_c, 0.01 * kt_over_c);
+}
+
+TEST(Noise, DiodeShotNoiseMatchesAnalytic) {
+  sp::Circuit ckt;
+  auto* vin = ckt.add_vsource("vin", "in", "0", 1.0);
+  ckt.add_resistor("r1", "in", "d", 1e4);
+  ckt.add_diode("d1", "d", "0", 1e-14);
+
+  const sp::Solution sol = sp::operating_point(ckt);
+  const double vd = sp::node_voltage(ckt, sol, "d");
+  const double i_d = (1.0 - vd) / 1e4;
+  ASSERT_GT(i_d, 1e-6);  // forward biased
+
+  sp::NoiseOptions opt;
+  opt.f_start_hz = 1e3;
+  opt.f_stop_hz = 1e4;
+  opt.points_per_decade = 2;
+  const sp::NoiseResult res = sp::noise_sweep(ckt, *vin, "d", opt);
+
+  // Small-signal: diode conductance gd ~ I/Vt; output resistance R||rd.
+  const double vt = 8.617333e-5 * 300.0;
+  const double gd = (i_d + 1e-14) / vt;
+  const double r_out = 1.0 / (1.0 / 1e4 + gd);
+  const double s_expected =
+      (2.0 * kQ * i_d + 4.0 * kBoltzmann * 300.0 / 1e4) * r_out * r_out;
+  const int oc = res.table.column_index("onoise_v2_hz");
+  EXPECT_NEAR(res.table.at(0, oc), s_expected, 0.02 * s_expected);
+
+  ASSERT_EQ(res.contributions.size(), 2u);
+  EXPECT_EQ(res.contributions[1].first, "d1.shot");
+  EXPECT_GT(res.contributions[1].second, 0.0);
+}
+
+TEST(Noise, CommonSourceChannelThermalMatchesSmallSignal) {
+  auto base = std::make_shared<dev::AlphaPowerModel>(
+      dev::make_fig2_saturating_params());
+  dev::NoiseParams np;
+  np.gamma = 1.0;
+  const auto m = dev::with_noise(base, np);
+
+  sp::Circuit ckt;
+  ckt.add_vsource("vdd", "vdd", "0", 1.0);
+  auto* vg = ckt.add_vsource("vg", "g", "0", 0.45);
+  ckt.add_resistor("rl", "vdd", "d", 2e3);
+  ckt.add_fet("m1", "d", "g", "0", m);
+
+  const sp::Solution sol = sp::operating_point(ckt);
+  const double vd = sp::node_voltage(ckt, sol, "d");
+  const dev::DeviceEval e = m->eval(0.45, vd);
+
+  sp::NoiseOptions opt;
+  opt.f_start_hz = 1e3;
+  opt.f_stop_hz = 1e4;
+  opt.points_per_decade = 2;
+  const sp::NoiseResult res = sp::noise_sweep(ckt, *vg, "d", opt);
+
+  const double r_out = 1.0 / (1.0 / 2e3 + e.gds);
+  const double s_thermal = 1.0 * 4.0 * kBoltzmann * 300.0 * e.gm;
+  const double s_rl = 4.0 * kBoltzmann * 300.0 / 2e3;
+  const double s_expected = (s_thermal + s_rl) * r_out * r_out;
+  const int oc = res.table.column_index("onoise_v2_hz");
+  EXPECT_NEAR(res.table.at(0, oc), s_expected, 0.03 * s_expected);
+
+  // Input-referred: S_out / (gm r_out)^2.
+  const int ic = res.table.column_index("inoise_v2_hz");
+  const double gain = e.gm * r_out;
+  EXPECT_NEAR(res.table.at(0, ic), s_expected / (gain * gain),
+              0.05 * s_expected / (gain * gain));
+}
+
+TEST(Noise, FetFlickerHasOneOverFSlope) {
+  auto base = std::make_shared<dev::AlphaPowerModel>(
+      dev::make_fig2_saturating_params());
+  dev::NoiseParams np;
+  np.gamma = 1.0;
+  np.kf = 1e-10;  // flicker floods thermal noise below ~MHz
+  np.af = 1.0;
+  const auto m = dev::with_noise(base, np);
+
+  sp::Circuit ckt;
+  ckt.add_vsource("vdd", "vdd", "0", 1.0);
+  auto* vg = ckt.add_vsource("vg", "g", "0", 0.45);
+  ckt.add_resistor("rl", "vdd", "d", 2e3);
+  ckt.add_fet("m1", "d", "g", "0", m);
+
+  sp::NoiseOptions opt;
+  opt.f_start_hz = 1.0;
+  opt.f_stop_hz = 100.0;
+  opt.points_per_decade = 1;
+  const sp::NoiseResult res = sp::noise_sweep(ckt, *vg, "d", opt);
+  const int oc = res.table.column_index("onoise_v2_hz");
+  ASSERT_GE(res.table.num_rows(), 3);
+  // S(1 Hz) / S(100 Hz) ~ 100 in the flicker-dominated band.
+  const double ratio = res.table.at(0, oc) / res.table.at(2, oc);
+  EXPECT_NEAR(ratio, 100.0, 5.0);
+
+  bool has_flicker = false;
+  for (const auto& [label, v] : res.contributions) {
+    if (label == "m1.flicker") {
+      has_flicker = true;
+      EXPECT_GT(v, 0.0);
+    }
+  }
+  EXPECT_TRUE(has_flicker);
+}
+
+TEST(Noise, OutputNodeMustNotBeGround) {
+  sp::Circuit ckt;
+  auto* vin = ckt.add_vsource("vin", "in", "0", 0.0);
+  ckt.add_resistor("r1", "in", "0", 1e3);
+  EXPECT_THROW(sp::noise_sweep(ckt, *vin, "0"),
+               carbon::phys::PreconditionError);
+}
+
+}  // namespace

@@ -413,6 +413,205 @@ TEST(Bypass, CountersTrackEvalsAndBypasses) {
             2 * stats.newton_iterations);
 }
 
+TEST(Bypass, DiodeOnOffWaveformsAgreeWithinTolerance) {
+  // Mirrors the FET on/off bound: the diode bypass serves a cached
+  // first-order expansion valid within bypass_vtol, so the waveform error
+  // stays a small multiple of the tolerance.
+  auto run = [&](double bypass) {
+    auto bench = ckt::make_diode_ladder(10, 1e3, 1e-14, 0.0);
+    bench.vin->set_wave(
+        sp::pulse(0.0, 3.0, 1e-9, 0.5e-9, 0.5e-9, 8e-9, 100e-9));
+    sp::TransientOptions opt;
+    opt.t_stop = 15e-9;
+    opt.dt = 0.01e-9;
+    opt.bypass_vtol = bypass;
+    return sp::transient(*bench.ckt, opt, {bench.out_node});
+  };
+  const auto off = run(0.0);
+  const auto on = run(1e-4);
+  ASSERT_EQ(off.num_rows(), on.num_rows());
+  double worst = 0.0;
+  for (int i = 0; i < off.num_rows(); ++i) {
+    worst = std::max(worst, std::abs(off.at(i, 1) - on.at(i, 1)));
+  }
+  EXPECT_LT(worst, 1e-3);
+  EXPECT_GT(worst, 0.0) << "diode bypass had no effect at all (suspicious)";
+}
+
+TEST(Bypass, DiodeCountersTrackEvalsAndBypasses) {
+  auto bench = ckt::make_diode_ladder(10, 1e3, 1e-14, 0.0);
+  bench.vin->set_wave(
+      sp::pulse(0.0, 3.0, 1e-9, 0.5e-9, 0.5e-9, 8e-9, 100e-9));
+  sp::TransientOptions opt;
+  opt.t_stop = 15e-9;
+  opt.dt = 0.01e-9;
+  opt.bypass_vtol = 1e-4;
+  sp::TransientStats stats;
+  opt.stats = &stats;
+  sp::transient(*bench.ckt, opt, {bench.out_node});
+  EXPECT_GT(stats.evals.device_evals, 0);
+  EXPECT_GT(stats.evals.device_bypasses, 0);
+  // Ten diodes stamped once per Newton iteration: every stamp either
+  // evaluates the exponential or serves the cache.
+  EXPECT_EQ(stats.evals.device_evals + stats.evals.device_bypasses,
+            10 * stats.newton_iterations);
+}
+
+// ------------------------------------------------------------ PI controller
+
+TEST(PiController, DampsGrowthWhileErrorRises) {
+  sp::LteControlConfig cfg = test_config();
+  cfg.pi = true;
+  sp::LteController ctl(cfg);
+  // First decision (no history) matches the deadbeat rule.
+  const auto first = ctl.step(1e-12, 0.2, 3);
+  const auto deadbeat = sp::LteController(test_config()).decide(1e-12, 0.2, 3);
+  EXPECT_TRUE(first.accept);
+  EXPECT_DOUBLE_EQ(first.dt_next, deadbeat.dt_next);
+  // Error rising 0.2 -> 0.8: the PI term must grow the step less than the
+  // deadbeat rule would.
+  const auto pi = ctl.step(first.dt_next, 0.8, 3);
+  const auto db =
+      sp::LteController(test_config()).decide(first.dt_next, 0.8, 3);
+  EXPECT_TRUE(pi.accept);
+  EXPECT_LT(pi.dt_next, db.dt_next);
+}
+
+TEST(PiController, CapsRegrowthAfterRejection) {
+  sp::LteControlConfig cfg = test_config();
+  cfg.pi = true;
+  sp::LteController ctl(cfg);
+  ctl.step(1e-12, 0.5, 3);              // seed history
+  const auto rej = ctl.step(2e-12, 4.0, 3);
+  EXPECT_FALSE(rej.accept);
+  EXPECT_LT(rej.dt_next, 2e-12);
+  // The accept right after a rejection must not grow the step again.
+  const auto acc = ctl.step(rej.dt_next, 0.3, 3);
+  EXPECT_TRUE(acc.accept);
+  EXPECT_LE(acc.dt_next, rej.dt_next * (1.0 + 1e-12));
+  // reset_history() returns to deadbeat behaviour.
+  ctl.reset_history();
+  const auto fresh = ctl.step(1e-12, 0.2, 3);
+  EXPECT_DOUBLE_EQ(
+      fresh.dt_next,
+      sp::LteController(test_config()).decide(1e-12, 0.2, 3).dt_next);
+}
+
+TEST(PiController, CutsRingRejectionRateAtMatchedAccuracy) {
+  auto m = std::make_shared<dev::AlphaPowerModel>(
+      dev::make_fig2_saturating_params());
+  ckt::CellOptions copt;
+  copt.c_load = 5e-15;
+  auto run = [&](bool pi, sp::TransientStats* st) {
+    auto bench = ckt::make_ring_oscillator(m, 5, copt);
+    sp::TransientOptions opt;
+    opt.t_stop = 2e-9;
+    opt.dt = 1e-12;
+    opt.adaptive = true;
+    opt.dt_print = 2e-12;
+    opt.lte_reltol = 1e-4;
+    opt.lte_pi = pi;
+    opt.stats = st;
+    return sp::transient(*bench.ckt, opt, {"n0"});
+  };
+  sp::TransientStats classic, pi;
+  const auto tr_classic = run(false, &classic);
+  const auto tr_pi = run(true, &pi);
+
+  ASSERT_GT(classic.steps_rejected_lte, 0)
+      << "deadbeat controller rejected nothing; deck no longer stresses it";
+  const double rate_classic =
+      static_cast<double>(classic.steps_rejected_lte) /
+      (classic.steps_accepted + classic.steps_rejected_lte);
+  const double rate_pi =
+      static_cast<double>(pi.steps_rejected_lte) /
+      (pi.steps_accepted + pi.steps_rejected_lte);
+  EXPECT_LT(rate_pi, 0.75 * rate_classic)
+      << "PI control must cut the LTE rejection rate";
+
+  // Matched accuracy: the oscillation period agrees with the classic run.
+  const double p_classic = sp::oscillation_period(tr_classic, "v(n0)", 0.5, 1);
+  const double p_pi = sp::oscillation_period(tr_pi, "v(n0)", 0.5, 1);
+  EXPECT_NEAR(p_pi, p_classic, 0.01 * p_classic);
+  // And the total work must not regress.
+  EXPECT_LT(pi.newton_iterations, classic.newton_iterations * 1.1);
+}
+
+// ------------------------------------------------- identical-Jacobian reuse
+
+TEST(JacobianReuse, LinearRcSkipsRefactors) {
+  // A linear deck at fixed dt reassembles the exact same Jacobian every
+  // iteration of every step: after the first factorization, the
+  // Shamanskii fast path must serve essentially all factor() calls.
+  auto bench = ckt::make_rc_ladder(20, 1e3, 1e-13, 1.0);
+  sp::TransientOptions opt;
+  opt.t_stop = 10e-9;
+  opt.dt = 0.1e-9;
+  sp::TransientStats stats;
+  opt.stats = &stats;
+  sp::transient(*bench.ckt, opt, {bench.out_node});
+  EXPECT_GE(stats.jacobian_reuses, stats.steps_accepted)
+      << "linear circuit at fixed dt must reuse the factorization";
+}
+
+TEST(JacobianReuse, BypassedQuiescentStepsSkipRefactors) {
+  // SRAM write: long quiescent hold phases around the wordline pulse.
+  // With the device bypass on, whole Newton iterations assemble
+  // bit-identical Jacobians and must skip the numeric refactor.
+  dev::CntfetParams p = dev::make_franklin_cntfet_params(20e-9);
+  p.ef_source_ev = -0.18;
+  const auto tab =
+      dev::make_tabulated(std::make_shared<dev::CntfetModel>(p), 0.6);
+  ckt::CellOptions copt;
+  copt.v_dd = 0.6;
+  auto bench = ckt::make_sram_write_bench(tab, copt);
+  sp::TransientOptions opt;
+  opt.t_stop = 4e-9;
+  opt.dt = 1e-12;
+  opt.adaptive = true;
+  opt.dt_print = 4e-12;
+  opt.lte_reltol = 1e-4;
+  opt.bypass_vtol = 1e-4;
+  opt.ic = sp::TransientIc::kFromOperatingPoint;
+  sp::TransientStats stats;
+  opt.stats = &stats;
+  const auto tr = sp::transient(*bench.ckt, opt, {"q", "qb"});
+  EXPECT_GT(stats.jacobian_reuses, 0);
+  // The write still flips the cell (the reuse is exact, not approximate).
+  EXPECT_GT(tr.at(0, 1), 0.5);
+  EXPECT_LT(tr.at(tr.num_rows() - 1, 1), 0.1);
+}
+
+// ------------------------------------------------------- SRAM column array
+
+TEST(SramColumn, WriteFlipsRow0AndHoldsTheRest) {
+  dev::CntfetParams p = dev::make_franklin_cntfet_params(20e-9);
+  p.ef_source_ev = -0.18;
+  const auto tab =
+      dev::make_tabulated(std::make_shared<dev::CntfetModel>(p), 0.6);
+  ckt::CellOptions copt;
+  copt.v_dd = 0.6;
+  auto bench = ckt::make_sram_column_bench(tab, 4, copt);
+  sp::TransientOptions opt;
+  opt.t_stop = 4e-9;
+  opt.dt = 1e-12;
+  opt.adaptive = true;
+  opt.dt_print = 8e-12;
+  opt.lte_reltol = 1e-4;
+  opt.bypass_vtol = 1e-4;
+  opt.lte_pi = true;
+  opt.ic = sp::TransientIc::kFromOperatingPoint;
+  const auto tr =
+      sp::transient(*bench.ckt, opt, {"q0", "q1", "q2", "q3"});
+  const int last = tr.num_rows() - 1;
+  // Row 0 written low; held rows keep their 1.
+  EXPECT_GT(tr.at(0, 1), 0.5);
+  EXPECT_LT(tr.at(last, 1), 0.1);
+  for (int cell = 1; cell < 4; ++cell) {
+    EXPECT_GT(tr.at(last, 1 + cell), 0.5) << "cell " << cell << " disturbed";
+  }
+}
+
 // ----------------------------------------------------------------- thinning
 
 TEST(Thinning, UniformGridAndInterpolationAccuracy) {

@@ -423,11 +423,10 @@ void BM_TransientRingScaleAdaptive(benchmark::State& state) {
   copt.v_dd = 0.6;
   copt.c_load = 5e-15;
   auto bench = circuit::make_ring_oscillator(tab, stages, copt);
-  // Power-up start: ramping VDD makes the t = 0 operating point the
-  // trivial all-zero solution for ANY stage count (a kilostage ring's
-  // powered-up metastable OP is a Newton stress case of its own).
-  bench.vdd->set_wave(
-      spice::pwl({{0.0, 0.0}, {50e-12, 0.6}, {1.0, 0.6}}));
+  // Cold start: the t = 0 operating point is the powered-up metastable
+  // ring OP, solved by the convergence ladder directly (historically this
+  // needed a VDD power-up ramp; the op_stage counter below records which
+  // ladder stage cracked it — 0 = plain Newton).
 
   spice::TransientOptions opts;
   opts.t_stop = 1e-9;  // fixed simulated time: cost should scale ~O(N)
@@ -446,6 +445,15 @@ void BM_TransientRingScaleAdaptive(benchmark::State& state) {
       static_cast<double>(stats.newton_iterations);
   state.counters["jacobian_reuses"] =
       static_cast<double>(stats.jacobian_reuses);
+  // Cold-OP accounting: which ladder stage solved the t = 0 ring OP and
+  // whether any fallback fired.  A nonzero op_fallbacks on this deck is a
+  // convergence regression (tests/test_convergence.cpp gates the same
+  // property; the counter makes it visible in bench trends too).
+  state.counters["op_stage"] = static_cast<double>(stats.op.stage);
+  state.counters["op_fallbacks"] =
+      static_cast<double>((stats.op.used_gmin_stepping ? 1 : 0) +
+                          (stats.op.used_source_stepping ? 1 : 0) +
+                          (stats.op.used_pseudo_transient ? 1 : 0));
   state.SetComplexityN(stages);
 }
 BENCHMARK(BM_TransientRingScaleAdaptive)

@@ -5,6 +5,7 @@
 /// library implements, plus numeric characterization helpers (sweeps,
 /// threshold, subthreshold slope, small-signal parameters).
 
+#include <cmath>
 #include <memory>
 #include <string>
 
@@ -24,6 +25,13 @@ struct DeviceEval {
   double id = 0.0;   ///< drain current [A]
   double gm = 0.0;   ///< transconductance dId/dVgs [S]
   double gds = 0.0;  ///< output conductance dId/dVds [S]
+
+  /// True when every component is finite.  The stamp layer rejects a
+  /// non-finite evaluation by element name instead of letting a NaN/Inf
+  /// poison the Jacobian silently.
+  bool is_finite() const {
+    return std::isfinite(id) && std::isfinite(gm) && std::isfinite(gds);
+  }
 };
 
 /// Small-signal noise parameters of a transistor model, SPICE-style.  The

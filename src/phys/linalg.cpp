@@ -50,8 +50,19 @@ void LuFactorization::factor_stored() {
       const double v = std::abs(lu_(i, k));
       if (v > best) { best = v; piv = i; }
     }
+    // NaN compares false against every threshold, so a non-finite pivot
+    // candidate must be rejected explicitly or it silently propagates
+    // through the elimination into the solution vector.
+    if (!std::isfinite(best)) {
+      throw SingularMatrixError(
+          SingularMatrixError::Kind::kNonFinite, perm_[piv], k,
+          "LU: non-finite value in pivot column " + std::to_string(k));
+    }
     if (best <= amax * 1e-14) {
-      throw ConvergenceError("LU: matrix is numerically singular");
+      throw SingularMatrixError(
+          SingularMatrixError::Kind::kSingular, perm_[piv], k,
+          "LU: matrix is numerically singular at column " +
+              std::to_string(k));
     }
     if (piv != k) {
       for (int j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));

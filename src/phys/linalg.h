@@ -39,7 +39,10 @@ class Matrix {
 };
 
 /// LU factorization with partial pivoting of a square matrix.
-/// Throws ConvergenceError on (numerical) singularity.
+/// Throws SingularMatrixError (a ConvergenceError carrying the failing
+/// row/column) on numerical singularity or when a non-finite value reaches
+/// the pivot search — NaNs are rejected at the factorization boundary, never
+/// propagated into a solution vector.
 ///
 /// Besides the one-shot constructor the class doubles as a reusable
 /// workspace: a default-constructed instance can be refactored repeatedly
@@ -55,7 +58,8 @@ class LuFactorization {
   explicit LuFactorization(Matrix a);
 
   /// (Re)factor @p a, reusing the existing storage when the size matches.
-  /// Throws ConvergenceError on singularity (factored() stays false).
+  /// Throws SingularMatrixError on singularity or a non-finite pivot
+  /// column (factored() stays false).
   void factor(const Matrix& a);
 
   /// True when a valid factorization is held.

@@ -39,8 +39,18 @@ void ComplexLuFactorization::factor(const ComplexMatrix& a) {
       const double v = std::abs(lu_(i, k));
       if (v > best) { best = v; piv = i; }
     }
+    // NaN compares false against every threshold — reject non-finite pivot
+    // candidates explicitly instead of letting them survive the search.
+    if (!std::isfinite(best)) {
+      throw SingularMatrixError(
+          SingularMatrixError::Kind::kNonFinite, perm_[piv], k,
+          "complex LU: non-finite value in pivot column " + std::to_string(k));
+    }
     if (best <= amax * 1e-14) {
-      throw ConvergenceError("complex LU: matrix is numerically singular");
+      throw SingularMatrixError(
+          SingularMatrixError::Kind::kSingular, perm_[piv], k,
+          "complex LU: matrix is numerically singular at column " +
+              std::to_string(k));
     }
     if (piv != k) {
       for (int j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));

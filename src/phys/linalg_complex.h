@@ -45,7 +45,8 @@ class ComplexLuFactorization {
   ComplexLuFactorization() = default;
 
   /// (Re)factor @p a, reusing existing storage when the size matches.
-  /// Throws ConvergenceError on numerical singularity.
+  /// Throws SingularMatrixError (with the failing row/column) on numerical
+  /// singularity or a non-finite pivot column.
   void factor(const ComplexMatrix& a);
   bool factored() const { return factored_; }
 

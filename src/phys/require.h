@@ -22,6 +22,32 @@ class ConvergenceError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown by the LU factorizations (dense, complex, sparse) when a pivot
+/// collapses numerically or a non-finite value reaches the elimination.
+/// Carries the failing matrix position so the solver layers can name the
+/// culprit row/node instead of propagating NaNs or a bare failure.
+class SingularMatrixError : public ConvergenceError {
+ public:
+  enum class Kind {
+    kSingular,   ///< pivot magnitude below the singularity floor
+    kNonFinite,  ///< NaN/Inf entered the elimination
+  };
+
+  SingularMatrixError(Kind kind, int row, int col, const std::string& what)
+      : ConvergenceError(what), kind_(kind), row_(row), col_(col) {}
+
+  Kind kind() const { return kind_; }
+  /// 0-based row of the collapsed pivot (-1 when not attributable).
+  int row() const { return row_; }
+  /// 0-based column of the collapsed pivot (-1 when not attributable).
+  int col() const { return col_; }
+
+ private:
+  Kind kind_;
+  int row_;
+  int col_;
+};
+
 namespace detail {
 [[noreturn]] inline void throw_precondition(const char* expr, const char* file,
                                             int line, const std::string& msg) {

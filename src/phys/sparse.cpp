@@ -159,6 +159,9 @@ void SparseLuT<T>::analyze_factor(const SparseMatrixT<T>& a) {
   CARBON_REQUIRE(n > 0, "SparseLu: empty matrix");
   analyzed_ = false;
   factored_ = false;
+  failure_row_ = -1;
+  failure_col_ = -1;
+  failure_nonfinite_ = false;
   ++analyze_count_;
   n_ = n;
   pattern_nnz_ = a.nnz();
@@ -256,19 +259,37 @@ void SparseLuT<T>::analyze_factor(const SparseMatrixT<T>& a) {
     eptr_[i + 1] = static_cast<int>(ek_.size());
 
     // --- pivot: largest candidate, preferring the (permuted) diagonal.
+    // A NaN candidate must be flagged explicitly: NaN > amax_c compares
+    // false, so it would otherwise be skipped and survive in U.
     double amax_c = 0.0;
     int jmax = -1;
+    int jbad = -1;
     for (int j : cand) {
       const double v = std::abs(x[j]);
+      if (!std::isfinite(v)) jbad = j;
       if (v > amax_c) {
         amax_c = v;
         jmax = j;
       }
     }
-    if (jmax < 0 || amax_c <= floor_abs || !std::isfinite(amax_c)) {
+    if (jbad >= 0 || jmax < 0 || amax_c <= floor_abs) {
       // Leave no stale state behind for a later refactor().
       for (int j : cand) x[j] = T{};
-      throw ConvergenceError("sparse LU: matrix is numerically singular");
+      failure_nonfinite_ = jbad >= 0;
+      failure_row_ = p_[i];
+      // Zero row (jmax < 0): no candidate stands out, attribute the
+      // would-be diagonal — for MNA systems that is the offending node.
+      const int jcol = jbad >= 0 ? jbad : (jmax >= 0 ? jmax : i);
+      failure_col_ = p_[jcol];
+      throw SingularMatrixError(
+          failure_nonfinite_ ? SingularMatrixError::Kind::kNonFinite
+                             : SingularMatrixError::Kind::kSingular,
+          failure_row_, failure_col_,
+          failure_nonfinite_
+              ? "sparse LU: non-finite value in pivot row " +
+                    std::to_string(failure_row_)
+              : "sparse LU: matrix is numerically singular at row " +
+                    std::to_string(failure_row_));
     }
     int jp = jmax;
     if (vstamp[i] == i && cpiv[i] < 0 &&
@@ -302,6 +323,9 @@ template <typename T>
 bool SparseLuT<T>::refactor(const SparseMatrixT<T>& a) {
   require_pattern_match(a);
   factored_ = false;
+  failure_row_ = -1;
+  failure_col_ = -1;
+  failure_nonfinite_ = false;
 
   const double amax = a.max_abs();
   const double floor_abs =
@@ -330,13 +354,27 @@ bool SparseLuT<T>::refactor(const SparseMatrixT<T>& a) {
       // Pivot collapse: scrub the scatter and report the stale ordering.
       x[i] = T{};
       for (int s = uptr_[i]; s < uptr_[i + 1]; ++s) x[ucol_[s]] = T{};
+      failure_nonfinite_ = !std::isfinite(piv_abs);
+      failure_row_ = p_[i];
+      failure_col_ = solcol_[i];
       return false;
     }
     udiag_[i] = piv;
     x[i] = T{};
+    double rowmax = piv_abs;
     for (int s = uptr_[i]; s < uptr_[i + 1]; ++s) {
       uval_[s] = x[ucol_[s]];
       x[ucol_[s]] = T{};
+      rowmax = std::max(rowmax, std::abs(uval_[s]));
+    }
+    if (piv_abs < opt_.refactor_tol * rowmax) {
+      // The recorded order has gone numerically stale: this pivot was the
+      // row's (threshold-)largest entry when it was picked, but the values
+      // have drifted until it no longer dominates.  Reject so factor()
+      // re-picks pivots for the current values.
+      failure_row_ = p_[i];
+      failure_col_ = solcol_[i];
+      return false;
     }
   }
   factored_ = true;

@@ -112,6 +112,16 @@ struct SparseLuOptions {
   /// A pivot with |pivot| <= singular_tol * max|A| is treated as singular
   /// (analyze_factor throws; refactor returns false).
   double singular_tol = 1e-14;
+  /// Numerical-quality guard of the recorded pivot order: refactor()
+  /// returns false (-> factor() re-analyzes with fresh pivots) when a
+  /// pivot no longer dominates its eliminated row, |pivot| <
+  /// refactor_tol * max|row|.  analyze_factor() guarantees |pivot| >=
+  /// pivot_tol * max|row| at selection time, so this only trips after the
+  /// values have drifted ~pivot_tol/refactor_tol away from the analyzed
+  /// matrix — without it a stale order silently produces factorizations
+  /// with unbounded element growth (solves that look fine but carry O(1)
+  /// relative error, stalling Newton just above its tolerance).
+  double refactor_tol = 1e-5;
 };
 
 /// Sparse LU with symbolic-pattern reuse; see the file comment for the
@@ -126,18 +136,22 @@ class SparseLuT {
 
   /// Full analysis + factorization of @p a.  Records ordering, pivot
   /// sequence and fill pattern for later refactor() calls.  Throws
-  /// ConvergenceError when the matrix is numerically singular.
+  /// SingularMatrixError (carrying the original-space row/col of the
+  /// collapsed pivot) when the matrix is numerically singular or a
+  /// non-finite value reaches the pivot search.
   void analyze_factor(const SparseMatrixT<T>& a);
 
   /// Numeric-only refactorization of a matrix with the SAME pattern as the
   /// one analyzed.  Returns false (factorization invalidated) when a pivot
   /// collapses; the pattern analysis stays valid numbers-wise but the pivot
-  /// sequence should be re-picked via analyze_factor().
+  /// sequence should be re-picked via analyze_factor().  On failure the
+  /// failing position is available via failure_row()/failure_col()/
+  /// failure_nonfinite().
   bool refactor(const SparseMatrixT<T>& a);
 
   /// Convenience: analyze on first use, refactor afterwards, transparently
   /// re-analyzing once when the recorded pivot sequence goes stale.  Throws
-  /// ConvergenceError when the matrix is truly singular.
+  /// SingularMatrixError when the matrix is truly singular.
   void factor(const SparseMatrixT<T>& a);
 
   bool analyzed() const { return analyzed_; }
@@ -163,6 +177,15 @@ class SparseLuT {
   /// drive this to 1 per topology).
   int analyze_count() const { return analyze_count_; }
 
+  /// Original-space row of the most recent pivot collapse (-1 when the last
+  /// factorization succeeded or no attribution is possible).  Valid after a
+  /// refactor() that returned false or an analyze_factor() that threw.
+  int failure_row() const { return failure_row_; }
+  /// Original-space column of the most recent pivot collapse (-1 unknown).
+  int failure_col() const { return failure_col_; }
+  /// True when the last failure was a NaN/Inf rather than a small pivot.
+  bool failure_nonfinite() const { return failure_nonfinite_; }
+
  private:
   void require_pattern_match(const SparseMatrixT<T>& a) const;
 
@@ -172,6 +195,9 @@ class SparseLuT {
   int n_ = 0;
   int pattern_nnz_ = 0;
   int analyze_count_ = 0;
+  int failure_row_ = -1;
+  int failure_col_ = -1;
+  bool failure_nonfinite_ = false;
 
   // Recorded analysis (all column indices in final pivot space).
   std::vector<int> p_;       ///< permuted row i reads A row p_[i]

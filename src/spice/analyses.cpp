@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "phys/linalg.h"
 #include "phys/require.h"
@@ -14,17 +15,93 @@ void NewtonWorkspace::prepare(Circuit& ckt, const SolverOptions& opts) {
   x_new.resize(mna.size());
 }
 
+const char* solve_stage_name(SolveStage stage) {
+  switch (stage) {
+    case SolveStage::kNewton: return "newton";
+    case SolveStage::kGminStepping: return "gmin-stepping";
+    case SolveStage::kSourceStepping: return "source-stepping";
+    case SolveStage::kPseudoTransient: return "pseudo-transient";
+  }
+  return "unknown";
+}
+
+namespace {
+
+const char* cause_name(SolveFailure::Cause cause) {
+  switch (cause) {
+    case SolveFailure::Cause::kMaxIterations:
+      return "Newton ran out of iterations";
+    case SolveFailure::Cause::kSingular:
+      return "Jacobian is numerically singular";
+    case SolveFailure::Cause::kNonFinite:
+      return "non-finite value (NaN/Inf) in the system";
+    case SolveFailure::Cause::kStalled:
+      return "continuation stalled";
+  }
+  return "unknown";
+}
+
+/// Human name of MNA unknown @p row: a node voltage for the first
+/// num_nodes rows, a source branch current after.
+std::string row_name(const Circuit& ckt, int row) {
+  if (row < 0) return {};
+  if (row < ckt.num_nodes()) {
+    return "node '" + ckt.node_name(row + 1) + "'";
+  }
+  return "branch current #" + std::to_string(row - ckt.num_nodes());
+}
+
+}  // namespace
+
+std::string SolveFailure::to_string() const {
+  std::ostringstream os;
+  os << "operating point failed at stage '" << solve_stage_name(stage)
+     << "': " << cause_name(cause);
+  if (!culprit.empty()) os << "; culprit: " << culprit;
+  if (!worst_nodes.empty()) {
+    os << "; worst nodes:";
+    for (const auto& w : worst_nodes) {
+      os << " " << w.node << " (" << w.ratio << "x tol)";
+    }
+  }
+  if (!oscillating_nodes.empty()) {
+    os << "; oscillating:";
+    for (const auto& n : oscillating_nodes) os << " " << n;
+  }
+  return os.str();
+}
+
+SolveFailureError::SolveFailureError(SolveFailure failure)
+    : phys::ConvergenceError(failure.to_string()),
+      failure_(std::move(failure)) {}
+
 /// One full Newton–Raphson solve at fixed gmin / source scale, on a
-/// caller-provided workspace.  The loop body is allocation-free: every
-/// element stamps through its pre-resolved slot table, the LU refactors on
-/// the recorded pattern (sparse) or into its existing storage (dense), and
-/// the solve happens in the x_new buffer.
+/// caller-provided workspace.  The loop body is allocation-free when diag
+/// is null: every element stamps through its pre-resolved slot table, the
+/// LU refactors on the recorded pattern (sparse) or into its existing
+/// storage (dense), and the solve happens in the x_new buffer.  With diag,
+/// one extra O(n) pass per iteration tracks update ratios and per-node
+/// sign flips for the failure report.
 bool newton_solve(Circuit& ckt, std::vector<double>& x,
                   const SolverOptions& opts, double gmin, double source_scale,
                   const StampContext& proto, NewtonWorkspace& ws,
-                  int* iterations) {
+                  int* iterations, NewtonDiag* diag, double ptc_geq,
+                  const std::vector<double>* ptc_ref) {
   const int n = ckt.num_unknowns();
+  const int n_nodes = ckt.num_nodes();
   ws.prepare(ckt, opts);
+
+  std::vector<int> prev_sign;
+  if (diag) {
+    diag->reason = NewtonDiag::Reason::kMaxIterations;
+    diag->iterations = 0;
+    diag->bad_row = -1;
+    diag->culprit.clear();
+    diag->worst_ratio = 0.0;
+    diag->update_ratio.assign(n, 0.0);
+    diag->sign_flips.assign(n_nodes, 0);
+    prev_sign.assign(n_nodes, 0);
+  }
 
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     ws.mna.restore_baseline();
@@ -33,17 +110,49 @@ bool newton_solve(Circuit& ckt, std::vector<double>& x,
     ctx.x = &x;
     ctx.gmin = gmin;
     ctx.source_scale = source_scale;
-    ws.mna.stamp_all(ckt, ctx);
+    try {
+      ws.mna.stamp_all(ckt, ctx);
+    } catch (const NonFiniteEvalError& e) {
+      if (diag) {
+        diag->reason = NewtonDiag::Reason::kNonFinite;
+        diag->culprit = e.element();
+        diag->iterations = iter;
+      }
+      return false;
+    }
+    if (ptc_geq > 0.0) ws.mna.add_node_shunts(ptc_geq, *ptc_ref);
 
     if (!ws.mna.factor()) {
-      return false;  // singular at this homotopy rung
+      if (diag) {
+        const MnaSystem::FactorFailure& ff = ws.mna.factor_failure();
+        diag->reason =
+            ff.kind == MnaSystem::FactorFailure::Kind::kNonFinite
+                ? NewtonDiag::Reason::kNonFinite
+                : NewtonDiag::Reason::kSingular;
+        diag->bad_row = ff.row;
+        diag->iterations = iter;
+      }
+      return false;  // singular/non-finite at this homotopy rung
     }
     ws.mna.copy_rhs(ws.x_new);
     ws.mna.solve_in_place(ws.x_new);
 
+    // A finite factorization can still overflow in the substitution when
+    // the pivots sit right at the singularity floor; reject the update
+    // rather than poisoning the iterate.
+    for (int i = 0; i < n; ++i) {
+      if (!std::isfinite(ws.x_new[i])) {
+        if (diag) {
+          diag->reason = NewtonDiag::Reason::kNonFinite;
+          diag->bad_row = i;
+          diag->iterations = iter;
+        }
+        return false;
+      }
+    }
+
     // Damped update: limit node-voltage movement per iteration.
     double max_dv = 0.0;
-    const int n_nodes = ckt.num_nodes();
     for (int i = 0; i < n_nodes; ++i) {
       max_dv = std::max(max_dv, std::abs(ws.x_new[i] - x[i]));
     }
@@ -54,13 +163,320 @@ bool newton_solve(Circuit& ckt, std::vector<double>& x,
     for (int i = 0; i < n; ++i) {
       const double xi = x[i] + damp * (ws.x_new[i] - x[i]);
       const double tol = opts.v_abstol + opts.reltol * std::abs(xi);
-      worst = std::max(worst, std::abs(xi - x[i]) / tol);
+      const double ratio = std::abs(xi - x[i]) / tol;
+      worst = std::max(worst, ratio);
+      if (diag) {
+        diag->update_ratio[i] = ratio;
+        if (i < n_nodes) {
+          // Oscillation detector: count update sign reversals per node.
+          // A limit-cycling Newton (the metastable-ring signature) flips
+          // nearly every iteration; a healthy solve almost never does.
+          const double d = ws.x_new[i] - x[i];
+          const int s = d > 0.0 ? 1 : (d < 0.0 ? -1 : 0);
+          if (s != 0) {
+            if (prev_sign[i] != 0 && s != prev_sign[i]) ++diag->sign_flips[i];
+            prev_sign[i] = s;
+          }
+        }
+      }
       x[i] = xi;
     }
     if (iterations) *iterations = iter + 1;
-    if (worst < 1.0 && damp == 1.0) return true;
+    if (diag) {
+      diag->iterations = iter + 1;
+      diag->worst_ratio = worst;
+    }
+    if (worst < 1.0 && damp == 1.0) {
+      if (diag) diag->reason = NewtonDiag::Reason::kConverged;
+      return true;
+    }
   }
-  return false;
+  return false;  // diag->reason stays kMaxIterations
+}
+
+// ------------------------------------------------- ConvergenceOrchestrator
+
+ConvergenceOrchestrator::ConvergenceOrchestrator(Circuit& ckt,
+                                                 const SolverOptions& opts,
+                                                 NewtonWorkspace& ws)
+    : ckt_(ckt), opts_(opts), ws_(ws) {}
+
+bool ConvergenceOrchestrator::run_newton(std::vector<double>& x,
+                                         const StampContext& proto,
+                                         double gmin, double source_scale,
+                                         double ptc_geq,
+                                         const std::vector<double>* ptc_ref) {
+  int iters = 0;
+  const bool ok = newton_solve(ckt_, x, opts_, gmin, source_scale, proto,
+                               ws_, &iters, &diag_, ptc_geq, ptc_ref);
+  stats_.iterations = iters;  // the last solve is the one that counts
+  return ok;
+}
+
+void ConvergenceOrchestrator::merge_failure(SolveStage stage,
+                                            SolveFailure::Cause ladder_cause) {
+  report_.stage = stage;  // deepest stage attempted so far
+  switch (diag_.reason) {
+    case NewtonDiag::Reason::kSingular:
+      report_.cause = SolveFailure::Cause::kSingular;
+      break;
+    case NewtonDiag::Reason::kNonFinite:
+      report_.cause = SolveFailure::Cause::kNonFinite;
+      break;
+    default:
+      report_.cause = ladder_cause;
+      break;
+  }
+  // Attributions stick: a later stage without a culprit keeps the earlier
+  // stage's (the floating node names itself in stage 1; a stalled
+  // pseudo-transient run has nothing to add).
+  if (diag_.bad_row >= 0) {
+    report_.bad_row = diag_.bad_row;
+    report_.culprit = row_name(ckt_, diag_.bad_row);
+  }
+  if (!diag_.culprit.empty()) {
+    report_.culprit = "device '" + diag_.culprit + "'";
+  }
+  const int n_nodes = ckt_.num_nodes();
+  if (!diag_.update_ratio.empty() && diag_.worst_ratio > 0.0) {
+    std::vector<std::pair<double, int>> ranked;
+    ranked.reserve(n_nodes);
+    for (int i = 0; i < n_nodes; ++i) {
+      if (diag_.update_ratio[i] >= 1.0) {
+        ranked.emplace_back(diag_.update_ratio[i], i);
+      }
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    if (static_cast<int>(ranked.size()) > opts_.failure_report_nodes) {
+      ranked.resize(opts_.failure_report_nodes);
+    }
+    if (!ranked.empty()) {
+      report_.worst_nodes.clear();
+      for (const auto& [ratio, i] : ranked) {
+        report_.worst_nodes.push_back({ckt_.node_name(i + 1), ratio});
+      }
+    }
+  }
+  if (!diag_.sign_flips.empty() && diag_.iterations >= 8) {
+    const int threshold = std::max(4, diag_.iterations / 3);
+    std::vector<std::string> osc;
+    for (int i = 0; i < n_nodes; ++i) {
+      if (diag_.sign_flips[i] >= threshold) {
+        osc.push_back(ckt_.node_name(i + 1));
+        if (static_cast<int>(osc.size()) >= opts_.failure_report_nodes) break;
+      }
+    }
+    if (!osc.empty()) report_.oscillating_nodes = std::move(osc);
+  }
+}
+
+void ConvergenceOrchestrator::fail() { throw SolveFailureError(report_); }
+
+bool ConvergenceOrchestrator::gmin_ramp(std::vector<double>& x,
+                                        const StampContext& proto) {
+  const std::vector<double> x0 = x;
+  int rungs = 0;
+
+  // Phase 1: land anywhere on the ladder — start at gmin_initial and
+  // escalate the shunt when even that fails.
+  double gmin = opts_.gmin_initial;
+  bool landed = false;
+  while (rungs < opts_.gmin_max_rungs && gmin <= 1e2) {
+    ++rungs;
+    x = x0;
+    if (run_newton(x, proto, gmin, 1.0)) {
+      landed = true;
+      break;
+    }
+    gmin *= 100.0;
+  }
+  stats_.gmin_rungs = rungs;
+  if (!landed) return false;
+
+  // Phase 2: descend toward gmin_final with a multiplicative factor that
+  // accelerates on success (fac^2) and backs off on failure (sqrt(fac))
+  // instead of marching a fixed geometric ladder off a cliff.
+  double fac = std::pow(opts_.gmin_final / opts_.gmin_initial,
+                        1.0 / std::max(1, opts_.gmin_steps));
+  fac = std::clamp(fac, 1e-6, 0.9);
+  std::vector<double> x_good = x;
+  while (gmin > opts_.gmin_final * (1.0 + 1e-9)) {
+    if (rungs >= opts_.gmin_max_rungs) break;
+    const double next = std::max(gmin * fac, opts_.gmin_final);
+    ++rungs;
+    ++stats_.gmin_rungs;
+    x = x_good;
+    if (run_newton(x, proto, next, 1.0)) {
+      gmin = next;
+      x_good = x;
+      fac = std::max(fac * fac, 1e-9);
+    } else {
+      ++stats_.gmin_backtracks;
+      fac = std::sqrt(fac);
+      if (fac > 0.97) break;  // rung spacing collapsed: stalled
+    }
+  }
+  stats_.gmin_rungs = rungs;
+  if (gmin <= opts_.gmin_final * (1.0 + 1e-9)) {
+    x = x_good;
+    return true;
+  }
+  // Stalled mid-ramp: one direct jump to gmin_final from the deepest
+  // converged rung sometimes lands in the basin anyway.
+  x = x_good;
+  return run_newton(x, proto, opts_.gmin_final, 1.0);
+}
+
+bool ConvergenceOrchestrator::source_ramp(std::vector<double>& x,
+                                          const StampContext& proto) {
+  const int n = ckt_.num_unknowns();
+  x.assign(n, 0.0);  // zero bias: the homotopy's natural start
+  std::vector<double> x_good = x;
+  double scale = 0.0;
+  double ds = 1.0 / std::max(1, opts_.source_steps);
+  int rungs = 0;
+  while (scale < 1.0 - 1e-12 && rungs < opts_.source_max_rungs) {
+    const double next = std::min(scale + ds, 1.0);
+    ++rungs;
+    x = x_good;
+    if (run_newton(x, proto, opts_.gmin_final, next)) {
+      scale = next;
+      x_good = x;
+      ds = std::min(ds * 2.0, 0.5);  // regrow after backtracks, capped
+    } else {
+      ++stats_.source_backtracks;
+      ds *= 0.25;
+      if (ds < 1e-4) break;  // increment collapsed: stalled
+    }
+  }
+  stats_.source_rungs = rungs;
+  x = x_good;
+  return scale >= 1.0 - 1e-12;
+}
+
+bool ConvergenceOrchestrator::pseudo_transient(std::vector<double>& x,
+                                               const StampContext& proto) {
+  const int n_nodes = ckt_.num_nodes();
+  std::vector<double> x_prev = x;
+
+  // The pseudo-step controller is the transient LteController reused with
+  // the Newton iteration count as its error measure: cheap pseudo-steps
+  // (few iterations) grow dt toward the pure DC problem, laborious ones
+  // hold it back, failed ones shrink it.
+  LteControlConfig pcfg;
+  pcfg.reltol = opts_.reltol;
+  pcfg.abstol = opts_.v_abstol;
+  pcfg.safety = 1.0;
+  pcfg.trtol = 1.0;
+  pcfg.growth_limit = std::max(opts_.ptc_dt_growth, 1.5);
+  pcfg.shrink_limit = 0.1;
+  pcfg.dt_min = opts_.ptc_dt_initial * 1e-9;
+  pcfg.dt_max = opts_.ptc_dt_initial * 1e15;
+  LteController ctl(pcfg);
+
+  double dt = opts_.ptc_dt_initial;
+  double verify_gate = 1.0;
+  int structural_verify_failures = 0;
+
+  for (int step = 0; step < opts_.ptc_max_steps; ++step) {
+    const double geq = opts_.ptc_c_farad / dt;
+    x = x_prev;
+    if (!run_newton(x, proto, opts_.gmin_final, 1.0, geq, &x_prev)) {
+      ++stats_.ptc_rejections;
+      dt *= 0.25;
+      if (dt < pcfg.dt_min) {
+        x = x_prev;
+        return false;  // even a heavily shunted step will not converge
+      }
+      continue;
+    }
+    ++stats_.ptc_steps;
+
+    // Settled?  Movement below the Newton tolerance means the pseudo
+    // trajectory reached steady state: verify WITHOUT the artificial
+    // shunts so a genuinely defective deck (floating node) still fails
+    // with the right diagnosis instead of a shunt-masked fake solution.
+    const double move =
+        max_update_ratio(x, x_prev, n_nodes, opts_.v_abstol, opts_.reltol);
+    if (move < verify_gate) {
+      std::vector<double> x_verify = x;
+      if (run_newton(x_verify, proto, opts_.gmin_final, 1.0)) {
+        x = std::move(x_verify);
+        return true;
+      }
+      if (diag_.reason == NewtonDiag::Reason::kSingular ||
+          diag_.reason == NewtonDiag::Reason::kNonFinite) {
+        // Structural defect: more pseudo-time cannot regularize an
+        // unshunted singular Jacobian.  Give up early with this diagnosis.
+        if (++structural_verify_failures >= 2) {
+          x = x_prev;
+          return false;
+        }
+      }
+      // Not converged yet: demand 4x more settling before re-verifying.
+      verify_gate = std::max(move * 0.25, 1e-12);
+    }
+
+    const double err = stats_.iterations /
+                       (0.25 * std::max(1, opts_.max_iterations));
+    dt = ctl.decide(dt, err, 2).dt_next;  // state already converged; only
+                                          // the dt_next policy is used
+    x_prev = x;
+  }
+
+  // Pseudo-step budget exhausted: one last unshunted solve, both as a
+  // final chance and to harvest an attributable diagnosis.
+  x = x_prev;
+  return run_newton(x, proto, opts_.gmin_final, 1.0);
+}
+
+NewtonStats ConvergenceOrchestrator::solve(std::vector<double>& x,
+                                           const StampContext& proto) {
+  stats_ = NewtonStats{};
+  report_ = SolveFailure{};
+  const std::vector<double> x0 = x;
+
+  // Stage 1: plain damped Newton from the initial point.
+  if (run_newton(x, proto, opts_.gmin_final, 1.0)) {
+    stats_.stage = SolveStage::kNewton;
+    return stats_;
+  }
+  merge_failure(SolveStage::kNewton, SolveFailure::Cause::kMaxIterations);
+
+  // Stage 2: adaptive gmin ramp with backtracking.
+  if (opts_.allow_gmin_stepping) {
+    x = x0;
+    if (gmin_ramp(x, proto)) {
+      stats_.stage = SolveStage::kGminStepping;
+      stats_.used_gmin_stepping = true;
+      return stats_;
+    }
+    merge_failure(SolveStage::kGminStepping, SolveFailure::Cause::kStalled);
+  }
+
+  // Stage 3: source-scale homotopy with adaptive increments.
+  if (opts_.allow_source_stepping) {
+    if (source_ramp(x, proto)) {
+      stats_.stage = SolveStage::kSourceStepping;
+      stats_.used_source_stepping = true;
+      return stats_;
+    }
+    merge_failure(SolveStage::kSourceStepping, SolveFailure::Cause::kStalled);
+  }
+
+  // Stage 4: pseudo-transient continuation, the fallback of last resort.
+  if (opts_.allow_pseudo_transient) {
+    x = x0;
+    if (pseudo_transient(x, proto)) {
+      stats_.stage = SolveStage::kPseudoTransient;
+      stats_.used_pseudo_transient = true;
+      return stats_;
+    }
+    merge_failure(SolveStage::kPseudoTransient, SolveFailure::Cause::kStalled);
+  }
+
+  fail();
 }
 
 Solution operating_point(Circuit& ckt, const SolverOptions& opts,
@@ -77,58 +493,12 @@ Solution operating_point(Circuit& ckt, const SolverOptions& opts,
   if (x0 && static_cast<int>(x0->size()) == n) sol.x = *x0;
 
   StampContext proto;  // DC: transient=false
-  int iters = 0;
-
-  // 1) Plain Newton from the initial point.
-  std::vector<double> x = sol.x;
-  if (newton_solve(ckt, x, opts, opts.gmin_final, 1.0, proto, w, &iters)) {
-    sol.x = std::move(x);
-    sol.iterations = iters;
-    return sol;
-  }
-
-  // 2) Gmin stepping: start heavily shunted, relax geometrically.
-  x = sol.x;
-  bool ok = true;
-  const double ratio = std::pow(opts.gmin_final / opts.gmin_initial,
-                                1.0 / std::max(1, opts.gmin_steps - 1));
-  double gmin = opts.gmin_initial;
-  for (int s = 0; s < opts.gmin_steps; ++s) {
-    if (!newton_solve(ckt, x, opts, gmin, 1.0, proto, w, &iters)) {
-      ok = false;
-      break;
-    }
-    gmin *= ratio;
-  }
-  if (ok &&
-      newton_solve(ckt, x, opts, opts.gmin_final, 1.0, proto, w, &iters)) {
-    sol.x = std::move(x);
-    sol.iterations = iters;
-    sol.used_gmin_stepping = true;
-    return sol;
-  }
-
-  // 3) Source stepping from zero bias.
-  x.assign(n, 0.0);
-  ok = true;
-  for (int s = 1; s <= opts.source_steps; ++s) {
-    const double scale = static_cast<double>(s) / opts.source_steps;
-    if (!newton_solve(ckt, x, opts, opts.gmin_final, scale, proto, w,
-                      &iters)) {
-      ok = false;
-      break;
-    }
-  }
-  if (ok) {
-    sol.x = std::move(x);
-    sol.iterations = iters;
-    sol.used_source_stepping = true;
-    return sol;
-  }
-
-  throw phys::ConvergenceError(
-      "operating_point: Newton, gmin stepping and source stepping all "
-      "failed");
+  ConvergenceOrchestrator orch(ckt, opts, w);
+  sol.stats = orch.solve(sol.x, proto);  // throws SolveFailureError
+  sol.iterations = sol.stats.iterations;
+  sol.used_gmin_stepping = sol.stats.used_gmin_stepping;
+  sol.used_source_stepping = sol.stats.used_source_stepping;
+  return sol;
 }
 
 double node_voltage(const Circuit& ckt, const Solution& sol,
@@ -338,6 +708,7 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
   TransientStats local_stats;
   TransientStats& st = opts.stats ? *opts.stats : local_stats;
   st = TransientStats{};
+  st.op = sol.stats;
 
   TransientRecorder rec(table, probe_ids, branch_rows, opts.dt_print);
   rec.initial(x);
@@ -366,26 +737,37 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
 
         x_try = x;
         int iters = 0;
-        if (newton_solve(ckt, x_try, opts.solver, opts.solver.gmin_final,
-                         1.0, proto, ws, &iters)) {
-          st.newton_iterations += iters;
-          // Accept: update element state with the converged voltages.
-          StampContext accept_ctx = proto;
-          accept_ctx.x = &x_try;
-          for (const auto& el : ckt.elements()) el->accept_step(accept_ctx);
-          rec.accepted(t, x, t + dt, x_try);
-          std::swap(x, x_try);
-          t += dt;
-          first_step = false;
-          note_accepted_step(st, dt);
-          break;
-        }
+        const bool converged =
+            newton_solve(ckt, x_try, opts.solver, opts.solver.gmin_final,
+                         1.0, proto, ws, &iters);
         st.newton_iterations += iters;
-        ++st.steps_rejected_newton;
-        ++halvings;
-        CARBON_REQUIRE(halvings <= opts.max_step_halvings,
-                       "transient: step size collapsed without convergence");
-        dt *= 0.5;
+        if (!converged) {
+          ++st.steps_rejected_newton;
+          ++halvings;
+          if (halvings <= opts.max_step_halvings) {
+            dt *= 0.5;
+            continue;
+          }
+          // Halving exhausted: re-enter the full convergence ladder for
+          // this step from the last accepted state (gmin ramp, source
+          // stepping, pseudo-transient).  Throws SolveFailureError with
+          // the per-node diagnosis when even that fails.
+          ConvergenceOrchestrator orch(ckt, opts.solver, ws);
+          x_try = x;
+          const NewtonStats rs = orch.solve(x_try, proto);
+          st.newton_iterations += rs.iterations;
+          ++st.orchestrator_recoveries;
+        }
+        // Accept: update element state with the converged voltages.
+        StampContext accept_ctx = proto;
+        accept_ctx.x = &x_try;
+        for (const auto& el : ckt.elements()) el->accept_step(accept_ctx);
+        rec.accepted(t, x, t + dt, x_try);
+        std::swap(x, x_try);
+        t += dt;
+        first_step = false;
+        note_accepted_step(st, dt);
+        break;
       }
     }
     rec.finish(t, x);
@@ -443,20 +825,37 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
         newton_solve(ckt, x_try, opts.solver, opts.solver.gmin_final, 1.0,
                      proto, ws, &iters);
     st.newton_iterations += iters;
+    bool recovered = false;
     if (!converged) {
       ++st.steps_rejected_newton;
       ++consecutive_failures;
-      CARBON_REQUIRE(consecutive_failures <= opts.max_step_halvings &&
-                         h > cfg.dt_min * (1.0 + 1e-12),
-                     "transient: adaptive step collapsed without "
-                     "convergence");
-      dt = std::max(0.25 * h, cfg.dt_min);
-      ctl.reset_history();  // the stored PI error belongs to the failed step
-      continue;
+      if (consecutive_failures <= opts.max_step_halvings &&
+          h > cfg.dt_min * (1.0 + 1e-12)) {
+        dt = std::max(0.25 * h, cfg.dt_min);
+        ctl.reset_history();  // the stored PI error belongs to the failed
+                              // step
+        continue;
+      }
+      // Step-size control exhausted at the dt_min floor: re-enter the
+      // full convergence ladder for this step from the last accepted
+      // state.  Throws SolveFailureError with the per-node diagnosis
+      // when even that fails.
+      ConvergenceOrchestrator orch(ckt, opts.solver, ws);
+      x_try = x;
+      const NewtonStats rs = orch.solve(x_try, proto);
+      st.newton_iterations += rs.iterations;
+      ++st.orchestrator_recoveries;
+      recovered = true;
     }
     consecutive_failures = 0;
 
-    if (pred_order > 0) {
+    if (recovered) {
+      // The ladder may have dragged the iterate through arbitrary
+      // homotopy states; there is no usable LTE estimate, and the
+      // history polynomial no longer describes the trajectory.  Accept
+      // the step, keep the current (small) step size and restart the
+      // integrator's memory below.
+    } else if (pred_order > 0) {
       const double factor = hist.lte_factor(h, use_trap, pred_order);
       const double ratio =
           lte_error_ratio(x_try, x_pred, ckt.num_nodes(), factor, cfg);
@@ -480,7 +879,14 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
     for (const auto& el : ckt.elements()) el->accept_step(accept_ctx);
     const double t_new = hits_limit ? t_limit : t + h;
     rec.accepted(t, x, t_new, x_try);
-    hist.advance(x, h);
+    if (recovered) {
+      hist.reset();
+      ctl.reset_history();
+      rec.discontinuity();
+      dt = std::clamp(h, cfg.dt_min, cfg.dt_max);
+    } else {
+      hist.advance(x, h);
+    }
     std::swap(x, x_try);
     t = t_new;
     note_accepted_step(st, h);

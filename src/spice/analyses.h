@@ -1,15 +1,20 @@
 #pragma once
 
 /// @file analyses.h
-/// Circuit analyses: Newton–Raphson operating point (with gmin and source
-/// stepping), DC sweeps, and fixed/adaptive-step transient simulation with
-/// backward-Euler and trapezoidal integration.
+/// Circuit analyses: Newton–Raphson operating point behind a convergence
+/// escalation ladder (plain NR → adaptive gmin ramp → source stepping →
+/// pseudo-transient continuation), DC sweeps, and fixed/adaptive-step
+/// transient simulation with backward-Euler and trapezoidal integration.
+/// Failures surface as a structured SolveFailure (stage reached, worst
+/// nodes by name, oscillation/singularity culprits), never as silent NaNs
+/// or a bare boolean.
 
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "phys/linalg.h"
+#include "phys/require.h"
 #include "phys/table.h"
 #include "spice/circuit.h"
 #include "spice/mna.h"
@@ -24,8 +29,23 @@ struct SolverOptions {
   double v_step_limit = 0.4;   ///< max node-voltage change per NR step [V]
   double gmin_initial = 1e-3;  ///< gmin stepping start [S]
   double gmin_final = 1e-12;   ///< residual gmin kept in the Jacobian [S]
-  int gmin_steps = 10;         ///< geometric gmin ladder length
-  int source_steps = 10;       ///< source-stepping ladder length (fallback)
+  int gmin_steps = 10;         ///< nominal gmin ladder length (sets the
+                               ///< initial descent factor of the ramp)
+  int source_steps = 10;       ///< nominal source-stepping ladder length
+                               ///< (sets the initial scale increment)
+
+  // --- escalation-ladder knobs (ConvergenceOrchestrator) ---
+  bool allow_gmin_stepping = true;    ///< stage 2 of the ladder
+  bool allow_source_stepping = true;  ///< stage 3
+  bool allow_pseudo_transient = true; ///< stage 4 (fallback of last resort)
+  int gmin_max_rungs = 48;     ///< total Newton solves the gmin ramp may
+                               ///< spend (escalation + descent + backtracks)
+  int source_max_rungs = 48;   ///< total solves of the source ramp
+  double ptc_c_farad = 1e-6;   ///< pseudo-transient node capacitance [F]
+  double ptc_dt_initial = 1e-4;///< first pseudo-step [s of pseudo-time]
+  double ptc_dt_growth = 10.0; ///< max pseudo-step growth per accepted step
+  int ptc_max_steps = 500;     ///< pseudo-step budget before giving up
+  int failure_report_nodes = 5;///< worst nodes listed in a SolveFailure
 
   /// Linear-solver backend.  kAuto picks dense below sparse_threshold
   /// unknowns and the sparse engine (symbolic-pattern reuse) above it;
@@ -37,12 +57,102 @@ struct SolverOptions {
   int sparse_threshold = 48;
 };
 
+/// Stage of the convergence escalation ladder.
+enum class SolveStage {
+  kNewton = 0,        ///< plain damped Newton from the initial point
+  kGminStepping,      ///< adaptive gmin ramp with backtracking
+  kSourceStepping,    ///< source-scale homotopy with adaptive increments
+  kPseudoTransient,   ///< artificial-capacitor continuation (last resort)
+};
+
+/// Human-readable stage name ("newton", "gmin-stepping", ...).
+const char* solve_stage_name(SolveStage stage);
+
+/// Structured description of a convergence failure: the deepest ladder
+/// stage reached, the proximate cause, and every culprit the solver could
+/// attribute — the singular/NaN row by name, the worst update/tolerance
+/// nodes of the last Newton attempt, and nodes whose updates kept flipping
+/// sign (the limit-cycle signature of metastable decks).  Earlier stages'
+/// attributions are kept when a later stage has nothing better (a floating
+/// node names itself in stage 1; pseudo-transient only reports "stalled").
+struct SolveFailure {
+  enum class Cause {
+    kMaxIterations,  ///< Newton ran out of iterations
+    kSingular,       ///< Jacobian numerically singular
+    kNonFinite,      ///< NaN/Inf from a device model or in the system
+    kStalled,        ///< a homotopy ramp could no longer advance
+  };
+
+  SolveStage stage = SolveStage::kNewton;  ///< deepest stage attempted
+  Cause cause = Cause::kMaxIterations;
+  int bad_row = -1;      ///< unknown index of the singular/NaN row (-1 n/a)
+  std::string culprit;   ///< named culprit: node, branch or device
+  struct NodeResidual {
+    std::string node;    ///< node name
+    double ratio;        ///< |update| / tolerance at the last iteration
+  };
+  std::vector<NodeResidual> worst_nodes;      ///< sorted, worst first
+  std::vector<std::string> oscillating_nodes; ///< sign-flip suspects
+
+  /// One-line report naming stage, cause and every attribution above.
+  std::string to_string() const;
+};
+
+/// Thrown by operating_point (and transient recovery) when the whole
+/// escalation ladder fails; carries the structured SolveFailure.
+class SolveFailureError : public phys::ConvergenceError {
+ public:
+  explicit SolveFailureError(SolveFailure failure);
+  const SolveFailure& failure() const { return failure_; }
+
+ private:
+  SolveFailure failure_;
+};
+
+/// How an operating point was won: the stage that converged and the work
+/// each ladder stage performed.
+struct NewtonStats {
+  SolveStage stage = SolveStage::kNewton;  ///< stage that converged
+  int iterations = 0;        ///< NR iterations of the final solve
+  int gmin_rungs = 0;        ///< gmin-ramp Newton solves
+  int gmin_backtracks = 0;   ///< gmin rungs that failed and backed off
+  int source_rungs = 0;      ///< source-ramp Newton solves
+  int source_backtracks = 0; ///< source rungs that failed and backed off
+  long ptc_steps = 0;        ///< accepted pseudo-transient steps
+  long ptc_rejections = 0;   ///< pseudo-steps rejected (Newton failure)
+  bool used_gmin_stepping = false;
+  bool used_source_stepping = false;
+  bool used_pseudo_transient = false;
+};
+
 /// Converged solution plus metadata.
 struct Solution {
   std::vector<double> x;  ///< node voltages then branch currents
   int iterations = 0;     ///< NR iterations of the final solve
+  NewtonStats stats;      ///< ladder accounting (stage, rungs, PTC steps)
   bool used_gmin_stepping = false;
   bool used_source_stepping = false;
+};
+
+/// Per-solve diagnostics newton_solve fills when given a non-null pointer:
+/// why the solve stopped, the factor-failure culprit, per-unknown update
+/// ratios of the last iteration and per-node update sign-flip counts (the
+/// oscillation detector).  Tracking costs one extra O(n) pass per
+/// iteration and only runs when requested.
+struct NewtonDiag {
+  enum class Reason {
+    kConverged = 0,
+    kMaxIterations,
+    kSingular,    ///< factor() failed on a collapsed pivot
+    kNonFinite,   ///< device eval or system values went NaN/Inf
+  };
+  Reason reason = Reason::kConverged;
+  int iterations = 0;
+  int bad_row = -1;          ///< factor-failure row (unknown index)
+  std::string culprit;       ///< device name for NonFiniteEvalError
+  double worst_ratio = 0.0;  ///< worst |update|/tolerance, last iteration
+  std::vector<double> update_ratio;  ///< per-unknown, last iteration
+  std::vector<int> sign_flips;       ///< per-node update sign flips
 };
 
 /// Persistent Newton scratch: the assembled MNA system (Jacobian pattern,
@@ -66,12 +176,62 @@ struct NewtonWorkspace {
 /// @p ws.  Returns true on convergence; @p x is updated in place.  Exposed
 /// for benchmarks and custom analysis drivers; most callers want
 /// operating_point.
+///
+/// @param diag     optional failure diagnostics (see NewtonDiag)
+/// @param ptc_geq  when > 0, an artificial conductance added from every
+///                 node to ground together with the history current
+///                 ptc_geq * (*ptc_ref)[i] — the pseudo-transient
+///                 continuation stamp (geq = C/dt, ref = previous
+///                 pseudo-step state)
 bool newton_solve(Circuit& ckt, std::vector<double>& x,
                   const SolverOptions& opts, double gmin, double source_scale,
                   const StampContext& proto, NewtonWorkspace& ws,
-                  int* iterations);
+                  int* iterations, NewtonDiag* diag = nullptr,
+                  double ptc_geq = 0.0,
+                  const std::vector<double>* ptc_ref = nullptr);
 
-/// DC operating point.  Throws ConvergenceError when every strategy fails.
+/// The convergence escalation ladder: plain Newton, then (as allowed by
+/// SolverOptions) an adaptive gmin ramp with backtracking, source stepping
+/// with adaptive increments, and pseudo-transient continuation as the
+/// fallback of last resort.  operating_point runs it for the DC solve and
+/// the transient engine re-enters it when Newton collapses at dt_min.
+///
+/// Failure reporting accumulates across stages: the ladder remembers the
+/// most informative attribution (singular row, NaN device, oscillating
+/// nodes) seen anywhere and throws one SolveFailureError describing the
+/// deepest stage reached.
+class ConvergenceOrchestrator {
+ public:
+  ConvergenceOrchestrator(Circuit& ckt, const SolverOptions& opts,
+                          NewtonWorkspace& ws);
+
+  /// Run the ladder from @p x (updated in place on success).  @p proto
+  /// carries the stamp-context template (DC for operating_point; the
+  /// failed step's transient context for dt_min recovery).  Returns the
+  /// ladder accounting on success; throws SolveFailureError on failure.
+  NewtonStats solve(std::vector<double>& x, const StampContext& proto);
+
+ private:
+  bool run_newton(std::vector<double>& x, const StampContext& proto,
+                  double gmin, double source_scale, double ptc_geq = 0.0,
+                  const std::vector<double>* ptc_ref = nullptr);
+  bool gmin_ramp(std::vector<double>& x, const StampContext& proto);
+  bool source_ramp(std::vector<double>& x, const StampContext& proto);
+  bool pseudo_transient(std::vector<double>& x, const StampContext& proto);
+  void merge_failure(SolveStage stage, SolveFailure::Cause ladder_cause);
+  [[noreturn]] void fail();
+
+  Circuit& ckt_;
+  const SolverOptions& opts_;
+  NewtonWorkspace& ws_;
+  NewtonStats stats_;
+  NewtonDiag diag_;       ///< diagnostics of the most recent Newton solve
+  SolveFailure report_;   ///< accumulated failure description
+};
+
+/// DC operating point via the escalation ladder.  Throws SolveFailureError
+/// (a ConvergenceError carrying the structured SolveFailure) when every
+/// enabled stage fails.
 /// @param x0  optional warm start (same layout as Solution::x)
 /// @param ws  optional caller-owned workspace, reused across calls (sweep
 ///            drivers pass one so per-point solves allocate nothing)
@@ -116,6 +276,9 @@ struct TransientStats {
   double dt_smallest = 0.0;        ///< smallest accepted step [s]
   double dt_largest = 0.0;         ///< largest accepted step [s]
   EvalCounters evals;              ///< FET/diode eval()/bypass accounting
+  NewtonStats op;                  ///< initial operating-point ladder stats
+  long orchestrator_recoveries = 0;///< dt_min Newton collapses recovered by
+                                   ///< re-entering the escalation ladder
 };
 
 /// How the transient initializes energy-storage elements.

@@ -290,6 +290,11 @@ void Diode::stamp(const StampContext& ctx) const {
     if (ctx.counters) ++ctx.counters->device_bypasses;
   } else {
     v_lin = evaluate(v_raw, &i0, &g_exp);
+    if (!std::isfinite(i0) || !std::isfinite(g_exp)) {
+      throw NonFiniteEvalError(
+          name_, "diode '" + name_ + "': non-finite junction evaluation at v=" +
+                     std::to_string(v_raw));
+    }
     v_cache_ = v_raw;
     vlim_cache_ = v_lin;
     i0_cache_ = i0;
@@ -368,6 +373,12 @@ void Fet::stamp(const StampContext& ctx) const {
     // One eval() gives current and both conductances — a single table
     // lookup for tabulated models, a finite-difference fallback otherwise.
     e = model_->eval(vgs, vds);
+    if (!e.is_finite()) {
+      throw NonFiniteEvalError(
+          name_, "fet '" + name_ + "': model '" + model_->name() +
+                     "' returned a non-finite eval at vgs=" +
+                     std::to_string(vgs) + " vds=" + std::to_string(vds));
+    }
     eval_cache_ = e;
     vgs_cache_ = vgs;
     vds_cache_ = vds;

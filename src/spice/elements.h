@@ -14,12 +14,28 @@
 #include "device/ivmodel.h"
 #include "phys/linalg.h"
 #include "phys/linalg_complex.h"
+#include "phys/require.h"
 #include "spice/waveform.h"
 
 namespace carbon::spice {
 
 /// Node index; 0 is ground.
 using NodeId = int;
+
+/// Thrown by a nonlinear element's stamp() when its device model returns a
+/// non-finite current or conductance.  Carries the element name so the
+/// convergence-failure report can point at the culprit device instead of
+/// letting a NaN poison the Jacobian and surface as an unattributed
+/// singularity.
+class NonFiniteEvalError : public phys::ConvergenceError {
+ public:
+  NonFiniteEvalError(std::string element, const std::string& what)
+      : phys::ConvergenceError(what), element_(std::move(element)) {}
+  const std::string& element() const { return element_; }
+
+ private:
+  std::string element_;
+};
 
 /// Device-evaluation accounting for a transient run (quiescent-device
 /// bypass diagnostics).  Attached to a StampContext by the analysis; null

@@ -156,6 +156,18 @@ double lte_error_ratio(const std::vector<double>& x_corr,
   return worst;
 }
 
+double max_update_ratio(const std::vector<double>& a,
+                        const std::vector<double>& b, int n, double abstol,
+                        double reltol) {
+  double worst = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double tol =
+        abstol + reltol * std::max(std::abs(a[i]), std::abs(b[i]));
+    worst = std::max(worst, std::abs(a[i] - b[i]) / tol);
+  }
+  return worst;
+}
+
 std::vector<double> merge_breakpoints(std::vector<double> pts, double t_stop) {
   std::sort(pts.begin(), pts.end());
   const double eps = 1e-12 * t_stop;

@@ -135,6 +135,16 @@ double lte_error_ratio(const std::vector<double>& x_corr,
                        const std::vector<double>& x_pred, int n_nodes,
                        double factor, const LteControlConfig& cfg);
 
+/// Worst per-entry ratio |a[i] - b[i]| / (abstol + reltol * max(|a[i]|,
+/// |b[i]|)) over the first @p n entries — movement between two states in
+/// Newton-tolerance units.  The pseudo-transient continuation uses it as
+/// its settledness measure: a pseudo-step whose ratio drops below 1 moved
+/// the solution less than the Newton tolerance, so the trajectory has
+/// reached (pseudo-)steady state.
+double max_update_ratio(const std::vector<double>& a,
+                        const std::vector<double>& b, int n, double abstol,
+                        double reltol);
+
 /// Sort, clip to (0, t_stop) and dedupe (within a relative epsilon) a raw
 /// breakpoint list collected from the circuit's sources.
 std::vector<double> merge_breakpoints(std::vector<double> pts, double t_stop);

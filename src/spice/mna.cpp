@@ -1,6 +1,7 @@
 #include "spice/mna.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "phys/require.h"
@@ -23,6 +24,7 @@ void MnaSystem::build(Circuit& ckt, LinearBackend backend,
 
   ckt.assign_branches();
   n_ = ckt.num_unknowns();
+  n_nodes_ = ckt.num_nodes();
   CARBON_REQUIRE(n_ > 0, "empty circuit");
   sparse_ = backend == LinearBackend::kSparse ||
             (backend == LinearBackend::kAuto && n_ >= sparse_threshold);
@@ -53,10 +55,15 @@ void MnaSystem::build(Circuit& ckt, LinearBackend backend,
   rhs_.assign(n_, 0.0);
   if (sparse_) {
     std::vector<std::pair<int, int>> coords;
-    coords.reserve(jac_coords_.size());
+    coords.reserve(jac_coords_.size() + n_nodes_);
     for (const auto& [r, c] : jac_coords_) {
       if (r > 0 && c > 0) coords.emplace_back(r - 1, c - 1);
     }
+    // Every node diagonal joins the pattern unconditionally so the
+    // pseudo-transient shunts of add_node_shunts() are plain value writes
+    // (from_coords merges duplicates, so this is free when an element
+    // already stamps the position).
+    for (int i = 0; i < n_nodes_; ++i) coords.emplace_back(i, i);
     smat_ = phys::SparseMatrix::from_coords(n_, std::move(coords));
     slu_ = phys::SparseLu();  // drop any stale pattern analysis
     djac_ = phys::Matrix();
@@ -82,6 +89,12 @@ void MnaSystem::build(Circuit& ckt, LinearBackend backend,
   for (size_t t = 0; t < rhs_rows_.size(); ++t) {
     const int r = rhs_rows_[t];
     rhs_slots_[t] = r <= 0 ? &rhs_trash_ : &rhs_[r - 1];
+  }
+  node_diag_.resize(n_nodes_);
+  for (int i = 0; i < n_nodes_; ++i) {
+    node_diag_[i] = sparse_
+                        ? &smat_.values()[smat_.slot(i, i)]
+                        : djac_.data() + static_cast<size_t>(i) * n_ + i;
   }
 
   // --- static/dynamic split: classify every element, then stamp the
@@ -184,19 +197,57 @@ void MnaSystem::stamp_all(const Circuit& ckt, StampContext& ctx) {
   ctx.suppress_jac = false;
 }
 
+void MnaSystem::add_node_shunts(double geq, const std::vector<double>& x_ref) {
+  CARBON_REQUIRE(static_cast<int>(x_ref.size()) >= n_nodes_,
+                 "add_node_shunts: reference state too short");
+  for (int i = 0; i < n_nodes_; ++i) {
+    *node_diag_[i] += geq;
+    rhs_[i] += geq * x_ref[i];
+  }
+}
+
 bool MnaSystem::factor() {
+  failure_ = FactorFailure{};
   const double* vals = sparse_ ? smat_.values().data() : djac_.data();
   const size_t nvals = sparse_ ? static_cast<size_t>(smat_.nnz())
                                : static_cast<size_t>(n_) * n_;
+  // The RHS never enters the Jacobian compare below, so a poisoned residual
+  // must be caught here or it rides an otherwise valid factorization
+  // straight into the Newton update.
+  for (int i = 0; i < n_; ++i) {
+    if (!std::isfinite(rhs_[i])) {
+      failure_ = {FactorFailure::Kind::kNonFinite, i};
+      factored_valid_ = false;
+      return false;
+    }
+  }
   // Shamanskii fast path: a bit-identical Jacobian (all devices bypassed,
   // same companion conductances) reuses the held factorization outright.
   // The O(nnz) compare is noise next to the O(fill-flops) refactor it
-  // saves, and bitwise equality keeps the reuse exact.
+  // saves, and bitwise equality keeps the reuse exact.  Matching values
+  // are known finite — they factored successfully last time — so the
+  // non-finite scan is needed only past this point.
   if (factored_valid_ && factored_values_.size() == nvals &&
       std::memcmp(factored_values_.data(), vals,
                   nvals * sizeof(double)) == 0) {
     ++factor_skips_;
     return true;
+  }
+  for (size_t t = 0; t < nvals; ++t) {
+    if (!std::isfinite(vals[t])) {
+      int row;
+      if (sparse_) {
+        const auto& rp = smat_.row_ptr();
+        row = static_cast<int>(
+            std::upper_bound(rp.begin(), rp.end(), static_cast<int>(t)) -
+            rp.begin() - 1);
+      } else {
+        row = static_cast<int>(t / static_cast<size_t>(n_));
+      }
+      failure_ = {FactorFailure::Kind::kNonFinite, row};
+      factored_valid_ = false;
+      return false;
+    }
   }
   try {
     if (sparse_) {
@@ -204,7 +255,15 @@ bool MnaSystem::factor() {
     } else {
       dlu_.factor(djac_);
     }
+  } catch (const phys::SingularMatrixError& e) {
+    failure_ = {e.kind() == phys::SingularMatrixError::Kind::kNonFinite
+                    ? FactorFailure::Kind::kNonFinite
+                    : FactorFailure::Kind::kSingular,
+                e.row()};
+    factored_valid_ = false;
+    return false;
   } catch (const phys::ConvergenceError&) {
+    failure_ = {FactorFailure::Kind::kSingular, -1};
     factored_valid_ = false;
     return false;
   }

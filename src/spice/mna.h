@@ -82,6 +82,19 @@ class MnaSystem {
   /// slot fields are managed here.
   void stamp_all(const Circuit& ckt, StampContext& ctx);
 
+  /// Number of node-voltage unknowns (rows [0, node_count()) of the
+  /// system); the remaining rows are source branch currents.
+  int node_count() const { return n_nodes_; }
+
+  /// Add a conductance @p geq from every node to ground plus the matching
+  /// history current geq * x_ref[i] on the RHS — the artificial-capacitor
+  /// stamp of pseudo-transient continuation (geq = C/dt, x_ref = previous
+  /// accepted state).  build() guarantees every node diagonal is in the
+  /// sparse pattern, so this is a direct value write with no pattern
+  /// growth.  Call between stamp_all() and factor(); restore_baseline()
+  /// clears it again.
+  void add_node_shunts(double geq, const std::vector<double>& x_ref);
+
   /// Factor the assembled Jacobian.  Returns false on numerical
   /// singularity (callers treat it as a failed homotopy rung).  The sparse
   /// backend refactors on the recorded pattern and transparently re-runs
@@ -101,6 +114,21 @@ class MnaSystem {
   /// for the life of the instance).
   long factor_skip_count() const { return factor_skips_; }
 
+  /// Why the last factor() returned false (reset on every factor() call).
+  /// `row` is the 0-based unknown index of the culprit — a node voltage
+  /// when row < node_count(), a branch current otherwise; -1 when the
+  /// failure could not be attributed to a row.
+  struct FactorFailure {
+    enum class Kind : std::uint8_t {
+      kNone = 0,   ///< last factor() succeeded
+      kSingular,   ///< pivot collapsed numerically
+      kNonFinite,  ///< NaN/Inf in the Jacobian, RHS, or elimination
+    };
+    Kind kind = Kind::kNone;
+    int row = -1;
+  };
+  const FactorFailure& factor_failure() const { return failure_; }
+
   /// Solve J x = b in place (b in @p bx, x out).  factor() must have
   /// succeeded.
   void solve_in_place(std::vector<double>& bx) const;
@@ -119,7 +147,9 @@ class MnaSystem {
   LinearBackend requested_ = LinearBackend::kAuto;
   int threshold_ = 0;
   int n_ = 0;
+  int n_nodes_ = 0;
   bool sparse_ = false;
+  FactorFailure failure_;
 
   // Backends.
   phys::Matrix djac_;
@@ -130,6 +160,7 @@ class MnaSystem {
   std::vector<double> rhs_;
   double jac_trash_ = 0.0;  ///< sink of ground-row/col stamp writes
   double rhs_trash_ = 0.0;
+  std::vector<double*> node_diag_;  ///< per-node diagonal value pointers
 
   // Per-element slot tables (value pointer per captured add call).
   std::vector<double*> jac_slots_, rhs_slots_;

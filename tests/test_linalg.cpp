@@ -52,6 +52,38 @@ TEST(Lu, DetectsSingularity) {
   EXPECT_THROW(LuFactorization{a}, carbon::phys::ConvergenceError);
 }
 
+TEST(Lu, SingularityCarriesTypedRowAndColumn) {
+  using carbon::phys::SingularMatrixError;
+  Matrix a(3, 3);
+  a(0, 0) = 1.0; a(0, 1) = 2.0; a(0, 2) = 0.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0; a(1, 2) = 0.0;  // row 1 = 2 * row 0
+  a(2, 2) = 1.0;
+  try {
+    LuFactorization lu{a};
+    FAIL() << "rank-deficient matrix factored";
+  } catch (const SingularMatrixError& e) {
+    EXPECT_EQ(e.kind(), SingularMatrixError::Kind::kSingular);
+    // The collapse happens at elimination step 1 on one of the two
+    // dependent original rows.
+    EXPECT_EQ(e.col(), 1);
+    EXPECT_TRUE(e.row() == 0 || e.row() == 1) << e.row();
+  }
+}
+
+TEST(Lu, NonFinitePivotIsTypedNotSilent) {
+  using carbon::phys::SingularMatrixError;
+  Matrix a(2, 2);
+  a(0, 0) = std::nan(""); a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 1.0;
+  try {
+    LuFactorization lu{a};
+    FAIL() << "NaN matrix factored";
+  } catch (const SingularMatrixError& e) {
+    EXPECT_EQ(e.kind(), SingularMatrixError::Kind::kNonFinite);
+    EXPECT_GE(e.row(), 0);
+  }
+}
+
 TEST(Lu, RandomSystemsResidualSmall) {
   std::mt19937 gen(7);
   std::uniform_real_distribution<double> u(-1.0, 1.0);

@@ -108,6 +108,58 @@ TEST(SparseLuZ, SingularDetected) {
   EXPECT_THROW(lu.analyze_factor(m), carbon::phys::ConvergenceError);
 }
 
+TEST(SparseLuZ, SingularityCarriesTypedRowAndColumn) {
+  using carbon::phys::SingularMatrixError;
+  SparseMatrixZ m = SparseMatrixZ::from_coords(
+      2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  m.values()[0] = {1.0, 1.0};
+  m.values()[1] = {2.0, 0.0};
+  m.values()[2] = {2.0, 2.0};
+  m.values()[3] = {4.0, 0.0};
+  SparseLuZ lu;
+  try {
+    lu.analyze_factor(m);
+    FAIL() << "rank-1 complex matrix factored";
+  } catch (const SingularMatrixError& e) {
+    EXPECT_EQ(e.kind(), SingularMatrixError::Kind::kSingular);
+    EXPECT_GE(e.row(), 0);
+    EXPECT_LT(e.row(), 2);
+    EXPECT_GE(e.col(), 0);
+    EXPECT_LT(e.col(), 2);
+  }
+}
+
+TEST(ComplexLu, SingularityCarriesTypedRowAndColumn) {
+  using carbon::phys::SingularMatrixError;
+  ComplexMatrix a(2, 2);
+  a(0, 0) = {1.0, 1.0}; a(0, 1) = {2.0, 0.0};
+  a(1, 0) = {2.0, 2.0}; a(1, 1) = {4.0, 0.0};  // row 1 = 2 * row 0
+  ComplexLuFactorization lu;
+  try {
+    lu.factor(a);
+    FAIL() << "rank-1 complex matrix factored";
+  } catch (const SingularMatrixError& e) {
+    EXPECT_EQ(e.kind(), SingularMatrixError::Kind::kSingular);
+    EXPECT_GE(e.row(), 0);
+    EXPECT_LT(e.row(), 2);
+  }
+  EXPECT_FALSE(lu.factored());
+}
+
+TEST(ComplexLu, NonFinitePivotIsTypedNotSilent) {
+  using carbon::phys::SingularMatrixError;
+  ComplexMatrix a(2, 2);
+  a(0, 0) = {std::nan(""), 0.0}; a(0, 1) = {1.0, 0.0};
+  a(1, 0) = {1.0, 0.0}; a(1, 1) = {1.0, 0.0};
+  ComplexLuFactorization lu;
+  try {
+    lu.factor(a);
+    FAIL() << "NaN complex matrix factored";
+  } catch (const SingularMatrixError& e) {
+    EXPECT_EQ(e.kind(), SingularMatrixError::Kind::kNonFinite);
+  }
+}
+
 TEST(SparseLuZ, TransposeSolveMatchesExplicitTranspose) {
   const int n = 32;
   const SparseMatrixZ a = make_test_matrix(n);

@@ -217,6 +217,76 @@ TEST(SparseLu, SingularMatrixThrows) {
   EXPECT_THROW(lu.analyze_factor(a), carbon::phys::ConvergenceError);
 }
 
+TEST(SparseLu, SingularityCarriesTypedRowAndColumn) {
+  using carbon::phys::SingularMatrixError;
+  SparseMatrix a =
+      SparseMatrix::from_coords(2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  a.values()[a.slot(0, 0)] = 1.0;
+  a.values()[a.slot(0, 1)] = 2.0;
+  a.values()[a.slot(1, 0)] = 2.0;
+  a.values()[a.slot(1, 1)] = 4.0;  // rank 1
+  SparseLu lu;
+  try {
+    lu.analyze_factor(a);
+    FAIL() << "rank-1 matrix factored";
+  } catch (const SingularMatrixError& e) {
+    EXPECT_EQ(e.kind(), SingularMatrixError::Kind::kSingular);
+    EXPECT_GE(e.row(), 0);
+    EXPECT_LT(e.row(), 2);
+    EXPECT_GE(e.col(), 0);
+    EXPECT_LT(e.col(), 2);
+  }
+  EXPECT_GE(lu.failure_row(), 0);  // accessors mirror the thrown attribution
+  EXPECT_FALSE(lu.failure_nonfinite());
+}
+
+TEST(SparseLu, NonFiniteValueIsTypedNotSilent) {
+  using carbon::phys::SingularMatrixError;
+  SparseMatrix a = tridiagonal_pattern(4);
+  fill_tridiagonal(a, 4.0, -1.0);
+  a.values()[a.slot(2, 2)] = std::nan("");
+  SparseLu lu;
+  try {
+    lu.analyze_factor(a);
+    FAIL() << "NaN matrix factored";
+  } catch (const SingularMatrixError& e) {
+    EXPECT_EQ(e.kind(), SingularMatrixError::Kind::kNonFinite);
+    EXPECT_GE(e.row(), 0);
+  }
+  EXPECT_TRUE(lu.failure_nonfinite());
+}
+
+TEST(SparseLu, StalePivotOrderIsDetectedAndReanalyzed) {
+  // Record the pivot order on a diagonally dominant matrix, then hand
+  // factor() values whose diagonal has collapsed to 1e-9 with unit
+  // off-diagonals: reusing the recorded (diagonal) pivots would give
+  // element growth ~1e9 and a solution with ~1e-7 relative error — silent,
+  // since nothing is singular.  The refactor quality guard must notice and
+  // trigger a fresh analysis with off-diagonal pivots.
+  SparseMatrix a =
+      SparseMatrix::from_coords(2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  a.values()[a.slot(0, 0)] = 1.0;
+  a.values()[a.slot(0, 1)] = 0.5;
+  a.values()[a.slot(1, 0)] = 0.5;
+  a.values()[a.slot(1, 1)] = 1.0;
+  SparseLu lu;
+  lu.analyze_factor(a);
+  EXPECT_EQ(lu.analyze_count(), 1);
+
+  a.values()[a.slot(0, 0)] = 1e-9;
+  a.values()[a.slot(1, 1)] = 1e-9;
+  a.values()[a.slot(0, 1)] = 1.0;
+  a.values()[a.slot(1, 0)] = 1.0;
+  lu.factor(a);
+  EXPECT_EQ(lu.analyze_count(), 2);  // guard tripped -> re-analysis
+
+  const std::vector<double> x = lu.solve({1.0, 1.0});
+  const std::vector<double> xd =
+      carbon::phys::solve_dense(a.to_dense(), {1.0, 1.0});
+  EXPECT_NEAR(x[0], xd[0], 1e-12);
+  EXPECT_NEAR(x[1], xd[1], 1e-12);
+}
+
 TEST(SparseLu, RefactorReportsPivotCollapseAndFactorRecovers) {
   SparseMatrix a = tridiagonal_pattern(4);
   fill_tridiagonal(a, 4.0, -1.0);
@@ -229,6 +299,9 @@ TEST(SparseLu, RefactorReportsPivotCollapseAndFactorRecovers) {
   a.values()[a.slot(0, 0)] = 1.0;  // keep max_abs() nonzero
   EXPECT_FALSE(lu.refactor(a));
   EXPECT_FALSE(lu.factored());
+  EXPECT_GE(lu.failure_row(), 0);  // collapse position is attributed
+  EXPECT_GE(lu.failure_col(), 0);
+  EXPECT_FALSE(lu.failure_nonfinite());
 
   // Back to healthy values: factor() transparently recovers.
   fill_tridiagonal(a, 4.0, -1.0);

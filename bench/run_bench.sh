@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Run the perf-kernel microbenchmarks and record the results (plus the
 # headline speedups: tabulated-vs-direct VTC sweep, parallel Monte Carlo,
-# the dense-vs-sparse Newton-solve and AC-sweep scaling families, and the
-# large-array O(N) transient ratios) in BENCH_perf.json at the repo root.
+# the dense-vs-sparse Newton-solve and AC-sweep scaling families, the
+# large-array O(N) transient ratios, and the fault-injected ensemble yield
+# sweep) in BENCH_perf.json at the repo root.
 # Usage:
 #
 #   bench/run_bench.sh [build_dir] [extra google-benchmark args...]
@@ -182,6 +183,34 @@ for pair, key in (("RingOsc", "transient_ring"),
         summary[f"{key}_fixed_period_relerr"] = fx["period_relerr"]
         summary[f"{key}_adaptive_period_relerr"] = ad["period_relerr"]
 
+# Fault-tolerant ensemble engine: the SRAM write yield sweep with ~5%
+# fault-injected trials.  Per-size trial throughput plus the yield and
+# failure/retry accounting and the thread-scaling efficiency against the
+# in-binary serial reference (1.0 = perfect scaling).
+ens = {}
+for name, b in times.items():
+    prefix = "BM_EnsembleSramYield/"
+    if name.startswith(prefix):
+        tail = name[len(prefix):].split("/")[0]  # strip /real_time
+        if tail.isdigit():
+            ens[int(tail)] = b
+if ens:
+    summary["ensemble_sram_yield"] = {
+        str(n): {
+            "trials_per_s": b["trials_per_s"],
+            "yield": b["yield"],
+            "failed": b["failed"],
+            "retried": b["retried"],
+            "recovered": b["recovered"],
+            "threads": b["threads"],
+            "thread_efficiency": b["thread_efficiency"],
+        }
+        for n, b in sorted(ens.items())
+    }
+    n_big = max(ens)
+    summary["ensemble_trials_per_s"] = ens[n_big]["trials_per_s"]
+    summary["ensemble_thread_efficiency"] = ens[n_big]["thread_efficiency"]
+
 if bench_lib_override:
     summary["benchmark_library_debug_override"] = True
 
@@ -193,7 +222,11 @@ for k, v in summary.items():
     if isinstance(v, dict):
         print(f"{k}:")
         for kk, vv in v.items():
-            print(f"  {kk}: {vv}")
+            if isinstance(vv, dict):
+                inner = ", ".join(f"{a}={b:.4g}" for a, b in vv.items())
+                print(f"  {kk}: {inner}")
+            else:
+                print(f"  {kk}: {vv}")
     else:
         print(f"{k}: {v:.4g}")
 print(f"wrote {out_path}")

@@ -7,6 +7,133 @@
 
 namespace carbon::core {
 
+Json& Json::set(std::string key, Json value) {
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const std::string pad(indent > 0 ? static_cast<std::size_t>(indent) *
+                                         (static_cast<std::size_t>(depth) + 1)
+                                   : 0,
+                        ' ');
+  const std::string close_pad(
+      indent > 0 ? static_cast<std::size_t>(indent) *
+                       static_cast<std::size_t>(depth)
+                 : 0,
+      ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* colon = indent > 0 ? ": " : ":";
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%lld",
+                    static_cast<long long>(int_));
+      out += buf;
+      break;
+    }
+    case Kind::kDouble: {
+      if (std::isfinite(double_)) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", double_);
+        out += buf;
+      } else {
+        // JSON has no NaN/Inf literal; a failed-trial metric serializes as
+        // null rather than producing an unparseable document.
+        out += "null";
+      }
+      break;
+    }
+    case Kind::kString:
+      out += escape(string_);
+      break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      bool first = true;
+      for (const Json& item : items_) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += nl;
+        out += pad;
+        item.write(out, indent, depth + 1);
+      }
+      out += nl;
+      out += close_pad;
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : members_) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += nl;
+        out += pad;
+        out += escape(key);
+        out += colon;
+        value.write(out, indent, depth + 1);
+      }
+      out += nl;
+      out += close_pad;
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
 void print_banner(std::ostream& os, const std::string& experiment_id,
                   const std::string& description) {
   os << "\n================================================================\n"

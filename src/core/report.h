@@ -2,16 +2,68 @@
 
 /// @file report.h
 /// Output helpers shared by the bench binaries: consistent stdout banners,
-/// table printing, CSV artifact writing and paper-vs-measured comparison
-/// rows for EXPERIMENTS.md.
+/// table printing, CSV artifact writing, paper-vs-measured comparison rows
+/// for EXPERIMENTS.md — and a minimal JSON value builder for the
+/// machine-readable reports (solver failure records, ensemble yield runs).
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "phys/table.h"
 
 namespace carbon::core {
+
+/// A minimal JSON value: null, bool, number (integers kept exact, doubles
+/// emitted with %.17g so they round-trip bit-identically), string, array,
+/// object.  Objects preserve insertion order, so reports diff cleanly.
+/// Build with the fluent set()/push() and serialize with dump():
+///
+///   auto j = Json::object();
+///   j.set("yield", 0.97).set("failures", Json::array().push("timed-out"));
+///   std::string text = j.dump(2);   // indent 2; dump() = compact
+class Json {
+ public:
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}
+  Json(int v) : kind_(Kind::kInt), int_(v) {}
+  Json(long v) : kind_(Kind::kInt), int_(v) {}
+  Json(long long v) : kind_(Kind::kInt), int_(v) {}
+  Json(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}
+  Json(const char* v) : kind_(Kind::kString), string_(v) {}
+
+  /// Append @p key: @p value to an object (keys are not deduplicated; the
+  /// caller owns uniqueness).  Returns *this for chaining.
+  Json& set(std::string key, Json value);
+  /// Append @p value to an array.  Returns *this for chaining.
+  Json& push(Json value);
+
+  /// Serialize.  indent 0 = compact single line; > 0 = pretty-printed
+  /// with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  /// JSON string escaping of @p s (quotes included).
+  static std::string escape(const std::string& s);
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+  explicit Json(Kind kind) : kind_(kind) {}
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;                            // kArray
+  std::vector<std::pair<std::string, Json>> members_;  // kObject
+};
 
 /// Print a top-level experiment banner to @p os.
 void print_banner(std::ostream& os, const std::string& experiment_id,

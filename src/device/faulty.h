@@ -1,0 +1,81 @@
+#pragma once
+
+/// @file faulty.h
+/// Deterministic fault injection for robustness testing: a decorator that
+/// wraps any compact model and misbehaves on command — NaN evaluations,
+/// vanishing conductances (singular-row corners), non-monotone I-V that
+/// defeats plain Newton, and artificial stalls that simulate a hung model.
+///
+/// The ensemble tests and benchmarks use it to force every failure, retry
+/// and timeout path of spice::EnsembleRunner on purpose: trial N gets a
+/// faulty device, and the batch must still complete with a structured
+/// TrialResult for it instead of crashing, hanging, or poisoning its
+/// neighbours.
+
+#include <atomic>
+#include <string>
+
+#include "device/ivmodel.h"
+
+namespace carbon::device {
+
+/// What the decorator does once armed.
+enum class FaultKind {
+  kNone = 0,     ///< transparent pass-through
+  kNanEval,      ///< NaN current/conductances (permanent once triggered)
+  kOpenCircuit,  ///< all-zero eval: the device vanishes — where it was a
+                 ///< node's only DC path, that row degenerates to the gmin
+                 ///< shunt and the Jacobian goes (near-)singular
+  kNonMonotone,  ///< adds a non-monotone wiggle to the I-V: plain damped
+                 ///< Newton limit-cycles, but the escalation ladder (gmin
+                 ///< ramp / pseudo-transient) can still crack it — the
+                 ///< "recoverable by retry" corner
+  kStall,        ///< sleeps stall_s per eval(): a hung / pathologically
+                 ///< slow model, used to exercise deadlines
+};
+
+/// A fault and when it triggers.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  /// eval() calls served faithfully before the fault arms (0 = from the
+  /// first call).  Lets a transient run fail mid-flight rather than at the
+  /// operating point.
+  long trigger_evals = 0;
+  double wiggle_amp_a = 5e-5;      ///< kNonMonotone current amplitude [A]
+  double wiggle_freq_per_v = 60.0; ///< kNonMonotone frequency [rad/V]
+  double stall_s = 1e-3;           ///< kStall sleep per eval [s]
+};
+
+/// The decorator.  Thread-safe: the eval counter is atomic, so one
+/// instance may be shared by the FETs of a trial circuit (they then share
+/// the trigger budget, which is usually what a fault scenario wants).
+class FaultyModelDecorator final : public IDeviceModel {
+ public:
+  FaultyModelDecorator(DeviceModelPtr base, FaultSpec spec);
+
+  double drain_current(double vgs, double vds) const override;
+  DeviceEval eval(double vgs, double vds) const override;
+  const std::string& name() const override { return name_; }
+  Polarity polarity() const override { return base_->polarity(); }
+  double width_normalization() const override {
+    return base_->width_normalization();
+  }
+  NoiseParams noise_params() const override { return base_->noise_params(); }
+
+  /// eval() calls observed so far (diagnostics for tests).
+  long evals() const { return evals_.load(std::memory_order_relaxed); }
+  const FaultSpec& spec() const { return spec_; }
+
+ private:
+  bool armed_after_count() const;
+
+  DeviceModelPtr base_;
+  FaultSpec spec_;
+  std::string name_;
+  mutable std::atomic<long> evals_{0};
+};
+
+/// Convenience factory.
+DeviceModelPtr with_fault(DeviceModelPtr base, FaultSpec spec);
+
+}  // namespace carbon::device

@@ -1,0 +1,52 @@
+#include "phys/cancel.h"
+
+#include <limits>
+
+namespace carbon::phys {
+
+CancelledError::CancelledError(bool deadline_expired, const std::string& where)
+    : std::runtime_error(std::string(deadline_expired ? "deadline expired"
+                                                      : "cancelled") +
+                         " in " + where),
+      deadline_expired_(deadline_expired),
+      where_(where) {}
+
+void CancelToken::set_deadline_after(double seconds) {
+  deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(
+                                     seconds > 0.0 ? seconds : 0.0));
+  has_deadline_.store(true, std::memory_order_release);
+}
+
+bool CancelToken::cancelled() const {
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  return parent_ != nullptr && parent_->cancelled();
+}
+
+bool CancelToken::expired() const {
+  if (has_deadline_.load(std::memory_order_acquire) &&
+      Clock::now() >= deadline_) {
+    return true;
+  }
+  return parent_ != nullptr && parent_->expired();
+}
+
+double CancelToken::seconds_remaining() const {
+  double remaining = std::numeric_limits<double>::infinity();
+  if (has_deadline_.load(std::memory_order_acquire)) {
+    remaining = std::chrono::duration<double>(deadline_ - Clock::now()).count();
+  }
+  if (parent_ != nullptr) {
+    remaining = std::min(remaining, parent_->seconds_remaining());
+  }
+  return remaining;
+}
+
+void CancelToken::throw_if_stopped(const char* where) const {
+  // Explicit cancellation wins the tie: it is the caller's intent, while a
+  // deadline is the budget backstop.
+  if (cancelled()) throw CancelledError(false, where);
+  if (expired()) throw CancelledError(true, where);
+}
+
+}  // namespace carbon::phys

@@ -20,6 +20,13 @@ int default_num_threads() {
   return hw >= 1 ? static_cast<int>(hw) : 1;
 }
 
+namespace {
+/// Set while the current thread is inside ThreadPool work (a pool worker's
+/// drain or the caller's participation).  A nested run() sees it and
+/// executes inline instead of deadlocking on / corrupting the active batch.
+thread_local bool t_in_pool_run = false;
+}  // namespace
+
 struct ThreadPool::Impl {
   std::mutex mutex;
   std::condition_variable work_ready;
@@ -46,7 +53,9 @@ struct ThreadPool::Impl {
         if (stopping) return;
         seen_generation = generation;
       }
+      t_in_pool_run = true;
       drain(seen_generation);
+      t_in_pool_run = false;
     }
   }
 
@@ -70,14 +79,21 @@ struct ThreadPool::Impl {
     int i = 0;
     const std::function<void(int)>* fn = nullptr;
     while (claim(gen, &i, &fn)) {
+      int finished = 1;  // tasks this loop retires (claimed + skipped)
       try {
         (*fn)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
         if (!first_error) first_error = std::current_exception();
+        // Fail fast: the batch's result is already doomed to rethrow, so
+        // retire the unclaimed remainder instead of running work whose
+        // outcome will be discarded.  Tasks other workers have already
+        // claimed still finish and are counted by their own drain loops.
+        finished += num_tasks - next;
+        next = num_tasks;
       }
       std::lock_guard<std::mutex> lock(mutex);
-      if (--pending == 0) batch_done.notify_all();
+      if ((pending -= finished) == 0) batch_done.notify_all();
     }
   }
 };
@@ -109,23 +125,34 @@ ThreadPool& ThreadPool::instance() {
 
 void ThreadPool::run(int num_tasks, const std::function<void(int)>& task) {
   if (num_tasks <= 0) return;
-  if (num_tasks == 1 || num_workers_ == 0) {
+  // Nested use — a task body (or another thread while a batch is active)
+  // calling back into the pool — degrades to inline serial execution: the
+  // nested batch still completes with identical task coverage, it just
+  // does not fan out.  This is what lets an ensemble trial compile a
+  // tabulated model (whose grid build is itself a parallel_for) inside a
+  // pool worker instead of dying on a reentrancy precondition.
+  std::uint64_t gen = 0;
+  bool inline_run = t_in_pool_run || num_tasks == 1 || num_workers_ == 0;
+  if (!inline_run) {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->task != nullptr) {
+      inline_run = true;  // another thread's batch is active
+    } else {
+      impl_->task = &task;
+      impl_->next = 0;
+      impl_->num_tasks = num_tasks;
+      impl_->pending = num_tasks;
+      gen = ++impl_->generation;
+    }
+  }
+  if (inline_run) {
     for (int i = 0; i < num_tasks; ++i) task(i);
     return;
   }
-  std::uint64_t gen;
-  {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    CARBON_REQUIRE(impl_->task == nullptr,
-                   "ThreadPool::run is not reentrant");
-    impl_->task = &task;
-    impl_->next = 0;
-    impl_->num_tasks = num_tasks;
-    impl_->pending = num_tasks;
-    gen = ++impl_->generation;
-  }
   impl_->work_ready.notify_all();
+  t_in_pool_run = true;
   impl_->drain(gen);  // caller participates
+  t_in_pool_run = false;
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(impl_->mutex);

@@ -38,8 +38,18 @@ class ThreadPool {
 
   /// Run task(0) ... task(num_tasks - 1) on the pool and wait for all of
   /// them.  The calling thread participates, so the pool also works when it
-  /// has a single (or zero) workers.  The first exception thrown by any
-  /// task is rethrown on the caller after the batch drains.
+  /// has a single (or zero) workers.
+  ///
+  /// Fault isolation: the first exception thrown by any task is captured
+  /// and rethrown on the caller after the batch drains — it never escapes a
+  /// worker thread (which would std::terminate the process) — and the
+  /// batch fails fast: unclaimed tasks are skipped once a task has thrown.
+  /// The pool survives a throwing batch and accepts the next one.
+  ///
+  /// Reentrancy: a nested run() — from inside a task body, or from another
+  /// thread while a batch is active — executes its tasks inline on the
+  /// calling thread instead of fanning out.  Coverage and determinism
+  /// contracts are unchanged; only the nested call's parallelism is lost.
   void run(int num_tasks, const std::function<void(int)>& task);
 
  private:

@@ -1,5 +1,7 @@
 #include "phys/rng.h"
 
+#include <cmath>
+
 #include "phys/require.h"
 
 namespace carbon::phys {
@@ -29,7 +31,30 @@ double Rng::truncated_normal(double mean, double sigma, double lo, double hi) {
 
 int Rng::poisson(double lambda) {
   CARBON_REQUIRE(lambda >= 0.0, "poisson: negative mean");
-  return std::poisson_distribution<int>(lambda)(engine_);
+  // Not std::poisson_distribution: libstdc++'s setup calls glibc lgamma(),
+  // which writes the process-global `signgam` — a data race when the fab
+  // Monte Carlo samples from many pool workers at once.  Sample from
+  // uniforms only: Knuth's product method per chunk, with the exact
+  // splitting identity Poisson(a + b) = Poisson(a) + Poisson(b) reducing
+  // large means to chunks where exp(-lambda) stays well away from
+  // underflow.
+  const auto knuth = [this](double mean) {
+    const double limit = std::exp(-mean);
+    int k = -1;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k;
+  };
+  constexpr double kChunk = 16.0;
+  int n = 0;
+  while (lambda > kChunk) {
+    n += knuth(kChunk);
+    lambda -= kChunk;
+  }
+  return n + knuth(lambda);
 }
 
 bool Rng::bernoulli(double p) {

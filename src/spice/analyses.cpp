@@ -89,7 +89,26 @@ bool newton_solve(Circuit& ckt, std::vector<double>& x,
                   const std::vector<double>* ptc_ref) {
   const int n = ckt.num_unknowns();
   const int n_nodes = ckt.num_nodes();
-  ws.prepare(ckt, opts);
+  try {
+    ws.prepare(ckt, opts);
+  } catch (const NonFiniteEvalError& e) {
+    // The pattern-capture pass evaluates every device once, so a model
+    // that returns NaN from its very first eval throws HERE on the worker
+    // that builds the pattern — and inside the Newton loop on a worker
+    // whose workspace already has it.  Classify both identically (a
+    // failed rung for the escalation ladder) so a trial's failure record
+    // does not depend on which trials ran earlier on the same workspace.
+    if (diag) {
+      diag->reason = NewtonDiag::Reason::kNonFinite;
+      diag->culprit = e.element();
+      diag->iterations = 0;
+      diag->bad_row = -1;
+      diag->worst_ratio = 0.0;
+      diag->update_ratio.clear();
+      diag->sign_flips.clear();
+    }
+    return false;
+  }
 
   std::vector<int> prev_sign;
   if (diag) {
@@ -104,6 +123,11 @@ bool newton_solve(Circuit& ckt, std::vector<double>& x,
   }
 
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    // Cooperative cancellation / deadline poll: one relaxed load (plus a
+    // clock read when a deadline is armed) per iteration.  Throws
+    // CancelledError, which is not a ConvergenceError — the escalation
+    // ladder unwinds instead of treating it as a failed rung.
+    if (opts.cancel) opts.cancel->throw_if_stopped("newton");
     ws.mna.restore_baseline();
 
     StampContext ctx = proto;
@@ -682,8 +706,10 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
   ckt.reset_state();
   ckt.assign_branches();
 
-  // Workspace shared by the initial OP and every time step.
-  NewtonWorkspace ws;
+  // Workspace shared by the initial OP and every time step — and, when the
+  // caller provides one (ensemble workers), across whole transient runs.
+  NewtonWorkspace local_ws;
+  NewtonWorkspace& ws = opts.workspace ? *opts.workspace : local_ws;
 
   // Initial condition: DC operating point with sources at t=0.
   Solution sol = operating_point(ckt, opts.solver, nullptr, &ws);
@@ -727,6 +753,7 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
     // against.
     bool first_step = true;  // BE start-up step stabilizes trap ringing
     while (t < opts.t_stop - 1e-21) {
+      if (opts.solver.cancel) opts.solver.cancel->throw_if_stopped("transient");
       double dt = std::min(opts.dt, opts.t_stop - t);
       int halvings = 0;
       for (;;) {
@@ -799,6 +826,7 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
   int consecutive_failures = 0;
 
   while (t < opts.t_stop - t_eps) {
+    if (opts.solver.cancel) opts.solver.cancel->throw_if_stopped("transient");
     // Never step across a source corner: clamp to the next breakpoint (or
     // t_stop) and land on it exactly.
     while (bp_idx < bps.size() && bps[bp_idx] <= t + t_eps) ++bp_idx;

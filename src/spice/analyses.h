@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "phys/cancel.h"
 #include "phys/linalg.h"
 #include "phys/require.h"
 #include "phys/table.h"
@@ -55,6 +56,15 @@ struct SolverOptions {
   /// (bench/perf_kernels.cpp) — the sparse engine wins from a few dozen
   /// unknowns up on circuit-typical sparsity.
   int sparse_threshold = 48;
+
+  /// Optional cooperative stop signal, polled at every Newton iteration
+  /// and every transient step.  When it fires (explicit cancel() or an
+  /// armed deadline), the solve throws phys::CancelledError — which is NOT
+  /// a ConvergenceError, so the escalation ladder never mistakes it for a
+  /// failed homotopy rung: it unwinds straight to the caller.  A hung
+  /// corner case thus degrades to a bounded, attributable stop instead of
+  /// wedging the thread.  Not owned; must outlive the solve.
+  const phys::CancelToken* cancel = nullptr;
 };
 
 /// Stage of the convergence escalation ladder.
@@ -337,6 +347,13 @@ struct TransientOptions {
   TransientIc ic = TransientIc::kFromInit;
   TransientStats* stats = nullptr;  ///< optional out-param
   SolverOptions solver;
+
+  /// Optional caller-owned Newton workspace.  An ensemble worker that
+  /// re-runs one topology under many perturbed device models passes the
+  /// same workspace every trial, so the matrix pattern, slot tables and
+  /// (sparse backend) the symbolic factorization are built once per worker
+  /// instead of once per trial.  Null = per-call workspace, as before.
+  NewtonWorkspace* workspace = nullptr;
 };
 
 /// Transient run recording node voltages (and optionally source currents).

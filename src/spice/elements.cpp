@@ -350,6 +350,12 @@ Fet::Fet(std::string name, NodeId drain, NodeId gate, NodeId source,
 
 void Fet::reset_state() { cache_valid_ = false; }
 
+void Fet::set_model(device::DeviceModelPtr model) {
+  CARBON_REQUIRE(model != nullptr, "fet model must not be null");
+  model_ = std::move(model);
+  cache_valid_ = false;  // cached eval belongs to the old model
+}
+
 void Fet::stamp(const StampContext& ctx) const {
   const NodeId d = nodes_[0], g = nodes_[1], s = nodes_[2];
   const double vgs = ctx.v(g) - ctx.v(s);

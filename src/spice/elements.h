@@ -364,6 +364,11 @@ class Fet final : public Element {
                      std::vector<NoiseSource>& out) const override;
   void reset_state() override;
   const device::IDeviceModel& model() const { return *model_; }
+  /// Swap the compact model in place (ensemble trials re-solve one
+  /// topology under thousands of perturbed models this way).  The stamp
+  /// footprint is model-independent, so the matrix pattern and slot tables
+  /// stay valid; the quiescent-bypass cache is invalidated.
+  void set_model(device::DeviceModelPtr model);
   double multiplier() const { return mult_; }
 
  private:

@@ -65,6 +65,71 @@ TEST(ParallelFor, PropagatesExceptions) {
   EXPECT_EQ(ok.load(), 10);
 }
 
+TEST(ParallelFor, FailFastSkipsUnclaimedTasksAfterThrow) {
+  // The first task to execute throws; the batch must rethrow on the caller
+  // AND retire the unclaimed remainder without running it (tasks already
+  // claimed by other workers still finish).  With 100 instant tasks, a
+  // non-fail-fast pool would execute all of them.
+  auto& pool = phys::ThreadPool::instance();
+  std::atomic<int> executed{0};
+  std::atomic<bool> thrown{false};
+  EXPECT_THROW(pool.run(100,
+                        [&](int) {
+                          if (!thrown.exchange(true)) {
+                            throw std::runtime_error("first task dies");
+                          }
+                          ++executed;
+                        }),
+               std::runtime_error);
+  // At most one in-flight task per worker (plus the caller) can slip in
+  // between the throw and the skip.
+  EXPECT_LE(executed.load(), pool.num_workers() + 1);
+  // The pool survives and runs the next batch in full.
+  std::atomic<int> ok{0};
+  pool.run(50, [&](int) { ++ok; });
+  EXPECT_EQ(ok.load(), 50);
+}
+
+TEST(ParallelFor, NestedCallExecutesInline) {
+  // parallel_for from inside a pool task (e.g. an ensemble trial compiling
+  // a tabulated model) must degrade to inline execution with full
+  // coverage, not deadlock or trip a reentrancy precondition.
+  std::atomic<long> total{0};
+  phys::parallel_for_each(
+      8,
+      [&](long) {
+        std::atomic<long> inner{0};
+        phys::parallel_for_each(
+            100, [&](long i) { inner += i; }, 4);
+        EXPECT_EQ(inner.load(), 100L * 99L / 2);
+        total += inner.load();
+      },
+      4);
+  EXPECT_EQ(total.load(), 8 * (100L * 99L / 2));
+}
+
+TEST(ParallelFor, NestedCallPropagatesExceptions) {
+  // An exception from a nested (inline) parallel_for surfaces through the
+  // outer batch as usual.
+  EXPECT_THROW(phys::parallel_for_each(
+                   4,
+                   [&](long outer) {
+                     phys::parallel_for_each(
+                         10,
+                         [&](long i) {
+                           if (outer == 2 && i == 5) {
+                             throw std::runtime_error("nested boom");
+                           }
+                         },
+                         4);
+                   },
+                   4),
+               std::runtime_error);
+  std::atomic<int> ok{0};
+  phys::parallel_for_each(10, [&](long) { ++ok; }, 4);
+  EXPECT_EQ(ok.load(), 10);
+}
+
 TEST(StreamSeed, DecorrelatesAdjacentStreams) {
   std::set<std::uint64_t> seeds;
   for (std::uint64_t i = 0; i < 1000; ++i) {

@@ -51,6 +51,40 @@ class Json {
   /// JSON string escaping of @p s (quotes included).
   static std::string escape(const std::string& s);
 
+  /// Parse a JSON document (the reader side of dump(); tests round-trip
+  /// carbon_sim output through it instead of string-grepping).  Accepts
+  /// exactly one top-level value with optional surrounding whitespace;
+  /// numbers without '.', 'e' or '-0' fraction parse as kInt when they fit
+  /// an int64, as kDouble otherwise; \uXXXX escapes decode to UTF-8.
+  /// Throws std::runtime_error with a character offset on malformed input.
+  static Json parse(const std::string& text);
+
+  // --- read-side accessors -------------------------------------------------
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const;
+  /// Numeric value (kInt or kDouble).
+  double as_double() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+
+  /// Array length / object member count (0 for scalars).
+  std::size_t size() const;
+  /// Array element (throws out_of_range past the end or on non-arrays).
+  const Json& at(std::size_t i) const;
+  /// Object member lookup; nullptr when absent (first match wins).
+  const Json* find(const std::string& key) const;
+  /// Object member access; throws out_of_range when absent.
+  const Json& operator[](const std::string& key) const;
+
  private:
   enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
   explicit Json(Kind kind) : kind_(kind) {}

@@ -16,7 +16,7 @@ phys::DataTable ac_sweep(Circuit& ckt, VSource& input,
       log_frequency_grid(opt.f_start_hz, opt.f_stop_hz, opt.points_per_decade);
 
   // DC operating point first; the AC system is linearized around it.
-  const Solution dc_sol = operating_point(ckt, opt.dc);
+  const Solution dc_sol = operating_point(ckt, opt.dc, nullptr, opt.workspace);
 
   // The stimulus magnitude must come back down even when the sweep throws
   // (singular small-signal system at some frequency).
@@ -38,7 +38,8 @@ phys::DataTable ac_sweep(Circuit& ckt, VSource& input,
   // analyzes the pattern once — each frequency point is a baseline
   // restore, a jωC rescale, a numeric refactor and one solve.
   const std::vector<NodeId> probe_ids = resolve_probes(ckt, probes);
-  AcSystem sys;
+  AcSystem local;
+  AcSystem& sys = opt.system ? *opt.system : local;
   sys.build(ckt, dc_sol.x, opt.dc.backend, opt.dc.sparse_threshold);
 
   std::vector<phys::Complex> x;

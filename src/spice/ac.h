@@ -22,12 +22,21 @@
 
 namespace carbon::spice {
 
+class AcSystem;
+
 /// Options of an AC sweep.
 struct AcOptions {
   double f_start_hz = 1e3;
   double f_stop_hz = 1e12;
   int points_per_decade = 10;
   SolverOptions dc;  ///< operating-point solver options
+
+  /// Optional caller-owned reuse state (deck sessions): the Newton
+  /// workspace backs the operating-point solve, the AcSystem keeps its
+  /// captured footprint + complex symbolic analysis across sweeps of one
+  /// topology.  Null = per-call locals, as before.  Not owned.
+  NewtonWorkspace* workspace = nullptr;
+  AcSystem* system = nullptr;
 };
 
 /// Run an AC sweep with @p input as the unit-magnitude stimulus.

@@ -549,7 +549,7 @@ std::vector<NodeId> resolve_probes(const Circuit& ckt,
 phys::DataTable dc_sweep(Circuit& ckt, VSource& swept,
                          const std::vector<double>& values,
                          const std::vector<std::string>& probes,
-                         const SolverOptions& opts) {
+                         const SolverOptions& opts, NewtonWorkspace* ws) {
   CARBON_REQUIRE(!values.empty(), "empty sweep");
   CARBON_REQUIRE(!probes.empty(), "no probe nodes");
   std::vector<std::string> cols{"sweep_v"};
@@ -561,13 +561,15 @@ phys::DataTable dc_sweep(Circuit& ckt, VSource& swept,
 
   // One workspace for the whole sweep: the matrix pattern, slot tables and
   // LU buffers persist across points, and each point warm-starts from the
-  // previous solution.
-  NewtonWorkspace ws;
+  // previous solution.  A caller-owned workspace extends the reuse across
+  // sweeps (deck sessions).
+  NewtonWorkspace local;
+  NewtonWorkspace& work = ws ? *ws : local;
   std::vector<double> warm;
   for (double v : values) {
     swept.set_wave(dc(v));
     const Solution sol =
-        operating_point(ckt, opts, warm.empty() ? nullptr : &warm, &ws);
+        operating_point(ckt, opts, warm.empty() ? nullptr : &warm, &work);
     warm = sol.x;
     std::vector<double> row{v};
     for (const NodeId id : probe_ids) {

@@ -266,10 +266,14 @@ double vsource_current(const Circuit& ckt, const Solution& sol,
 
 /// Sweep a voltage source and record node voltages.
 /// Columns: sweep value, then one column per probe node.
+/// @param ws  optional caller-owned workspace (see operating_point); a
+///            session running many sweeps on one topology passes the same
+///            one so the pattern/symbolic work is done once, not per sweep.
 phys::DataTable dc_sweep(Circuit& ckt, VSource& swept,
                          const std::vector<double>& values,
                          const std::vector<std::string>& probes,
-                         const SolverOptions& opts = {});
+                         const SolverOptions& opts = {},
+                         NewtonWorkspace* ws = nullptr);
 
 /// Instrumentation of one transient run (optional; attach via
 /// TransientOptions::stats).  The adaptive/fixed benchmark pair and the CI

@@ -30,6 +30,10 @@ NodeId Circuit::find_node(const std::string& name) const {
   return it->second;
 }
 
+bool Circuit::has_node(const std::string& name) const {
+  return node_ids_.count(name) != 0;
+}
+
 const std::string& Circuit::node_name(NodeId id) const {
   CARBON_REQUIRE(id >= 0 && id < static_cast<NodeId>(names_.size()),
                  "node id out of range");

@@ -24,6 +24,7 @@ class Circuit {
   NodeId node(const std::string& name);
   /// Look up an existing node (throws if absent).
   NodeId find_node(const std::string& name) const;
+  bool has_node(const std::string& name) const;
   const std::string& node_name(NodeId id) const;
   /// Number of non-ground nodes.
   int num_nodes() const { return static_cast<int>(names_.size()) - 1; }

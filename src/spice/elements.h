@@ -253,6 +253,13 @@ class Resistor final : public Element {
   void collect_noise(const NoiseContext& ctx,
                      std::vector<NoiseSource>& out) const override;
   double resistance() const { return ohms_; }
+  /// Retarget the resistance in place (deck retune).  The Jacobian
+  /// footprint is value-independent, so slot tables stay valid; any
+  /// MnaSystem static baseline must be refreshed afterwards.
+  void set_resistance(double ohms) {
+    CARBON_REQUIRE(ohms != 0.0, "resistance must be nonzero");
+    ohms_ = ohms;
+  }
 
  private:
   double ohms_;
@@ -269,6 +276,9 @@ class Capacitor final : public Element {
   void set_transient_ic(const StampContext& ctx) override;
   void reset_state() override;
   double capacitance() const { return farad_; }
+  /// Retarget the capacitance / initial condition in place (deck retune).
+  void set_capacitance(double farad) { farad_ = farad; }
+  void set_v_init(double v) { v_init_ = v; }
   /// Current charging current (after accept_step) [A].
   double branch_current() const { return i_prev_; }
 
@@ -313,6 +323,8 @@ class ISource final : public Element {
   void collect_breakpoints(double t_stop,
                            std::vector<double>& out) const override;
   void stamp(const StampContext& ctx) const override;
+  /// Replace the waveform (deck retune).
+  void set_wave(WaveformPtr wave) { wave_ = std::move(wave); }
 
  private:
   WaveformPtr wave_;
@@ -330,6 +342,14 @@ class Diode final : public Element {
   void collect_noise(const NoiseContext& ctx,
                      std::vector<NoiseSource>& out) const override;
   void reset_state() override;
+  /// Retarget the junction parameters in place (deck retune); the thermal
+  /// voltage keeps the construction temperature.
+  void set_params(double i_sat_a, double ideality) {
+    CARBON_REQUIRE(i_sat_a > 0.0, "saturation current must be positive");
+    i_sat_ = i_sat_a;
+    n_ = ideality;
+    cache_valid_ = false;  // cached linearization belongs to the old law
+  }
 
  private:
   /// Junction current/conductance at @p v_raw with NR junction-voltage
@@ -370,6 +390,11 @@ class Fet final : public Element {
   /// stay valid; the quiescent-bypass cache is invalidated.
   void set_model(device::DeviceModelPtr model);
   double multiplier() const { return mult_; }
+  /// Retarget the parallel-device multiplier in place (deck retune).
+  void set_multiplier(double mult) {
+    mult_ = mult;
+    cache_valid_ = false;
+  }
 
  private:
   device::DeviceModelPtr model_;

@@ -154,4 +154,64 @@ double supply_energy(const phys::DataTable& tran, const std::string& i_col,
   return e;
 }
 
+double column_stat(const phys::DataTable& table, const std::string& xcol,
+                   const std::string& col, ColumnStat stat, double from,
+                   double to) {
+  const std::vector<double> x = table.column(xcol);
+  const std::vector<double> v = table.column(col);
+  double lo = 0.0, hi = 0.0, sum = 0.0, sum_sq = 0.0, span = 0.0;
+  size_t count = 0;
+  double x_prev = 0.0, v_prev = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < from || x[i] > to) continue;
+    if (count == 0) {
+      lo = hi = v[i];
+    } else {
+      lo = std::min(lo, v[i]);
+      hi = std::max(hi, v[i]);
+      // Trapezoid weights: adaptive grids are far from uniform.
+      const double w = x[i] - x_prev;
+      sum += 0.5 * (v[i] + v_prev) * w;
+      sum_sq += 0.5 * (v[i] * v[i] + v_prev * v_prev) * w;
+      span += w;
+    }
+    x_prev = x[i];
+    v_prev = v[i];
+    ++count;
+  }
+  CARBON_REQUIRE(count > 0, "column_stat: empty measurement window");
+  switch (stat) {
+    case ColumnStat::kMax:
+      return hi;
+    case ColumnStat::kMin:
+      return lo;
+    case ColumnStat::kPeakToPeak:
+      return hi - lo;
+    case ColumnStat::kAvg:
+      return span > 0.0 ? sum / span : v_prev;
+    case ColumnStat::kRms:
+      return span > 0.0 ? std::sqrt(sum_sq / span) : std::abs(v_prev);
+  }
+  CARBON_REQUIRE(false, "column_stat: unreachable");
+  return 0.0;
+}
+
+double value_at(const phys::DataTable& table, const std::string& xcol,
+                const std::string& col, double x) {
+  const std::vector<double> xs = table.column(xcol);
+  const std::vector<double> vs = table.column(col);
+  CARBON_REQUIRE(!xs.empty(), "value_at: empty table");
+  if (x <= xs.front()) return vs.front();
+  if (x >= xs.back()) return vs.back();
+  for (size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] >= x) {
+      const double w = xs[i] - xs[i - 1];
+      if (w <= 0.0) return vs[i];
+      const double f = (x - xs[i - 1]) / w;
+      return vs[i - 1] + f * (vs[i] - vs[i - 1]);
+    }
+  }
+  return vs.back();
+}
+
 }  // namespace carbon::spice

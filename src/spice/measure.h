@@ -56,4 +56,22 @@ double oscillation_period(const phys::DataTable& tran, const std::string& col,
 double supply_energy(const phys::DataTable& tran, const std::string& i_col,
                      double v_dd);
 
+/// Column statistics of `.measure <an> <name> max|min|avg|rms|pp` cards.
+/// avg/rms are trapezoid-weighted over the abscissa (robust on adaptive
+/// transient grids where rows are not equally spaced).
+enum class ColumnStat { kMax, kMin, kAvg, kRms, kPeakToPeak };
+
+/// Evaluate @p stat of column @p col over the abscissa window
+/// [@p from, @p to] of column @p xcol (the full range by default).
+/// Throws on an empty window.
+double column_stat(const phys::DataTable& table, const std::string& xcol,
+                   const std::string& col, ColumnStat stat,
+                   double from = -1e308, double to = 1e308);
+
+/// Linear interpolation of column @p col at abscissa @p x of column
+/// @p xcol (`.measure find ... at=`).  Clamps outside the table range;
+/// the abscissa must be monotonically non-decreasing.
+double value_at(const phys::DataTable& table, const std::string& xcol,
+                const std::string& col, double x);
+
 }  // namespace carbon::spice

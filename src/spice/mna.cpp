@@ -110,8 +110,22 @@ void MnaSystem::build(Circuit& ckt, LinearBackend backend,
     if (!has_rhs) ++static_skipped_;
   }
 
+  ckt_ = &ckt;
+  stamp_static_baseline();
+
+  uid_ = ckt.uid();
+  revision_ = ckt.revision();
+  requested_ = backend;
+  threshold_ = sparse_threshold;
+  ++builds_;
+}
+
+void MnaSystem::stamp_static_baseline() {
+  CARBON_REQUIRE(ckt_ != nullptr, "stamp_static_baseline before build");
   zero();
   {
+    const std::vector<double> x_probe(n_, 0.0);
+    const auto& elements = ckt_->elements();
     StampContext base;
     base.x = &x_probe;  // static stamps must not read the iterate
     base.transient = true;
@@ -137,15 +151,13 @@ void MnaSystem::build(Circuit& ckt, LinearBackend backend,
   baseline_.assign(vals, vals + nvals);
   std::fill(rhs_.begin(), rhs_.end(), 0.0);  // drop baseline RHS writes
 
+  // Both the factored image and any held factorization belong to the old
+  // element values.
   factored_values_.clear();
   factored_valid_ = false;
-
-  ckt_ = &ckt;
-  uid_ = ckt.uid();
-  revision_ = ckt.revision();
-  requested_ = backend;
-  threshold_ = sparse_threshold;
 }
+
+void MnaSystem::refresh_baseline() { stamp_static_baseline(); }
 
 int MnaSystem::nnz() const { return sparse_ ? smat_.nnz() : n_ * n_; }
 

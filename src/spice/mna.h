@@ -65,6 +65,20 @@ class MnaSystem {
   /// restore_baseline() brings back.
   void zero();
 
+  /// Re-stamp the constant-Jacobian elements into the static baseline
+  /// after their *values* changed under an unchanged topology (deck
+  /// retune: Resistor::set_resistance and friends do not bump the circuit
+  /// revision precisely so the pattern, slot tables and sparse symbolic
+  /// analysis survive).  Also drops the Shamanskii factored-image cache,
+  /// which belongs to the old values.  No-op requirement: build() must
+  /// have run for the current topology.
+  void refresh_baseline();
+
+  /// Full pattern rebuilds performed by build() over the life of the
+  /// instance (cache-effectiveness diagnostics: stays at 1 per topology
+  /// when workspace reuse works).
+  long build_count() const { return builds_; }
+
   /// Start a stamping pass: restore the Jacobian values to the static
   /// baseline (the summed contributions of every jacobian_is_constant()
   /// element, memcpy'd back instead of re-stamped) and zero the RHS.  This
@@ -141,6 +155,10 @@ class MnaSystem {
   int analyze_count() const { return slu_.analyze_count(); }
 
  private:
+  /// Stamp the static elements into a fresh baseline image (shared tail
+  /// of build() and refresh_baseline()).
+  void stamp_static_baseline();
+
   const Circuit* ckt_ = nullptr;
   std::uint64_t uid_ = 0;
   std::uint64_t revision_ = 0;
@@ -183,6 +201,7 @@ class MnaSystem {
   std::vector<double> factored_values_;
   bool factored_valid_ = false;
   long factor_skips_ = 0;
+  long builds_ = 0;
 };
 
 }  // namespace carbon::spice

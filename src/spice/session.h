@@ -1,0 +1,86 @@
+#pragma once
+
+/// @file session.h
+/// SimSession: the deck dispatcher behind the netlist-in → results-out
+/// surface.  It takes a parsed Deck (netlist_parser.h), runs every
+/// analysis request per .step point through the existing engine
+/// (operating_point / dc_sweep / transient / ac_sweep / noise_sweep),
+/// evaluates the .measure cards against the recorded tables, and renders
+/// one structured core::Json document per deck.
+///
+/// The session is long-lived: a cache keyed on the deck's value-free
+/// topology signature holds one instantiated Circuit, one NewtonWorkspace
+/// and one AcSystem per topology.  Step points — and repeated decks that
+/// differ only in values — *retune* the cached circuit in place (element
+/// setters, no revision bump) and refresh the MNA static baseline, so the
+/// matrix pattern, slot tables and the sparse symbolic analyses (real and
+/// complex) are built exactly once per topology.  The JSON "session"
+/// block reports those counters so callers (and the acceptance tests) can
+/// assert the reuse actually happened.
+///
+/// run_deck_text() never throws: malformed decks render as
+///   {"ok": false, "error": {"type": "parse", "line": N, ...}}
+/// and convergence failures as
+///   {"ok": false, "error": {"type": "solve_failure", ...}}  (the
+/// structured SolveFailure ladder diagnostics), so a batch driver can keep
+/// consuming decks after a bad one.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/report.h"
+#include "spice/ac.h"
+#include "spice/analyses.h"
+#include "spice/netlist_parser.h"
+#include "spice/smallsignal.h"
+
+namespace carbon::spice {
+
+/// Session-wide options of the JSON rendering.
+struct SessionOptions {
+  /// Emit the recorded analysis tables ("table" blocks).  Off leaves only
+  /// stats + measures — the .probe none behaviour for every deck.
+  bool emit_tables = true;
+  /// Hard ceiling on rows per emitted table (tables are thinned by the
+  /// deck's print interval first; this is the backstop).
+  int max_table_rows = 100000;
+};
+
+class SimSession {
+ public:
+  explicit SimSession(ModelRegistry registry = {}, SessionOptions opts = {});
+
+  /// Parse + run one deck.  Never throws; errors become structured JSON.
+  core::Json run_deck_text(const std::string& text);
+
+  /// Run an already parsed deck.  Throws ParseError on card-level
+  /// evaluation errors and SolveFailureError on convergence failure
+  /// (run_deck_text wraps both).
+  core::Json run_deck(const Deck& deck);
+
+  const ModelRegistry& registry() const { return registry_; }
+  std::size_t cache_entries() const { return cache_.size(); }
+  long decks_run() const { return decks_run_; }
+
+ private:
+  struct CacheEntry {
+    std::unique_ptr<Circuit> circuit;
+    NewtonWorkspace workspace;
+    AcSystem ac;
+    /// Deck-model memo (see netlist_parser's resolve_model): unchanged
+    /// .model cards keep their built DeviceModelPtr across steps/decks.
+    std::map<std::string, device::DeviceModelPtr> model_memo;
+    long uses = 0;
+  };
+
+  CacheEntry& entry_for(const Deck& deck, bool* cache_hit);
+
+  ModelRegistry registry_;
+  SessionOptions opts_;
+  std::map<std::string, CacheEntry> cache_;  ///< key: topology signature
+  long decks_run_ = 0;
+};
+
+}  // namespace carbon::spice

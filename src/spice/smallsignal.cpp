@@ -176,7 +176,7 @@ NoiseResult noise_sweep(Circuit& ckt, VSource& input,
 
   // Operating point; all small-signal values and noise PSDs are evaluated
   // at it.
-  const Solution dc_sol = operating_point(ckt, opt.dc);
+  const Solution dc_sol = operating_point(ckt, opt.dc, nullptr, opt.workspace);
   const NodeId out = ckt.find_node(output_node);
   CARBON_REQUIRE(out != 0, "noise output node cannot be ground");
 
@@ -194,7 +194,8 @@ NoiseResult noise_sweep(Circuit& ckt, VSource& input,
     ~MagnitudeGuard() { src.set_ac_magnitude(prev); }
   } guard{input, input.ac_magnitude()};
   input.set_ac_magnitude(1.0);
-  AcSystem sys;
+  AcSystem local;
+  AcSystem& sys = opt.system ? *opt.system : local;
   sys.build(ckt, dc_sol.x, opt.dc.backend, opt.dc.sparse_threshold);
   const int n = sys.size();
 

@@ -119,6 +119,13 @@ struct NoiseOptions {
   double temperature_k = 300.0;
   SolverOptions dc;  ///< operating-point solver options (also selects the
                      ///< AC backend via backend/sparse_threshold)
+
+  /// Optional caller-owned reuse state, mirroring AcOptions: the Newton
+  /// workspace backs the operating-point solve, the AcSystem carries the
+  /// complex pattern + symbolic analysis across sweeps of one topology.
+  /// Null = per-call locals.  Not owned.
+  NewtonWorkspace* workspace = nullptr;
+  AcSystem* system = nullptr;
 };
 
 /// Result of a noise sweep.

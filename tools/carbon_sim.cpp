@@ -1,0 +1,133 @@
+/// @file carbon_sim.cpp
+/// Batch simulation driver: SPICE decks in, JSON documents out.
+///
+///   carbon_sim deck1.cir deck2.cir      # one JSON document per file
+///   carbon_sim < decks.cir              # stdin; decks separated by .end
+///   carbon_sim --compact deck.cir       # single-line JSON
+///
+/// The process is a single long-lived SimSession, so consecutive decks
+/// sharing a topology (a parameter-sweep batch, a regression suite over
+/// one circuit) reuse the cached matrix pattern and symbolic analyses —
+/// the "session" block of each document reports the reuse counters.
+///
+/// Exit status: 0 when every deck ran, 1 when any deck failed (its
+/// document still prints, with {"ok": false, "error": {...}}) or a file
+/// could not be read.
+
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "device/alpha_power.h"
+#include "device/ivmodel.h"
+#include "device/linear_fet.h"
+#include "spice/session.h"
+
+namespace {
+
+using carbon::spice::ModelRegistry;
+
+/// Built-in registry: the paper's Fig. 2 device family, usable from any
+/// deck without a .model card.  nfet/pfet are the saturating alpha-power
+/// devices; linfet_n/linfet_p the non-saturating (Fig. 2(b)/(d)) ones.
+ModelRegistry builtin_models() {
+  using namespace carbon::device;
+  ModelRegistry reg;
+  auto nfet = std::make_shared<AlphaPowerModel>(make_fig2_saturating_params());
+  reg["nfet"] = nfet;
+  reg["pfet"] = std::make_shared<PTypeMirror>(nfet);
+  auto linn = std::make_shared<LinearFetModel>(make_fig2_linear_params());
+  reg["linfet_n"] = linn;
+  reg["linfet_p"] = std::make_shared<PTypeMirror>(linn);
+  return reg;
+}
+
+/// Split a stream into decks on `.end` lines (the .end stays with its
+/// deck).  Text after the last .end that is only blank/comment lines is
+/// discarded; anything else becomes a final deck of its own.
+std::vector<std::string> split_decks(std::istream& in) {
+  std::vector<std::string> decks;
+  std::string current;
+  std::string line;
+  bool any_content = false;
+  while (std::getline(in, line)) {
+    current += line;
+    current += '\n';
+    // Lowercased first token of the line, cheaply.
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    for (char& c : tok) c = static_cast<char>(std::tolower(c));
+    if (!tok.empty() && tok[0] != '*' && tok[0] != '#') any_content = true;
+    if (tok == ".end") {
+      decks.push_back(std::move(current));
+      current.clear();
+      any_content = false;
+    }
+  }
+  if (any_content) decks.push_back(std::move(current));
+  return decks;
+}
+
+void print_doc(const carbon::core::Json& doc, bool compact) {
+  std::cout << (compact ? doc.dump() : doc.dump(2)) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool compact = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--compact") {
+      compact = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: carbon_sim [--compact] [deck.cir ...]\n"
+                   "       carbon_sim [--compact] < decks.cir\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "carbon_sim: unknown option " << arg << "\n";
+      return 1;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  carbon::spice::SimSession session(builtin_models());
+  bool any_failed = false;
+
+  auto run_one = [&](const std::string& text) {
+    const carbon::core::Json doc = session.run_deck_text(text);
+    const carbon::core::Json* ok = doc.find("ok");
+    if (!ok || !ok->is_bool() || !ok->as_bool()) any_failed = true;
+    print_doc(doc, compact);
+  };
+
+  if (files.empty()) {
+    for (const std::string& deck : split_decks(std::cin)) run_one(deck);
+  } else {
+    for (const std::string& path : files) {
+      std::ifstream in(path);
+      if (!in) {
+        auto err = carbon::core::Json::object();
+        err.set("type", "io");
+        err.set("what", "cannot read deck file: " + path);
+        auto doc = carbon::core::Json::object();
+        doc.set("ok", false);
+        doc.set("file", path);
+        doc.set("error", std::move(err));
+        print_doc(doc, compact);
+        any_failed = true;
+        continue;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      run_one(text.str());
+    }
+  }
+  return any_failed ? 1 : 0;
+}

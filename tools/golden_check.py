@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Golden-deck regression checker for carbon_sim.
+
+Runs the carbon_sim binary over every ``*.cir`` deck in a directory and
+compares each JSON document against the checked-in golden
+``<deck-stem>.json``.  Numbers compare with mixed relative/absolute
+tolerance (goldens are produced by a Release build and must hold across
+-O levels and compilers); everything else compares exactly, except a few
+volatile keys that are checked for presence only.
+
+Regenerate goldens after an intentional behaviour change with::
+
+    tools/golden_check.py --binary build/carbon_sim \
+        --decks examples/decks --golden examples/decks/golden --update
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+# Numeric slack: solver iteration order is deterministic, but FP totals
+# (energies, integrated noise, adaptive step counts feeding averages)
+# may wiggle across compilers/-O levels.
+RELTOL = 5e-5
+ABSTOL = 1e-12
+
+# Keys whose *values* are environment- or history-dependent: assert they
+# exist with the right type, ignore the payload.
+VOLATILE_KEYS = {"decks_run", "cache_entries", "topology_uses"}
+
+# Stats blocks are solver-internals (iteration counts move when the
+# ladder's heuristics are retuned); golden-compare their presence only.
+VOLATILE_SUBTREES = {"stats"}
+
+
+def numbers_close(a, b):
+    if a == b:
+        return True
+    return abs(a - b) <= max(ABSTOL, RELTOL * max(abs(a), abs(b)))
+
+
+def diff(golden, actual, path="$"):
+    """Return a list of human-readable mismatch strings."""
+    if isinstance(golden, bool) or isinstance(actual, bool):
+        # bool is an int subclass; compare strictly before the number path.
+        if golden is not actual:
+            return [f"{path}: expected {golden!r}, got {actual!r}"]
+        return []
+    if isinstance(golden, (int, float)) and isinstance(actual, (int, float)):
+        if not numbers_close(float(golden), float(actual)):
+            return [f"{path}: expected {golden!r}, got {actual!r}"]
+        return []
+    if type(golden) is not type(actual):
+        return [f"{path}: type mismatch "
+                f"({type(golden).__name__} vs {type(actual).__name__})"]
+    if isinstance(golden, dict):
+        errors = []
+        for key in golden:
+            if key not in actual:
+                errors.append(f"{path}.{key}: missing")
+            elif key in VOLATILE_KEYS:
+                continue
+            elif key in VOLATILE_SUBTREES:
+                continue
+            else:
+                errors.extend(diff(golden[key], actual[key], f"{path}.{key}"))
+        for key in actual:
+            if key not in golden:
+                errors.append(f"{path}.{key}: unexpected key")
+        return errors
+    if isinstance(golden, list):
+        if len(golden) != len(actual):
+            return [f"{path}: length {len(golden)} vs {len(actual)}"]
+        errors = []
+        for i, (g, a) in enumerate(zip(golden, actual)):
+            errors.extend(diff(g, a, f"{path}[{i}]"))
+            if len(errors) > 20:  # don't drown the log on a shifted table
+                errors.append(f"{path}: ... further diffs suppressed")
+                return errors
+        return errors
+    if golden != actual:
+        return [f"{path}: expected {golden!r}, got {actual!r}"]
+    return []
+
+
+def run_deck(binary, deck):
+    proc = subprocess.run([binary, "--compact", str(deck)],
+                          capture_output=True, text=True, timeout=600)
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        raise SystemExit(
+            f"{deck.name}: carbon_sim emitted invalid JSON ({e});"
+            f" stderr:\n{proc.stderr}")
+    # Failing decks are part of the suite (error-JSON goldens); the exit
+    # status just has to agree with the document.
+    ok = bool(doc.get("ok"))
+    if ok != (proc.returncode == 0):
+        raise SystemExit(f"{deck.name}: ok={ok} but exit={proc.returncode}")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", required=True)
+    ap.add_argument("--decks", required=True)
+    ap.add_argument("--golden", required=True)
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the goldens from the current binary")
+    args = ap.parse_args()
+
+    decks = sorted(pathlib.Path(args.decks).glob("*.cir"))
+    if not decks:
+        raise SystemExit(f"no decks found in {args.decks}")
+    golden_dir = pathlib.Path(args.golden)
+
+    failures = 0
+    for deck in decks:
+        doc = run_deck(args.binary, deck)
+        golden_path = golden_dir / (deck.stem + ".json")
+        if args.update:
+            golden_path.parent.mkdir(parents=True, exist_ok=True)
+            golden_path.write_text(json.dumps(doc, indent=1) + "\n")
+            print(f"UPDATED {deck.name}")
+            continue
+        if not golden_path.exists():
+            print(f"FAIL    {deck.name}: no golden {golden_path}")
+            failures += 1
+            continue
+        golden = json.loads(golden_path.read_text())
+        errors = diff(golden, doc)
+        if errors:
+            print(f"FAIL    {deck.name}:")
+            for e in errors[:25]:
+                print(f"        {e}")
+            failures += 1
+        else:
+            print(f"ok      {deck.name}")
+
+    if failures:
+        raise SystemExit(f"{failures}/{len(decks)} golden decks failed")
+    print(f"all {len(decks)} golden decks match")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#include "serve/framing.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+namespace carbon::serve {
+
+namespace {
+
+/// Remaining whole milliseconds until @p deadline, clamped to >= 0.
+int ms_until(std::chrono::steady_clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  return left.count() < 0 ? 0 : static_cast<int>(left.count());
+}
+
+}  // namespace
+
+ReadStatus FrameReader::read_frame(std::string* out, int wake_fd) {
+  char chunk[4096];
+  for (;;) {
+    // Serve a buffered complete frame first: pipelined requests that
+    // already arrived are handled even when the wake fd is firing.
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      if (nl > max_bytes_) return ReadStatus::kTooLarge;
+      out->assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return ReadStatus::kFrame;
+    }
+    // The ceiling applies to the *partial* line too: an attacker (or a
+    // runaway client) streaming newline-free data is cut off after
+    // max_bytes_, not buffered until memory runs out.
+    if (buf_.size() > max_bytes_) return ReadStatus::kTooLarge;
+
+    struct pollfd fds[2];
+    fds[0].fd = fd_;
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = wake_fd;
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    const int n = ::poll(fds, wake_fd >= 0 ? 2 : 1, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::kError;
+    }
+    if (fds[0].revents & (POLLIN | POLLHUP | POLLERR)) {
+      const ssize_t got = ::read(fd_, chunk, sizeof chunk);
+      if (got > 0) {
+        buf_.append(chunk, static_cast<std::size_t>(got));
+        continue;
+      }
+      if (got == 0) return ReadStatus::kEof;
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return ReadStatus::kError;
+    }
+    if (wake_fd >= 0 && (fds[1].revents & (POLLIN | POLLHUP | POLLERR))) {
+      return ReadStatus::kInterrupted;
+    }
+  }
+}
+
+bool write_frame(int fd, const std::string& line, double timeout_s) {
+  std::string data = line;
+  data += '\n';
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(
+          static_cast<long>(std::ceil(timeout_s * 1000.0)));
+  std::size_t off = 0;
+  while (off < data.size()) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    const int ms = ms_until(deadline);
+    if (ms == 0) return false;  // slow-client write timeout
+    const int n = ::poll(&pfd, 1, ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // timeout
+    if (pfd.revents & (POLLERR | POLLNVAL)) return false;
+    const ssize_t wrote = ::write(fd, data.data() + off, data.size() - off);
+    if (wrote < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return false;  // EPIPE / reset: client went away
+    }
+    off += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+}  // namespace carbon::serve

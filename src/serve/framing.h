@@ -1,0 +1,61 @@
+#pragma once
+
+/// @file framing.h
+/// Newline-delimited JSON framing over POSIX stream sockets.
+///
+/// The wire protocol of carbon_simd is deliberately primitive: one JSON
+/// document per line in each direction.  What this layer adds is the
+/// robustness the server needs at the socket boundary:
+///
+///  * FrameReader enforces a hard per-frame byte ceiling while the frame
+///    is still arriving — an oversized request is detected (and reported
+///    as kTooLarge) after at most max_frame_bytes of buffering, never
+///    after the client finished streaming an arbitrarily large line.
+///  * read_frame() can be woken by a second fd (the server's drain pipe),
+///    so a worker blocked on an idle keep-alive connection notices a
+///    SIGTERM drain immediately instead of at the next client byte.
+///  * write_frame() is a poll()-driven bounded write: a client that stops
+///    reading (slow consumer, dead peer behind a full TCP window) costs at
+///    most the write timeout, after which the connection is abandoned.
+
+#include <cstddef>
+#include <string>
+
+namespace carbon::serve {
+
+/// Outcome of one read_frame() call.
+enum class ReadStatus {
+  kFrame,        ///< a complete line was extracted into *out
+  kEof,          ///< orderly end of stream (any unterminated tail dropped)
+  kTooLarge,     ///< frame exceeded max_frame_bytes before its newline
+  kInterrupted,  ///< the wake fd fired (server drain) with no frame ready
+  kError,        ///< socket error
+};
+
+/// Buffered line reader over a blocking socket fd (not owned).
+class FrameReader {
+ public:
+  FrameReader(int fd, std::size_t max_frame_bytes)
+      : fd_(fd), max_bytes_(max_frame_bytes) {}
+
+  /// Block until a full newline-terminated frame is available (stored in
+  /// *out without the newline) or one of the other ReadStatus conditions
+  /// hits.  @p wake_fd (-1 = none) interrupts the wait when it becomes
+  /// readable or hangs up; buffered complete frames are served before an
+  /// interrupt is reported, so pipelined requests already received are
+  /// not lost to a drain.
+  ReadStatus read_frame(std::string* out, int wake_fd = -1);
+
+ private:
+  int fd_;
+  std::size_t max_bytes_;
+  std::string buf_;
+};
+
+/// Write all of @p line plus a terminating newline, bounded by
+/// @p timeout_s of cumulative poll()+write() time.  Returns false on
+/// timeout, EPIPE/reset or any other socket error.  The caller must have
+/// SIGPIPE ignored (carbon_simd and the tests do).
+bool write_frame(int fd, const std::string& line, double timeout_s);
+
+}  // namespace carbon::serve

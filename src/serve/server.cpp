@@ -1,0 +1,507 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/framing.h"
+
+#ifndef POLLRDHUP
+#define POLLRDHUP 0  // non-Linux fallback: rely on POLLERR/POLLHUP only
+#endif
+
+namespace carbon::serve {
+
+using core::Json;
+
+namespace {
+
+Json error_doc(const std::string& type, const std::string& what) {
+  auto err = Json::object();
+  err.set("type", type);
+  err.set("what", what);
+  auto doc = Json::object();
+  doc.set("ok", false);
+  doc.set("error", std::move(err));
+  return doc;
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+struct Server::WorkerState {
+  // Session-cache counters exported after every request so the health
+  // handler (running on a different worker) can aggregate them without
+  // touching another thread's SimSession.
+  std::atomic<long> cache_hits{0};
+  std::atomic<long> cache_misses{0};
+  std::atomic<long> cache_evictions{0};
+  std::atomic<long> cache_entries{0};
+};
+
+/// One in-flight request as the disconnect monitor sees it.
+struct Server::Watch {
+  int fd = -1;
+  phys::CancelToken* token = nullptr;
+  std::atomic<bool> gone{false};
+};
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)),
+      queue_(static_cast<std::size_t>(std::max(1, cfg_.queue_capacity))) {
+  cfg_.workers = std::max(1, cfg_.workers);
+}
+
+Server::~Server() {
+  if (started_.load() && !stopped_.load()) {
+    request_drain();
+    wait();
+  }
+  close_fd(signal_pipe_[0]);
+  close_fd(signal_pipe_[1]);
+  close_fd(drain_pipe_[0]);
+  close_fd(drain_pipe_[1]);
+  close_fd(listen_fd_);
+}
+
+void Server::start() {
+  if (started_.exchange(true)) {
+    throw std::runtime_error("serve: start() called twice");
+  }
+  if (::pipe(signal_pipe_) != 0 || ::pipe(drain_pipe_) != 0) {
+    throw std::runtime_error("serve: pipe() failed");
+  }
+
+  if (!cfg_.unix_path.empty()) {
+    struct sockaddr_un addr;
+    if (cfg_.unix_path.size() >= sizeof addr.sun_path) {
+      throw std::runtime_error("serve: unix socket path too long: " +
+                               cfg_.unix_path);
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("serve: socket() failed");
+    ::unlink(cfg_.unix_path.c_str());  // stale socket from a previous run
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, cfg_.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      throw std::runtime_error("serve: cannot bind " + cfg_.unix_path + ": " +
+                               std::strerror(errno));
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("serve: socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.tcp_port));
+    if (::inet_pton(AF_INET, cfg_.tcp_host.c_str(), &addr.sin_addr) != 1) {
+      throw std::runtime_error("serve: bad listen address " + cfg_.tcp_host);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      throw std::runtime_error("serve: cannot bind " + cfg_.tcp_host + ":" +
+                               std::to_string(cfg_.tcp_port) + ": " +
+                               std::strerror(errno));
+    }
+    struct sockaddr_in bound;
+    socklen_t len = sizeof bound;
+    ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                  &len);
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd_, SOMAXCONN) != 0) {
+    throw std::runtime_error("serve: listen() failed");
+  }
+
+  monitor_thread_ = std::thread([this] { monitor_main(); });
+  worker_states_.clear();
+  for (int i = 0; i < cfg_.workers; ++i) {
+    worker_states_.push_back(std::make_unique<WorkerState>());
+  }
+  for (int i = 0; i < cfg_.workers; ++i) {
+    WorkerState* w = worker_states_[static_cast<std::size_t>(i)].get();
+    worker_threads_.emplace_back([this, w] { worker_main(*w); });
+  }
+  accept_thread_ = std::thread([this] { accept_main(); });
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : worker_threads_) {
+    if (t.joinable()) t.join();
+  }
+  worker_threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    monitor_stop_ = true;
+  }
+  watch_cv_.notify_all();
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+  if (!cfg_.unix_path.empty()) ::unlink(cfg_.unix_path.c_str());
+  stopped_.store(true);
+}
+
+int Server::run() {
+  start();
+  wait();
+  return 0;
+}
+
+void Server::request_drain() {
+  if (!started_.load() || signal_pipe_[1] < 0) return;
+  const char byte = 'q';
+  // A full pipe means a drain byte is already pending: same effect.
+  [[maybe_unused]] const ssize_t n = ::write(signal_pipe_[1], &byte, 1);
+}
+
+std::string Server::endpoint() const {
+  if (!cfg_.unix_path.empty()) return "unix:" + cfg_.unix_path;
+  return cfg_.tcp_host + ":" + std::to_string(port_);
+}
+
+// --------------------------------------------------------------- accept loop
+
+void Server::accept_main() {
+  for (;;) {
+    struct pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = signal_pipe_[0];
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents & (POLLIN | POLLHUP | POLLERR)) break;  // drain
+    if (!(fds[0].revents & POLLIN)) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+    if (!queue_.try_push(conn)) {
+      // Admission control: shed the connection with a structured overload
+      // document inside a small write budget, never buffer it.
+      stats_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+      const Json doc =
+          error_doc("overload", "request queue full; retry later");
+      write_frame(conn, doc.dump(),
+                  std::min(1.0, std::max(0.05, cfg_.write_timeout_s)));
+      ::close(conn);
+    }
+  }
+
+  // --- graceful drain -------------------------------------------------------
+  draining_.store(true, std::memory_order_release);
+  close_fd(listen_fd_);  // stop accepting
+  queue_.close();        // admitted connections still drain
+  if (cfg_.drain_budget_s > 0.0) {
+    // In-flight (and still-queued) work gets this much wall clock; a hung
+    // solve is cancelled at the budget and renders as a timeout document.
+    drain_token_.set_deadline_after(cfg_.drain_budget_s);
+  } else {
+    drain_token_.cancel();
+  }
+  close_fd(drain_pipe_[1]);  // POLLHUP wakes workers idling in read_frame
+}
+
+// -------------------------------------------------------------- worker pool
+
+void Server::worker_main(WorkerState& w) {
+  // One long-lived session per worker; all workers share the immutable
+  // model registry by value (DeviceModelPtr copies of const models).
+  spice::SimSession session(cfg_.registry, cfg_.session);
+  while (std::optional<int> fd = queue_.pop()) {
+    serve_connection(*fd, session, w);
+  }
+}
+
+void Server::serve_connection(int fd, spice::SimSession& session,
+                              WorkerState& w) {
+  FrameReader reader(fd, cfg_.max_request_bytes);
+  std::string line;
+  for (;;) {
+    const ReadStatus st = reader.read_frame(&line, drain_pipe_[0]);
+    if (st == ReadStatus::kFrame) {
+      if (!handle_request(fd, line, session, w)) break;
+      // Drain: the response of the request that was already in flight is
+      // flushed above; close the keep-alive connection instead of waiting
+      // for more frames.
+      if (draining()) break;
+      continue;
+    }
+    if (st == ReadStatus::kTooLarge) {
+      // The frame boundary is lost once a line is cut off mid-stream, so
+      // reject-and-close is the only safe resynchronization.
+      stats_.rejected_too_large.fetch_add(1, std::memory_order_relaxed);
+      send_doc(fd,
+               error_doc("too_large",
+                         "request frame exceeds " +
+                             std::to_string(cfg_.max_request_bytes) +
+                             " bytes"),
+               cfg_.write_timeout_s);
+    }
+    break;  // kEof / kError / kInterrupted (drain while idle) / kTooLarge
+  }
+  ::close(fd);
+}
+
+bool Server::handle_request(int fd, const std::string& line,
+                            spice::SimSession& session, WorkerState& w) {
+  Json req;
+  try {
+    req = Json::parse(line);
+  } catch (const std::exception& e) {
+    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    return send_doc(fd,
+                    error_doc("bad_request",
+                              std::string("request is not valid JSON: ") +
+                                  e.what()),
+                    cfg_.write_timeout_s);
+  }
+  if (!req.is_object()) {
+    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    return send_doc(fd,
+                    error_doc("bad_request", "request must be a JSON object"),
+                    cfg_.write_timeout_s);
+  }
+  const Json* id = req.find("id");
+
+  auto reply = [&](Json doc) {
+    if (id) doc.set("id", *id);
+    return send_doc(fd, doc, cfg_.write_timeout_s);
+  };
+
+  std::string type;
+  if (const Json* t = req.find("type")) {
+    if (!t->is_string()) {
+      stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+      return reply(error_doc("bad_request", "'type' must be a string"));
+    }
+    type = t->as_string();
+  } else {
+    type = req.find("deck") ? "run" : "";
+  }
+
+  if (type == "health" || type == "stats") {
+    stats_.health_requests.fetch_add(1, std::memory_order_relaxed);
+    return reply(health_doc());
+  }
+  if (type != "run") {
+    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    return reply(error_doc(
+        "bad_request", "unknown request type '" + type +
+                           "' (want run, health or stats)"));
+  }
+
+  const Json* deck = req.find("deck");
+  if (!deck || !deck->is_string()) {
+    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    return reply(error_doc("bad_request", "run request wants a 'deck' string"));
+  }
+  double deadline_s = cfg_.default_deadline_s;
+  if (const Json* dl = req.find("deadline_ms")) {
+    if (!dl->is_number()) {
+      stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+      return reply(error_doc("bad_request", "'deadline_ms' must be a number"));
+    }
+    deadline_s = dl->as_double() * 1e-3;
+  }
+  deadline_s = std::min(std::max(deadline_s, 1e-3), cfg_.max_deadline_s);
+
+  // Per-request deadline chained to the server-wide drain token: whichever
+  // fires first cancels the solve at its next poll point.
+  phys::CancelToken token(&drain_token_);
+  token.set_deadline_after(deadline_s);
+  Watch watch;
+  watch.fd = fd;
+  watch.token = &token;
+  watch_add(&watch);
+  stats_.requests_run.fetch_add(1, std::memory_order_relaxed);
+  stats_.in_flight.fetch_add(1, std::memory_order_relaxed);
+
+  Json doc;
+  try {
+    doc = session.run_deck_text(deck->as_string(), &token);
+  } catch (const std::exception& e) {
+    // run_deck_text is contractually no-throw; this is the last-ditch
+    // request-isolation boundary all the same.
+    doc = error_doc("internal", e.what());
+  } catch (...) {
+    doc = error_doc("internal", "unknown exception");
+  }
+
+  watch_remove(&watch);
+  stats_.in_flight.fetch_sub(1, std::memory_order_relaxed);
+
+  // Export this worker's session-cache counters for health aggregation.
+  const spice::SessionCacheStats cs = session.cache_stats();
+  w.cache_hits.store(cs.hits, std::memory_order_relaxed);
+  w.cache_misses.store(cs.misses, std::memory_order_relaxed);
+  w.cache_evictions.store(cs.evictions, std::memory_order_relaxed);
+  w.cache_entries.store(cs.entries, std::memory_order_relaxed);
+
+  // Outcome accounting.
+  const Json* ok = doc.find("ok");
+  if (ok && ok->is_bool() && ok->as_bool()) {
+    stats_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    std::string etype = "internal";
+    if (const Json* err = doc.find("error")) {
+      if (const Json* t = err->find("type")) {
+        if (t->is_string()) etype = t->as_string();
+      }
+    }
+    if (etype == "parse") {
+      stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+    } else if (etype == "solve_failure") {
+      stats_.solve_failures.fetch_add(1, std::memory_order_relaxed);
+    } else if (etype == "timeout") {
+      stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+    } else if (etype == "cancelled") {
+      stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.internal_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (watch.gone.load(std::memory_order_acquire)) {
+    // The client hung up mid-solve (the monitor cancelled it); there is
+    // nobody left to write the document to.
+    stats_.disconnects.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!reply(std::move(doc))) {
+    stats_.disconnects.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+Json Server::health_doc() const {
+  auto r = [](const std::atomic<long>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  auto server = Json::object();
+  server.set("endpoint", endpoint());
+  server.set("workers", cfg_.workers);
+  server.set("draining", draining());
+  server.set("queue_depth", static_cast<long>(queue_.depth()));
+  server.set("queue_capacity", static_cast<long>(queue_.capacity()));
+  server.set("in_flight", r(stats_.in_flight));
+  server.set("accepted", r(stats_.accepted));
+  server.set("rejected_overload", r(stats_.rejected_overload));
+  server.set("rejected_too_large", r(stats_.rejected_too_large));
+  server.set("bad_requests", r(stats_.bad_requests));
+  server.set("disconnects", r(stats_.disconnects));
+
+  auto outcomes = Json::object();
+  outcomes.set("run", r(stats_.requests_run));
+  outcomes.set("ok", r(stats_.requests_ok));
+  outcomes.set("parse", r(stats_.parse_errors));
+  outcomes.set("solve_failure", r(stats_.solve_failures));
+  outcomes.set("timeout", r(stats_.timeouts));
+  outcomes.set("cancelled", r(stats_.cancelled));
+  outcomes.set("internal", r(stats_.internal_errors));
+  outcomes.set("health", r(stats_.health_requests));
+  server.set("requests", std::move(outcomes));
+
+  long hits = 0, misses = 0, evictions = 0, entries = 0;
+  for (const auto& w : worker_states_) {
+    hits += w->cache_hits.load(std::memory_order_relaxed);
+    misses += w->cache_misses.load(std::memory_order_relaxed);
+    evictions += w->cache_evictions.load(std::memory_order_relaxed);
+    entries += w->cache_entries.load(std::memory_order_relaxed);
+  }
+  auto cache = Json::object();
+  cache.set("hits", hits);
+  cache.set("misses", misses);
+  cache.set("evictions", evictions);
+  cache.set("entries", entries);
+  server.set("session_cache", std::move(cache));
+
+  auto doc = Json::object();
+  doc.set("ok", true);
+  doc.set("type", "health");
+  doc.set("server", std::move(server));
+  return doc;
+}
+
+bool Server::send_doc(int fd, const core::Json& doc, double timeout_s) {
+  return write_frame(fd, doc.dump(), timeout_s);
+}
+
+// ------------------------------------------------------- disconnect monitor
+
+void Server::watch_add(Watch* w) {
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watches_.push_back(w);
+  }
+  watch_cv_.notify_all();
+}
+
+void Server::watch_remove(Watch* w) {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  watches_.erase(std::remove(watches_.begin(), watches_.end(), w),
+                 watches_.end());
+}
+
+void Server::monitor_main() {
+  std::unique_lock<std::mutex> lock(watch_mu_);
+  std::vector<struct pollfd> fds;
+  while (!monitor_stop_) {
+    if (watches_.empty()) {
+      watch_cv_.wait(lock,
+                     [&] { return monitor_stop_ || !watches_.empty(); });
+      continue;
+    }
+    fds.clear();
+    for (const Watch* w : watches_) {
+      struct pollfd p;
+      p.fd = w->fd;
+      // POLLRDHUP catches an orderly close() by the peer; POLLERR/POLLHUP
+      // (always reported) catch resets.  POLLIN is deliberately absent:
+      // pipelined request bytes must not look like a disconnect.
+      p.events = POLLRDHUP;
+      p.revents = 0;
+      fds.push_back(p);
+    }
+    if (::poll(fds.data(), fds.size(), 0) > 0) {
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if (fds[i].revents & (POLLRDHUP | POLLHUP | POLLERR | POLLNVAL)) {
+          // Cancel the in-flight solve; the worker sees `gone` and skips
+          // the (pointless) response write.
+          watches_[i]->gone.store(true, std::memory_order_release);
+          watches_[i]->token->cancel();
+        }
+      }
+    }
+    // ~25 ms disconnect-detection latency: far below any solve worth
+    // cancelling, far above the poll syscall cost.
+    watch_cv_.wait_for(lock, std::chrono::milliseconds(25));
+  }
+}
+
+}  // namespace carbon::serve

@@ -45,6 +45,9 @@ phys::DataTable ac_sweep(Circuit& ckt, VSource& input,
   std::vector<phys::Complex> x;
   std::vector<double> row;
   for (const double f : freqs) {
+    // Cooperative deadline/cancel poll, mirroring the Newton and transient
+    // loops: a long sweep on a huge system stays bounded.
+    if (opt.dc.cancel) opt.dc.cancel->throw_if_stopped("ac");
     CARBON_REQUIRE(sys.assemble_factor(2.0 * M_PI * f),
                    "ac_sweep: singular small-signal system");
     x = sys.stimulus();

@@ -333,6 +333,9 @@ class StepRunner {
   }
 
   core::Json run_analysis(const AnalysisCard& card) {
+    // Deadline poll at the analysis boundary: a deck whose budget expired
+    // during one analysis must not start the next.
+    if (cfg_.solver.cancel) cfg_.solver.cancel->throw_if_stopped("session");
     const std::string kind = analysis_kind_name(card.kind);
     auto out = core::Json::object();
     out.set("type", kind);
@@ -665,20 +668,35 @@ SimSession::CacheEntry& SimSession::entry_for(const Deck& deck,
   const auto it = cache_.find(deck.topology_signature);
   if (it != cache_.end()) {
     *cache_hit = true;
+    ++cache_hits_;
+    // Refresh recency: move to the front of the LRU list.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return it->second;
   }
   *cache_hit = false;
+  ++cache_misses_;
+  const std::size_t capacity =
+      static_cast<std::size_t>(std::max(1, opts_.cache_capacity));
+  while (cache_.size() >= capacity && !lru_.empty()) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    ++cache_evictions_;
+  }
   CacheEntry& entry = cache_[deck.topology_signature];
+  lru_.push_front(deck.topology_signature);
+  entry.lru_pos = lru_.begin();
   entry.circuit = instantiate(deck, registry_, {}, &entry.model_memo);
   return entry;
 }
 
-core::Json SimSession::run_deck(const Deck& deck) {
+core::Json SimSession::run_deck(const Deck& deck,
+                                const phys::CancelToken* cancel) {
   ++decks_run_;
   bool cache_hit = false;
   CacheEntry& entry = entry_for(deck, &cache_hit);
   ++entry.uses;
-  const DeckConfig cfg = config_from(deck);
+  DeckConfig cfg = config_from(deck);
+  cfg.solver.cancel = cancel;  // polled by every Newton/transient/AC loop
 
   auto doc = core::Json::object();
   doc.set("ok", true);
@@ -698,6 +716,7 @@ core::Json SimSession::run_deck(const Deck& deck) {
 
   auto steps = core::Json::array();
   for (const ParamEnv& overrides : expand_steps(deck)) {
+    if (cancel) cancel->throw_if_stopped("session");
     StepRunner runner(deck, cfg, *entry.circuit, entry.workspace, entry.ac,
                       registry_, entry.model_memo, overrides, opts_);
     steps.push(runner.run());
@@ -709,6 +728,10 @@ core::Json SimSession::run_deck(const Deck& deck) {
   auto session = core::Json::object();
   session.set("decks_run", decks_run_);
   session.set("cache_entries", static_cast<long>(cache_.size()));
+  session.set("cache_capacity", std::max(1, opts_.cache_capacity));
+  session.set("cache_hits", cache_hits_);
+  session.set("cache_misses", cache_misses_);
+  session.set("cache_evictions", cache_evictions_);
   session.set("topology_uses", entry.uses);
   session.set("mna_pattern_builds", entry.workspace.mna.build_count());
   session.set("symbolic_analyses", entry.workspace.mna.analyze_count());
@@ -717,10 +740,20 @@ core::Json SimSession::run_deck(const Deck& deck) {
   return doc;
 }
 
-core::Json SimSession::run_deck_text(const std::string& text) {
+core::Json SimSession::run_deck_text(const std::string& text,
+                                     const phys::CancelToken* cancel) {
   try {
     const Deck deck = parse_deck(text, registry_);
-    return run_deck(deck);
+    return run_deck(deck, cancel);
+  } catch (const phys::CancelledError& e) {
+    auto err = core::Json::object();
+    err.set("type", e.deadline_expired() ? "timeout" : "cancelled");
+    err.set("where", e.where());
+    err.set("what", std::string(e.what()));
+    auto doc = core::Json::object();
+    doc.set("ok", false);
+    doc.set("error", std::move(err));
+    return doc;
   } catch (const ParseError& e) {
     auto err = core::Json::object();
     err.set("type", "parse");
@@ -734,6 +767,18 @@ core::Json SimSession::run_deck_text(const std::string& text) {
     return doc;
   } catch (const SolveFailureError& e) {
     auto err = to_json(e.failure());
+    err.set("type", "solve_failure");
+    err.set("what", std::string(e.what()));
+    auto doc = core::Json::object();
+    doc.set("ok", false);
+    doc.set("error", std::move(err));
+    return doc;
+  } catch (const phys::ConvergenceError& e) {
+    // A convergence-class error that escaped the escalation ladder (e.g. a
+    // model going non-finite during the very first stamp, before Newton
+    // starts).  Still a solver outcome, not an internal fault — classify
+    // it the same way regardless of where in the pipeline it surfaced.
+    auto err = core::Json::object();
     err.set("type", "solve_failure");
     err.set("what", std::string(e.what()));
     auto doc = core::Json::object();

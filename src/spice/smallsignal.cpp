@@ -213,6 +213,9 @@ NoiseResult noise_sweep(Circuit& ckt, VSource& input,
   for (size_t i = 0; i < freqs.size(); ++i) {
     const double f = freqs[i];
     const double omega = 2.0 * M_PI * f;
+    // Cooperative deadline/cancel poll, mirroring the Newton, transient
+    // and AC-sweep loops.
+    if (opt.dc.cancel) opt.dc.cancel->throw_if_stopped("noise");
     CARBON_REQUIRE(sys.assemble_factor(omega),
                    "noise_sweep: singular small-signal system");
 

@@ -1,0 +1,554 @@
+/// Loopback integration tests of the concurrent simulation service
+/// (src/serve): an in-process Server driven over real sockets through the
+/// same code paths carbon_simd uses.  Covers the whole robustness
+/// contract — good decks, parse errors, solve failures, injected hangs
+/// cut by deadlines, admission-control overload shedding, oversized-frame
+/// rejection, mid-solve client disconnects cancelling the in-flight
+/// solve, and the graceful drain flushing every admitted response.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/report.h"
+#include "device/alpha_power.h"
+#include "device/faulty.h"
+#include "device/linear_fet.h"
+#include "serve/framing.h"
+#include "serve/queue.h"
+#include "serve/server.h"
+
+namespace serve = carbon::serve;
+namespace sp = carbon::spice;
+namespace dev = carbon::device;
+using carbon::core::Json;
+
+namespace {
+
+/// Registry with the builtin devices plus deterministic fault models:
+/// "hangfet" stalls per eval (deadline tests), "nanfet" goes NaN
+/// (solve-failure isolation tests).
+sp::ModelRegistry test_registry(double stall_s = 20e-3) {
+  sp::ModelRegistry reg;
+  auto nfet =
+      std::make_shared<dev::AlphaPowerModel>(dev::make_fig2_saturating_params());
+  reg["nfet"] = nfet;
+  reg["pfet"] = std::make_shared<dev::PTypeMirror>(nfet);
+  dev::FaultSpec stall;
+  stall.kind = dev::FaultKind::kStall;
+  stall.stall_s = stall_s;
+  reg["hangfet"] = dev::with_fault(nfet, stall);
+  dev::FaultSpec nan;
+  nan.kind = dev::FaultKind::kNanEval;
+  reg["nanfet"] = dev::with_fault(nfet, nan);
+  return reg;
+}
+
+const char kGoodDeck[] =
+    "v1 in 0 1\nr1 in out 1k\nr2 out 0 1k\n"
+    ".op\n.probe none\n.measure op vout value v(out)\n.end\n";
+
+/// A transient on a stalling FET: each accepted step costs one stalled
+/// eval, so the run cannot finish inside any sane deadline.
+const char kHangDeck[] =
+    "v1 d 0 1\n"
+    "v2 g 0 pulse(0 1 1n 1n 1n 5n 10n)\n"
+    "m1 d g 0 hangfet\n"
+    "c1 d 0 1p\n"
+    ".tran 0.1n 1000n\n.probe none\n.end\n";
+
+const char kNanDeck[] = "v1 d 0 1\nv2 g 0 1\nm1 d g 0 nanfet\n.op\n.end\n";
+
+/// Unique, short (sun_path-safe) socket path per test.
+std::string test_socket_path() {
+  static int counter = 0;
+  return "/tmp/carbon_serve_t" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter++) + ".sock";
+}
+
+/// Minimal blocking line client over a Unix-domain socket.
+class Client {
+ public:
+  explicit Client(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    connected_ = ::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                           sizeof addr) == 0;
+  }
+  ~Client() { close(); }
+
+  bool connected() const { return connected_; }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool send_line(const std::string& line) {
+    return serve::write_frame(fd_, line, 5.0);
+  }
+
+  /// Read one newline-terminated frame within @p timeout_s; nullopt on
+  /// EOF / timeout / error.
+  std::optional<std::string> recv_line(double timeout_s = 15.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(static_cast<long>(timeout_s * 1000));
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string out = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return out;
+      }
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return std::nullopt;
+      struct pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int n = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return std::nullopt;
+      }
+      char chunk[4096];
+      const ssize_t got = ::read(fd_, chunk, sizeof chunk);
+      if (got <= 0) return std::nullopt;
+      buf_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+  /// send + recv + parse.  A failed send still attempts the read: an
+  /// overload-shed connection gets its rejection document written and
+  /// closed server-side, which can EPIPE a concurrent send while the
+  /// document sits readable in the socket buffer.
+  std::optional<Json> rpc(const Json& req, double timeout_s = 15.0) {
+    send_line(req.dump());
+    const auto line = recv_line(timeout_s);
+    if (!line) return std::nullopt;
+    return Json::parse(*line);
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
+
+Json run_request(const std::string& deck, double deadline_ms = 0.0) {
+  auto req = Json::object();
+  req.set("type", "run");
+  req.set("deck", deck);
+  if (deadline_ms > 0.0) req.set("deadline_ms", deadline_ms);
+  return req;
+}
+
+serve::ServerConfig base_config(const std::string& path) {
+  serve::ServerConfig cfg;
+  cfg.unix_path = path;
+  cfg.workers = 2;
+  cfg.queue_capacity = 8;
+  cfg.default_deadline_s = 20.0;
+  cfg.write_timeout_s = 5.0;
+  cfg.drain_budget_s = 2.0;
+  cfg.registry = test_registry();
+  cfg.session.emit_tables = false;  // keep responses small
+  return cfg;
+}
+
+struct SigpipeGuard {
+  SigpipeGuard() { std::signal(SIGPIPE, SIG_IGN); }
+} const sigpipe_guard;  // write_frame contract: SIGPIPE must be ignored
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueue, AdmissionControlAndDrain) {
+  serve::BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: shed
+  EXPECT_EQ(q.depth(), 2u);
+  q.close();
+  EXPECT_FALSE(q.try_push(4));  // closed: shed
+  // Admitted items still drain after close...
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  // ...then poppers see end-of-queue.
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(Serve, RunRequestAndKeepAlive) {
+  const std::string path = test_socket_path();
+  serve::Server server(base_config(path));
+  server.start();
+
+  Client c(path);
+  ASSERT_TRUE(c.connected());
+  auto req = run_request(kGoodDeck);
+  req.set("id", 7);
+  const auto doc = c.rpc(req);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE((*doc)["ok"].as_bool()) << doc->dump(1);
+  EXPECT_EQ((*doc)["id"].as_int(), 7);
+  EXPECT_NEAR((*doc)["steps"].at(0)["measures"]["vout"].as_double(), 0.5,
+              1e-9);
+
+  // Keep-alive: a second request on the same connection.
+  const auto again = c.rpc(run_request(kGoodDeck));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE((*again)["ok"].as_bool());
+  // Second run of the same topology on the same worker: a session-cache
+  // hit, visible in the response's session block.
+  EXPECT_GE((*again)["session"]["cache_hits"].as_int(), 1);
+
+  server.request_drain();
+  server.wait();
+  EXPECT_EQ(server.stats().requests_ok.load(), 2);
+}
+
+TEST(Serve, BadDecksAreIsolatedDocuments) {
+  const std::string path = test_socket_path();
+  serve::Server server(base_config(path));
+  server.start();
+  {
+    Client c(path);
+    ASSERT_TRUE(c.connected());
+
+    const auto parse = c.rpc(run_request("not a deck card\n.end\n"));
+    ASSERT_TRUE(parse.has_value());
+    EXPECT_FALSE((*parse)["ok"].as_bool());
+    EXPECT_EQ((*parse)["error"]["type"].as_string(), "parse");
+
+    const auto nan = c.rpc(run_request(kNanDeck));
+    ASSERT_TRUE(nan.has_value());
+    EXPECT_FALSE((*nan)["ok"].as_bool());
+    EXPECT_EQ((*nan)["error"]["type"].as_string(), "solve_failure");
+
+    // The connection — and the server — survive both.
+    const auto good = c.rpc(run_request(kGoodDeck));
+    ASSERT_TRUE(good.has_value());
+    EXPECT_TRUE((*good)["ok"].as_bool());
+  }
+  server.request_drain();
+  server.wait();
+  EXPECT_EQ(server.stats().parse_errors.load(), 1);
+  EXPECT_EQ(server.stats().solve_failures.load(), 1);
+}
+
+TEST(Serve, MalformedRequestsGetBadRequestDocuments) {
+  const std::string path = test_socket_path();
+  serve::Server server(base_config(path));
+  server.start();
+  {
+    Client c(path);
+    ASSERT_TRUE(c.connected());
+    ASSERT_TRUE(c.send_line("this is not json"));
+    auto doc = Json::parse(c.recv_line().value());
+    EXPECT_EQ(doc["error"]["type"].as_string(), "bad_request");
+
+    auto req = Json::object();
+    req.set("type", "frobnicate");
+    doc = c.rpc(req).value();
+    EXPECT_EQ(doc["error"]["type"].as_string(), "bad_request");
+
+    auto norun = Json::object();
+    norun.set("type", "run");  // no deck
+    doc = c.rpc(norun).value();
+    EXPECT_EQ(doc["error"]["type"].as_string(), "bad_request");
+  }
+  server.request_drain();
+  server.wait();
+  EXPECT_EQ(server.stats().bad_requests.load(), 3);
+}
+
+TEST(Serve, OversizedFrameIsRejectedAndConnectionClosed) {
+  const std::string path = test_socket_path();
+  serve::ServerConfig cfg = base_config(path);
+  cfg.max_request_bytes = 512;
+  serve::Server server(std::move(cfg));
+  server.start();
+  {
+    Client c(path);
+    ASSERT_TRUE(c.connected());
+    const std::string big(4096, 'x');
+    ASSERT_TRUE(c.send_line(big));
+    const auto doc = Json::parse(c.recv_line().value());
+    EXPECT_EQ(doc["error"]["type"].as_string(), "too_large");
+    // The frame boundary is unrecoverable: the server closes.
+    EXPECT_FALSE(c.recv_line(2.0).has_value());
+  }
+  server.request_drain();
+  server.wait();
+  EXPECT_EQ(server.stats().rejected_too_large.load(), 1);
+}
+
+TEST(Serve, DeadlineCutsHungSolve) {
+  const std::string path = test_socket_path();
+  serve::Server server(base_config(path));
+  server.start();
+  {
+    Client c(path);
+    ASSERT_TRUE(c.connected());
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto doc = c.rpc(run_request(kHangDeck, 400.0));
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_FALSE((*doc)["ok"].as_bool());
+    EXPECT_EQ((*doc)["error"]["type"].as_string(), "timeout") << doc->dump(1);
+    // Bounded: the 0.4 s budget, the in-flight stalled eval, and slack.
+    EXPECT_LT(elapsed, 5.0);
+  }
+  server.request_drain();
+  server.wait();
+  EXPECT_EQ(server.stats().timeouts.load(), 1);
+}
+
+TEST(Serve, OverloadIsShedWithStructuredDocument) {
+  const std::string path = test_socket_path();
+  serve::ServerConfig cfg = base_config(path);
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  serve::Server server(std::move(cfg));
+  server.start();
+
+  // A occupies the single worker with a hung solve...
+  Client a(path);
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(a.send_line(run_request(kHangDeck, 1500.0).dump()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // ...B occupies the single queue slot...
+  Client b(path);
+  ASSERT_TRUE(b.connected());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // ...so C must be shed with an overload document.
+  Client c(path);
+  ASSERT_TRUE(c.connected());
+  const auto shed = c.recv_line(5.0);
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(Json::parse(*shed)["error"]["type"].as_string(), "overload");
+
+  // A still gets its (timeout) document: admitted work always completes.
+  const auto a_doc = a.recv_line();
+  ASSERT_TRUE(a_doc.has_value());
+  EXPECT_EQ(Json::parse(*a_doc)["error"]["type"].as_string(), "timeout");
+  a.close();  // release the keep-alive so the worker can pop B
+  // B was admitted: once the worker frees up it gets served.
+  const auto b_doc = b.rpc(run_request(kGoodDeck));
+  ASSERT_TRUE(b_doc.has_value());
+  EXPECT_TRUE((*b_doc)["ok"].as_bool());
+
+  server.request_drain();
+  server.wait();
+  EXPECT_EQ(server.stats().rejected_overload.load(), 1);
+}
+
+TEST(Serve, DisconnectCancelsInFlightSolve) {
+  const std::string path = test_socket_path();
+  serve::Server server(base_config(path));
+  server.start();
+  {
+    Client a(path);
+    ASSERT_TRUE(a.connected());
+    // A very generous deadline: only the disconnect can stop this solve.
+    ASSERT_TRUE(a.send_line(run_request(kHangDeck, 60000.0).dump()));
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    a.close();  // client gives up mid-solve
+
+    // The monitor cancels the solve and the worker frees up well before
+    // the 60 s deadline.
+    Client b(path);
+    ASSERT_TRUE(b.connected());
+    bool cleared = false;
+    for (int i = 0; i < 100 && !cleared; ++i) {
+      auto req = Json::object();
+      req.set("type", "health");
+      const auto h = b.rpc(req);
+      ASSERT_TRUE(h.has_value());
+      cleared = (*h)["server"]["in_flight"].as_int() == 0 &&
+                (*h)["server"]["disconnects"].as_int() >= 1;
+      if (!cleared) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+    EXPECT_TRUE(cleared) << "in-flight solve not cancelled on disconnect";
+  }
+  server.request_drain();
+  server.wait();
+  EXPECT_GE(server.stats().disconnects.load(), 1);
+}
+
+TEST(Serve, GracefulDrainFlushesAdmittedWork) {
+  const std::string path = test_socket_path();
+  serve::ServerConfig cfg = base_config(path);
+  cfg.drain_budget_s = 0.8;
+  serve::Server server(std::move(cfg));
+  server.start();
+
+  // In-flight hung work at drain time...
+  Client a(path);
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(a.send_line(run_request(kHangDeck, 60000.0).dump()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server.request_drain();
+
+  // ...is cancelled at the drain budget and still gets its document.
+  const auto doc = a.recv_line(10.0);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(Json::parse(*doc)["error"]["type"].as_string(), "timeout");
+
+  server.wait();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // Budget + one in-flight stalled eval + join slack.
+  EXPECT_LT(elapsed, 6.0);
+
+  // Drained server accepts nothing new.
+  Client late(path);
+  EXPECT_FALSE(late.connected());
+}
+
+TEST(Serve, HealthReportsCountersAndCacheStats) {
+  const std::string path = test_socket_path();
+  serve::Server server(base_config(path));
+  server.start();
+  {
+    Client c(path);
+    ASSERT_TRUE(c.connected());
+    ASSERT_TRUE(c.rpc(run_request(kGoodDeck)).has_value());
+    ASSERT_TRUE(c.rpc(run_request(kGoodDeck)).has_value());
+    auto req = Json::object();
+    req.set("type", "health");
+    req.set("id", "h1");
+    const auto h = c.rpc(req);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_TRUE((*h)["ok"].as_bool());
+    EXPECT_EQ((*h)["id"].as_string(), "h1");
+    const Json& srv = (*h)["server"];
+    EXPECT_EQ(srv["requests"]["run"].as_int(), 2);
+    EXPECT_EQ(srv["requests"]["ok"].as_int(), 2);
+    EXPECT_EQ(srv["in_flight"].as_int(), 0);
+    EXPECT_EQ(srv["queue_capacity"].as_int(), 8);
+    EXPECT_FALSE(srv["draining"].as_bool());
+    // Both runs hit one worker: 1 miss then 1 hit.
+    EXPECT_EQ(srv["session_cache"]["misses"].as_int(), 1);
+    EXPECT_GE(srv["session_cache"]["hits"].as_int(), 1);
+  }
+  server.request_drain();
+  server.wait();
+}
+
+/// The acceptance-criteria fault mix, concurrently: good decks, parse
+/// errors, solve failures, injected hangs under tight deadlines, an
+/// oversized request and a mid-request disconnect, from several client
+/// threads at once — every completed request gets exactly one document,
+/// the server never crashes, and the drain exits cleanly.
+TEST(Serve, ConcurrentFaultMixLoad) {
+  const std::string path = test_socket_path();
+  serve::ServerConfig cfg = base_config(path);
+  cfg.workers = 4;
+  cfg.queue_capacity = 4;
+  cfg.registry = test_registry(5e-3);  // faster stalls: tighter test
+  serve::Server server(std::move(cfg));
+  server.start();
+
+  std::atomic<int> docs{0}, transport_failures{0};
+  auto client_thread = [&](int seed) {
+    for (int i = 0; i < 6; ++i) {
+      Client c(path);
+      if (!c.connected()) continue;  // overload shed at accept is fine
+      const int kind = (seed + i) % 5;
+      std::optional<Json> doc;
+      switch (kind) {
+        case 0: doc = c.rpc(run_request(kGoodDeck)); break;
+        case 1: doc = c.rpc(run_request("bogus\n.end\n")); break;
+        case 2: doc = c.rpc(run_request(kNanDeck)); break;
+        case 3: doc = c.rpc(run_request(kHangDeck, 120.0)); break;
+        case 4:
+          // Mid-request disconnect: send and leave without reading.
+          c.send_line(run_request(kHangDeck, 2000.0).dump());
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          c.close();
+          continue;
+      }
+      if (!doc.has_value()) {
+        // Overload rejection arrives as a document too; only transport
+        // breakage counts as failure.
+        ++transport_failures;
+        continue;
+      }
+      ++docs;
+      EXPECT_TRUE(doc->find("ok") != nullptr) << doc->dump(1);
+    }
+  };
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 6; ++t) clients.emplace_back(client_thread, t);
+  for (auto& t : clients) t.join();
+
+  EXPECT_GT(docs.load(), 0);
+  EXPECT_EQ(transport_failures.load(), 0);
+
+  server.request_drain();
+  server.wait();
+  const serve::ServerStats& s = server.stats();
+  // Conservation: every run request was accounted to exactly one outcome.
+  EXPECT_EQ(s.requests_run.load(),
+            s.requests_ok.load() + s.parse_errors.load() +
+                s.solve_failures.load() + s.timeouts.load() +
+                s.cancelled.load() + s.internal_errors.load());
+  EXPECT_EQ(s.in_flight.load(), 0);
+}
+
+TEST(Serve, TcpListenerServesEphemeralPort) {
+  serve::ServerConfig cfg = base_config("");
+  cfg.unix_path.clear();
+  cfg.tcp_port = 0;
+  serve::Server server(std::move(cfg));
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  ASSERT_TRUE(serve::write_frame(fd, run_request(kGoodDeck).dump(), 5.0));
+  serve::FrameReader reader(fd, 1u << 20);
+  std::string line;
+  ASSERT_EQ(reader.read_frame(&line), serve::ReadStatus::kFrame);
+  EXPECT_TRUE(Json::parse(line)["ok"].as_bool());
+  ::close(fd);
+
+  server.request_drain();
+  server.wait();
+}

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/report.h"
+#include "phys/cancel.h"
 #include "spice/session.h"
 
 namespace {
@@ -170,6 +171,74 @@ TEST(SimSession, ProbeNoneSuppressesTables) {
   EXPECT_EQ(op.find("voltages"), nullptr);
   EXPECT_NEAR(doc["steps"].at(0)["measures"]["vout"].as_double(), 0.5,
               1e-12);
+}
+
+// A trivial divider with @p stages series resistors: each stage count is a
+// distinct topology, so running several of them populates distinct cache
+// entries.
+std::string divider_deck(int stages) {
+  std::string deck = "v1 n0 0 1\n";
+  for (int i = 0; i < stages; ++i) {
+    deck += "r" + std::to_string(i) + " n" + std::to_string(i) + " n" +
+            std::to_string(i + 1) + " 1k\n";
+  }
+  deck += "rl n" + std::to_string(stages) + " 0 1k\n.op\n.probe none\n.end\n";
+  return deck;
+}
+
+TEST(SimSession, TopologyCacheIsBoundedLru) {
+  sp::SessionOptions opts;
+  opts.cache_capacity = 2;
+  sp::SimSession session(sp::ModelRegistry{}, opts);
+
+  // Three distinct topologies through a capacity-2 cache: the oldest
+  // entry (A) must be evicted.
+  ASSERT_TRUE(session.run_deck_text(divider_deck(1))["ok"].as_bool());  // A
+  ASSERT_TRUE(session.run_deck_text(divider_deck(2))["ok"].as_bool());  // B
+  const Json c = session.run_deck_text(divider_deck(3));                // C
+  ASSERT_TRUE(c["ok"].as_bool());
+  EXPECT_EQ(c["session"]["cache_evictions"].as_int(), 1);
+  EXPECT_EQ(session.cache_entries(), 2u);
+
+  // B is still cached...
+  EXPECT_TRUE(session.run_deck_text(divider_deck(2))["topology"]["cache_hit"]
+                  .as_bool());
+  // ...and that hit refreshed B's recency: inserting A again must evict
+  // C, not B.
+  ASSERT_TRUE(session.run_deck_text(divider_deck(1))["ok"].as_bool());
+  const Json b = session.run_deck_text(divider_deck(2));
+  EXPECT_TRUE(b["topology"]["cache_hit"].as_bool());
+  const Json cc = session.run_deck_text(divider_deck(3));
+  EXPECT_FALSE(cc["topology"]["cache_hit"].as_bool()) << "C was LRU";
+
+  const sp::SessionCacheStats stats = session.cache_stats();
+  EXPECT_EQ(stats.entries, 2);
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.misses, 5);  // A B C | A C reinserted after eviction
+  EXPECT_EQ(stats.evictions, 3);
+  // The same numbers are published in the response document.
+  EXPECT_EQ(cc["session"]["cache_hits"].as_int(), 2);
+  EXPECT_EQ(cc["session"]["cache_misses"].as_int(), 5);
+  EXPECT_EQ(cc["session"]["cache_capacity"].as_int(), 2);
+}
+
+TEST(SimSession, ExpiredDeadlineRendersTimeoutDocument) {
+  sp::SimSession session;
+  carbon::phys::CancelToken token;
+  token.set_deadline_after(0.0);  // fires immediately
+  const Json doc = session.run_deck_text(divider_deck(1), &token);
+  ASSERT_FALSE(doc["ok"].as_bool());
+  EXPECT_EQ(doc["error"]["type"].as_string(), "timeout");
+  EXPECT_TRUE(doc["error"].find("where") != nullptr) << doc.dump(1);
+}
+
+TEST(SimSession, ExplicitCancelRendersCancelledDocument) {
+  sp::SimSession session;
+  carbon::phys::CancelToken token;
+  token.cancel();
+  const Json doc = session.run_deck_text(divider_deck(1), &token);
+  ASSERT_FALSE(doc["ok"].as_bool());
+  EXPECT_EQ(doc["error"]["type"].as_string(), "cancelled");
 }
 
 // ---------------------------------------------------------------------------

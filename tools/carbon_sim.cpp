@@ -4,6 +4,16 @@
 ///   carbon_sim deck1.cir deck2.cir      # one JSON document per file
 ///   carbon_sim < decks.cir              # stdin; decks separated by .end
 ///   carbon_sim --compact deck.cir       # single-line JSON
+///   carbon_sim --deadline-ms 5000 ...   # per-deck wall-clock budget
+///
+/// Robustness: every deck runs inside a catch-all boundary — an
+/// unexpected exception becomes a structured {"type": "internal"}
+/// document instead of killing the rest of the batch; --deadline-ms arms
+/// a per-deck phys::CancelToken deadline (polled through every Newton
+/// iteration, transient step and AC/noise frequency point) so a hung
+/// solve renders as {"type": "timeout"} instead of running forever; and
+/// SIGPIPE is ignored so a consumer closing the output pipe ends the
+/// batch with a clean write error instead of a signal death.
 ///
 /// The process is a single long-lived SimSession, so consecutive decks
 /// sharing a topology (a parameter-sweep batch, a regression suite over
@@ -14,6 +24,7 @@
 /// document still prints, with {"ok": false, "error": {...}}) or a file
 /// could not be read.
 
+#include <csignal>
 #include <cctype>
 #include <fstream>
 #include <iostream>
@@ -24,6 +35,7 @@
 #include "device/alpha_power.h"
 #include "device/ivmodel.h"
 #include "device/linear_fet.h"
+#include "phys/cancel.h"
 #include "spice/session.h"
 
 namespace {
@@ -79,15 +91,36 @@ void print_doc(const carbon::core::Json& doc, bool compact) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A consumer closing our stdout pipe must surface as a write error on
+  // the stream, not a SIGPIPE process death mid-batch.
+  std::signal(SIGPIPE, SIG_IGN);
+
   bool compact = false;
+  double deadline_ms = 0.0;  // 0 = no per-deck budget
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--compact") {
       compact = true;
+    } else if (arg == "--deadline-ms") {
+      if (i + 1 >= argc) {
+        std::cerr << "carbon_sim: --deadline-ms wants a value\n";
+        return 1;
+      }
+      try {
+        deadline_ms = std::stod(argv[++i]);
+      } catch (const std::exception&) {
+        deadline_ms = -1.0;
+      }
+      if (!(deadline_ms > 0.0)) {
+        std::cerr << "carbon_sim: --deadline-ms wants a positive number\n";
+        return 1;
+      }
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: carbon_sim [--compact] [deck.cir ...]\n"
-                   "       carbon_sim [--compact] < decks.cir\n";
+      std::cout << "usage: carbon_sim [--compact] [--deadline-ms N] "
+                   "[deck.cir ...]\n"
+                   "       carbon_sim [--compact] [--deadline-ms N] "
+                   "< decks.cir\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "carbon_sim: unknown option " << arg << "\n";
@@ -101,7 +134,23 @@ int main(int argc, char** argv) {
   bool any_failed = false;
 
   auto run_one = [&](const std::string& text) {
-    const carbon::core::Json doc = session.run_deck_text(text);
+    carbon::core::Json doc;
+    // Catch-all at the per-deck boundary: run_deck_text already converts
+    // known failures to documents, but an unexpected exception from
+    // anywhere else must not kill the rest of the batch either.
+    try {
+      carbon::phys::CancelToken budget;
+      if (deadline_ms > 0.0) budget.set_deadline_after(deadline_ms * 1e-3);
+      doc = session.run_deck_text(text,
+                                  deadline_ms > 0.0 ? &budget : nullptr);
+    } catch (const std::exception& e) {
+      auto err = carbon::core::Json::object();
+      err.set("type", "internal");
+      err.set("what", std::string(e.what()));
+      doc = carbon::core::Json::object();
+      doc.set("ok", false);
+      doc.set("error", std::move(err));
+    }
     const carbon::core::Json* ok = doc.find("ok");
     if (!ok || !ok->is_bool() || !ok->as_bool()) any_failed = true;
     print_doc(doc, compact);

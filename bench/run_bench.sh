@@ -89,6 +89,12 @@ def real_time_ns(name):
     return b["real_time"] * scale
 
 summary = {}
+# Provenance, duplicated from the context block so consumers (and the CI
+# release-build assert) can read it without digging through the context.
+summary["carbon_build_type"] = build_type
+summary["carbon_cmake_build_type"] = cmake_type
+summary["benchmark_library_build_type"] = bench_lib_type
+
 direct = real_time_ns("BM_SpiceVtcSweepCntfetDirect")
 fast = real_time_ns("BM_SpiceVtcSweepWarmStart")
 if direct and fast:
@@ -227,7 +233,9 @@ for k, v in summary.items():
                 print(f"  {kk}: {inner}")
             else:
                 print(f"  {kk}: {vv}")
-    else:
+    elif isinstance(v, float):
         print(f"{k}: {v:.4g}")
+    else:
+        print(f"{k}: {v}")
 print(f"wrote {out_path}")
 EOF

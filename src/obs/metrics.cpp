@@ -1,0 +1,207 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace carbon::obs {
+
+double Histogram::bucket_bound(int i) {
+  return 1e-6 * static_cast<double>(1ll << i);
+}
+
+void Histogram::record_ns(long long ns) {
+  if (ns < 0) ns = 0;
+  // Bucket i covers (bound(i-1), bound(i)] with bound(i) = 1000 * 2^i ns:
+  // ns <= 1000 * 2^i  <=>  (ns - 1) / 1000 >> i == 0, so the index is the
+  // bit width of (ns - 1) / 1000.  The 28-entry ladder tops out near
+  // 134 s; everything above lands in the overflow cell.
+  const unsigned long long q =
+      ns > 0 ? (static_cast<unsigned long long>(ns) - 1) / 1000ull : 0;
+  int idx = 0;
+  while (idx < kBuckets && q >> idx) ++idx;
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  for (int i = 0; i <= kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
+  }
+  s.sum_s = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return s;
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::instrument(
+    const std::string& name, const std::string& labels,
+    const std::string& help, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = nullptr;
+  for (const auto& f : families_) {
+    if (f->name == name) {
+      fam = f.get();
+      break;
+    }
+  }
+  if (!fam) {
+    families_.push_back(std::make_unique<Family>());
+    fam = families_.back().get();
+    fam->name = name;
+    fam->help = help;
+    fam->kind = kind;
+  }
+  for (const auto& inst : fam->instruments) {
+    if (inst->labels == labels) return *inst;
+  }
+  fam->instruments.push_back(std::make_unique<Instrument>());
+  Instrument& inst = *fam->instruments.back();
+  inst.labels = labels;
+  switch (kind) {
+    case Kind::kCounter: inst.counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: inst.gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+      inst.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return inst;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& labels,
+                                  const std::string& help) {
+  return *instrument(name, labels, help, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& labels,
+                              const std::string& help) {
+  return *instrument(name, labels, help, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& labels,
+                                      const std::string& help) {
+  return *instrument(name, labels, help, Kind::kHistogram).histogram;
+}
+
+namespace {
+
+const char* kind_name(bool counter, bool gauge) {
+  return counter ? "counter" : (gauge ? "gauge" : "histogram");
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+/// `name{labels}` / `name{labels,extra}` / `name` as labels demand.
+std::string with_labels(const std::string& name, const std::string& labels,
+                        const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return name;
+  std::string out = name + "{" + labels;
+  if (!labels.empty() && !extra.empty()) out += ",";
+  out += extra;
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& fam : families_) {
+    const char* type = fam->kind == Kind::kCounter
+                           ? "counter"
+                           : fam->kind == Kind::kGauge ? "gauge" : "histogram";
+    if (!fam->help.empty()) {
+      out += "# HELP " + fam->name + " " + fam->help + "\n";
+    }
+    out += "# TYPE " + fam->name + " " + type + "\n";
+    for (const auto& inst : fam->instruments) {
+      switch (fam->kind) {
+        case Kind::kCounter:
+          out += with_labels(fam->name, inst->labels) + " " +
+                 std::to_string(inst->counter->load()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += with_labels(fam->name, inst->labels) + " " +
+                 std::to_string(inst->gauge->load()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot s = inst->histogram->snapshot();
+          long cum = 0;
+          for (int i = 0; i < Histogram::kBuckets; ++i) {
+            cum += s.buckets[i];
+            out += with_labels(fam->name + "_bucket", inst->labels,
+                               "le=\"" +
+                                   fmt_double(Histogram::bucket_bound(i)) +
+                                   "\"") +
+                   " " + std::to_string(cum) + "\n";
+          }
+          out += with_labels(fam->name + "_bucket", inst->labels,
+                             "le=\"+Inf\"") +
+                 " " + std::to_string(s.count) + "\n";
+          out += with_labels(fam->name + "_sum", inst->labels) + " " +
+                 fmt_double(s.sum_s) + "\n";
+          out += with_labels(fam->name + "_count", inst->labels) + " " +
+                 std::to_string(s.count) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+core::Json MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto doc = core::Json::object();
+  for (const auto& fam : families_) {
+    auto fj = core::Json::object();
+    fj.set("type", kind_name(fam->kind == Kind::kCounter,
+                             fam->kind == Kind::kGauge));
+    if (!fam->help.empty()) fj.set("help", fam->help);
+    auto values = core::Json::array();
+    for (const auto& inst : fam->instruments) {
+      auto vj = core::Json::object();
+      if (!inst->labels.empty()) vj.set("labels", inst->labels);
+      switch (fam->kind) {
+        case Kind::kCounter: vj.set("value", inst->counter->load()); break;
+        case Kind::kGauge: vj.set("value", inst->gauge->load()); break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot s = inst->histogram->snapshot();
+          vj.set("count", s.count);
+          vj.set("sum_s", s.sum_s);
+          auto buckets = core::Json::array();
+          for (int i = 0; i <= Histogram::kBuckets; ++i) {
+            buckets.push(s.buckets[i]);
+          }
+          vj.set("buckets", std::move(buckets));
+          break;
+        }
+      }
+      values.push(std::move(vj));
+    }
+    fj.set("values", std::move(values));
+    doc.set(fam->name, std::move(fj));
+  }
+  return doc;
+}
+
+std::vector<std::pair<std::string, std::string>> MetricsRegistry::schema()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(families_.size());
+  for (const auto& fam : families_) {
+    out.emplace_back(fam->name, kind_name(fam->kind == Kind::kCounter,
+                                          fam->kind == Kind::kGauge));
+  }
+  return out;
+}
+
+}  // namespace carbon::obs

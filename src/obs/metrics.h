@@ -1,0 +1,143 @@
+#pragma once
+
+/// @file metrics.h
+/// The process-wide metrics vocabulary: named counters, gauges and
+/// fixed-size log-bucketed latency histograms behind one registry.
+///
+/// Design contract (shared by the library, carbon_sim and carbon_simd):
+///  * The *record* path is lock-free and TSan-clean: instruments are
+///    relaxed atomics, histograms bump one bucket cell per record, and a
+///    caller holds a stable `Counter&`/`Histogram&` obtained once at
+///    registration — no map lookup, no lock, no allocation per record.
+///  * The *read* path is snapshot-on-read: exposition walks the atomics
+///    with relaxed loads and a histogram's reported count is derived from
+///    its bucket cells, so every snapshot is internally conserved
+///    (count == sum of buckets) even while writers are running.
+///  * Registration (name → instrument) is mutex-protected and expected to
+///    happen at setup time; registering the same (name, labels) twice
+///    returns the same instrument.
+///
+/// Exposition: Prometheus text format (prometheus()) and a structured
+/// core::Json document (to_json()) carrying the same snapshot shape.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+
+namespace carbon::obs {
+
+/// Monotonic counter (relaxed atomics: diagnostics, not synchronization).
+class Counter {
+ public:
+  void inc(long n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  long load() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long> v_{0};
+};
+
+/// Integer-valued level (can go up and down: in-flight work, cache size).
+class Gauge {
+ public:
+  void set(long v) { v_.store(v, std::memory_order_relaxed); }
+  void add(long n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(long n) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  long load() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long> v_{0};
+};
+
+/// Fixed-size log-bucketed latency histogram.  Bucket upper bounds form a
+/// geometric ladder: bound(i) = 1e-6 * 2^i seconds (1 µs ... ~134 s), with
+/// one overflow bucket above.  record() is one bucket index computation
+/// plus two relaxed fetch_adds; there is no per-record allocation or lock.
+///
+/// The running count is NOT stored separately: a snapshot's count is the
+/// sum of its bucket cells, so concurrent snapshots are always internally
+/// conserved.  The sum is tracked in integer nanoseconds (fetch_add-able).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 28;  ///< finite bounds; +1 overflow cell
+
+  /// Upper bound of finite bucket @p i in seconds.
+  static double bucket_bound(int i);
+
+  void record(double seconds) {
+    record_ns(static_cast<long long>(seconds * 1e9));
+  }
+  void record_ns(long long ns);
+
+  struct Snapshot {
+    long count = 0;     ///< == sum of buckets, by construction
+    double sum_s = 0.0; ///< total recorded time [s]
+    std::array<long, kBuckets + 1> buckets{};  ///< last cell = overflow
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<long>, kBuckets + 1> buckets_{};
+  std::atomic<long long> sum_ns_{0};
+};
+
+/// Named instrument registry.  Families are keyed by metric name; each
+/// family holds one instrument per label set (Prometheus-style, e.g.
+/// counter("carbon_requests_total", "outcome=\"ok\"")).  Instruments have
+/// stable addresses for the life of the registry.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register (or look up) an instrument.  @p labels is the Prometheus
+  /// label body without braces (`outcome="ok"`), empty for none.  @p help
+  /// is recorded on first registration of the family.
+  Counter& counter(const std::string& name, const std::string& labels = "",
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& labels = "",
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name,
+                       const std::string& labels = "",
+                       const std::string& help = "");
+
+  /// Prometheus text exposition (one HELP/TYPE header per family).
+  std::string prometheus() const;
+  /// The same snapshot as a structured document:
+  ///   {"<family>": {"type": "...", "help": "...",
+  ///                 "values": [{"labels": "...", ...}, ...]}}
+  core::Json to_json() const;
+
+  /// (family name, type) pairs in registration order — the stable schema
+  /// the golden-schema test asserts against.
+  std::vector<std::pair<std::string, std::string>> schema() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Instrument {
+    std::string labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::vector<std::unique_ptr<Instrument>> instruments;
+  };
+
+  Instrument& instrument(const std::string& name, const std::string& labels,
+                         const std::string& help, Kind kind);
+
+  mutable std::mutex mu_;  ///< registration + exposition; never the record path
+  std::vector<std::unique_ptr<Family>> families_;
+};
+
+}  // namespace carbon::obs

@@ -1,0 +1,36 @@
+#pragma once
+
+/// @file phase.h
+/// Phase-time accounting of the solve pipeline the perf PRs optimize:
+/// where one solve's wall clock actually goes, split into
+///   stamp  — baseline restore + matrix/RHS assembly (minus device eval),
+///   eval   — device model evaluation inside the dynamic stamps,
+///   factor — LU factorization (numeric refactor; skips excluded),
+///   solve  — back-substitution of the factored system.
+///
+/// A PhaseTimes is plain single-threaded accumulator state, plumbed by
+/// nullable pointer (SolverOptions::phases → StampContext::phases): a null
+/// pointer costs one branch per phase boundary and zero clock reads, so
+/// the default (unprofiled) hot path stays unperturbed.
+
+namespace carbon::obs {
+
+struct PhaseTimes {
+  long long stamp_ns = 0;
+  long long eval_ns = 0;
+  long long factor_ns = 0;
+  long long solve_ns = 0;
+
+  bool any() const {
+    return stamp_ns || eval_ns || factor_ns || solve_ns;
+  }
+  void add(const PhaseTimes& o) {
+    stamp_ns += o.stamp_ns;
+    eval_ns += o.eval_ns;
+    factor_ns += o.factor_ns;
+    solve_ns += o.solve_ns;
+  }
+  void reset() { *this = PhaseTimes{}; }
+};
+
+}  // namespace carbon::obs

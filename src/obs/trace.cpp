@@ -1,0 +1,109 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace carbon::obs {
+
+long long now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+std::atomic<std::uint64_t> g_tracer_ids{1};
+
+thread_local Tracer* t_attached = nullptr;
+// Per-thread ring cache: valid when t_ring_tracer matches the tracer's id
+// (ids are never reused, so a dead tracer's cache can never alias a new
+// one at the same address).
+thread_local std::uint64_t t_ring_tracer = 0;
+thread_local void* t_ring = nullptr;
+
+}  // namespace
+
+Tracer* tracer() { return t_attached; }
+
+TraceAttach::TraceAttach(Tracer* t) : prev_(t_attached) { t_attached = t; }
+TraceAttach::~TraceAttach() { t_attached = prev_; }
+
+Tracer::Tracer(std::size_t capacity_per_thread)
+    : cap_(capacity_per_thread < 16 ? 16 : capacity_per_thread),
+      id_(g_tracer_ids.fetch_add(1, std::memory_order_relaxed)) {}
+
+Tracer::Ring& Tracer::ring() {
+  if (t_ring_tracer == id_) return *static_cast<Ring*>(t_ring);
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(std::make_unique<Ring>());
+  Ring& r = *rings_.back();
+  r.ev.resize(cap_);
+  r.tid = static_cast<int>(rings_.size());
+  t_ring_tracer = id_;
+  t_ring = &r;
+  return r;
+}
+
+void Tracer::push(const char* name, long long ts_ns, long long dur_ns) {
+  Ring& r = ring();
+  Event& e = r.ev[r.count % cap_];
+  e.name = name;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  ++r.count;
+}
+
+void Tracer::span(const char* name, long long ts_ns, long long dur_ns) {
+  push(name, ts_ns, dur_ns < 0 ? 0 : dur_ns);
+}
+
+void Tracer::instant(const char* name, long long ts_ns) {
+  push(name, ts_ns, -1);
+}
+
+core::Json Tracer::chrome_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto events = core::Json::array();
+  for (const auto& r : rings_) {
+    const std::size_t held = r->count < cap_ ? r->count : cap_;
+    const std::size_t start = r->count - held;  // oldest surviving event
+    for (std::size_t k = 0; k < held; ++k) {
+      const Event& e = r->ev[(start + k) % cap_];
+      auto ev = core::Json::object();
+      ev.set("name", e.name);
+      ev.set("cat", "carbon");
+      ev.set("ph", e.dur_ns < 0 ? "i" : "X");
+      // Chrome trace timestamps are microseconds (doubles).
+      ev.set("ts", static_cast<double>(e.ts_ns) * 1e-3);
+      if (e.dur_ns >= 0) {
+        ev.set("dur", static_cast<double>(e.dur_ns) * 1e-3);
+      } else {
+        ev.set("s", "t");  // instant scope: thread
+      }
+      ev.set("pid", 1);
+      ev.set("tid", r->tid);
+      events.push(std::move(ev));
+    }
+  }
+  auto doc = core::Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  return doc;
+}
+
+long long Tracer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  long long total = 0;
+  for (const auto& r : rings_) total += static_cast<long long>(r->count);
+  return total;
+}
+
+std::size_t Tracer::held() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t held = 0;
+  for (const auto& r : rings_) held += r->count < cap_ ? r->count : cap_;
+  return held;
+}
+
+}  // namespace carbon::obs

@@ -1,0 +1,119 @@
+#pragma once
+
+/// @file trace.h
+/// Per-solve span/event tracing into bounded per-thread ring buffers,
+/// exportable as Chrome `trace_event` JSON (open in chrome://tracing or
+/// https://ui.perfetto.dev).
+///
+/// Attachment model: a Tracer is attached to the *current thread* with an
+/// RAII TraceAttach guard; instrumented hot paths read one thread-local
+/// pointer (obs::tracer()) and skip all clock reads when it is null — the
+/// unattached cost of an instrumentation site is a TLS load and a branch.
+/// Event names must be string literals (or otherwise outlive the Tracer):
+/// records store the pointer, never copy the text.
+///
+/// Each recording thread gets its own fixed-capacity ring buffer (created
+/// on first record under the registration mutex, lock-free after); when a
+/// ring is full the oldest events are overwritten, so a runaway transient
+/// keeps the *latest* window instead of growing without bound.  Export
+/// (chrome_json) is meant to run after recording threads quiesce — the
+/// drivers attach, run one deck, detach, then export.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+
+namespace carbon::obs {
+
+/// Monotonic timestamp [ns] (steady_clock).
+long long now_ns();
+
+class Tracer {
+ public:
+  /// @p capacity_per_thread: ring size in events for each recording
+  /// thread (clamped to >= 16).
+  explicit Tracer(std::size_t capacity_per_thread = 1u << 15);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Record one complete span (Chrome "X" event).  @p name must outlive
+  /// the tracer (string literal).
+  void span(const char* name, long long ts_ns, long long dur_ns);
+  /// Record one instant event (Chrome "i" event).
+  void instant(const char* name, long long ts_ns);
+
+  /// Chrome trace_event document: {"traceEvents": [...]}.  Call after
+  /// recording threads quiesce.
+  core::Json chrome_json() const;
+  std::string chrome_json_text() const { return chrome_json().dump(); }
+
+  /// Events recorded over the tracer's lifetime, including those already
+  /// overwritten by ring wraparound.
+  long long total_recorded() const;
+  /// Events currently held across all rings (<= threads * capacity).
+  std::size_t held() const;
+  std::size_t capacity_per_thread() const { return cap_; }
+
+ private:
+  struct Event {
+    const char* name;
+    long long ts_ns;
+    long long dur_ns;  ///< < 0: instant event
+  };
+  struct Ring {
+    std::vector<Event> ev;
+    std::size_t count = 0;  ///< total recorded; ring index = count % cap
+    int tid = 0;
+  };
+
+  Ring& ring();
+  void push(const char* name, long long ts_ns, long long dur_ns);
+
+  const std::size_t cap_;
+  const std::uint64_t id_;  ///< distinguishes tracers for the TLS ring cache
+  mutable std::mutex mu_;   ///< ring registration + export; not the record path
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// Tracer attached to the current thread (nullptr when none).
+Tracer* tracer();
+
+/// RAII: attach @p t to the current thread, restoring the previous
+/// attachment on destruction.  Pass nullptr to suppress tracing in a scope.
+class TraceAttach {
+ public:
+  explicit TraceAttach(Tracer* t);
+  ~TraceAttach();
+  TraceAttach(const TraceAttach&) = delete;
+  TraceAttach& operator=(const TraceAttach&) = delete;
+
+ private:
+  Tracer* prev_;
+};
+
+/// Span helper for the hot paths: captures the start time only when a
+/// tracer is attached, records on destruction.  Name must be a literal.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : t_(tracer()), name_(name) {
+    if (t_) t0_ = now_ns();
+  }
+  ~ScopedSpan() {
+    if (t_) t_->span(name_, t0_, now_ns() - t0_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* t_;
+  const char* name_;
+  long long t0_ = 0;
+};
+
+}  // namespace carbon::obs

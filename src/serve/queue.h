@@ -9,6 +9,7 @@
 /// draining (every admitted connection gets a response), new pushes are
 /// refused, and pop() returns nullopt once the queue runs dry.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -17,6 +18,15 @@
 #include <utility>
 
 namespace carbon::serve {
+
+/// An admitted connection: the fd plus the instant admission control let
+/// it through, so the worker that eventually pops it can report the time
+/// the connection sat in the queue separately from its service time
+/// (the carbon_queue_wait_seconds histogram).
+struct Admitted {
+  int fd = -1;
+  std::chrono::steady_clock::time_point admitted_at{};
+};
 
 template <typename T>
 class BoundedQueue {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
@@ -43,16 +44,86 @@ void close_fd(int& fd) {
   }
 }
 
+long long since_ns(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
+ServerStats::ServerStats(obs::MetricsRegistry& m)
+    : accepted(m.counter("carbon_accepted_total", "",
+                         "Connections accepted by the listener")),
+      rejected_overload(m.counter("carbon_rejected_total",
+                                  "reason=\"overload\"",
+                                  "Connections/frames shed by admission "
+                                  "control")),
+      rejected_too_large(
+          m.counter("carbon_rejected_total", "reason=\"too_large\"")),
+      bad_requests(m.counter("carbon_bad_requests_total", "",
+                             "Frames that were not a valid request")),
+      requests_run(m.counter("carbon_requests_started_total", "",
+                             "Run requests admitted to a worker session")),
+      requests_ok(m.counter("carbon_requests_total", "outcome=\"ok\"",
+                            "Run requests by outcome class")),
+      parse_errors(m.counter("carbon_requests_total", "outcome=\"parse\"")),
+      solve_failures(
+          m.counter("carbon_requests_total", "outcome=\"solve_failure\"")),
+      timeouts(m.counter("carbon_requests_total", "outcome=\"timeout\"")),
+      cancelled(m.counter("carbon_requests_total", "outcome=\"cancelled\"")),
+      internal_errors(
+          m.counter("carbon_requests_total", "outcome=\"internal\"")),
+      health_requests(m.counter("carbon_health_requests_total", "",
+                                "health/stats requests served")),
+      metrics_requests(m.counter("carbon_metrics_requests_total", "",
+                                 "metrics requests served")),
+      disconnects(m.counter("carbon_disconnects_total", "",
+                            "Clients gone before their response")),
+      in_flight(m.gauge("carbon_in_flight", "",
+                        "Run requests currently executing")) {}
+
+ServerInstruments::ServerInstruments(obs::MetricsRegistry& m)
+    : queue_depth(m.gauge("carbon_queue_depth", "",
+                          "Admitted connections waiting for a worker")),
+      queue_wait(m.histogram("carbon_queue_wait_seconds", "",
+                             "Admission to worker pop, per connection")),
+      lat_ok(m.histogram("carbon_request_seconds", "outcome=\"ok\"",
+                         "Run request service latency by outcome class")),
+      lat_parse(m.histogram("carbon_request_seconds", "outcome=\"parse\"")),
+      lat_solve_failure(
+          m.histogram("carbon_request_seconds", "outcome=\"solve_failure\"")),
+      lat_timeout(m.histogram("carbon_request_seconds", "outcome=\"timeout\"")),
+      lat_cancelled(
+          m.histogram("carbon_request_seconds", "outcome=\"cancelled\"")),
+      lat_internal(
+          m.histogram("carbon_request_seconds", "outcome=\"internal\"")),
+      cache_hits(m.counter("carbon_session_cache_total", "event=\"hit\"",
+                           "Session topology-cache events, all workers")),
+      cache_misses(m.counter("carbon_session_cache_total", "event=\"miss\"")),
+      cache_evictions(
+          m.counter("carbon_session_cache_total", "event=\"eviction\"")),
+      phase_stamp_ns(m.counter("carbon_phase_ns_total", "phase=\"stamp\"",
+                               "Solver phase time [ns], all workers")),
+      phase_eval_ns(m.counter("carbon_phase_ns_total", "phase=\"eval\"")),
+      phase_factor_ns(m.counter("carbon_phase_ns_total", "phase=\"factor\"")),
+      phase_solve_ns(m.counter("carbon_phase_ns_total", "phase=\"solve\"")) {}
+
 struct Server::WorkerState {
-  // Session-cache counters exported after every request so the health
-  // handler (running on a different worker) can aggregate them without
-  // touching another thread's SimSession.
-  std::atomic<long> cache_hits{0};
-  std::atomic<long> cache_misses{0};
-  std::atomic<long> cache_evictions{0};
-  std::atomic<long> cache_entries{0};
+  WorkerState(obs::MetricsRegistry& m, int index)
+      : entries(m.gauge("carbon_session_cache_entries",
+                        "worker=\"" + std::to_string(index) + "\"",
+                        "Live topology-cache entries per worker")) {}
+
+  /// Live topology-cache size of this worker's session, for health
+  /// aggregation (hit/miss/eviction counters flow through the shared
+  /// registry instead — ServerInstruments is the single source of truth).
+  obs::Gauge& entries;
+
+  // What this worker already folded into the shared counters; worker-local
+  // (single writer), so no atomics needed.
+  spice::SessionCacheStats exported{};
+  obs::PhaseTimes exported_phases{};
 };
 
 /// One in-flight request as the disconnect monitor sees it.
@@ -64,8 +135,15 @@ struct Server::Watch {
 
 Server::Server(ServerConfig cfg)
     : cfg_(std::move(cfg)),
+      stats_(metrics_),
+      inst_(metrics_),
       queue_(static_cast<std::size_t>(std::max(1, cfg_.queue_capacity))) {
   cfg_.workers = std::max(1, cfg_.workers);
+  // Worker states (and their labeled gauges) exist from construction so
+  // metrics() exposes the complete schema before start().
+  for (int i = 0; i < cfg_.workers; ++i) {
+    worker_states_.push_back(std::make_unique<WorkerState>(metrics_, i));
+  }
 }
 
 Server::~Server() {
@@ -135,13 +213,12 @@ void Server::start() {
   }
 
   monitor_thread_ = std::thread([this] { monitor_main(); });
-  worker_states_.clear();
-  for (int i = 0; i < cfg_.workers; ++i) {
-    worker_states_.push_back(std::make_unique<WorkerState>());
-  }
   for (int i = 0; i < cfg_.workers; ++i) {
     WorkerState* w = worker_states_[static_cast<std::size_t>(i)].get();
     worker_threads_.emplace_back([this, w] { worker_main(*w); });
+  }
+  if (cfg_.stats_interval_s > 0.0) {
+    stats_thread_ = std::thread([this] { stats_main(); });
   }
   accept_thread_ = std::thread([this] { accept_main(); });
 }
@@ -158,6 +235,12 @@ void Server::wait() {
   }
   watch_cv_.notify_all();
   if (monitor_thread_.joinable()) monitor_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_stop_ = true;
+  }
+  stats_cv_.notify_all();
+  if (stats_thread_.joinable()) stats_thread_.join();
   if (!cfg_.unix_path.empty()) ::unlink(cfg_.unix_path.c_str());
   stopped_.store(true);
 }
@@ -199,11 +282,11 @@ void Server::accept_main() {
     if (!(fds[0].revents & POLLIN)) continue;
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
-    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
-    if (!queue_.try_push(conn)) {
+    stats_.accepted.inc();
+    if (!queue_.try_push({conn, std::chrono::steady_clock::now()})) {
       // Admission control: shed the connection with a structured overload
       // document inside a small write budget, never buffer it.
-      stats_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+      stats_.rejected_overload.inc();
       const Json doc =
           error_doc("overload", "request queue full; retry later");
       write_frame(conn, doc.dump(),
@@ -231,9 +314,17 @@ void Server::accept_main() {
 void Server::worker_main(WorkerState& w) {
   // One long-lived session per worker; all workers share the immutable
   // model registry by value (DeviceModelPtr copies of const models).
-  spice::SimSession session(cfg_.registry, cfg_.session);
-  while (std::optional<int> fd = queue_.pop()) {
-    serve_connection(*fd, session, w);
+  // Phase collection is always on in the service: the per-iteration cost
+  // is a few clock reads, and it feeds the carbon_phase_ns_total family.
+  spice::SessionOptions sopts = cfg_.session;
+  sopts.collect_phases = true;
+  spice::SimSession session(cfg_.registry, sopts);
+  while (std::optional<Admitted> adm = queue_.pop()) {
+    // Queue wait (admission → pop) is recorded apart from service time:
+    // a saturated worker pool shows up here, a slow deck shows up in
+    // carbon_request_seconds.
+    inst_.queue_wait.record_ns(since_ns(adm->admitted_at));
+    serve_connection(adm->fd, session, w);
   }
 }
 
@@ -254,7 +345,7 @@ void Server::serve_connection(int fd, spice::SimSession& session,
     if (st == ReadStatus::kTooLarge) {
       // The frame boundary is lost once a line is cut off mid-stream, so
       // reject-and-close is the only safe resynchronization.
-      stats_.rejected_too_large.fetch_add(1, std::memory_order_relaxed);
+      stats_.rejected_too_large.inc();
       send_doc(fd,
                error_doc("too_large",
                          "request frame exceeds " +
@@ -269,11 +360,12 @@ void Server::serve_connection(int fd, spice::SimSession& session,
 
 bool Server::handle_request(int fd, const std::string& line,
                             spice::SimSession& session, WorkerState& w) {
+  const auto t_service0 = std::chrono::steady_clock::now();
   Json req;
   try {
     req = Json::parse(line);
   } catch (const std::exception& e) {
-    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    stats_.bad_requests.inc();
     return send_doc(fd,
                     error_doc("bad_request",
                               std::string("request is not valid JSON: ") +
@@ -281,7 +373,7 @@ bool Server::handle_request(int fd, const std::string& line,
                     cfg_.write_timeout_s);
   }
   if (!req.is_object()) {
-    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    stats_.bad_requests.inc();
     return send_doc(fd,
                     error_doc("bad_request", "request must be a JSON object"),
                     cfg_.write_timeout_s);
@@ -296,7 +388,7 @@ bool Server::handle_request(int fd, const std::string& line,
   std::string type;
   if (const Json* t = req.find("type")) {
     if (!t->is_string()) {
-      stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+      stats_.bad_requests.inc();
       return reply(error_doc("bad_request", "'type' must be a string"));
     }
     type = t->as_string();
@@ -305,25 +397,29 @@ bool Server::handle_request(int fd, const std::string& line,
   }
 
   if (type == "health" || type == "stats") {
-    stats_.health_requests.fetch_add(1, std::memory_order_relaxed);
+    stats_.health_requests.inc();
     return reply(health_doc());
   }
+  if (type == "metrics") {
+    stats_.metrics_requests.inc();
+    return reply(metrics_doc());
+  }
   if (type != "run") {
-    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    stats_.bad_requests.inc();
     return reply(error_doc(
         "bad_request", "unknown request type '" + type +
-                           "' (want run, health or stats)"));
+                           "' (want run, health, stats or metrics)"));
   }
 
   const Json* deck = req.find("deck");
   if (!deck || !deck->is_string()) {
-    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    stats_.bad_requests.inc();
     return reply(error_doc("bad_request", "run request wants a 'deck' string"));
   }
   double deadline_s = cfg_.default_deadline_s;
   if (const Json* dl = req.find("deadline_ms")) {
     if (!dl->is_number()) {
-      stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+      stats_.bad_requests.inc();
       return reply(error_doc("bad_request", "'deadline_ms' must be a number"));
     }
     deadline_s = dl->as_double() * 1e-3;
@@ -338,8 +434,8 @@ bool Server::handle_request(int fd, const std::string& line,
   watch.fd = fd;
   watch.token = &token;
   watch_add(&watch);
-  stats_.requests_run.fetch_add(1, std::memory_order_relaxed);
-  stats_.in_flight.fetch_add(1, std::memory_order_relaxed);
+  stats_.requests_run.inc();
+  stats_.in_flight.add(1);
 
   Json doc;
   try {
@@ -353,19 +449,33 @@ bool Server::handle_request(int fd, const std::string& line,
   }
 
   watch_remove(&watch);
-  stats_.in_flight.fetch_sub(1, std::memory_order_relaxed);
+  stats_.in_flight.sub(1);
 
-  // Export this worker's session-cache counters for health aggregation.
+  // Fold this worker's session counters into the shared registry: the
+  // delta against what was already exported goes to the monotonic cache
+  // and phase counters (single source of truth — health and metrics both
+  // read the registry), and the live entry count to the per-worker gauge.
   const spice::SessionCacheStats cs = session.cache_stats();
-  w.cache_hits.store(cs.hits, std::memory_order_relaxed);
-  w.cache_misses.store(cs.misses, std::memory_order_relaxed);
-  w.cache_evictions.store(cs.evictions, std::memory_order_relaxed);
-  w.cache_entries.store(cs.entries, std::memory_order_relaxed);
+  inst_.cache_hits.inc(cs.hits - w.exported.hits);
+  inst_.cache_misses.inc(cs.misses - w.exported.misses);
+  inst_.cache_evictions.inc(cs.evictions - w.exported.evictions);
+  w.entries.set(cs.entries);
+  w.exported = cs;
+  const obs::PhaseTimes& pt = session.phase_times();
+  inst_.phase_stamp_ns.inc(pt.stamp_ns - w.exported_phases.stamp_ns);
+  inst_.phase_eval_ns.inc(pt.eval_ns - w.exported_phases.eval_ns);
+  inst_.phase_factor_ns.inc(pt.factor_ns - w.exported_phases.factor_ns);
+  inst_.phase_solve_ns.inc(pt.solve_ns - w.exported_phases.solve_ns);
+  w.exported_phases = pt;
 
-  // Outcome accounting.
+  // Outcome accounting.  The latency record sits in the same branch as
+  // the counter increment, before the response write, so every outcome's
+  // histogram count equals its counter at any quiescent point.
+  const long long service_ns = since_ns(t_service0);
   const Json* ok = doc.find("ok");
   if (ok && ok->is_bool() && ok->as_bool()) {
-    stats_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+    stats_.requests_ok.inc();
+    inst_.lat_ok.record_ns(service_ns);
   } else {
     std::string etype = "internal";
     if (const Json* err = doc.find("error")) {
@@ -374,70 +484,69 @@ bool Server::handle_request(int fd, const std::string& line,
       }
     }
     if (etype == "parse") {
-      stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+      stats_.parse_errors.inc();
+      inst_.lat_parse.record_ns(service_ns);
     } else if (etype == "solve_failure") {
-      stats_.solve_failures.fetch_add(1, std::memory_order_relaxed);
+      stats_.solve_failures.inc();
+      inst_.lat_solve_failure.record_ns(service_ns);
     } else if (etype == "timeout") {
-      stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      stats_.timeouts.inc();
+      inst_.lat_timeout.record_ns(service_ns);
     } else if (etype == "cancelled") {
-      stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      stats_.cancelled.inc();
+      inst_.lat_cancelled.record_ns(service_ns);
     } else {
-      stats_.internal_errors.fetch_add(1, std::memory_order_relaxed);
+      stats_.internal_errors.inc();
+      inst_.lat_internal.record_ns(service_ns);
     }
   }
 
   if (watch.gone.load(std::memory_order_acquire)) {
     // The client hung up mid-solve (the monitor cancelled it); there is
     // nobody left to write the document to.
-    stats_.disconnects.fetch_add(1, std::memory_order_relaxed);
+    stats_.disconnects.inc();
     return false;
   }
   if (!reply(std::move(doc))) {
-    stats_.disconnects.fetch_add(1, std::memory_order_relaxed);
+    stats_.disconnects.inc();
     return false;
   }
   return true;
 }
 
 Json Server::health_doc() const {
-  auto r = [](const std::atomic<long>& v) {
-    return v.load(std::memory_order_relaxed);
-  };
   auto server = Json::object();
   server.set("endpoint", endpoint());
   server.set("workers", cfg_.workers);
   server.set("draining", draining());
   server.set("queue_depth", static_cast<long>(queue_.depth()));
   server.set("queue_capacity", static_cast<long>(queue_.capacity()));
-  server.set("in_flight", r(stats_.in_flight));
-  server.set("accepted", r(stats_.accepted));
-  server.set("rejected_overload", r(stats_.rejected_overload));
-  server.set("rejected_too_large", r(stats_.rejected_too_large));
-  server.set("bad_requests", r(stats_.bad_requests));
-  server.set("disconnects", r(stats_.disconnects));
+  server.set("in_flight", stats_.in_flight.load());
+  server.set("accepted", stats_.accepted.load());
+  server.set("rejected_overload", stats_.rejected_overload.load());
+  server.set("rejected_too_large", stats_.rejected_too_large.load());
+  server.set("bad_requests", stats_.bad_requests.load());
+  server.set("disconnects", stats_.disconnects.load());
 
   auto outcomes = Json::object();
-  outcomes.set("run", r(stats_.requests_run));
-  outcomes.set("ok", r(stats_.requests_ok));
-  outcomes.set("parse", r(stats_.parse_errors));
-  outcomes.set("solve_failure", r(stats_.solve_failures));
-  outcomes.set("timeout", r(stats_.timeouts));
-  outcomes.set("cancelled", r(stats_.cancelled));
-  outcomes.set("internal", r(stats_.internal_errors));
-  outcomes.set("health", r(stats_.health_requests));
+  outcomes.set("run", stats_.requests_run.load());
+  outcomes.set("ok", stats_.requests_ok.load());
+  outcomes.set("parse", stats_.parse_errors.load());
+  outcomes.set("solve_failure", stats_.solve_failures.load());
+  outcomes.set("timeout", stats_.timeouts.load());
+  outcomes.set("cancelled", stats_.cancelled.load());
+  outcomes.set("internal", stats_.internal_errors.load());
+  outcomes.set("health", stats_.health_requests.load());
   server.set("requests", std::move(outcomes));
 
-  long hits = 0, misses = 0, evictions = 0, entries = 0;
-  for (const auto& w : worker_states_) {
-    hits += w->cache_hits.load(std::memory_order_relaxed);
-    misses += w->cache_misses.load(std::memory_order_relaxed);
-    evictions += w->cache_evictions.load(std::memory_order_relaxed);
-    entries += w->cache_entries.load(std::memory_order_relaxed);
-  }
+  // Monotonic cache events come from the shared registry counters; only
+  // the live entry count is aggregated across the per-worker gauges.
+  long entries = 0;
+  for (const auto& w : worker_states_) entries += w->entries.load();
   auto cache = Json::object();
-  cache.set("hits", hits);
-  cache.set("misses", misses);
-  cache.set("evictions", evictions);
+  cache.set("hits", inst_.cache_hits.load());
+  cache.set("misses", inst_.cache_misses.load());
+  cache.set("evictions", inst_.cache_evictions.load());
   cache.set("entries", entries);
   server.set("session_cache", std::move(cache));
 
@@ -446,6 +555,36 @@ Json Server::health_doc() const {
   doc.set("type", "health");
   doc.set("server", std::move(server));
   return doc;
+}
+
+Json Server::metrics_doc() const {
+  // Pull gauges only the scrape observes up to date first.
+  inst_.queue_depth.set(static_cast<long>(queue_.depth()));
+  auto doc = Json::object();
+  doc.set("ok", true);
+  doc.set("type", "metrics");
+  doc.set("prometheus", metrics_.prometheus());
+  doc.set("metrics", metrics_.to_json());
+  return doc;
+}
+
+void Server::stats_main() {
+  const auto interval = std::chrono::duration<double>(cfg_.stats_interval_s);
+  std::unique_lock<std::mutex> lock(stats_mu_);
+  while (!stats_cv_.wait_for(lock, interval, [&] { return stats_stop_; })) {
+    const long run = stats_.requests_run.load();
+    const long ok = stats_.requests_ok.load();
+    const long failed = stats_.parse_errors.load() +
+                        stats_.solve_failures.load() +
+                        stats_.timeouts.load() + stats_.cancelled.load() +
+                        stats_.internal_errors.load();
+    std::fprintf(stderr,
+                 "[carbon_simd] accepted=%ld run=%ld ok=%ld failed=%ld "
+                 "in_flight=%ld queue=%zu cache_hits=%ld cache_misses=%ld\n",
+                 stats_.accepted.load(), run, ok, failed,
+                 stats_.in_flight.load(), queue_.depth(),
+                 inst_.cache_hits.load(), inst_.cache_misses.load());
+  }
 }
 
 bool Server::send_doc(int fd, const core::Json& doc, double timeout_s) {

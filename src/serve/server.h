@@ -39,6 +39,7 @@
 /// Wire protocol: one JSON object per line.
 ///   {"type":"run","deck":"...netlist...","deadline_ms":5000,"id":7}
 ///   {"type":"health"}            (alias: "stats")
+///   {"type":"metrics"}           (Prometheus text + JSON snapshot)
 /// Responses echo "id" verbatim when present.  Run responses are the
 /// SimSession document (ok / error.type in {parse, solve_failure,
 /// timeout, cancelled, internal}); health responses expose queue depth,
@@ -46,12 +47,15 @@
 /// stats.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "phys/cancel.h"
 #include "serve/queue.h"
 #include "spice/netlist_parser.h"
@@ -76,6 +80,8 @@ struct ServerConfig {
   double write_timeout_s = 10.0;     ///< slow-client response write budget
   double drain_budget_s = 5.0;       ///< in-flight work budget after drain
                                      ///< starts (0 = cancel immediately)
+  double stats_interval_s = 0.0;     ///< > 0: print a one-line counter
+                                     ///< summary to stderr at this period
 
   /// Shared immutable model registry every worker session reads.
   spice::ModelRegistry registry;
@@ -83,23 +89,58 @@ struct ServerConfig {
   spice::SessionOptions session;
 };
 
-/// Monotonic counters, all updated with relaxed atomics (they are
-/// diagnostics, not synchronization).
+/// The server's monotonic counters, registry-backed: every member is a
+/// stable reference into the server's obs::MetricsRegistry, so the same
+/// instrument feeds the health document, the Prometheus exposition and
+/// these (API-compatible, .load()-able) fields.  Updates stay relaxed
+/// atomics — diagnostics, not synchronization.
 struct ServerStats {
-  std::atomic<long> accepted{0};
-  std::atomic<long> rejected_overload{0};
-  std::atomic<long> rejected_too_large{0};
-  std::atomic<long> bad_requests{0};
-  std::atomic<long> requests_run{0};
-  std::atomic<long> requests_ok{0};
-  std::atomic<long> parse_errors{0};
-  std::atomic<long> solve_failures{0};
-  std::atomic<long> timeouts{0};
-  std::atomic<long> cancelled{0};
-  std::atomic<long> internal_errors{0};
-  std::atomic<long> health_requests{0};
-  std::atomic<long> disconnects{0};
-  std::atomic<long> in_flight{0};
+  explicit ServerStats(obs::MetricsRegistry& m);
+
+  obs::Counter& accepted;
+  obs::Counter& rejected_overload;
+  obs::Counter& rejected_too_large;
+  obs::Counter& bad_requests;
+  obs::Counter& requests_run;
+  obs::Counter& requests_ok;
+  obs::Counter& parse_errors;
+  obs::Counter& solve_failures;
+  obs::Counter& timeouts;
+  obs::Counter& cancelled;
+  obs::Counter& internal_errors;
+  obs::Counter& health_requests;
+  obs::Counter& metrics_requests;
+  obs::Counter& disconnects;
+  obs::Gauge& in_flight;
+};
+
+/// The server's non-counter instruments: latency/queue-wait histograms,
+/// session-cache aggregation and solver phase-time counters.  Like
+/// ServerStats, every member is a stable registry reference.
+struct ServerInstruments {
+  explicit ServerInstruments(obs::MetricsRegistry& m);
+
+  obs::Gauge& queue_depth;      ///< refreshed at exposition time
+  obs::Histogram& queue_wait;   ///< admission → worker pop, per connection
+  // Request service latency, one histogram per outcome class; recording
+  // happens adjacent to the matching ServerStats counter increment so the
+  // histogram count and the counter are always conserved together.
+  obs::Histogram& lat_ok;
+  obs::Histogram& lat_parse;
+  obs::Histogram& lat_solve_failure;
+  obs::Histogram& lat_timeout;
+  obs::Histogram& lat_cancelled;
+  obs::Histogram& lat_internal;
+  // Session-cache counters aggregated across workers (single source of
+  // truth; workers fold per-session deltas in after every request).
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& cache_evictions;
+  // Solver phase-time totals [ns] across all workers (obs/phase.h split).
+  obs::Counter& phase_stamp_ns;
+  obs::Counter& phase_eval_ns;
+  obs::Counter& phase_factor_ns;
+  obs::Counter& phase_solve_ns;
 };
 
 class Server {
@@ -141,6 +182,9 @@ class Server {
   std::string endpoint() const;
 
   const ServerStats& stats() const { return stats_; }
+  /// The registry behind every server instrument; {"type":"metrics"}
+  /// requests and tests read the same snapshot through it.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
   std::size_t queue_depth() const { return queue_.depth(); }
   bool draining() const { return draining_.load(std::memory_order_acquire); }
 
@@ -151,6 +195,7 @@ class Server {
   void accept_main();
   void worker_main(WorkerState& w);
   void monitor_main();
+  void stats_main();
   void begin_drain_locked();
 
   /// Serve one admitted connection until EOF, error, oversized frame or
@@ -161,14 +206,17 @@ class Server {
   bool handle_request(int fd, const std::string& line,
                       spice::SimSession& session, WorkerState& w);
   core::Json health_doc() const;
+  core::Json metrics_doc() const;
   bool send_doc(int fd, const core::Json& doc, double timeout_s);
 
   void watch_add(Watch* w);
   void watch_remove(Watch* w);
 
   ServerConfig cfg_;
+  obs::MetricsRegistry metrics_;  ///< must precede the instrument structs
   ServerStats stats_;
-  BoundedQueue<int> queue_;
+  ServerInstruments inst_;
+  BoundedQueue<Admitted> queue_;
 
   int listen_fd_ = -1;
   int port_ = 0;
@@ -185,6 +233,12 @@ class Server {
   std::vector<std::thread> worker_threads_;
   std::vector<std::unique_ptr<WorkerState>> worker_states_;
   std::thread monitor_thread_;
+
+  // Periodic stderr summary (stats_interval_s > 0).
+  std::thread stats_thread_;
+  std::mutex stats_mu_;
+  std::condition_variable stats_cv_;
+  bool stats_stop_ = false;
 
   // Disconnect monitor state.
   std::mutex watch_mu_;

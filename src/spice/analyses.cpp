@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "phys/linalg.h"
 #include "phys/require.h"
 #include "spice/integrator.h"
@@ -122,18 +123,33 @@ bool newton_solve(Circuit& ckt, std::vector<double>& x,
     prev_sign.assign(n_nodes, 0);
   }
 
+  // Observability hooks, hoisted out of the loop: one TLS load for the
+  // tracer and one pointer copy for the phase accumulator per solve.  When
+  // both are null (the default) the iteration body performs two null
+  // checks and zero clock reads.
+  obs::Tracer* const tr = obs::tracer();
+  obs::PhaseTimes* const ph = opts.phases;
+  const bool timing = (ph != nullptr) || (tr != nullptr);
+  obs::ScopedSpan solve_span("newton-solve");
+
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     // Cooperative cancellation / deadline poll: one relaxed load (plus a
     // clock read when a deadline is armed) per iteration.  Throws
     // CancelledError, which is not a ConvergenceError — the escalation
     // ladder unwinds instead of treating it as a failed rung.
     if (opts.cancel) opts.cancel->throw_if_stopped("newton");
+
+    long long t_iter0 = 0, t_stamp1 = 0, t_factor1 = 0;
+    const long long eval0 = ph ? ph->eval_ns : 0;
+    if (timing) t_iter0 = obs::now_ns();
+
     ws.mna.restore_baseline();
 
     StampContext ctx = proto;
     ctx.x = &x;
     ctx.gmin = gmin;
     ctx.source_scale = source_scale;
+    ctx.phases = ph;
     try {
       ws.mna.stamp_all(ckt, ctx);
     } catch (const NonFiniteEvalError& e) {
@@ -145,6 +161,14 @@ bool newton_solve(Circuit& ckt, std::vector<double>& x,
       return false;
     }
     if (ptc_geq > 0.0) ws.mna.add_node_shunts(ptc_geq, *ptc_ref);
+
+    if (timing) {
+      t_stamp1 = obs::now_ns();
+      // stamp_all charged the dynamic elements' model-eval time to
+      // eval_ns; the stamp phase is the assembly remainder.
+      if (ph) ph->stamp_ns += (t_stamp1 - t_iter0) - (ph->eval_ns - eval0);
+      if (tr) tr->span("stamp", t_iter0, t_stamp1 - t_iter0);
+    }
 
     if (!ws.mna.factor()) {
       if (diag) {
@@ -158,8 +182,21 @@ bool newton_solve(Circuit& ckt, std::vector<double>& x,
       }
       return false;  // singular/non-finite at this homotopy rung
     }
+    if (timing) {
+      t_factor1 = obs::now_ns();
+      if (ph) ph->factor_ns += t_factor1 - t_stamp1;
+      if (tr) tr->span("factor", t_stamp1, t_factor1 - t_stamp1);
+    }
     ws.mna.copy_rhs(ws.x_new);
     ws.mna.solve_in_place(ws.x_new);
+    if (timing) {
+      const long long t_solve1 = obs::now_ns();
+      if (ph) ph->solve_ns += t_solve1 - t_factor1;
+      if (tr) {
+        tr->span("solve", t_factor1, t_solve1 - t_factor1);
+        tr->span("newton-iter", t_iter0, t_solve1 - t_iter0);
+      }
+    }
 
     // A finite factorization can still overflow in the substitution when
     // the pivots sit right at the singularity floor; reject the update
@@ -467,9 +504,11 @@ NewtonStats ConvergenceOrchestrator::solve(std::vector<double>& x,
     return stats_;
   }
   merge_failure(SolveStage::kNewton, SolveFailure::Cause::kMaxIterations);
+  obs::Tracer* const tr = obs::tracer();
 
   // Stage 2: adaptive gmin ramp with backtracking.
   if (opts_.allow_gmin_stepping) {
+    if (tr) tr->instant("ladder:gmin-stepping", obs::now_ns());
     x = x0;
     if (gmin_ramp(x, proto)) {
       stats_.stage = SolveStage::kGminStepping;
@@ -481,6 +520,7 @@ NewtonStats ConvergenceOrchestrator::solve(std::vector<double>& x,
 
   // Stage 3: source-scale homotopy with adaptive increments.
   if (opts_.allow_source_stepping) {
+    if (tr) tr->instant("ladder:source-stepping", obs::now_ns());
     if (source_ramp(x, proto)) {
       stats_.stage = SolveStage::kSourceStepping;
       stats_.used_source_stepping = true;
@@ -491,6 +531,7 @@ NewtonStats ConvergenceOrchestrator::solve(std::vector<double>& x,
 
   // Stage 4: pseudo-transient continuation, the fallback of last resort.
   if (opts_.allow_pseudo_transient) {
+    if (tr) tr->instant("ladder:pseudo-transient", obs::now_ns());
     x = x0;
     if (pseudo_transient(x, proto)) {
       stats_.stage = SolveStage::kPseudoTransient;
@@ -749,6 +790,10 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
 
   double t = 0.0;
 
+  // One TLS load per transient call; step-loop instrumentation below is
+  // branch-only when no tracer is attached.
+  obs::Tracer* const tr = obs::tracer();
+
   if (!opts.adaptive) {
     // ---- fixed-step path: the classic dt grid with halving-on-failure,
     // kept as the bit-stable reference the adaptive engine is verified
@@ -756,6 +801,7 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
     bool first_step = true;  // BE start-up step stabilizes trap ringing
     while (t < opts.t_stop - 1e-21) {
       if (opts.solver.cancel) opts.solver.cancel->throw_if_stopped("transient");
+      obs::ScopedSpan step_span("tran-step");
       double dt = std::min(opts.dt, opts.t_stop - t);
       int halvings = 0;
       for (;;) {
@@ -771,6 +817,7 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
                          1.0, proto, ws, &iters);
         st.newton_iterations += iters;
         if (!converged) {
+          if (tr) tr->instant("newton-reject", obs::now_ns());
           ++st.steps_rejected_newton;
           ++halvings;
           if (halvings <= opts.max_step_halvings) {
@@ -781,6 +828,7 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
           // this step from the last accepted state (gmin ramp, source
           // stepping, pseudo-transient).  Throws SolveFailureError with
           // the per-node diagnosis when even that fails.
+          if (tr) tr->instant("recovery", obs::now_ns());
           ConvergenceOrchestrator orch(ckt, opts.solver, ws);
           x_try = x;
           const NewtonStats rs = orch.solve(x_try, proto);
@@ -829,6 +877,7 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
 
   while (t < opts.t_stop - t_eps) {
     if (opts.solver.cancel) opts.solver.cancel->throw_if_stopped("transient");
+    obs::ScopedSpan step_span("tran-step");
     // Never step across a source corner: clamp to the next breakpoint (or
     // t_stop) and land on it exactly.
     while (bp_idx < bps.size() && bps[bp_idx] <= t + t_eps) ++bp_idx;
@@ -857,6 +906,7 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
     st.newton_iterations += iters;
     bool recovered = false;
     if (!converged) {
+      if (tr) tr->instant("newton-reject", obs::now_ns());
       ++st.steps_rejected_newton;
       ++consecutive_failures;
       if (consecutive_failures <= opts.max_step_halvings &&
@@ -870,6 +920,7 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
       // full convergence ladder for this step from the last accepted
       // state.  Throws SolveFailureError with the per-node diagnosis
       // when even that fails.
+      if (tr) tr->instant("recovery", obs::now_ns());
       ConvergenceOrchestrator orch(ckt, opts.solver, ws);
       x_try = x;
       const NewtonStats rs = orch.solve(x_try, proto);
@@ -892,6 +943,7 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
       const LteController::Decision dec =
           ctl.step(h, ratio, use_trap && pred_order >= 2 ? 3 : 2);
       if (!dec.accept) {
+        if (tr) tr->instant("lte-reject", obs::now_ns());
         ++st.steps_rejected_lte;
         dt = dec.dt_next;
         continue;
@@ -927,6 +979,7 @@ phys::DataTable transient(Circuit& ckt, const TransientOptions& opts,
       // after the restart is a blind BE step (no predictor, no LTE test),
       // so take it at a tenth of the reference dt — its uncontrolled
       // O(h^2) error would otherwise set the accuracy floor of the run.
+      if (tr) tr->instant("breakpoint", obs::now_ns());
       ++st.breakpoints_hit;
       hist.reset();
       ctl.reset_history();

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/phase.h"
 #include "phys/cancel.h"
 #include "phys/linalg.h"
 #include "phys/require.h"
@@ -65,6 +66,13 @@ struct SolverOptions {
   /// corner case thus degrades to a bounded, attributable stop instead of
   /// wedging the thread.  Not owned; must outlive the solve.
   const phys::CancelToken* cancel = nullptr;
+
+  /// Optional phase-time accumulator (stamp/eval/factor/solve split, see
+  /// obs/phase.h).  Null (the default) keeps the hot path free of clock
+  /// reads; non-null adds a handful of steady_clock samples per Newton
+  /// iteration.  Not owned; must outlive the solve.  Single-threaded:
+  /// parallel trials need one accumulator per worker.
+  obs::PhaseTimes* phases = nullptr;
 };
 
 /// Stage of the convergence escalation ladder.

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "device/ivmodel.h"
+#include "obs/phase.h"
 #include "phys/linalg.h"
 #include "phys/linalg_complex.h"
 #include "phys/require.h"
@@ -81,6 +82,9 @@ struct StampContext {
   double bypass_vtol = 0.0;
   /// Optional eval/bypass accounting (owned by the analysis driver).
   EvalCounters* counters = nullptr;
+  /// Optional phase-time accumulator (obs/phase.h); stamp_all charges the
+  /// dynamic elements' stamp() time to eval_ns when non-null.
+  obs::PhaseTimes* phases = nullptr;
 
   /// When true, add_jac advances the slot cursor without writing: set by
   /// MnaSystem::stamp_all for elements whose Jacobian footprint is constant

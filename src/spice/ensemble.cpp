@@ -9,6 +9,7 @@
 #include <fstream>
 #include <mutex>
 
+#include "obs/trace.h"
 #include "phys/parallel.h"
 #include "phys/require.h"
 #include "spice/elements.h"
@@ -348,6 +349,7 @@ EnsembleRunner::RunOne EnsembleRunner::run_one(
   RunOne out;
   TrialResult& r = out.result;
   r.index = index;
+  obs::ScopedSpan trial_span("ensemble-trial");
   const auto t0 = Clock::now();
 
   for (int attempt = 0; attempt <= opts_.max_retries; ++attempt) {
@@ -455,9 +457,13 @@ EnsembleResult EnsembleRunner::run(long num_trials,
   if (!pending.empty()) {
     std::mutex ckpt_mutex;
     std::atomic<int> next_worker{0};
+    // Propagate the caller's tracer onto the worker threads: each worker
+    // records into its own ring, so trial spans stay lock-free.
+    obs::Tracer* const parent_tracer = obs::tracer();
     phys::parallel_for(
         static_cast<long>(pending.size()),
         [&](long begin, long end) {
+          obs::TraceAttach trace_attach(parent_tracer);
           const int worker =
               next_worker.fetch_add(1, std::memory_order_relaxed);
           TrialFn fn = make_worker(worker);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "phys/require.h"
 
 namespace carbon::spice {
@@ -187,6 +188,7 @@ void MnaSystem::stamp_all(const Circuit& ckt, StampContext& ctx) {
   ctx.rhs = nullptr;
   ctx.capture_jac = nullptr;
   ctx.capture_rhs = nullptr;
+  obs::PhaseTimes* const ph = ctx.phases;
   const auto& elements = ckt.elements();
   for (size_t e = 0; e < elements.size(); ++e) {
     const StampMode mode = stamp_mode_[e];
@@ -202,7 +204,15 @@ void MnaSystem::stamp_all(const Circuit& ckt, StampContext& ctx) {
     ctx.debug_jac_count = jac_off_[e + 1] - jac_off_[e];
     ctx.debug_rhs_count = rhs_off_[e + 1] - rhs_off_[e];
 #endif
-    elements[e]->stamp(ctx);
+    if (ph && mode == StampMode::kDynamic) {
+      // Dynamic elements are the device-eval phase; static-RHS sources and
+      // baseline elements are assembly bookkeeping and stay in stamp_ns.
+      const long long t0 = obs::now_ns();
+      elements[e]->stamp(ctx);
+      ph->eval_ns += obs::now_ns() - t0;
+    } else {
+      elements[e]->stamp(ctx);
+    }
   }
   ctx.jac_slots = nullptr;
   ctx.rhs_slots = nullptr;
@@ -243,6 +253,9 @@ bool MnaSystem::factor() {
       std::memcmp(factored_values_.data(), vals,
                   nvals * sizeof(double)) == 0) {
     ++factor_skips_;
+    if (obs::Tracer* trc = obs::tracer()) {
+      trc->instant("factor-skip", obs::now_ns());
+    }
     return true;
   }
   for (size_t t = 0; t < nvals; ++t) {
@@ -262,6 +275,7 @@ bool MnaSystem::factor() {
     }
   }
   try {
+    obs::ScopedSpan refactor_span("numeric-refactor");
     if (sparse_) {
       slu_.factor(smat_);
     } else {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "phys/require.h"
 #include "spice/ensemble.h"  // to_json(SolveFailure / NewtonStats / ...)
 #include "spice/measure.h"
@@ -337,6 +338,17 @@ class StepRunner {
     // during one analysis must not start the next.
     if (cfg_.solver.cancel) cfg_.solver.cancel->throw_if_stopped("session");
     const std::string kind = analysis_kind_name(card.kind);
+    // Span names must be string literals (the tracer stores the pointer),
+    // so the per-analysis span cannot reuse the kind string above.
+    const char* span_name = "analysis";
+    switch (card.kind) {
+      case AnalysisCard::Kind::kOp: span_name = "analysis:op"; break;
+      case AnalysisCard::Kind::kDc: span_name = "analysis:dc"; break;
+      case AnalysisCard::Kind::kTran: span_name = "analysis:tran"; break;
+      case AnalysisCard::Kind::kAc: span_name = "analysis:ac"; break;
+      case AnalysisCard::Kind::kNoise: span_name = "analysis:noise"; break;
+    }
+    obs::ScopedSpan span(span_name);
     auto out = core::Json::object();
     out.set("type", kind);
     switch (card.kind) {
@@ -692,11 +704,14 @@ SimSession::CacheEntry& SimSession::entry_for(const Deck& deck,
 core::Json SimSession::run_deck(const Deck& deck,
                                 const phys::CancelToken* cancel) {
   ++decks_run_;
+  obs::ScopedSpan deck_span("deck");
   bool cache_hit = false;
   CacheEntry& entry = entry_for(deck, &cache_hit);
   ++entry.uses;
   DeckConfig cfg = config_from(deck);
   cfg.solver.cancel = cancel;  // polled by every Newton/transient/AC loop
+  obs::PhaseTimes deck_phases;
+  if (opts_.collect_phases) cfg.solver.phases = &deck_phases;
 
   auto doc = core::Json::object();
   doc.set("ok", true);
@@ -717,9 +732,17 @@ core::Json SimSession::run_deck(const Deck& deck,
   auto steps = core::Json::array();
   for (const ParamEnv& overrides : expand_steps(deck)) {
     if (cancel) cancel->throw_if_stopped("session");
+    const int sym0 = entry.workspace.mna.analyze_count();
     StepRunner runner(deck, cfg, *entry.circuit, entry.workspace, entry.ac,
                       registry_, entry.model_memo, overrides, opts_);
     steps.push(runner.run());
+    if (obs::Tracer* trc = obs::tracer()) {
+      // Marker for a symbolic re-analysis performed somewhere inside the
+      // step (stamped after the fact; the event is a counter, not a span).
+      if (entry.workspace.mna.analyze_count() > sym0) {
+        trc->instant("symbolic-analyze", obs::now_ns());
+      }
+    }
   }
   doc.set("steps", std::move(steps));
 
@@ -736,6 +759,17 @@ core::Json SimSession::run_deck(const Deck& deck,
   session.set("mna_pattern_builds", entry.workspace.mna.build_count());
   session.set("symbolic_analyses", entry.workspace.mna.analyze_count());
   session.set("ac_symbolic_analyses", entry.ac.analyze_count());
+  if (deck_phases.any()) {
+    // Only present when phase collection ran and measured something, so
+    // default-session documents stay byte-identical to earlier releases.
+    auto phase = core::Json::object();
+    phase.set("stamp", deck_phases.stamp_ns);
+    phase.set("eval", deck_phases.eval_ns);
+    phase.set("factor", deck_phases.factor_ns);
+    phase.set("solve", deck_phases.solve_ns);
+    session.set("phase_ns", std::move(phase));
+    phases_.add(deck_phases);
+  }
   doc.set("session", std::move(session));
   return doc;
 }

@@ -5,6 +5,11 @@
 ///   carbon_sim < decks.cir              # stdin; decks separated by .end
 ///   carbon_sim --compact deck.cir       # single-line JSON
 ///   carbon_sim --deadline-ms 5000 ...   # per-deck wall-clock budget
+///   carbon_sim --trace-out t.json ...   # per-deck Chrome trace (deck N
+///                                       # past the first lands in t.json.N;
+///                                       # open in chrome://tracing or
+///                                       # ui.perfetto.dev)
+///   carbon_sim --profile ...            # phase-time table on stderr
 ///
 /// Robustness: every deck runs inside a catch-all boundary — an
 /// unexpected exception becomes a structured {"type": "internal"}
@@ -26,6 +31,7 @@
 
 #include <csignal>
 #include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -35,6 +41,7 @@
 #include "device/alpha_power.h"
 #include "device/ivmodel.h"
 #include "device/linear_fet.h"
+#include "obs/trace.h"
 #include "phys/cancel.h"
 #include "spice/session.h"
 
@@ -96,12 +103,22 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
 
   bool compact = false;
+  bool profile = false;
   double deadline_ms = 0.0;  // 0 = no per-deck budget
+  std::string trace_out;     // empty = tracing off
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--compact") {
       compact = true;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) {
+        std::cerr << "carbon_sim: --trace-out wants a file path\n";
+        return 1;
+      }
+      trace_out = argv[++i];
     } else if (arg == "--deadline-ms") {
       if (i + 1 >= argc) {
         std::cerr << "carbon_sim: --deadline-ms wants a value\n";
@@ -118,9 +135,11 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: carbon_sim [--compact] [--deadline-ms N] "
-                   "[deck.cir ...]\n"
-                   "       carbon_sim [--compact] [--deadline-ms N] "
-                   "< decks.cir\n";
+                   "[--trace-out FILE] [--profile] [deck.cir ...]\n"
+                   "       carbon_sim [options] < decks.cir\n"
+                   "  --trace-out FILE  write a Chrome trace_event JSON per "
+                   "deck (FILE, FILE.1, ...)\n"
+                   "  --profile         solver phase-time table on stderr\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "carbon_sim: unknown option " << arg << "\n";
@@ -130,17 +149,25 @@ int main(int argc, char** argv) {
     }
   }
 
-  carbon::spice::SimSession session(builtin_models());
+  carbon::spice::SessionOptions sopts;
+  sopts.collect_phases = profile;
+  carbon::spice::SimSession session(builtin_models(), sopts);
   bool any_failed = false;
+  int deck_index = 0;
 
   auto run_one = [&](const std::string& text) {
     carbon::core::Json doc;
+    // Per-deck tracer: one bounded ring per deck so each trace file stands
+    // alone.  Unused (no --trace-out) it allocates nothing — rings are
+    // created on first record, and nothing records while detached.
+    carbon::obs::Tracer tracer;
     // Catch-all at the per-deck boundary: run_deck_text already converts
     // known failures to documents, but an unexpected exception from
     // anywhere else must not kill the rest of the batch either.
     try {
       carbon::phys::CancelToken budget;
       if (deadline_ms > 0.0) budget.set_deadline_after(deadline_ms * 1e-3);
+      carbon::obs::TraceAttach attach(trace_out.empty() ? nullptr : &tracer);
       doc = session.run_deck_text(text,
                                   deadline_ms > 0.0 ? &budget : nullptr);
     } catch (const std::exception& e) {
@@ -151,6 +178,19 @@ int main(int argc, char** argv) {
       doc.set("ok", false);
       doc.set("error", std::move(err));
     }
+    if (!trace_out.empty()) {
+      const std::string path =
+          deck_index == 0 ? trace_out
+                          : trace_out + "." + std::to_string(deck_index);
+      std::ofstream tf(path);
+      if (tf) {
+        tf << tracer.chrome_json_text() << "\n";
+      } else {
+        std::cerr << "carbon_sim: cannot write trace file: " << path << "\n";
+        any_failed = true;
+      }
+    }
+    ++deck_index;
     const carbon::core::Json* ok = doc.find("ok");
     if (!ok || !ok->is_bool() || !ok->as_bool()) any_failed = true;
     print_doc(doc, compact);
@@ -177,6 +217,24 @@ int main(int argc, char** argv) {
       text << in.rdbuf();
       run_one(text.str());
     }
+  }
+
+  if (profile) {
+    const carbon::obs::PhaseTimes& pt = session.phase_times();
+    const long long total =
+        pt.stamp_ns + pt.eval_ns + pt.factor_ns + pt.solve_ns;
+    const double denom = total > 0 ? static_cast<double>(total) : 1.0;
+    auto row = [&](const char* name, long long ns) {
+      std::fprintf(stderr, "  %-12s %12.3f ms  %5.1f%%\n", name, ns * 1e-6,
+                   100.0 * static_cast<double>(ns) / denom);
+    };
+    std::fprintf(stderr, "carbon_sim profile (%d deck%s):\n", deck_index,
+                 deck_index == 1 ? "" : "s");
+    row("device-eval", pt.eval_ns);
+    row("stamp", pt.stamp_ns);
+    row("factor", pt.factor_ns);
+    row("back-solve", pt.solve_ns);
+    row("total", total);
   }
   return any_failed ? 1 : 0;
 }

@@ -13,6 +13,7 @@
 ///
 ///   {"type":"run","deck":"v1 in 0 1\n...\n.end\n","deadline_ms":5000,"id":1}
 ///   {"type":"health"}
+///   {"type":"metrics"}    (Prometheus text + JSON metric snapshot)
 ///
 /// SIGTERM/SIGINT start the graceful drain: stop accepting, finish or
 /// cancel in-flight work within --drain-ms, flush every response, exit 0.
@@ -93,6 +94,8 @@ int usage(int code) {
          "5000)\n"
          "  --cache N             per-worker topology-cache capacity "
          "(default 16)\n"
+         "  --stats-interval-s N  print a one-line counter summary to "
+         "stderr every N s\n"
          "  --no-tables           suppress table blocks in responses\n"
          "  --test-models         register fault-injection models "
          "(hangfet, nanfet)\n";
@@ -152,6 +155,8 @@ int main(int argc, char** argv) {
       cfg.drain_budget_s = num_arg(i, "--drain-ms") * 1e-3;
     } else if (arg == "--cache") {
       cfg.session.cache_capacity = static_cast<int>(num_arg(i, "--cache"));
+    } else if (arg == "--stats-interval-s") {
+      cfg.stats_interval_s = num_arg(i, "--stats-interval-s");
     } else if (arg == "--no-tables") {
       cfg.session.emit_tables = false;
     } else if (arg == "--test-models") {

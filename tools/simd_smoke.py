@@ -13,6 +13,11 @@ and asserts the robustness contract:
   * oversized frames are rejected with {"type":"too_large"};
   * a saturated queue sheds load with {"type":"overload"} documents;
   * health reporting stays coherent (in_flight returns to 0);
+  * {"type":"metrics"} exposes a conserved Prometheus snapshot: each
+    carbon_request_seconds{outcome=X} histogram count equals the
+    matching carbon_requests_total{outcome=X} counter, and the
+    queue-wait histogram count equals accepted minus overload-shed
+    connections once the storm quiesces;
   * SIGTERM drains gracefully: the process exits 0 within the drain
     budget after finishing or cancelling in-flight work.
 
@@ -21,6 +26,7 @@ Exits 0 when every assertion holds.  Stdlib only.
 
 import argparse
 import json
+import re
 import signal
 import socket
 import subprocess
@@ -141,6 +147,75 @@ def client_mix(port, seed, rounds):
             c.close()
 
 
+def prom_value(text, name, labels=""):
+    """Value of a single Prometheus sample, e.g.
+    prom_value(text, "carbon_requests_total", 'outcome="ok"')."""
+    sample = name + ("{" + labels + "}" if labels else "")
+    m = re.search(r"^%s (-?\d+(?:\.\d+)?(?:e[+-]?\d+)?)$"
+                  % re.escape(sample), text, re.MULTILINE)
+    return float(m.group(1)) if m else None
+
+
+def wait_quiescent(port, budget_s=15.0):
+    """Poll health until no work is queued or in flight."""
+    deadline = time.monotonic() + budget_s
+    while time.monotonic() < deadline:
+        c = Client(port)
+        health = c.rpc({"type": "health"})
+        c.close()
+        if health and health.get("ok"):
+            srv = health["server"]
+            if srv["in_flight"] == 0 and srv["queue_depth"] == 0:
+                return True
+        time.sleep(0.1)
+    return False
+
+
+def check_metrics(port):
+    """Histogram-count conservation: the request-latency histograms must
+    agree exactly with the per-outcome counters, and the queue-wait
+    histogram with admission accounting, once the storm has quiesced."""
+    if not wait_quiescent(port):
+        fail("metrics: server did not quiesce")
+        return
+    c = Client(port)
+    doc = c.rpc({"type": "metrics"})
+    c.close()
+    if not doc or not doc.get("ok") or doc.get("type") != "metrics":
+        fail("metrics request failed: " + json.dumps(doc)[:200])
+        return
+    text = doc.get("prometheus", "")
+    outcomes = ["ok", "parse", "solve_failure", "timeout", "cancelled",
+                "internal"]
+    finished = 0
+    for outcome in outcomes:
+        labels = 'outcome="%s"' % outcome
+        counter = prom_value(text, "carbon_requests_total", labels)
+        hist = prom_value(text, "carbon_request_seconds_count", labels)
+        if counter is None or hist is None:
+            fail(f"metrics: missing samples for outcome {outcome}")
+            continue
+        if counter != hist:
+            fail(f"metrics: carbon_request_seconds_count{{{labels}}} "
+                 f"{hist} != carbon_requests_total {counter}")
+        finished += int(counter)
+    if finished < 1:
+        fail("metrics: no finished requests recorded")
+    accepted = prom_value(text, "carbon_accepted_total")
+    shed = prom_value(text, "carbon_rejected_total", 'reason="overload"')
+    qwait = prom_value(text, "carbon_queue_wait_seconds_count")
+    if accepted is None or shed is None or qwait is None:
+        fail("metrics: missing admission samples")
+    elif qwait != accepted - shed:
+        fail(f"metrics: queue-wait count {qwait} != accepted {accepted} "
+             f"- overload {shed}")
+    # The JSON snapshot must carry the same vocabulary.
+    if "carbon_request_seconds" not in (doc.get("metrics") or {}):
+        fail("metrics: JSON snapshot missing carbon_request_seconds")
+    print("metrics: conserved over %d finished requests "
+          "(accepted=%d shed=%d)" % (finished, accepted, shed))
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--binary", required=True, help="path to carbon_simd")
@@ -225,6 +300,9 @@ def main():
                 fail("health: no timeouts recorded despite hung decks")
             if srv["disconnects"] < 1:
                 fail("health: no disconnects recorded")
+
+        # Metrics exposition: histogram/counter conservation at rest.
+        check_metrics(port)
 
         # Graceful drain: SIGTERM, exit 0 within budget + slack.
         t0 = time.monotonic()
